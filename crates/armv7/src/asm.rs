@@ -1,0 +1,531 @@
+//! A small label-based assembler for guest programs.
+//!
+//! Komodo enclaves are ordinary user-mode programs whose code pages are
+//! measured by hashing; this assembler produces real A32 words for the
+//! modelled subset so that guest programs (the notary of §8.2, the test
+//! guests, the attack guests) can be written in Rust and loaded into
+//! simulated memory.
+
+use crate::encode::encode;
+use crate::insn::{Cond, DpOp, Insn, LsmMode, MemOffset, Op2, Shift};
+use crate::regs::Reg;
+use crate::word::{Addr, Word};
+
+/// A code location, usable as a branch target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(Addr);
+
+impl Label {
+    /// The address this label refers to.
+    pub fn addr(self) -> Addr {
+        self.0
+    }
+}
+
+/// A forward-branch placeholder awaiting [`Assembler::fix_branch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fixup(usize);
+
+/// The assembler: emits instructions at increasing addresses from a base.
+#[derive(Clone, Debug)]
+pub struct Assembler {
+    base: Addr,
+    insns: Vec<Insn>,
+}
+
+impl Assembler {
+    /// Starts assembling at virtual address `base` (word-aligned).
+    pub fn new(base: Addr) -> Assembler {
+        assert_eq!(base % 4, 0, "code must be word-aligned");
+        Assembler {
+            base,
+            insns: Vec::new(),
+        }
+    }
+
+    /// The address of the next instruction to be emitted.
+    pub fn here(&self) -> Label {
+        Label(self.base + (self.insns.len() as u32) * 4)
+    }
+
+    /// Alias of [`Assembler::here`], reading naturally at loop heads.
+    pub fn label(&self) -> Label {
+        self.here()
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, insn: Insn) {
+        self.insns.push(insn);
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Encodes everything to memory words.
+    pub fn words(&self) -> Vec<Word> {
+        self.insns.iter().map(|i| encode(*i)).collect()
+    }
+
+    fn branch_offset(&self, from_index: usize, target: Label) -> i32 {
+        let pc = self.base as i64 + from_index as i64 * 4;
+        ((target.0 as i64 - (pc + 8)) / 4) as i32
+    }
+
+    // --- Data processing -------------------------------------------------
+
+    /// Generic data-processing emit.
+    pub fn dp(&mut self, op: DpOp, s: bool, rd: Reg, rn: Reg, op2: Op2) {
+        self.emit(Insn::Dp {
+            cond: Cond::Al,
+            op,
+            s,
+            rd,
+            rn,
+            op2,
+        });
+    }
+
+    /// `MOV rd, #imm` for an encodable immediate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not expressible as a rotated 8-bit immediate;
+    /// use [`Assembler::mov_imm32`] for arbitrary values.
+    pub fn mov_imm(&mut self, rd: Reg, imm: u32) {
+        let op2 = Op2::encode_imm32(imm).expect("immediate not encodable; use mov_imm32");
+        self.dp(DpOp::Mov, false, rd, Reg::R(0), op2);
+    }
+
+    /// Loads an arbitrary 32-bit constant with `MOVW`(+`MOVT`).
+    pub fn mov_imm32(&mut self, rd: Reg, imm: u32) {
+        self.emit(Insn::Movw {
+            cond: Cond::Al,
+            rd,
+            imm16: imm as u16,
+        });
+        if imm >> 16 != 0 {
+            self.emit(Insn::Movt {
+                cond: Cond::Al,
+                rd,
+                imm16: (imm >> 16) as u16,
+            });
+        }
+    }
+
+    /// `MOV rd, rm`.
+    pub fn mov_reg(&mut self, rd: Reg, rm: Reg) {
+        self.dp(DpOp::Mov, false, rd, Reg::R(0), Op2::reg(rm));
+    }
+
+    /// `ADD rd, rn, #imm` (encodable immediate).
+    pub fn add_imm(&mut self, rd: Reg, rn: Reg, imm: u32) {
+        let op2 = Op2::encode_imm32(imm).expect("immediate not encodable");
+        self.dp(DpOp::Add, false, rd, rn, op2);
+    }
+
+    /// `ADD rd, rn, rm`.
+    pub fn add_reg(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.dp(DpOp::Add, false, rd, rn, Op2::reg(rm));
+    }
+
+    /// `SUB rd, rn, #imm`.
+    pub fn sub_imm(&mut self, rd: Reg, rn: Reg, imm: u32) {
+        let op2 = Op2::encode_imm32(imm).expect("immediate not encodable");
+        self.dp(DpOp::Sub, false, rd, rn, op2);
+    }
+
+    /// `SUBS rd, rn, #imm` (flag-setting, for loop counters).
+    pub fn subs_imm(&mut self, rd: Reg, rn: Reg, imm: u32) {
+        let op2 = Op2::encode_imm32(imm).expect("immediate not encodable");
+        self.dp(DpOp::Sub, true, rd, rn, op2);
+    }
+
+    /// `SUB rd, rn, rm`.
+    pub fn sub_reg(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.dp(DpOp::Sub, false, rd, rn, Op2::reg(rm));
+    }
+
+    /// `CMP rn, #imm`.
+    pub fn cmp_imm(&mut self, rn: Reg, imm: u32) {
+        let op2 = Op2::encode_imm32(imm).expect("immediate not encodable");
+        self.dp(DpOp::Cmp, true, Reg::R(0), rn, op2);
+    }
+
+    /// `CMP rn, rm`.
+    pub fn cmp_reg(&mut self, rn: Reg, rm: Reg) {
+        self.dp(DpOp::Cmp, true, Reg::R(0), rn, Op2::reg(rm));
+    }
+
+    /// `AND rd, rn, rm`.
+    pub fn and_reg(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.dp(DpOp::And, false, rd, rn, Op2::reg(rm));
+    }
+
+    /// `AND rd, rn, #imm`.
+    pub fn and_imm(&mut self, rd: Reg, rn: Reg, imm: u32) {
+        let op2 = Op2::encode_imm32(imm).expect("immediate not encodable");
+        self.dp(DpOp::And, false, rd, rn, op2);
+    }
+
+    /// `ORR rd, rn, rm`.
+    pub fn orr_reg(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.dp(DpOp::Orr, false, rd, rn, Op2::reg(rm));
+    }
+
+    /// `EOR rd, rn, rm`.
+    pub fn eor_reg(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.dp(DpOp::Eor, false, rd, rn, Op2::reg(rm));
+    }
+
+    /// `EOR rd, rn, rm, ROR #amount` — the SHA-256 sigma workhorse.
+    pub fn eor_ror(&mut self, rd: Reg, rn: Reg, rm: Reg, amount: u8) {
+        self.dp(
+            DpOp::Eor,
+            false,
+            rd,
+            rn,
+            Op2::Reg {
+                rm,
+                shift: Shift::Ror,
+                amount,
+            },
+        );
+    }
+
+    /// `BIC rd, rn, rm` (`rd = rn & !rm`).
+    pub fn bic_reg(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.dp(DpOp::Bic, false, rd, rn, Op2::reg(rm));
+    }
+
+    /// `MVN rd, rm`.
+    pub fn mvn_reg(&mut self, rd: Reg, rm: Reg) {
+        self.dp(DpOp::Mvn, false, rd, Reg::R(0), Op2::reg(rm));
+    }
+
+    /// `MOV rd, rm, LSR #amount`.
+    pub fn lsr_imm(&mut self, rd: Reg, rm: Reg, amount: u8) {
+        self.dp(
+            DpOp::Mov,
+            false,
+            rd,
+            Reg::R(0),
+            Op2::Reg {
+                rm,
+                shift: Shift::Lsr,
+                amount,
+            },
+        );
+    }
+
+    /// `MOV rd, rm, LSL #amount`.
+    pub fn lsl_imm(&mut self, rd: Reg, rm: Reg, amount: u8) {
+        self.dp(
+            DpOp::Mov,
+            false,
+            rd,
+            Reg::R(0),
+            Op2::Reg {
+                rm,
+                shift: Shift::Lsl,
+                amount,
+            },
+        );
+    }
+
+    /// `MOV rd, rm, ROR #amount`.
+    pub fn ror_imm(&mut self, rd: Reg, rm: Reg, amount: u8) {
+        self.dp(
+            DpOp::Mov,
+            false,
+            rd,
+            Reg::R(0),
+            Op2::Reg {
+                rm,
+                shift: Shift::Ror,
+                amount,
+            },
+        );
+    }
+
+    /// `ADD rd, rn, rm, LSL #amount` (scaled index).
+    pub fn add_lsl(&mut self, rd: Reg, rn: Reg, rm: Reg, amount: u8) {
+        self.dp(
+            DpOp::Add,
+            false,
+            rd,
+            rn,
+            Op2::Reg {
+                rm,
+                shift: Shift::Lsl,
+                amount,
+            },
+        );
+    }
+
+    /// `MUL rd, rm, rs`.
+    pub fn mul(&mut self, rd: Reg, rm: Reg, rs: Reg) {
+        self.emit(Insn::Mul {
+            cond: Cond::Al,
+            s: false,
+            rd,
+            rm,
+            rs,
+        });
+    }
+
+    // --- Memory -----------------------------------------------------------
+
+    /// `LDR rd, [rn, #imm]`.
+    pub fn ldr_imm(&mut self, rd: Reg, rn: Reg, imm: u16) {
+        self.emit(Insn::Ldr {
+            cond: Cond::Al,
+            rd,
+            rn,
+            off: MemOffset::Imm {
+                imm12: imm,
+                add: true,
+            },
+            byte: false,
+        });
+    }
+
+    /// `STR rd, [rn, #imm]`.
+    pub fn str_imm(&mut self, rd: Reg, rn: Reg, imm: u16) {
+        self.emit(Insn::Str {
+            cond: Cond::Al,
+            rd,
+            rn,
+            off: MemOffset::Imm {
+                imm12: imm,
+                add: true,
+            },
+            byte: false,
+        });
+    }
+
+    /// `LDR rd, [rn, rm]`.
+    pub fn ldr_reg(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.emit(Insn::Ldr {
+            cond: Cond::Al,
+            rd,
+            rn,
+            off: MemOffset::Reg { rm, add: true },
+            byte: false,
+        });
+    }
+
+    /// `STR rd, [rn, rm]`.
+    pub fn str_reg(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.emit(Insn::Str {
+            cond: Cond::Al,
+            rd,
+            rn,
+            off: MemOffset::Reg { rm, add: true },
+            byte: false,
+        });
+    }
+
+    /// `LDRB rd, [rn, #imm]`.
+    pub fn ldrb_imm(&mut self, rd: Reg, rn: Reg, imm: u16) {
+        self.emit(Insn::Ldr {
+            cond: Cond::Al,
+            rd,
+            rn,
+            off: MemOffset::Imm {
+                imm12: imm,
+                add: true,
+            },
+            byte: true,
+        });
+    }
+
+    /// `STRB rd, [rn, #imm]`.
+    pub fn strb_imm(&mut self, rd: Reg, rn: Reg, imm: u16) {
+        self.emit(Insn::Str {
+            cond: Cond::Al,
+            rd,
+            rn,
+            off: MemOffset::Imm {
+                imm12: imm,
+                add: true,
+            },
+            byte: true,
+        });
+    }
+
+    /// `PUSH {regs}` (`STMDB SP!`).
+    pub fn push(&mut self, regs: &[Reg]) {
+        self.emit(Insn::Stm {
+            cond: Cond::Al,
+            rn: Reg::Sp,
+            writeback: true,
+            regs: reg_mask(regs),
+            mode: LsmMode::Db,
+        });
+    }
+
+    /// `POP {regs}` (`LDMIA SP!`).
+    pub fn pop(&mut self, regs: &[Reg]) {
+        self.emit(Insn::Ldm {
+            cond: Cond::Al,
+            rn: Reg::Sp,
+            writeback: true,
+            regs: reg_mask(regs),
+            mode: LsmMode::Ia,
+        });
+    }
+
+    // --- Control flow ------------------------------------------------------
+
+    /// Conditional branch to a known (typically backward) label.
+    pub fn b_to(&mut self, cond: Cond, target: Label) {
+        let offset = self.branch_offset(self.insns.len(), target);
+        self.emit(Insn::B { cond, offset });
+    }
+
+    /// Emits a branch placeholder to be resolved with
+    /// [`Assembler::fix_branch`].
+    pub fn b_fixup(&mut self, cond: Cond) -> Fixup {
+        let id = Fixup(self.insns.len());
+        self.emit(Insn::B { cond, offset: 0 });
+        id
+    }
+
+    /// `BL` to a known label.
+    pub fn bl_to(&mut self, cond: Cond, target: Label) {
+        let offset = self.branch_offset(self.insns.len(), target);
+        self.emit(Insn::Bl { cond, offset });
+    }
+
+    /// Emits a `BL` placeholder.
+    pub fn bl_fixup(&mut self, cond: Cond) -> Fixup {
+        let id = Fixup(self.insns.len());
+        self.emit(Insn::Bl { cond, offset: 0 });
+        id
+    }
+
+    /// Resolves a branch placeholder to `target`.
+    pub fn fix_branch(&mut self, fixup: Fixup, target: Label) {
+        let offset = self.branch_offset(fixup.0, target);
+        match &mut self.insns[fixup.0] {
+            Insn::B { offset: o, .. } | Insn::Bl { offset: o, .. } => *o = offset,
+            other => panic!("fixup does not refer to a branch: {other:?}"),
+        }
+    }
+
+    /// `BX rm`.
+    pub fn bx(&mut self, rm: Reg) {
+        self.emit(Insn::Bx { cond: Cond::Al, rm });
+    }
+
+    /// `SVC #imm24`.
+    pub fn svc(&mut self, imm24: u32) {
+        self.emit(Insn::Svc {
+            cond: Cond::Al,
+            imm24,
+        });
+    }
+
+    /// `UDF #imm16` (deliberate undefined instruction).
+    pub fn udf(&mut self, imm16: u16) {
+        self.emit(Insn::Udf { imm16 });
+    }
+
+    /// `SMC #imm4` — will fault from user mode (attack guests use this).
+    pub fn smc(&mut self, imm4: u8) {
+        self.emit(Insn::Smc {
+            cond: Cond::Al,
+            imm4,
+        });
+    }
+}
+
+fn reg_mask(regs: &[Reg]) -> u16 {
+    let mut mask = 0u16;
+    for r in regs {
+        mask |= 1 << r.index();
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn here_advances_by_words() {
+        let mut a = Assembler::new(0x1000);
+        assert_eq!(a.here().addr(), 0x1000);
+        a.mov_imm(Reg::R(0), 1);
+        assert_eq!(a.here().addr(), 0x1004);
+        a.mov_imm32(Reg::R(1), 0xdead_beef); // Two instructions.
+        assert_eq!(a.here().addr(), 0x100c);
+    }
+
+    #[test]
+    fn mov_imm32_single_insn_for_low_halves() {
+        let mut a = Assembler::new(0);
+        a.mov_imm32(Reg::R(0), 0x1234);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn backward_branch_offset() {
+        let mut a = Assembler::new(0x1000);
+        let top = a.label();
+        a.mov_imm(Reg::R(0), 1);
+        a.b_to(Cond::Al, top);
+        // Branch at 0x1004 to 0x1000: offset = (0x1000 - 0x100c)/4 = -3.
+        assert_eq!(
+            a.words()[1],
+            encode(Insn::B {
+                cond: Cond::Al,
+                offset: -3
+            })
+        );
+    }
+
+    #[test]
+    fn forward_branch_fixup() {
+        let mut a = Assembler::new(0);
+        let f = a.b_fixup(Cond::Eq);
+        a.mov_imm(Reg::R(0), 1);
+        let target = a.here();
+        a.fix_branch(f, target);
+        // Branch at 0 to 8: offset = (8 - 8)/4 = 0.
+        assert_eq!(
+            a.words()[0],
+            encode(Insn::B {
+                cond: Cond::Eq,
+                offset: 0
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not encodable")]
+    fn mov_imm_panics_on_wide_value() {
+        Assembler::new(0).mov_imm(Reg::R(0), 0x1234_5678);
+    }
+
+    #[test]
+    fn reg_mask_builds_bitmap() {
+        assert_eq!(reg_mask(&[Reg::R(0), Reg::R(4), Reg::Lr]), 0x4011);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not refer to a branch")]
+    fn fix_branch_rejects_non_branch() {
+        let mut a = Assembler::new(0);
+        a.mov_imm(Reg::R(0), 1);
+        let target = a.here();
+        a.fix_branch(Fixup(0), target);
+    }
+}

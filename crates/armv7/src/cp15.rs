@@ -1,0 +1,145 @@
+//! CP15 system-control coprocessor state.
+//!
+//! Komodo relies on a handful of control registers: the world-banked MMU
+//! configuration ("Some system control registers are banked, with one copy
+//! for each world. These include the MMU configuration and page-table base
+//! registers, so a world switch may enter a different address space", §3.3),
+//! the Secure Configuration Register, and the fault-status registers used to
+//! classify aborts.
+
+use crate::mode::World;
+use crate::word::Addr;
+
+/// Translation Table Base Control Register.
+///
+/// Komodo programs `TTBCR.N = 2` in secure world so that `TTBR0` translates
+/// only the low 1 GB (the enclave address-space limit, Figure 4) and `TTBR1`
+/// maps the monitor's static high region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ttbcr {
+    /// The `N` field: `TTBR0` covers virtual addresses below `2^(32-N)`.
+    pub n: u8,
+}
+
+impl Ttbcr {
+    /// First virtual address *not* translated by `TTBR0`.
+    pub fn ttbr0_limit(self) -> u64 {
+        1u64 << (32 - self.n as u32)
+    }
+}
+
+/// Per-world copy of the MMU-related registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MmuRegs {
+    /// Translation table base 0: the (enclave) process page table.
+    pub ttbr0: Addr,
+    /// Translation table base 1: the static high-region table.
+    pub ttbr1: Addr,
+    /// Translation table base control.
+    pub ttbcr: Ttbcr,
+    /// MMU enable (`SCTLR.M`).
+    pub mmu_enabled: bool,
+}
+
+impl Default for MmuRegs {
+    fn default() -> Self {
+        MmuRegs {
+            ttbr0: 0,
+            ttbr1: 0,
+            ttbcr: Ttbcr { n: 0 },
+            mmu_enabled: false,
+        }
+    }
+}
+
+/// Data Fault Status: why the most recent data abort occurred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FaultStatus {
+    /// No fault recorded.
+    #[default]
+    None,
+    /// Translation fault (no valid descriptor).
+    Translation,
+    /// Permission fault.
+    Permission,
+    /// External abort (e.g. TrustZone address-space controller rejection).
+    External,
+    /// Alignment fault.
+    Alignment,
+}
+
+/// The CP15 state modelled by the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cp15 {
+    /// Secure Configuration Register `NS` bit: when set, the core (outside
+    /// monitor mode) is in the normal world.
+    pub scr_ns: bool,
+    /// Secure-world MMU registers.
+    pub mmu_secure: MmuRegs,
+    /// Normal-world MMU registers.
+    pub mmu_normal: MmuRegs,
+    /// Data Fault Status Register (secure copy; the monitor reads this to
+    /// classify enclave aborts).
+    pub dfsr: FaultStatus,
+    /// Data Fault Address Register.
+    pub dfar: Addr,
+    /// Instruction Fault Status Register.
+    pub ifsr: FaultStatus,
+}
+
+impl Default for Cp15 {
+    fn default() -> Self {
+        Cp15 {
+            // Reset state: secure world.
+            scr_ns: false,
+            mmu_secure: MmuRegs::default(),
+            mmu_normal: MmuRegs::default(),
+            dfsr: FaultStatus::None,
+            dfar: 0,
+            ifsr: FaultStatus::None,
+        }
+    }
+}
+
+impl Cp15 {
+    /// The MMU register bank for `world`.
+    pub fn mmu(&self, world: World) -> &MmuRegs {
+        match world {
+            World::Secure => &self.mmu_secure,
+            World::Normal => &self.mmu_normal,
+        }
+    }
+
+    /// Mutable MMU register bank for `world`.
+    pub fn mmu_mut(&mut self, world: World) -> &mut MmuRegs {
+        match world {
+            World::Secure => &mut self.mmu_secure,
+            World::Normal => &mut self.mmu_normal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttbcr_limits() {
+        assert_eq!(Ttbcr { n: 0 }.ttbr0_limit(), 1u64 << 32);
+        assert_eq!(Ttbcr { n: 2 }.ttbr0_limit(), 0x4000_0000);
+    }
+
+    #[test]
+    fn mmu_banked_per_world() {
+        let mut cp = Cp15::default();
+        cp.mmu_mut(World::Secure).ttbr0 = 0x1000;
+        cp.mmu_mut(World::Normal).ttbr0 = 0x2000;
+        assert_eq!(cp.mmu(World::Secure).ttbr0, 0x1000);
+        assert_eq!(cp.mmu(World::Normal).ttbr0, 0x2000);
+    }
+
+    #[test]
+    fn reset_is_secure() {
+        assert!(!Cp15::default().scr_ns);
+    }
+}

@@ -1,0 +1,483 @@
+//! A32 instruction decoding.
+//!
+//! Any word outside the modelled subset decodes to [`Insn::Unknown`], which
+//! executes as an undefined-instruction exception. This is the executable
+//! counterpart of the paper's idiomatic-specification rule: unspecified
+//! instructions have no defined behaviour, so the system treats them as
+//! faults rather than guessing.
+
+use crate::insn::{Cond, DpOp, Insn, LsmMode, MemOffset, Op2, Shift};
+use crate::regs::Reg;
+use crate::word::Word;
+
+fn reg(bits: u32) -> Option<Reg> {
+    Reg::from_index((bits & 0xf) as u8)
+}
+
+/// Decodes one word. Never fails; undecodable words become [`Insn::Unknown`].
+pub fn decode(w: Word) -> Insn {
+    match try_decode(w) {
+        Some(i) => i,
+        None => Insn::Unknown(w),
+    }
+}
+
+fn try_decode(w: Word) -> Option<Insn> {
+    let cond = Cond::from_bits(w >> 28)?; // cond=1111 (unconditional space) unmodelled.
+    let space = (w >> 25) & 0b111;
+    match space {
+        0b000 => decode_space0(w, cond),
+        0b001 => decode_space1(w, cond),
+        0b010 => decode_mem(
+            w,
+            cond,
+            MemOffset::Imm {
+                imm12: (w & 0xfff) as u16,
+                add: w & (1 << 23) != 0,
+            },
+        ),
+        0b011 => {
+            if w & (1 << 4) != 0 {
+                // Media / UDF space.
+                if (w & 0x0ff0_00f0) == 0x07f0_00f0 {
+                    let imm16 = ((((w >> 8) & 0xfff) << 4) | (w & 0xf)) as u16;
+                    return Some(Insn::Udf { imm16 });
+                }
+                return None;
+            }
+            // Register offset with zero shift only.
+            if (w >> 4) & 0xff != 0 {
+                return None;
+            }
+            decode_mem(
+                w,
+                cond,
+                MemOffset::Reg {
+                    rm: reg(w)?,
+                    add: w & (1 << 23) != 0,
+                },
+            )
+        }
+        0b100 => decode_lsm(w, cond),
+        0b101 => {
+            let offset = ((w & 0x00ff_ffff) as i32) << 8 >> 8; // Sign-extend 24 bits.
+            if w & (1 << 24) != 0 {
+                Some(Insn::Bl { cond, offset })
+            } else {
+                Some(Insn::B { cond, offset })
+            }
+        }
+        0b111 => {
+            if w & (1 << 24) != 0 {
+                Some(Insn::Svc {
+                    cond,
+                    imm24: w & 0x00ff_ffff,
+                })
+            } else if w & (1 << 4) != 0 {
+                // MCR/MRC with the fixed sub-fields the encoder emits
+                // (opc1=0, CRn=0, opc2=0, CRm=0).
+                if (w & 0x0fff_00ff) != 0x0e00_0010 && (w & 0x0fff_00ff) != 0x0e10_0010 {
+                    return None;
+                }
+                let rt = reg(w >> 12)?;
+                let cp = ((w >> 8) & 0xf) as u8;
+                if w & (1 << 20) != 0 {
+                    Some(Insn::Mrc { cond, cp, rt })
+                } else {
+                    Some(Insn::Mcr { cond, cp, rt })
+                }
+            } else {
+                None // CDP and friends.
+            }
+        }
+        _ => None, // 0b110: coprocessor load/store.
+    }
+}
+
+/// Space `000`: register data-processing, multiply, and the misc space
+/// (`MRS`, `BX`, `SMC`).
+fn decode_space0(w: Word, cond: Cond) -> Option<Insn> {
+    // Multiply: bits[27:22]=000000, bits[7:4]=1001.
+    if (w & 0x0fc0_00f0) == 0x0000_0090 {
+        return Some(Insn::Mul {
+            cond,
+            s: w & (1 << 20) != 0,
+            rd: reg(w >> 16)?,
+            rs: reg(w >> 8)?,
+            rm: reg(w)?,
+        });
+    }
+    let op = DpOp::from_bits(w >> 21);
+    let s = w & (1 << 20) != 0;
+    if op.is_compare() && !s {
+        // Misc space.
+        if (w & 0x0fbf_0fff) == 0x010f_0000 {
+            return Some(Insn::Mrs {
+                cond,
+                rd: reg(w >> 12)?,
+            });
+        }
+        if (w & 0x0fff_fff0) == 0x012f_ff10 {
+            return Some(Insn::Bx { cond, rm: reg(w)? });
+        }
+        if (w & 0x0fff_fff0) == 0x0160_0070 {
+            return Some(Insn::Smc {
+                cond,
+                imm4: (w & 0xf) as u8,
+            });
+        }
+        return None;
+    }
+    if w & (1 << 4) != 0 {
+        return None; // Register-shifted-register and halfword forms.
+    }
+    let op2 = Op2::Reg {
+        rm: reg(w)?,
+        shift: Shift::from_bits(w >> 5),
+        amount: ((w >> 7) & 0x1f) as u8,
+    };
+    decode_dp(w, cond, op, s, op2)
+}
+
+/// Space `001`: immediate data-processing, `MOVW`, `MOVT`.
+fn decode_space1(w: Word, cond: Cond) -> Option<Insn> {
+    let op = DpOp::from_bits(w >> 21);
+    let s = w & (1 << 20) != 0;
+    if op.is_compare() && !s {
+        // MOVW (op=TST slot), MOVT (op=CMP slot); MSR-immediate unmodelled.
+        let imm16 = ((((w >> 16) & 0xf) << 12) | (w & 0xfff)) as u16;
+        return match op {
+            DpOp::Tst => Some(Insn::Movw {
+                cond,
+                rd: reg(w >> 12)?,
+                imm16,
+            }),
+            DpOp::Cmp => Some(Insn::Movt {
+                cond,
+                rd: reg(w >> 12)?,
+                imm16,
+            }),
+            _ => None,
+        };
+    }
+    let op2 = Op2::Imm {
+        imm8: (w & 0xff) as u8,
+        rot: ((w >> 8) & 0xf) as u8,
+    };
+    decode_dp(w, cond, op, s, op2)
+}
+
+fn decode_dp(w: Word, cond: Cond, op: DpOp, s: bool, op2: Op2) -> Option<Insn> {
+    let rd_bits = (w >> 12) & 0xf;
+    let rn_bits = (w >> 16) & 0xf;
+    // Compares must have Rd=0; moves must have Rn=0 (encoder invariants;
+    // anything else is outside the modelled subset).
+    let rd = if op.is_compare() {
+        if rd_bits != 0 {
+            return None;
+        }
+        Reg::R(0)
+    } else {
+        reg(rd_bits)?
+    };
+    let rn = if op.is_move() {
+        if rn_bits != 0 {
+            return None;
+        }
+        Reg::R(0)
+    } else {
+        reg(rn_bits)?
+    };
+    Some(Insn::Dp {
+        cond,
+        op,
+        s,
+        rd,
+        rn,
+        op2,
+    })
+}
+
+fn decode_mem(w: Word, cond: Cond, off: MemOffset) -> Option<Insn> {
+    let p = w & (1 << 24) != 0;
+    let wb = w & (1 << 21) != 0;
+    if !p || wb {
+        return None; // Only offset addressing (P=1, W=0) is modelled.
+    }
+    let byte = w & (1 << 22) != 0;
+    let load = w & (1 << 20) != 0;
+    let rn = reg(w >> 16)?;
+    let rd = reg(w >> 12)?;
+    Some(if load {
+        Insn::Ldr {
+            cond,
+            rd,
+            rn,
+            off,
+            byte,
+        }
+    } else {
+        Insn::Str {
+            cond,
+            rd,
+            rn,
+            off,
+            byte,
+        }
+    })
+}
+
+fn decode_lsm(w: Word, cond: Cond) -> Option<Insn> {
+    if w & (1 << 22) != 0 {
+        return None; // S bit (user-bank transfer) unmodelled.
+    }
+    let p = w & (1 << 24) != 0;
+    let u = w & (1 << 23) != 0;
+    let mode = match (p, u) {
+        (false, true) => LsmMode::Ia,
+        (true, false) => LsmMode::Db,
+        _ => return None,
+    };
+    let regs = (w & 0xffff) as u16;
+    if regs & (1 << 15) != 0 || regs == 0 {
+        return None; // PC transfers and empty lists unmodelled.
+    }
+    let writeback = w & (1 << 21) != 0;
+    let load = w & (1 << 20) != 0;
+    let rn = reg(w >> 16)?;
+    Some(if load {
+        Insn::Ldm {
+            cond,
+            rn,
+            writeback,
+            regs,
+            mode,
+        }
+    } else {
+        Insn::Stm {
+            cond,
+            rn,
+            writeback,
+            regs,
+            mode,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            decode(0xe3a0_0001),
+            Insn::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rd: Reg::R(0),
+                rn: Reg::R(0),
+                op2: Op2::imm(1),
+            }
+        );
+        assert_eq!(
+            decode(0xef00_0000),
+            Insn::Svc {
+                cond: Cond::Al,
+                imm24: 0
+            }
+        );
+        assert_eq!(decode(0xe7f0_00f0), Insn::Udf { imm16: 0 });
+        assert!(matches!(decode(0xe12f_ff1e), Insn::Bx { rm: Reg::Lr, .. }));
+        assert!(matches!(decode(0xe160_0070), Insn::Smc { imm4: 0, .. }));
+        assert!(matches!(
+            decode(0xe10f_3000),
+            Insn::Mrs { rd: Reg::R(3), .. }
+        ));
+    }
+
+    #[test]
+    fn unconditional_space_unknown() {
+        assert!(matches!(decode(0xf57f_f04f), Insn::Unknown(_))); // DSB.
+    }
+
+    #[test]
+    fn pc_operands_unknown() {
+        // ldr r0, [pc, #0] — literal pools are outside the model.
+        assert!(matches!(decode(0xe59f_0000), Insn::Unknown(_)));
+        // mov pc, r0.
+        assert!(matches!(decode(0xe1a0_f000), Insn::Unknown(_)));
+    }
+
+    #[test]
+    fn writeback_single_transfer_unknown() {
+        // ldr r0, [r1, #4]! (pre-index writeback).
+        assert!(matches!(decode(0xe5b1_0004), Insn::Unknown(_)));
+        // ldr r0, [r1], #4 (post-index).
+        assert!(matches!(decode(0xe491_0004), Insn::Unknown(_)));
+    }
+
+    #[test]
+    fn ldm_with_pc_unknown() {
+        // pop {pc}.
+        assert!(matches!(decode(0xe8bd_8000), Insn::Unknown(_)));
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..15).prop_map(|n| Reg::from_index(n).unwrap())
+    }
+
+    fn arb_insn() -> impl Strategy<Value = Insn> {
+        let dp = (
+            0u32..16,
+            any::<bool>(),
+            arb_reg(),
+            arb_reg(),
+            prop_oneof![
+                (any::<u8>(), 0u8..16).prop_map(|(imm8, rot)| Op2::Imm { imm8, rot }),
+                (arb_reg(), 0u32..4, 0u8..32).prop_map(|(rm, sh, amount)| Op2::Reg {
+                    rm,
+                    shift: Shift::from_bits(sh),
+                    amount
+                }),
+            ],
+        )
+            .prop_map(|(op, s, rd, rn, op2)| {
+                let op = DpOp::from_bits(op);
+                Insn::Dp {
+                    cond: Cond::Al,
+                    op,
+                    s: s || op.is_compare(),
+                    rd: if op.is_compare() { Reg::R(0) } else { rd },
+                    rn: if op.is_move() { Reg::R(0) } else { rn },
+                    op2,
+                }
+            });
+        let mem = (
+            any::<bool>(),
+            arb_reg(),
+            arb_reg(),
+            0u16..4096,
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(load, rd, rn, imm12, add, byte)| {
+                let off = MemOffset::Imm { imm12, add };
+                if load {
+                    Insn::Ldr {
+                        cond: Cond::Al,
+                        rd,
+                        rn,
+                        off,
+                        byte,
+                    }
+                } else {
+                    Insn::Str {
+                        cond: Cond::Al,
+                        rd,
+                        rn,
+                        off,
+                        byte,
+                    }
+                }
+            });
+        let lsm = (
+            any::<bool>(),
+            arb_reg(),
+            any::<bool>(),
+            1u16..0x7fff,
+            any::<bool>(),
+        )
+            .prop_map(|(load, rn, writeback, regs, ia)| {
+                let mode = if ia { LsmMode::Ia } else { LsmMode::Db };
+                if load {
+                    Insn::Ldm {
+                        cond: Cond::Al,
+                        rn,
+                        writeback,
+                        regs,
+                        mode,
+                    }
+                } else {
+                    Insn::Stm {
+                        cond: Cond::Al,
+                        rn,
+                        writeback,
+                        regs,
+                        mode,
+                    }
+                }
+            });
+        let misc = prop_oneof![
+            (arb_reg(), any::<u16>()).prop_map(|(rd, imm16)| Insn::Movw {
+                cond: Cond::Al,
+                rd,
+                imm16
+            }),
+            (arb_reg(), any::<u16>()).prop_map(|(rd, imm16)| Insn::Movt {
+                cond: Cond::Al,
+                rd,
+                imm16
+            }),
+            (arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_map(|(rd, rm, rs, s)| {
+                Insn::Mul {
+                    cond: Cond::Al,
+                    s,
+                    rd,
+                    rm,
+                    rs,
+                }
+            }),
+            (-0x0080_0000i32..0x0080_0000).prop_map(|offset| Insn::B {
+                cond: Cond::Al,
+                offset
+            }),
+            (-0x0080_0000i32..0x0080_0000).prop_map(|offset| Insn::Bl {
+                cond: Cond::Al,
+                offset
+            }),
+            arb_reg().prop_map(|rm| Insn::Bx { cond: Cond::Al, rm }),
+            (0u32..0x0100_0000).prop_map(|imm24| Insn::Svc {
+                cond: Cond::Al,
+                imm24
+            }),
+            (0u8..16).prop_map(|imm4| Insn::Smc {
+                cond: Cond::Al,
+                imm4
+            }),
+            arb_reg().prop_map(|rd| Insn::Mrs { cond: Cond::Al, rd }),
+            any::<u16>().prop_map(|imm16| Insn::Udf { imm16 }),
+            (0u8..16, arb_reg()).prop_map(|(cp, rt)| Insn::Mcr {
+                cond: Cond::Al,
+                cp,
+                rt
+            }),
+            (0u8..16, arb_reg()).prop_map(|(cp, rt)| Insn::Mrc {
+                cond: Cond::Al,
+                cp,
+                rt
+            }),
+        ];
+        prop_oneof![dp, mem, lsm, misc]
+    }
+
+    proptest! {
+        /// Every instruction the assembler can produce round-trips through
+        /// its binary encoding.
+        #[test]
+        fn prop_encode_decode_roundtrip(insn in arb_insn()) {
+            prop_assert_eq!(decode(encode(insn)), insn);
+        }
+
+        /// Decoding any word and re-encoding it is the identity on the
+        /// decoded instruction (decode is a partial inverse of encode).
+        #[test]
+        fn prop_decode_encode_stable(w in any::<u32>()) {
+            let i = decode(w);
+            prop_assert_eq!(decode(encode(i)), i);
+        }
+    }
+}

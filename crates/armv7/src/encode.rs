@@ -1,0 +1,329 @@
+//! A32 binary encoding of the modelled instruction subset.
+//!
+//! Guest programs must be ordinary words in simulated memory — enclave code
+//! pages are hashed for measurement and walked by the page-table logic — so
+//! the assembler emits real ARM encodings and the executor decodes them.
+
+use crate::insn::{Cond, Insn, LsmMode, MemOffset, Op2};
+use crate::regs::Reg;
+use crate::word::Word;
+
+fn op2_bits(op2: Op2) -> u32 {
+    match op2 {
+        Op2::Imm { imm8, rot } => (1 << 25) | ((rot as u32 & 0xf) << 8) | imm8 as u32,
+        Op2::Reg { rm, shift, amount } => {
+            ((amount as u32 & 0x1f) << 7) | (shift.bits() << 5) | rm.index() as u32
+        }
+    }
+}
+
+/// Encodes an instruction to its 32-bit A32 representation.
+///
+/// [`Insn::Unknown`] re-emits its original word, making encode/decode an
+/// exact round trip on any word.
+pub fn encode(insn: Insn) -> Word {
+    let c = |cond: Cond| cond.bits() << 28;
+    match insn {
+        Insn::Dp {
+            cond,
+            op,
+            s,
+            rd,
+            rn,
+            op2,
+        } => {
+            let s = s || op.is_compare();
+            let rd_f = if op.is_compare() {
+                0
+            } else {
+                rd.index() as u32
+            };
+            let rn_f = if op.is_move() { 0 } else { rn.index() as u32 };
+            c(cond)
+                | op2_bits(op2)
+                | (op.bits() << 21)
+                | ((s as u32) << 20)
+                | (rn_f << 16)
+                | (rd_f << 12)
+        }
+        Insn::Mul {
+            cond,
+            s,
+            rd,
+            rm,
+            rs,
+        } => {
+            c(cond)
+                | ((s as u32) << 20)
+                | ((rd.index() as u32) << 16)
+                | ((rs.index() as u32) << 8)
+                | 0b1001 << 4
+                | rm.index() as u32
+        }
+        Insn::Movw { cond, rd, imm16 } => {
+            c(cond)
+                | 0b0011_0000 << 20
+                | ((imm16 as u32 >> 12) << 16)
+                | ((rd.index() as u32) << 12)
+                | (imm16 as u32 & 0xfff)
+        }
+        Insn::Movt { cond, rd, imm16 } => {
+            c(cond)
+                | 0b0011_0100 << 20
+                | ((imm16 as u32 >> 12) << 16)
+                | ((rd.index() as u32) << 12)
+                | (imm16 as u32 & 0xfff)
+        }
+        Insn::Ldr {
+            cond,
+            rd,
+            rn,
+            off,
+            byte,
+        } => encode_mem(c(cond), true, rd, rn, off, byte),
+        Insn::Str {
+            cond,
+            rd,
+            rn,
+            off,
+            byte,
+        } => encode_mem(c(cond), false, rd, rn, off, byte),
+        Insn::Ldm {
+            cond,
+            rn,
+            writeback,
+            regs,
+            mode,
+        } => encode_lsm(c(cond), true, rn, writeback, regs, mode),
+        Insn::Stm {
+            cond,
+            rn,
+            writeback,
+            regs,
+            mode,
+        } => encode_lsm(c(cond), false, rn, writeback, regs, mode),
+        Insn::B { cond, offset } => c(cond) | 0b1010 << 24 | (offset as u32 & 0x00ff_ffff),
+        Insn::Bl { cond, offset } => c(cond) | 0b1011 << 24 | (offset as u32 & 0x00ff_ffff),
+        Insn::Bx { cond, rm } => c(cond) | 0x012f_ff10 | rm.index() as u32,
+        Insn::Svc { cond, imm24 } => c(cond) | 0xf << 24 | (imm24 & 0x00ff_ffff),
+        Insn::Smc { cond, imm4 } => c(cond) | 0x0160_0070 | (imm4 as u32 & 0xf),
+        Insn::Mrs { cond, rd } => c(cond) | 0x010f_0000 | ((rd.index() as u32) << 12),
+        Insn::Mcr { cond, cp, rt } => {
+            c(cond) | 0x0e00_0010 | ((rt.index() as u32) << 12) | ((cp as u32 & 0xf) << 8)
+        }
+        Insn::Mrc { cond, cp, rt } => {
+            c(cond) | 0x0e10_0010 | ((rt.index() as u32) << 12) | ((cp as u32 & 0xf) << 8)
+        }
+        Insn::Udf { imm16 } => 0xe7f0_00f0 | (((imm16 as u32) >> 4) << 8) | (imm16 as u32 & 0xf),
+        Insn::Unknown(w) => w,
+    }
+}
+
+fn encode_mem(cond: u32, load: bool, rd: Reg, rn: Reg, off: MemOffset, byte: bool) -> Word {
+    // P=1 (offset addressing), W=0 (no writeback).
+    let base = cond
+        | (1 << 24)
+        | ((byte as u32) << 22)
+        | ((load as u32) << 20)
+        | ((rn.index() as u32) << 16)
+        | ((rd.index() as u32) << 12);
+    match off {
+        MemOffset::Imm { imm12, add } => {
+            base | (0b010 << 25) | ((add as u32) << 23) | (imm12 as u32 & 0xfff)
+        }
+        MemOffset::Reg { rm, add } => {
+            base | (0b011 << 25) | ((add as u32) << 23) | rm.index() as u32
+        }
+    }
+}
+
+fn encode_lsm(cond: u32, load: bool, rn: Reg, writeback: bool, regs: u16, mode: LsmMode) -> Word {
+    let (p, u) = match mode {
+        LsmMode::Ia => (0u32, 1u32),
+        LsmMode::Db => (1, 0),
+    };
+    cond | (0b100 << 25)
+        | (p << 24)
+        | (u << 23)
+        | ((writeback as u32) << 21)
+        | ((load as u32) << 20)
+        | ((rn.index() as u32) << 16)
+        | regs as u32
+}
+
+/// Convenience: encode to a vector of words.
+pub fn encode_all(insns: &[Insn]) -> Vec<Word> {
+    insns.iter().map(|i| encode(*i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::DpOp;
+
+    // Cross-checked against GNU `as` output for the same mnemonics.
+    #[test]
+    fn known_encodings() {
+        // mov r0, #1
+        assert_eq!(
+            encode(Insn::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rd: Reg::R(0),
+                rn: Reg::R(0),
+                op2: Op2::imm(1),
+            }),
+            0xe3a0_0001
+        );
+        // add r1, r2, r3
+        assert_eq!(
+            encode(Insn::Dp {
+                cond: Cond::Al,
+                op: DpOp::Add,
+                s: false,
+                rd: Reg::R(1),
+                rn: Reg::R(2),
+                op2: Op2::reg(Reg::R(3)),
+            }),
+            0xe082_1003
+        );
+        // cmp r0, #0
+        assert_eq!(
+            encode(Insn::Dp {
+                cond: Cond::Al,
+                op: DpOp::Cmp,
+                s: true,
+                rd: Reg::R(0),
+                rn: Reg::R(0),
+                op2: Op2::imm(0),
+            }),
+            0xe350_0000
+        );
+        // ldr r0, [r1, #4]
+        assert_eq!(
+            encode(Insn::Ldr {
+                cond: Cond::Al,
+                rd: Reg::R(0),
+                rn: Reg::R(1),
+                off: MemOffset::Imm {
+                    imm12: 4,
+                    add: true
+                },
+                byte: false,
+            }),
+            0xe591_0004
+        );
+        // str r2, [r3]
+        assert_eq!(
+            encode(Insn::Str {
+                cond: Cond::Al,
+                rd: Reg::R(2),
+                rn: Reg::R(3),
+                off: MemOffset::Imm {
+                    imm12: 0,
+                    add: true
+                },
+                byte: false,
+            }),
+            0xe583_2000
+        );
+        // svc #0
+        assert_eq!(
+            encode(Insn::Svc {
+                cond: Cond::Al,
+                imm24: 0
+            }),
+            0xef00_0000
+        );
+        // bx lr
+        assert_eq!(
+            encode(Insn::Bx {
+                cond: Cond::Al,
+                rm: Reg::Lr
+            }),
+            0xe12f_ff1e
+        );
+        // movw r4, #0xbeef
+        assert_eq!(
+            encode(Insn::Movw {
+                cond: Cond::Al,
+                rd: Reg::R(4),
+                imm16: 0xbeef
+            }),
+            0xe30b_4eef
+        );
+        // movt r4, #0xdead
+        assert_eq!(
+            encode(Insn::Movt {
+                cond: Cond::Al,
+                rd: Reg::R(4),
+                imm16: 0xdead
+            }),
+            0xe34d_4ead
+        );
+        // push {r4, lr} = stmdb sp!, {r4, lr}
+        assert_eq!(
+            encode(Insn::Stm {
+                cond: Cond::Al,
+                rn: Reg::Sp,
+                writeback: true,
+                regs: (1 << 4) | (1 << 14),
+                mode: LsmMode::Db,
+            }),
+            0xe92d_4010
+        );
+        // pop {r4, lr} = ldmia sp!, {r4, lr}
+        assert_eq!(
+            encode(Insn::Ldm {
+                cond: Cond::Al,
+                rn: Reg::Sp,
+                writeback: true,
+                regs: (1 << 4) | (1 << 14),
+                mode: LsmMode::Ia,
+            }),
+            0xe8bd_4010
+        );
+        // b . (offset -2 → 0xfffffe)
+        assert_eq!(
+            encode(Insn::B {
+                cond: Cond::Al,
+                offset: -2
+            }),
+            0xeaff_fffe
+        );
+        // mul r0, r1, r2
+        assert_eq!(
+            encode(Insn::Mul {
+                cond: Cond::Al,
+                s: false,
+                rd: Reg::R(0),
+                rm: Reg::R(1),
+                rs: Reg::R(2),
+            }),
+            0xe000_0291
+        );
+        // udf #0
+        assert_eq!(encode(Insn::Udf { imm16: 0 }), 0xe7f0_00f0);
+    }
+
+    #[test]
+    fn eor_with_rotate() {
+        // eor r0, r1, r2, ror #6 (SHA-style rotate-xor)
+        assert_eq!(
+            encode(Insn::Dp {
+                cond: Cond::Al,
+                op: DpOp::Eor,
+                s: false,
+                rd: Reg::R(0),
+                rn: Reg::R(1),
+                op2: Op2::Reg {
+                    rm: Reg::R(2),
+                    shift: crate::insn::Shift::Ror,
+                    amount: 6
+                },
+            }),
+            0xe021_0362
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Fault and error types for the machine model.
+
+use crate::word::Addr;
+
+/// Why a memory access faulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemFaultKind {
+    /// Address not backed by any RAM region.
+    Unmapped,
+    /// Non-secure access to secure memory, blocked by the TrustZone
+    /// memory controller (paper §3.3: TZ-aware memory controller prevents
+    /// normal-world access to secure-world memory).
+    SecurityViolation,
+    /// Unaligned word access; the model only defines aligned accesses
+    /// (paper §5.1: "reasoning only about aligned memory accesses").
+    Unaligned,
+    /// Virtual address had no valid translation.
+    Translation,
+    /// Translation exists but permissions deny the access.
+    Permission,
+}
+
+/// A faulting memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemFault {
+    /// The offending (virtual, if translated; else physical) address.
+    pub addr: Addr,
+    /// Fault classification.
+    pub kind: MemFaultKind,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl MemFault {
+    /// Convenience constructor.
+    pub fn new(addr: Addr, kind: MemFaultKind, write: bool) -> Self {
+        MemFault { addr, kind, write }
+    }
+}
+
+impl core::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:?} fault on {} at {:#010x}",
+            self.kind,
+            if self.write { "write" } else { "read" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let f = MemFault::new(0x1000, MemFaultKind::SecurityViolation, true);
+        let s = f.to_string();
+        assert!(s.contains("0x00001000") && s.contains("write"));
+    }
+}

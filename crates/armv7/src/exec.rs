@@ -1,0 +1,654 @@
+//! User-mode execution: fetch, decode, execute, take exceptions.
+//!
+//! Only unprivileged guest code (enclaves and normal-world processes) is
+//! executed instruction-by-instruction; the monitor runs at the exception
+//! boundaries this loop produces. Exceptions record their cause in the
+//! fault-status registers and switch the machine into the appropriate
+//! banked mode before returning an [`ExitReason`] to the privileged caller.
+
+use crate::alu::{alu, eval_op2};
+use crate::cp15::FaultStatus;
+use crate::decode::decode;
+use crate::error::{MemFault, MemFaultKind};
+use crate::exn::ExceptionKind;
+use crate::insn::{Cond, Insn, LsmMode, MemOffset};
+use crate::machine::{cost, Machine, ModelViolation};
+use crate::mem::AccessAttrs;
+use crate::mode::{Mode, World};
+use crate::ptw::{self, PtwFault};
+use crate::regs::Reg;
+use crate::word::{Addr, Word};
+
+/// Why user-mode execution stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitReason {
+    /// `SVC` executed; the machine is in Supervisor mode.
+    Svc {
+        /// The instruction's 24-bit comment field.
+        imm24: u32,
+    },
+    /// An IRQ was taken; the machine is in IRQ mode.
+    Irq,
+    /// An FIQ was taken; the machine is in FIQ mode.
+    Fiq,
+    /// A data access faulted; the machine is in Abort mode with
+    /// `DFSR`/`DFAR` set.
+    DataAbort(MemFault),
+    /// Instruction fetch faulted; the machine is in Abort mode with
+    /// `IFSR` set.
+    PrefetchAbort(Addr),
+    /// Undefined instruction (including privileged instructions from user
+    /// mode); the machine is in Undefined mode.
+    Undefined(Word),
+    /// The step budget ran out with no exception; machine still in user
+    /// mode (simulation artifact, not an architectural event).
+    StepLimit,
+}
+
+fn fault_status(kind: MemFaultKind) -> FaultStatus {
+    match kind {
+        MemFaultKind::Translation => FaultStatus::Translation,
+        MemFaultKind::Permission => FaultStatus::Permission,
+        MemFaultKind::Unaligned => FaultStatus::Alignment,
+        MemFaultKind::Unmapped | MemFaultKind::SecurityViolation => FaultStatus::External,
+    }
+}
+
+impl Machine {
+    /// Translates a user-mode virtual address for the current world,
+    /// consulting and filling the TLB, and checking permissions.
+    ///
+    /// Returns the physical address and the bus attributes the access
+    /// carries: a secure-world access through an `NS`-tagged mapping is
+    /// driven onto the bus as non-secure (§3.3).
+    pub fn translate_user(
+        &mut self,
+        va: Addr,
+        write: bool,
+        exec: bool,
+    ) -> Result<(Addr, AccessAttrs), MemFault> {
+        let world = self.world();
+        let ttbr0 = self.cp15.mmu(world).ttbr0;
+        let t = match self.tlb.lookup(va) {
+            Some(t) => t,
+            None => {
+                self.charge(cost::TLB_WALK);
+                match ptw::walk(&mut self.mem, ttbr0, va) {
+                    Ok(t) => {
+                        self.tlb.insert(va, t);
+                        t
+                    }
+                    Err(PtwFault::Translation) => {
+                        return Err(MemFault::new(va, MemFaultKind::Translation, write));
+                    }
+                    Err(PtwFault::External(f)) => return Err(f),
+                }
+            }
+        };
+        ptw::check_access(&t, va, write, exec)?;
+        let pa = (t.pa & !0xfff) | (va & 0xfff);
+        let attrs = AccessAttrs {
+            secure: world == World::Secure && !t.ns,
+            privileged: false,
+        };
+        Ok((pa, attrs))
+    }
+
+    /// Runs user-mode code from the current `pc` until an exception or the
+    /// step budget is exhausted.
+    ///
+    /// Model contract (enforced, mirroring the specification's
+    /// preconditions): the machine must be in user mode with a consistent
+    /// TLB.
+    pub fn run_user(&mut self, max_steps: u64) -> Result<ExitReason, ModelViolation> {
+        if self.cpsr.mode != Mode::User {
+            return Err(ModelViolation::NotUserMode);
+        }
+        if !self.tlb.is_consistent() {
+            return Err(ModelViolation::TlbInconsistent);
+        }
+        for _ in 0..max_steps {
+            // Pending interrupts are taken before the next instruction;
+            // FIQ has priority.
+            if self.fiq_pending() && !self.cpsr.fiq_masked {
+                self.take_exception(ExceptionKind::Fiq, self.pc);
+                return Ok(ExitReason::Fiq);
+            }
+            if self.irq_pending() && !self.cpsr.irq_masked {
+                self.take_exception(ExceptionKind::Irq, self.pc);
+                return Ok(ExitReason::Irq);
+            }
+            if self.first_user_insn_cycle.is_none() {
+                self.first_user_insn_cycle = Some(self.cycles);
+            }
+            match self.step() {
+                StepOutcome::Continue => {}
+                StepOutcome::Exit(reason) => return Ok(reason),
+            }
+        }
+        Ok(ExitReason::StepLimit)
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        let pc = self.pc;
+        // Fetch.
+        let (ppc, fattrs) = match self.translate_user(pc, false, true) {
+            Ok(x) => x,
+            Err(f) => {
+                self.cp15.ifsr = fault_status(f.kind);
+                self.take_exception(ExceptionKind::PrefetchAbort, pc);
+                return StepOutcome::Exit(ExitReason::PrefetchAbort(pc));
+            }
+        };
+        self.charge(cost::INSN);
+        let word = match self.mem.read(ppc, fattrs) {
+            Ok(w) => w,
+            Err(_) => {
+                self.cp15.ifsr = FaultStatus::External;
+                self.take_exception(ExceptionKind::PrefetchAbort, pc);
+                return StepOutcome::Exit(ExitReason::PrefetchAbort(pc));
+            }
+        };
+        let insn = decode(word);
+        if !self.cond_holds(insn.cond()) {
+            self.pc = pc.wrapping_add(4);
+            return StepOutcome::Continue;
+        }
+        self.execute(insn, word)
+    }
+
+    fn cond_holds(&self, cond: Cond) -> bool {
+        let p = self.cpsr;
+        match cond {
+            Cond::Eq => p.z,
+            Cond::Ne => !p.z,
+            Cond::Cs => p.c,
+            Cond::Cc => !p.c,
+            Cond::Mi => p.n,
+            Cond::Pl => !p.n,
+            Cond::Vs => p.v,
+            Cond::Vc => !p.v,
+            Cond::Hi => p.c && !p.z,
+            Cond::Ls => !p.c || p.z,
+            Cond::Ge => p.n == p.v,
+            Cond::Lt => p.n != p.v,
+            Cond::Gt => !p.z && p.n == p.v,
+            Cond::Le => p.z || p.n != p.v,
+            Cond::Al => true,
+        }
+    }
+
+    fn undefined(&mut self, word: Word) -> StepOutcome {
+        self.take_exception(ExceptionKind::Undefined, self.pc.wrapping_add(4));
+        StepOutcome::Exit(ExitReason::Undefined(word))
+    }
+
+    fn data_abort(&mut self, f: MemFault) -> StepOutcome {
+        self.cp15.dfsr = fault_status(f.kind);
+        self.cp15.dfar = f.addr;
+        self.take_exception(ExceptionKind::DataAbort, self.pc);
+        StepOutcome::Exit(ExitReason::DataAbort(f))
+    }
+
+    fn user_load(&mut self, va: Addr, byte: bool) -> Result<Word, MemFault> {
+        let (pa, attrs) = self.translate_user(va, false, false)?;
+        self.charge(cost::MEM);
+        if byte {
+            self.mem.read_byte(pa, attrs).map(|b| b as u32)
+        } else {
+            self.mem.read(pa, attrs)
+        }
+    }
+
+    fn user_store(&mut self, va: Addr, val: Word, byte: bool) -> Result<(), MemFault> {
+        let (pa, attrs) = self.translate_user(va, true, false)?;
+        self.charge(cost::MEM);
+        if byte {
+            self.mem.write_byte(pa, val as u8, attrs)
+        } else {
+            self.mem.write(pa, val, attrs)
+        }
+    }
+
+    fn execute(&mut self, insn: Insn, word: Word) -> StepOutcome {
+        let next = self.pc.wrapping_add(4);
+        match insn {
+            Insn::Dp {
+                op, s, rd, rn, op2, ..
+            } => {
+                let carry = self.cpsr.c;
+                let sh = eval_op2(op2, carry, |r| self.reg(r));
+                let res = alu(op, self.reg(rn), sh, self.cpsr);
+                if let Some(v) = res.value {
+                    self.set_reg(rd, v);
+                }
+                if s || op.is_compare() {
+                    self.cpsr.n = res.n;
+                    self.cpsr.z = res.z;
+                    self.cpsr.c = res.c;
+                    self.cpsr.v = res.v;
+                }
+                self.pc = next;
+            }
+            Insn::Mul { s, rd, rm, rs, .. } => {
+                self.charge(cost::MUL);
+                let v = self.reg(rm).wrapping_mul(self.reg(rs));
+                self.set_reg(rd, v);
+                if s {
+                    self.cpsr.n = v & 0x8000_0000 != 0;
+                    self.cpsr.z = v == 0;
+                }
+                self.pc = next;
+            }
+            Insn::Movw { rd, imm16, .. } => {
+                self.set_reg(rd, imm16 as u32);
+                self.pc = next;
+            }
+            Insn::Movt { rd, imm16, .. } => {
+                let lo = self.reg(rd) & 0xffff;
+                self.set_reg(rd, ((imm16 as u32) << 16) | lo);
+                self.pc = next;
+            }
+            Insn::Ldr {
+                rd, rn, off, byte, ..
+            } => {
+                let va = self.mem_ea(rn, off);
+                match self.user_load(va, byte) {
+                    Ok(v) => {
+                        self.set_reg(rd, v);
+                        self.pc = next;
+                    }
+                    Err(f) => return self.data_abort(f),
+                }
+            }
+            Insn::Str {
+                rd, rn, off, byte, ..
+            } => {
+                let va = self.mem_ea(rn, off);
+                let v = self.reg(rd);
+                match self.user_store(va, v, byte) {
+                    Ok(()) => self.pc = next,
+                    Err(f) => return self.data_abort(f),
+                }
+            }
+            Insn::Ldm {
+                rn,
+                writeback,
+                regs,
+                mode,
+                ..
+            } => {
+                let n = regs.count_ones();
+                let base = self.reg(rn);
+                let start = match mode {
+                    LsmMode::Ia => base,
+                    LsmMode::Db => base.wrapping_sub(4 * n),
+                };
+                let mut addr = start;
+                for i in 0..15u8 {
+                    if regs & (1 << i) != 0 {
+                        let r = Reg::from_index(i).expect("bit 15 excluded by decode");
+                        match self.user_load(addr, false) {
+                            Ok(v) => self.set_reg(r, v),
+                            Err(f) => return self.data_abort(f),
+                        }
+                        addr = addr.wrapping_add(4);
+                    }
+                }
+                if writeback {
+                    let nb = match mode {
+                        LsmMode::Ia => base.wrapping_add(4 * n),
+                        LsmMode::Db => start,
+                    };
+                    self.set_reg(rn, nb);
+                }
+                self.pc = next;
+            }
+            Insn::Stm {
+                rn,
+                writeback,
+                regs,
+                mode,
+                ..
+            } => {
+                let n = regs.count_ones();
+                let base = self.reg(rn);
+                let start = match mode {
+                    LsmMode::Ia => base,
+                    LsmMode::Db => base.wrapping_sub(4 * n),
+                };
+                let mut addr = start;
+                for i in 0..15u8 {
+                    if regs & (1 << i) != 0 {
+                        let r = Reg::from_index(i).expect("bit 15 excluded by decode");
+                        let v = self.reg(r);
+                        if let Err(f) = self.user_store(addr, v, false) {
+                            return self.data_abort(f);
+                        }
+                        addr = addr.wrapping_add(4);
+                    }
+                }
+                if writeback {
+                    let nb = match mode {
+                        LsmMode::Ia => base.wrapping_add(4 * n),
+                        LsmMode::Db => start,
+                    };
+                    self.set_reg(rn, nb);
+                }
+                self.pc = next;
+            }
+            Insn::B { offset, .. } => {
+                self.charge(cost::BRANCH_TAKEN);
+                self.pc = self
+                    .pc
+                    .wrapping_add(8)
+                    .wrapping_add((offset as u32).wrapping_mul(4));
+            }
+            Insn::Bl { offset, .. } => {
+                self.charge(cost::BRANCH_TAKEN);
+                self.set_reg(Reg::Lr, next);
+                self.pc = self
+                    .pc
+                    .wrapping_add(8)
+                    .wrapping_add((offset as u32).wrapping_mul(4));
+            }
+            Insn::Bx { rm, .. } => {
+                let target = self.reg(rm);
+                if target & 1 != 0 {
+                    return self.undefined(word); // Thumb interworking unmodelled.
+                }
+                self.charge(cost::BRANCH_TAKEN);
+                self.pc = target;
+            }
+            Insn::Svc { imm24, .. } => {
+                self.take_exception(ExceptionKind::Svc, next);
+                return StepOutcome::Exit(ExitReason::Svc { imm24 });
+            }
+            Insn::Mrs { rd, .. } => {
+                self.set_reg(rd, self.cpsr.encode());
+                self.pc = next;
+            }
+            // Privileged instructions from user mode are undefined; so is
+            // anything outside the modelled subset.
+            Insn::Smc { .. } | Insn::Mcr { .. } | Insn::Mrc { .. } => {
+                return self.undefined(word);
+            }
+            Insn::Udf { .. } | Insn::Unknown(_) => return self.undefined(word),
+        }
+        StepOutcome::Continue
+    }
+
+    fn mem_ea(&self, rn: Reg, off: MemOffset) -> Addr {
+        let base = self.reg(rn);
+        match off {
+            MemOffset::Imm { imm12, add } => {
+                if add {
+                    base.wrapping_add(imm12 as u32)
+                } else {
+                    base.wrapping_sub(imm12 as u32)
+                }
+            }
+            MemOffset::Reg { rm, add } => {
+                let o = self.reg(rm);
+                if add {
+                    base.wrapping_add(o)
+                } else {
+                    base.wrapping_sub(o)
+                }
+            }
+        }
+    }
+}
+
+enum StepOutcome {
+    Continue,
+    Exit(ExitReason),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psr::Psr;
+    use crate::ptw::{l1_coarse_desc, l2_page_desc, PagePerms};
+
+    /// Builds a machine with one code page at VA 0x8000 and one data page
+    /// at VA 0x9000, both backed by secure memory, running in secure user
+    /// mode (an enclave-like configuration).
+    fn guest_machine(code: &[Word]) -> Machine {
+        let mut m = Machine::new();
+        m.mem.add_region(0x0000_0000, 0x10_0000, false);
+        m.mem.add_region(0x8000_0000, 0x10_0000, true);
+        let ttbr0 = 0x8000_0000u32; // L1 table page.
+        let l2_page = 0x8000_1000u32;
+        let code_pa = 0x8000_2000u32;
+        let data_pa = 0x8000_3000u32;
+        // VA 0x8000 and 0x9000 share L1 slot 0.
+        m.mem
+            .write(ttbr0, l1_coarse_desc(l2_page), AccessAttrs::MONITOR)
+            .unwrap();
+        m.mem
+            .write(
+                l2_page + (0x8 * 4),
+                l2_page_desc(code_pa, PagePerms::RX, false),
+                AccessAttrs::MONITOR,
+            )
+            .unwrap();
+        m.mem
+            .write(
+                l2_page + (0x9 * 4),
+                l2_page_desc(data_pa, PagePerms::RW, false),
+                AccessAttrs::MONITOR,
+            )
+            .unwrap();
+        m.mem.load_words(code_pa, code).unwrap();
+        m.cp15.mmu_mut(World::Secure).ttbr0 = ttbr0;
+        m.cpsr = Psr::user();
+        m.pc = 0x8000;
+        m
+    }
+
+    use crate::asm::Assembler;
+
+    #[test]
+    fn runs_straight_line_code_and_svc() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 5);
+        a.add_imm(Reg::R(0), Reg::R(0), 37);
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        let exit = m.run_user(100).unwrap();
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+        assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 42);
+        assert_eq!(m.cpsr.mode, Mode::Supervisor);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // r0 = sum 1..=10 via a countdown loop.
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 0);
+        a.mov_imm(Reg::R(1), 10);
+        let top = a.label();
+        a.add_reg(Reg::R(0), Reg::R(0), Reg::R(1));
+        a.subs_imm(Reg::R(1), Reg::R(1), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        let exit = m.run_user(1000).unwrap();
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+        assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 55);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x9000);
+        a.mov_imm32(Reg::R(0), 0xdead_beef);
+        a.str_imm(Reg::R(0), Reg::R(1), 0x10);
+        a.ldr_imm(Reg::R(2), Reg::R(1), 0x10);
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        m.run_user(100).unwrap();
+        assert_eq!(m.regs.get(Mode::User, Reg::R(2)), 0xdead_beef);
+    }
+
+    #[test]
+    fn store_to_code_page_aborts() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x8000);
+        a.str_imm(Reg::R(0), Reg::R(1), 0);
+        let mut m = guest_machine(&a.words());
+        let exit = m.run_user(100).unwrap();
+        assert!(matches!(exit, ExitReason::DataAbort(f) if f.kind == MemFaultKind::Permission));
+        assert_eq!(m.cpsr.mode, Mode::Abort);
+        assert_eq!(m.cp15.dfsr, FaultStatus::Permission);
+        assert_eq!(m.cp15.dfar, 0x8000);
+    }
+
+    #[test]
+    fn unmapped_va_aborts() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x0010_0000);
+        a.ldr_imm(Reg::R(0), Reg::R(1), 0);
+        let mut m = guest_machine(&a.words());
+        let exit = m.run_user(100).unwrap();
+        assert!(matches!(exit, ExitReason::DataAbort(f) if f.kind == MemFaultKind::Translation));
+    }
+
+    #[test]
+    fn privileged_instructions_undefined_from_user() {
+        for word in [
+            0xe160_0070u32, /* smc */
+            0xee00_0f10,    /* mcr p15 */
+        ] {
+            let mut m = guest_machine(&[word]);
+            let exit = m.run_user(10).unwrap();
+            assert!(matches!(exit, ExitReason::Undefined(_)), "{word:#x}");
+            assert_eq!(m.cpsr.mode, Mode::Undefined);
+        }
+    }
+
+    #[test]
+    fn unknown_word_undefined() {
+        let mut m = guest_machine(&[0xffff_ffff]);
+        assert!(matches!(m.run_user(10).unwrap(), ExitReason::Undefined(_)));
+    }
+
+    #[test]
+    fn irq_preempts_when_unmasked() {
+        let mut a = Assembler::new(0x8000);
+        let top = a.label();
+        a.add_imm(Reg::R(0), Reg::R(0), 1);
+        a.b_to(Cond::Al, top);
+        let mut m = guest_machine(&a.words());
+        m.irq_at = Some(m.cycles + 50);
+        let exit = m.run_user(1_000_000).unwrap();
+        assert_eq!(exit, ExitReason::Irq);
+        assert_eq!(m.cpsr.mode, Mode::Irq);
+        // The interrupted PC is preserved in LR_irq for resumption.
+        let lr = m.regs.lr_banked(crate::regs::Bank::Irq);
+        assert!((0x8000..0x8008).contains(&lr));
+    }
+
+    #[test]
+    fn step_limit_returns_without_exception() {
+        let mut a = Assembler::new(0x8000);
+        let top = a.label();
+        a.b_to(Cond::Al, top);
+        let mut m = guest_machine(&a.words());
+        assert_eq!(m.run_user(10).unwrap(), ExitReason::StepLimit);
+        assert_eq!(m.cpsr.mode, Mode::User);
+    }
+
+    #[test]
+    fn run_user_enforces_model_contract() {
+        let mut m = guest_machine(&[0xe320_f000]);
+        m.tlb.mark_inconsistent();
+        assert_eq!(m.run_user(1), Err(ModelViolation::TlbInconsistent));
+        m.tlb.flush();
+        m.cpsr = Psr::privileged(Mode::Monitor);
+        assert_eq!(m.run_user(1), Err(ModelViolation::NotUserMode));
+    }
+
+    #[test]
+    fn svc_return_address_resumes_after_svc() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 1);
+        a.svc(0);
+        a.mov_imm(Reg::R(0), 2);
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        assert!(matches!(m.run_user(100).unwrap(), ExitReason::Svc { .. }));
+        assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 1);
+        // Monitor-style resume: exception return continues after the SVC.
+        m.exception_return().unwrap();
+        assert!(matches!(m.run_user(100).unwrap(), ExitReason::Svc { .. }));
+        assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 2);
+    }
+
+    #[test]
+    fn function_call_with_bl_bx() {
+        let mut a = Assembler::new(0x8000);
+        let call = a.bl_fixup(Cond::Al);
+        a.svc(0);
+        let func = a.here();
+        a.fix_branch(call, func);
+        a.mov_imm(Reg::R(0), 99);
+        a.bx(Reg::Lr);
+        let mut m = guest_machine(&a.words());
+        m.run_user(100).unwrap();
+        assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 99);
+    }
+
+    #[test]
+    fn push_pop_with_stack() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::Sp, 0xa000); // Top of data page.
+        a.mov_imm(Reg::R(4), 11);
+        a.mov_imm(Reg::R(5), 22);
+        a.push(&[Reg::R(4), Reg::R(5)]);
+        a.mov_imm(Reg::R(4), 0);
+        a.mov_imm(Reg::R(5), 0);
+        a.pop(&[Reg::R(4), Reg::R(5)]);
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        m.run_user(100).unwrap();
+        assert_eq!(m.regs.get(Mode::User, Reg::R(4)), 11);
+        assert_eq!(m.regs.get(Mode::User, Reg::R(5)), 22);
+        assert_eq!(m.regs.get(Mode::User, Reg::Sp), 0xa000);
+    }
+
+    #[test]
+    fn conditional_execution_skips() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 1);
+        a.cmp_imm(Reg::R(0), 2);
+        a.emit(Insn::Dp {
+            cond: Cond::Eq, // Not taken.
+            op: crate::insn::DpOp::Mov,
+            s: false,
+            rd: Reg::R(1),
+            rn: Reg::R(0),
+            op2: crate::insn::Op2::imm(7),
+        });
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        m.run_user(100).unwrap();
+        assert_eq!(m.regs.get(Mode::User, Reg::R(1)), 0);
+    }
+
+    #[test]
+    fn tlb_caches_translations() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x9000);
+        for i in 0..8 {
+            a.str_imm(Reg::R(0), Reg::R(1), (i * 4) as u16);
+        }
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        m.run_user(100).unwrap();
+        // One walk for the code page, one for the data page; the rest hit.
+        assert_eq!(m.tlb.misses, 2);
+        assert!(m.tlb.hits > 8);
+    }
+}

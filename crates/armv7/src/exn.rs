@@ -1,0 +1,79 @@
+//! Exceptions and mode switches.
+//!
+//! The model encodes the two control transfers the paper identifies as
+//! "crucial to the correctness of Komodo" (§5.1): the branch from privileged
+//! code to user mode (`MOVS PC, LR`, performed by [`crate::Machine::exception_return`])
+//! and the switch back into privileged mode when an exception occurs, "which
+//! preserves the pre-exception PC value in LR".
+
+use crate::mode::Mode;
+
+/// The exception classes the machine can take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExceptionKind {
+    /// Supervisor call (`SVC`) — the enclave→monitor API (Table 1).
+    Svc,
+    /// Secure monitor call (`SMC`) — the OS→monitor API (Table 1).
+    Smc,
+    /// Normal interrupt.
+    Irq,
+    /// Fast interrupt.
+    Fiq,
+    /// Data abort (page fault on a data access).
+    DataAbort,
+    /// Prefetch abort (page fault on instruction fetch).
+    PrefetchAbort,
+    /// Undefined instruction (including privileged instructions from user
+    /// mode, and any unmodelled encoding).
+    Undefined,
+}
+
+impl ExceptionKind {
+    /// The mode in which the exception is taken.
+    ///
+    /// Komodo configures secure-world exceptions to use the per-class
+    /// banked modes, with `SMC` always entering monitor mode (§3.3).
+    pub fn target_mode(self) -> Mode {
+        match self {
+            ExceptionKind::Svc => Mode::Supervisor,
+            ExceptionKind::Smc => Mode::Monitor,
+            ExceptionKind::Irq => Mode::Irq,
+            ExceptionKind::Fiq => Mode::Fiq,
+            ExceptionKind::DataAbort | ExceptionKind::PrefetchAbort => Mode::Abort,
+            ExceptionKind::Undefined => Mode::Undefined,
+        }
+    }
+
+    /// All exception kinds.
+    pub const ALL: [ExceptionKind; 7] = [
+        ExceptionKind::Svc,
+        ExceptionKind::Smc,
+        ExceptionKind::Irq,
+        ExceptionKind::Fiq,
+        ExceptionKind::DataAbort,
+        ExceptionKind::PrefetchAbort,
+        ExceptionKind::Undefined,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_modes() {
+        assert_eq!(ExceptionKind::Svc.target_mode(), Mode::Supervisor);
+        assert_eq!(ExceptionKind::Smc.target_mode(), Mode::Monitor);
+        assert_eq!(ExceptionKind::Irq.target_mode(), Mode::Irq);
+        assert_eq!(ExceptionKind::DataAbort.target_mode(), Mode::Abort);
+        assert_eq!(ExceptionKind::PrefetchAbort.target_mode(), Mode::Abort);
+        assert_eq!(ExceptionKind::Undefined.target_mode(), Mode::Undefined);
+    }
+
+    #[test]
+    fn all_targets_have_spsr() {
+        for k in ExceptionKind::ALL {
+            assert!(k.target_mode().has_spsr());
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The machine: registers, memory, MMU, TLB, cycle counter.
+//!
+//! "We model execution as a series of machine states, where a state includes
+//! everything visible about a machine (e.g. registers and memory)" (§5.1).
+
+use crate::cp15::Cp15;
+use crate::exn::ExceptionKind;
+use crate::mem::{AccessAttrs, PhysMem};
+use crate::mode::{Mode, World};
+use crate::psr::Psr;
+use crate::regs::{Reg, RegFile};
+use crate::tlb::Tlb;
+use crate::word::{Addr, Word};
+
+/// Cycle costs of machine-level events, loosely calibrated to a Cortex-A7
+/// class in-order core (the Raspberry Pi 2 of the paper's evaluation).
+pub mod cost {
+    /// Base cost of any instruction.
+    pub const INSN: u64 = 1;
+    /// Additional cost of a data memory access.
+    pub const MEM: u64 = 2;
+    /// Additional cost of a multiply.
+    pub const MUL: u64 = 2;
+    /// Additional cost of a taken branch (pipeline refill).
+    pub const BRANCH_TAKEN: u64 = 2;
+    /// Hardware page-table walk on a TLB miss.
+    pub const TLB_WALK: u64 = 12;
+    /// Exception entry (vector fetch, mode switch, pipeline flush).
+    pub const EXN_ENTRY: u64 = 14;
+    /// Exception return (`MOVS PC, LR`).
+    pub const EXN_RETURN: u64 = 5;
+    /// Full TLB flush.
+    pub const TLB_FLUSH: u64 = 32;
+}
+
+/// A violation of the machine model's usage contract by privileged code —
+/// the executable analogue of an unprovable verification condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelViolation {
+    /// User execution was started with an inconsistent TLB; the paper's
+    /// specification forces the implementation to prove consistency before
+    /// entering user mode (§5.2).
+    TlbInconsistent,
+    /// User execution was started while not in user mode.
+    NotUserMode,
+    /// Exception return attempted from a mode with no `SPSR`.
+    NoSpsr,
+}
+
+impl core::fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ModelViolation {}
+
+/// The complete machine state.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Banked register file.
+    pub regs: RegFile,
+    /// Current program status register.
+    pub cpsr: Psr,
+    /// Program counter (meaningful during user execution; privileged code
+    /// runs at exception boundaries and does not use it).
+    pub pc: Word,
+    /// CP15 system-control state.
+    pub cp15: Cp15,
+    /// Physical memory.
+    pub mem: PhysMem,
+    /// TLB state.
+    pub tlb: Tlb,
+    /// Cycle counter.
+    pub cycles: u64,
+    /// Absolute cycle at which the next IRQ becomes pending, if any.
+    /// The attacker "may inject external interrupts" (§3.1), so tests and
+    /// the OS model set this to exercise interrupt paths deterministically.
+    pub irq_at: Option<u64>,
+    /// Absolute cycle at which the next FIQ becomes pending, if any.
+    pub fiq_at: Option<u64>,
+    /// Measurement probe: the cycle count at which the next user-mode
+    /// instruction begins executing (set once by `run_user` while `None`;
+    /// benches reset it to time the world-switch paths, à la Table 3's
+    /// "Enter only" row).
+    pub first_user_insn_cycle: Option<u64>,
+}
+
+impl Machine {
+    /// A machine at reset: secure supervisor mode, empty memory map.
+    pub fn new() -> Machine {
+        Machine {
+            regs: RegFile::new(),
+            cpsr: Psr::privileged(Mode::Supervisor),
+            pc: 0,
+            cp15: Cp15::default(),
+            mem: PhysMem::new(),
+            tlb: Tlb::new(),
+            cycles: 0,
+            irq_at: None,
+            fiq_at: None,
+            first_user_insn_cycle: None,
+        }
+    }
+
+    /// The current TrustZone world: monitor mode is always secure;
+    /// otherwise `SCR.NS` selects (§3.3).
+    pub fn world(&self) -> World {
+        if self.cpsr.mode == Mode::Monitor || !self.cp15.scr_ns {
+            World::Secure
+        } else {
+            World::Normal
+        }
+    }
+
+    /// Reads a register as seen from the current mode.
+    pub fn reg(&self, r: Reg) -> Word {
+        self.regs.get(self.cpsr.mode, r)
+    }
+
+    /// Writes a register as seen from the current mode.
+    pub fn set_reg(&mut self, r: Reg, v: Word) {
+        self.regs.set(self.cpsr.mode, r, v);
+    }
+
+    /// Charges `n` cycles.
+    pub fn charge(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Whether an IRQ is pending at the current cycle.
+    pub fn irq_pending(&self) -> bool {
+        self.irq_at.is_some_and(|at| self.cycles >= at)
+    }
+
+    /// Whether an FIQ is pending at the current cycle.
+    pub fn fiq_pending(&self) -> bool {
+        self.fiq_at.is_some_and(|at| self.cycles >= at)
+    }
+
+    /// Takes an exception: banks the PSR and return address, switches mode,
+    /// masks interrupts, and charges the entry cost.
+    ///
+    /// `return_addr` is the address execution should resume at — the model
+    /// follows the paper in using the banked `LR` to "refer implicitly to
+    /// the PC at the time of an exception" (§5.1).
+    pub fn take_exception(&mut self, kind: ExceptionKind, return_addr: Word) {
+        let target = kind.target_mode();
+        let old = self.cpsr;
+        self.regs.set_spsr(target, old);
+        self.regs
+            .set_lr_banked(crate::regs::Bank::of(target), return_addr);
+        self.cpsr = Psr::privileged(target);
+        self.charge(cost::EXN_ENTRY);
+    }
+
+    /// Exception return (`MOVS PC, LR`): restores `CPSR` from the current
+    /// mode's `SPSR` and resumes at the banked `LR`.
+    ///
+    /// Returns the restored mode's PSR; fails if the current mode has no
+    /// `SPSR` (a model violation, not a runtime condition).
+    pub fn exception_return(&mut self) -> Result<(), ModelViolation> {
+        let spsr = self
+            .regs
+            .spsr(self.cpsr.mode)
+            .ok_or(ModelViolation::NoSpsr)?;
+        let lr = self.reg(Reg::Lr);
+        self.cpsr = spsr;
+        self.pc = lr;
+        self.charge(cost::EXN_RETURN);
+        Ok(())
+    }
+
+    /// Loads `TTBR0` for the current world and marks the TLB inconsistent,
+    /// as the paper's model prescribes for page-table base loads.
+    pub fn load_ttbr0(&mut self, pa: Addr) {
+        let world = self.world();
+        self.cp15.mmu_mut(world).ttbr0 = pa;
+        self.tlb.mark_inconsistent();
+    }
+
+    /// Flushes the entire TLB (the only flush the model supports, §5.1).
+    pub fn tlb_flush(&mut self) {
+        self.tlb.flush();
+        self.charge(cost::TLB_FLUSH);
+    }
+
+    /// Notes a store to page-table memory, marking the TLB inconsistent.
+    ///
+    /// The monitor calls this when it writes descriptors; enclave code can
+    /// never reach page-table pages (a PageDB invariant), so user-mode
+    /// stores need no such tracking.
+    pub fn note_pagetable_store(&mut self) {
+        self.tlb.mark_inconsistent();
+    }
+
+    /// Monitor-attributed physical read with cycle charging.
+    pub fn mon_read(&mut self, pa: Addr) -> Result<Word, crate::error::MemFault> {
+        self.charge(cost::MEM);
+        self.mem.read(pa, AccessAttrs::MONITOR)
+    }
+
+    /// Monitor-attributed physical write with cycle charging.
+    pub fn mon_write(&mut self, pa: Addr, v: Word) -> Result<(), crate::error::MemFault> {
+        self.charge(cost::MEM);
+        self.mem.write(pa, v, AccessAttrs::MONITOR)
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_is_secure_supervisor() {
+        let m = Machine::new();
+        assert_eq!(m.cpsr.mode, Mode::Supervisor);
+        assert_eq!(m.world(), World::Secure);
+    }
+
+    #[test]
+    fn scr_ns_switches_world_except_monitor() {
+        let mut m = Machine::new();
+        m.cp15.scr_ns = true;
+        assert_eq!(m.world(), World::Normal);
+        m.cpsr.mode = Mode::Monitor;
+        assert_eq!(m.world(), World::Secure);
+    }
+
+    #[test]
+    fn exception_entry_banks_state() {
+        let mut m = Machine::new();
+        m.cpsr = Psr::user();
+        m.cpsr.n = true;
+        m.take_exception(ExceptionKind::Smc, 0x1234);
+        assert_eq!(m.cpsr.mode, Mode::Monitor);
+        assert!(m.cpsr.irq_masked && m.cpsr.fiq_masked);
+        assert_eq!(m.reg(Reg::Lr), 0x1234);
+        let spsr = m.regs.spsr(Mode::Monitor).unwrap();
+        assert!(spsr.n);
+        assert_eq!(spsr.mode, Mode::User);
+    }
+
+    #[test]
+    fn exception_return_restores() {
+        let mut m = Machine::new();
+        m.cpsr = Psr::user();
+        m.take_exception(ExceptionKind::Svc, 0x2000);
+        m.exception_return().unwrap();
+        assert_eq!(m.cpsr.mode, Mode::User);
+        assert_eq!(m.pc, 0x2000);
+    }
+
+    #[test]
+    fn exception_return_without_spsr_fails() {
+        let mut m = Machine::new();
+        m.cpsr = Psr::user();
+        assert_eq!(m.exception_return(), Err(ModelViolation::NoSpsr));
+    }
+
+    #[test]
+    fn ttbr_load_marks_tlb_inconsistent() {
+        let mut m = Machine::new();
+        assert!(m.tlb.is_consistent());
+        m.load_ttbr0(0x8000_0000);
+        assert!(!m.tlb.is_consistent());
+        m.tlb_flush();
+        assert!(m.tlb.is_consistent());
+    }
+
+    #[test]
+    fn interrupt_scheduling() {
+        let mut m = Machine::new();
+        assert!(!m.irq_pending());
+        m.irq_at = Some(100);
+        assert!(!m.irq_pending());
+        m.cycles = 100;
+        assert!(m.irq_pending());
+    }
+
+    #[test]
+    fn cycle_charging() {
+        let mut m = Machine::new();
+        let c0 = m.cycles;
+        m.take_exception(ExceptionKind::Irq, 0);
+        assert_eq!(m.cycles, c0 + cost::EXN_ENTRY);
+    }
+}

@@ -1,0 +1,286 @@
+//! Physical memory with TrustZone partitioning.
+//!
+//! Memory is "a mapping from word-aligned addresses to 32-bit values"
+//! (paper §5.1). A TrustZone-aware memory controller tags regions as secure
+//! and rejects non-secure accesses to them (§3.3); the Komodo bootloader
+//! reserves one such region for the monitor and the secure page pool.
+//!
+//! The model also counts word accesses, which feeds the monitor's cycle
+//! accounting for Table 3.
+
+use crate::error::{MemFault, MemFaultKind};
+use crate::word::{word_aligned, Addr, Word, WORD_BYTES};
+
+/// Security attribute of an access, as driven onto the bus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessAttrs {
+    /// Whether the access is issued with the secure attribute.
+    pub secure: bool,
+    /// Whether the access comes from privileged execution.
+    pub privileged: bool,
+}
+
+impl AccessAttrs {
+    /// Secure privileged access (the monitor).
+    pub const MONITOR: AccessAttrs = AccessAttrs {
+        secure: true,
+        privileged: true,
+    };
+    /// Secure unprivileged access (enclave user mode).
+    pub const ENCLAVE: AccessAttrs = AccessAttrs {
+        secure: true,
+        privileged: false,
+    };
+    /// Non-secure access (normal-world OS or application, or a device).
+    pub const NORMAL: AccessAttrs = AccessAttrs {
+        secure: false,
+        privileged: true,
+    };
+}
+
+/// A contiguous RAM region.
+#[derive(Clone, Debug)]
+struct Region {
+    base: Addr,
+    words: Vec<Word>,
+    /// Secure regions are invisible to non-secure accesses.
+    secure: bool,
+}
+
+impl Region {
+    fn len_bytes(&self) -> u32 {
+        (self.words.len() as u32) * WORD_BYTES
+    }
+
+    fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && (addr - self.base) < self.len_bytes()
+    }
+}
+
+/// Physical memory: a set of disjoint RAM regions plus access counters.
+#[derive(Clone, Debug)]
+pub struct PhysMem {
+    regions: Vec<Region>,
+    /// Number of word reads since construction (cycle accounting input).
+    pub reads: u64,
+    /// Number of word writes since construction.
+    pub writes: u64,
+}
+
+impl PhysMem {
+    /// An empty physical address space.
+    pub fn new() -> PhysMem {
+        PhysMem {
+            regions: Vec::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Adds a zero-initialised RAM region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is unaligned, empty, overflows the address
+    /// space, or overlaps an existing region — these are platform
+    /// construction errors, not runtime conditions.
+    pub fn add_region(&mut self, base: Addr, size: u32, secure: bool) {
+        assert!(word_aligned(base) && word_aligned(size) && size > 0);
+        assert!(base.checked_add(size - 1).is_some(), "region overflow");
+        for r in &self.regions {
+            let r_end = r.base as u64 + r.len_bytes() as u64;
+            let end = base as u64 + size as u64;
+            assert!(
+                (base as u64) >= r_end || end <= r.base as u64,
+                "region overlap"
+            );
+        }
+        self.regions.push(Region {
+            base,
+            words: vec![0; (size / WORD_BYTES) as usize],
+            secure,
+        });
+    }
+
+    /// Whether `addr` lies in a secure region.
+    pub fn is_secure(&self, addr: Addr) -> bool {
+        self.regions.iter().any(|r| r.contains(addr) && r.secure)
+    }
+
+    /// Whether `addr` is backed by RAM at all.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        self.regions.iter().any(|r| r.contains(addr))
+    }
+
+    fn region_for(&self, addr: Addr) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    fn region_for_mut(&mut self, addr: Addr) -> Option<&mut Region> {
+        self.regions.iter_mut().find(|r| r.contains(addr))
+    }
+
+    /// Reads the word at physical address `addr` with bus attributes
+    /// `attrs`, enforcing TrustZone partitioning.
+    pub fn read(&mut self, addr: Addr, attrs: AccessAttrs) -> Result<Word, MemFault> {
+        if !word_aligned(addr) {
+            return Err(MemFault::new(addr, MemFaultKind::Unaligned, false));
+        }
+        let r = self
+            .region_for(addr)
+            .ok_or(MemFault::new(addr, MemFaultKind::Unmapped, false))?;
+        if r.secure && !attrs.secure {
+            return Err(MemFault::new(addr, MemFaultKind::SecurityViolation, false));
+        }
+        self.reads += 1;
+        let r = self.region_for(addr).expect("checked above");
+        Ok(r.words[((addr - r.base) / WORD_BYTES) as usize])
+    }
+
+    /// Writes the word at physical address `addr`.
+    pub fn write(&mut self, addr: Addr, val: Word, attrs: AccessAttrs) -> Result<(), MemFault> {
+        if !word_aligned(addr) {
+            return Err(MemFault::new(addr, MemFaultKind::Unaligned, true));
+        }
+        let secure_region = match self.region_for(addr) {
+            Some(r) => r.secure,
+            None => return Err(MemFault::new(addr, MemFaultKind::Unmapped, true)),
+        };
+        if secure_region && !attrs.secure {
+            return Err(MemFault::new(addr, MemFaultKind::SecurityViolation, true));
+        }
+        self.writes += 1;
+        let r = self.region_for_mut(addr).expect("checked above");
+        let base = r.base;
+        r.words[((addr - base) / WORD_BYTES) as usize] = val;
+        Ok(())
+    }
+
+    /// Reads a byte (for guest `LDRB`); the containing word is read and the
+    /// byte extracted little-endian, as on ARM.
+    pub fn read_byte(&mut self, addr: Addr, attrs: AccessAttrs) -> Result<u8, MemFault> {
+        let w = self.read(addr & !3, attrs)?;
+        Ok((w >> ((addr & 3) * 8)) as u8)
+    }
+
+    /// Writes a byte (for guest `STRB`) with read-modify-write of the word.
+    pub fn write_byte(&mut self, addr: Addr, val: u8, attrs: AccessAttrs) -> Result<(), MemFault> {
+        let aligned = addr & !3;
+        let w = self.read(aligned, attrs)?;
+        let shift = (addr & 3) * 8;
+        let nw = (w & !(0xffu32 << shift)) | ((val as u32) << shift);
+        self.write(aligned, nw, attrs)
+    }
+
+    /// Copies `words.len()` words into memory starting at `addr` (loader
+    /// and test convenience; monitor-attributed).
+    pub fn load_words(&mut self, addr: Addr, words: &[Word]) -> Result<(), MemFault> {
+        for (i, w) in words.iter().enumerate() {
+            self.write(addr + (i as u32) * WORD_BYTES, *w, AccessAttrs::MONITOR)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` words starting at `addr` (test convenience).
+    pub fn dump_words(&mut self, addr: Addr, n: usize) -> Result<Vec<Word>, MemFault> {
+        (0..n)
+            .map(|i| self.read(addr + (i as u32) * WORD_BYTES, AccessAttrs::MONITOR))
+            .collect()
+    }
+}
+
+impl Default for PhysMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMem {
+        let mut m = PhysMem::new();
+        m.add_region(0x0000_0000, 0x1_0000, false);
+        m.add_region(0x8000_0000, 0x1_0000, true);
+        m
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = mem();
+        m.write(0x100, 0xdeadbeef, AccessAttrs::NORMAL).unwrap();
+        assert_eq!(m.read(0x100, AccessAttrs::NORMAL).unwrap(), 0xdeadbeef);
+    }
+
+    #[test]
+    fn normal_world_blocked_from_secure() {
+        let mut m = mem();
+        m.write(0x8000_0000, 7, AccessAttrs::MONITOR).unwrap();
+        let err = m.read(0x8000_0000, AccessAttrs::NORMAL).unwrap_err();
+        assert_eq!(err.kind, MemFaultKind::SecurityViolation);
+        let err = m.write(0x8000_0004, 1, AccessAttrs::NORMAL).unwrap_err();
+        assert_eq!(err.kind, MemFaultKind::SecurityViolation);
+        // The secret is untouched.
+        assert_eq!(m.read(0x8000_0000, AccessAttrs::MONITOR).unwrap(), 7);
+    }
+
+    #[test]
+    fn enclave_attrs_reach_secure() {
+        let mut m = mem();
+        m.write(0x8000_0000, 9, AccessAttrs::ENCLAVE).unwrap();
+        assert_eq!(m.read(0x8000_0000, AccessAttrs::ENCLAVE).unwrap(), 9);
+    }
+
+    #[test]
+    fn unmapped_and_unaligned_fault() {
+        let mut m = mem();
+        assert_eq!(
+            m.read(0x4000_0000, AccessAttrs::MONITOR).unwrap_err().kind,
+            MemFaultKind::Unmapped
+        );
+        assert_eq!(
+            m.read(0x102, AccessAttrs::MONITOR).unwrap_err().kind,
+            MemFaultKind::Unaligned
+        );
+    }
+
+    #[test]
+    fn byte_access_little_endian() {
+        let mut m = mem();
+        m.write(0x200, 0x0403_0201, AccessAttrs::NORMAL).unwrap();
+        assert_eq!(m.read_byte(0x200, AccessAttrs::NORMAL).unwrap(), 0x01);
+        assert_eq!(m.read_byte(0x203, AccessAttrs::NORMAL).unwrap(), 0x04);
+        m.write_byte(0x201, 0xff, AccessAttrs::NORMAL).unwrap();
+        assert_eq!(m.read(0x200, AccessAttrs::NORMAL).unwrap(), 0x0403_ff01);
+    }
+
+    #[test]
+    fn access_counters_increment() {
+        let mut m = mem();
+        let r0 = m.reads;
+        let w0 = m.writes;
+        m.write(0x100, 1, AccessAttrs::NORMAL).unwrap();
+        m.read(0x100, AccessAttrs::NORMAL).unwrap();
+        assert_eq!(m.reads, r0 + 1);
+        assert_eq!(m.writes, w0 + 1);
+        // Faulting accesses do not count.
+        let _ = m.read(0x8000_0000, AccessAttrs::NORMAL);
+        assert_eq!(m.reads, r0 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_regions_rejected() {
+        let mut m = PhysMem::new();
+        m.add_region(0, 0x1000, false);
+        m.add_region(0x800, 0x1000, false);
+    }
+
+    #[test]
+    fn load_dump_roundtrip() {
+        let mut m = mem();
+        m.load_words(0x400, &[1, 2, 3]).unwrap();
+        assert_eq!(m.dump_words(0x400, 3).unwrap(), vec![1, 2, 3]);
+    }
+}

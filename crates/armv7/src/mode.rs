@@ -1,0 +1,143 @@
+//! Privilege modes and TrustZone worlds (paper §3.3, Figure 1).
+//!
+//! A TrustZone processor runs in one of two *worlds*; each world contains
+//! user mode and five equally privileged exception modes, and secure world
+//! adds a sixth privileged *monitor* mode used to switch worlds.
+
+/// ARM processor mode, as encoded in `CPSR[4:0]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mode {
+    /// Unprivileged execution (enclaves and normal-world applications).
+    User,
+    /// Supervisor mode; entered on reset and `SVC`.
+    Supervisor,
+    /// Abort mode; entered on data/prefetch aborts.
+    Abort,
+    /// Undefined mode; entered on undefined instructions.
+    Undefined,
+    /// IRQ mode; entered on normal interrupts.
+    Irq,
+    /// FIQ mode; entered on fast interrupts.
+    Fiq,
+    /// Monitor mode (secure world only); entered on `SMC` and, when so
+    /// configured, on secure-world exceptions. Komodo's monitor runs here.
+    Monitor,
+    /// System mode: privileged, but shares the user-mode register bank.
+    System,
+}
+
+impl Mode {
+    /// The `CPSR[4:0]` encoding of this mode (ARM ARM B1.3.1).
+    pub fn bits(self) -> u32 {
+        match self {
+            Mode::User => 0b10000,
+            Mode::Fiq => 0b10001,
+            Mode::Irq => 0b10010,
+            Mode::Supervisor => 0b10011,
+            Mode::Monitor => 0b10110,
+            Mode::Abort => 0b10111,
+            Mode::Undefined => 0b11011,
+            Mode::System => 0b11111,
+        }
+    }
+
+    /// Decodes a mode from `CPSR[4:0]`; `None` for reserved encodings.
+    pub fn from_bits(bits: u32) -> Option<Mode> {
+        match bits & 0x1f {
+            0b10000 => Some(Mode::User),
+            0b10001 => Some(Mode::Fiq),
+            0b10010 => Some(Mode::Irq),
+            0b10011 => Some(Mode::Supervisor),
+            0b10110 => Some(Mode::Monitor),
+            0b10111 => Some(Mode::Abort),
+            0b11011 => Some(Mode::Undefined),
+            0b11111 => Some(Mode::System),
+            _ => None,
+        }
+    }
+
+    /// Whether the mode is privileged.
+    pub fn privileged(self) -> bool {
+        self != Mode::User
+    }
+
+    /// Whether this mode has a banked `SPSR`.
+    ///
+    /// User and System modes have no `SPSR` (ARM ARM B1.3.2).
+    pub fn has_spsr(self) -> bool {
+        !matches!(self, Mode::User | Mode::System)
+    }
+
+    /// Whether this mode has banked `SP`/`LR`.
+    ///
+    /// System mode shares the user-mode bank.
+    pub fn has_banked_sp_lr(self) -> bool {
+        !matches!(self, Mode::User | Mode::System)
+    }
+
+    /// All modelled modes.
+    pub const ALL: [Mode; 8] = [
+        Mode::User,
+        Mode::Supervisor,
+        Mode::Abort,
+        Mode::Undefined,
+        Mode::Irq,
+        Mode::Fiq,
+        Mode::Monitor,
+        Mode::System,
+    ];
+}
+
+/// TrustZone world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum World {
+    /// Secure world: the Komodo monitor and enclaves.
+    Secure,
+    /// Normal (non-secure) world: the untrusted OS and applications.
+    Normal,
+}
+
+impl World {
+    /// The other world.
+    pub fn other(self) -> World {
+        match self {
+            World::Secure => World::Normal,
+            World::Normal => World::Secure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_bits_roundtrip() {
+        for m in Mode::ALL {
+            assert_eq!(Mode::from_bits(m.bits()), Some(m));
+        }
+    }
+
+    #[test]
+    fn reserved_encodings_rejected() {
+        assert_eq!(Mode::from_bits(0b00000), None);
+        assert_eq!(Mode::from_bits(0b11010), None);
+    }
+
+    #[test]
+    fn privilege_and_banking() {
+        assert!(!Mode::User.privileged());
+        assert!(Mode::Monitor.privileged());
+        assert!(!Mode::User.has_spsr());
+        assert!(!Mode::System.has_spsr());
+        assert!(Mode::Monitor.has_spsr());
+        assert!(!Mode::System.has_banked_sp_lr());
+        assert!(Mode::Irq.has_banked_sp_lr());
+    }
+
+    #[test]
+    fn world_other() {
+        assert_eq!(World::Secure.other(), World::Normal);
+        assert_eq!(World::Normal.other(), World::Secure);
+    }
+}

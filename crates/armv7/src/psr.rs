@@ -1,0 +1,121 @@
+//! Program status registers (`CPSR`/`SPSR`).
+//!
+//! The paper models "portions of the current and saved program status
+//! registers": the NZCV condition flags, the IRQ/FIQ mask bits, and the
+//! mode field. Those are exactly the fields here.
+
+use crate::mode::Mode;
+
+/// A program status register view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Psr {
+    /// Negative flag.
+    pub n: bool,
+    /// Zero flag.
+    pub z: bool,
+    /// Carry flag.
+    pub c: bool,
+    /// Overflow flag.
+    pub v: bool,
+    /// IRQ mask (`CPSR.I`): when set, IRQs are not taken.
+    pub irq_masked: bool,
+    /// FIQ mask (`CPSR.F`): when set, FIQs are not taken.
+    pub fiq_masked: bool,
+    /// Processor mode field.
+    pub mode: Mode,
+}
+
+impl Psr {
+    /// A PSR for fresh user-mode execution: flags clear, interrupts enabled.
+    pub fn user() -> Psr {
+        Psr {
+            n: false,
+            z: false,
+            c: false,
+            v: false,
+            irq_masked: false,
+            fiq_masked: false,
+            mode: Mode::User,
+        }
+    }
+
+    /// A PSR for privileged mode `mode` with interrupts masked, as
+    /// established by exception entry.
+    pub fn privileged(mode: Mode) -> Psr {
+        Psr {
+            n: false,
+            z: false,
+            c: false,
+            v: false,
+            irq_masked: true,
+            fiq_masked: true,
+            mode,
+        }
+    }
+
+    /// Encodes to the architectural 32-bit format (flags in `[31:28]`,
+    /// `I`/`F` in bits 7/6, mode in `[4:0]`).
+    pub fn encode(self) -> u32 {
+        (self.n as u32) << 31
+            | (self.z as u32) << 30
+            | (self.c as u32) << 29
+            | (self.v as u32) << 28
+            | (self.irq_masked as u32) << 7
+            | (self.fiq_masked as u32) << 6
+            | self.mode.bits()
+    }
+
+    /// Decodes from the architectural format; `None` on a reserved mode.
+    pub fn decode(bits: u32) -> Option<Psr> {
+        Some(Psr {
+            n: bits & (1 << 31) != 0,
+            z: bits & (1 << 30) != 0,
+            c: bits & (1 << 29) != 0,
+            v: bits & (1 << 28) != 0,
+            irq_masked: bits & (1 << 7) != 0,
+            fiq_masked: bits & (1 << 6) != 0,
+            mode: Mode::from_bits(bits & 0x1f)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for mode in Mode::ALL {
+            for bits in 0..32u32 {
+                let p = Psr {
+                    n: bits & 1 != 0,
+                    z: bits & 2 != 0,
+                    c: bits & 4 != 0,
+                    v: bits & 8 != 0,
+                    irq_masked: bits & 16 != 0,
+                    fiq_masked: false,
+                    mode,
+                };
+                assert_eq!(Psr::decode(p.encode()), Some(p));
+            }
+        }
+    }
+
+    #[test]
+    fn user_psr_unmasked() {
+        let p = Psr::user();
+        assert!(!p.irq_masked && !p.fiq_masked);
+        assert_eq!(p.mode, Mode::User);
+    }
+
+    #[test]
+    fn privileged_psr_masked() {
+        let p = Psr::privileged(Mode::Monitor);
+        assert!(p.irq_masked && p.fiq_masked);
+    }
+
+    #[test]
+    fn decode_reserved_mode_fails() {
+        assert_eq!(Psr::decode(0b00001), None);
+    }
+}

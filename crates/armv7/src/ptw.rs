@@ -1,0 +1,361 @@
+//! Short-descriptor page-table walk (paper §5.1).
+//!
+//! "ARM supports many page table formats, but we model only one: 4 kB
+//! 'small' pages in the short descriptor format. If an unrecognised
+//! page-table entry is encountered, the model says nothing about the results
+//! of user execution" — here, an unrecognised descriptor is a translation
+//! fault, which the monitor's invariants ensure enclaves never see for
+//! their own mappings.
+//!
+//! Komodo programs `TTBCR.N = 2`, so `TTBR0` points at a single 4 kB
+//! first-level table of 1024 entries, each mapping 1 MB of the 1 GB enclave
+//! address space; valid entries point at 1 kB coarse second-level tables of
+//! 256 small-page entries. A Komodo "L2 page-table page" is one 4 kB secure
+//! page holding four consecutive coarse tables (4 MB of address space),
+//! which is why `InitL2PTable` takes a single page and an `l1index` in
+//! `0..256`.
+//!
+//! Modelling liberty: the architectural small-page descriptor uses bit 3
+//! for cacheability (`C`), which this model does not need (caches are not
+//! modelled, §5.1 limitations); we repurpose bit 3 as a per-page `NS` bit so
+//! that insecure (OS-shared) mappings are distinguishable in the descriptor,
+//! which the specification's page-table validation relies on.
+
+use crate::error::{MemFault, MemFaultKind};
+use crate::mem::{AccessAttrs, PhysMem};
+use crate::word::{Addr, Word, PAGE_SIZE};
+
+/// Size of the first-level table (1024 four-byte entries = one 4 kB page).
+pub const L1_ENTRIES: usize = 1024;
+
+/// Entries in one 1 kB coarse second-level table.
+pub const L2_ENTRIES_PER_TABLE: usize = 256;
+
+/// Coarse tables per 4 kB Komodo L2 page-table page.
+pub const L2_TABLES_PER_PAGE: usize = 4;
+
+/// Number of 4 MB `l1index` slots in the 1 GB enclave address space.
+pub const L1_INDEX_SLOTS: usize = 256;
+
+/// Virtual-address limit translated by `TTBR0` under Komodo's `TTBCR.N=2`.
+pub const TTBR0_LIMIT: u64 = 0x4000_0000;
+
+/// Page permissions as seen by user-mode (enclave) code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PagePerms {
+    /// Readable from user mode.
+    pub r: bool,
+    /// Writable from user mode.
+    pub w: bool,
+    /// Executable from user mode.
+    pub x: bool,
+}
+
+impl PagePerms {
+    /// Read-only, executable (typical code page).
+    pub const RX: PagePerms = PagePerms {
+        r: true,
+        w: false,
+        x: true,
+    };
+    /// Read-write, no execute (typical data page).
+    pub const RW: PagePerms = PagePerms {
+        r: true,
+        w: true,
+        x: false,
+    };
+    /// Read-only data.
+    pub const R: PagePerms = PagePerms {
+        r: true,
+        w: false,
+        x: false,
+    };
+    /// Read-write-execute.
+    pub const RWX: PagePerms = PagePerms {
+        r: true,
+        w: true,
+        x: true,
+    };
+}
+
+/// A successful translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Translation {
+    /// Physical page base plus offset.
+    pub pa: Addr,
+    /// User permissions on the containing page.
+    pub perms: PagePerms,
+    /// Whether the mapping is tagged non-secure (an OS-shared page).
+    pub ns: bool,
+}
+
+/// Why a walk failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtwFault {
+    /// No valid descriptor (or VA beyond the `TTBR0` region).
+    Translation,
+    /// The walk itself could not read the page tables.
+    External(MemFault),
+}
+
+/// Builds a first-level coarse-page-table descriptor for a table at `pt_pa`
+/// (must be 1 kB aligned).
+pub fn l1_coarse_desc(pt_pa: Addr) -> Word {
+    debug_assert_eq!(pt_pa & 0x3ff, 0);
+    (pt_pa & 0xffff_fc00) | 0b01
+}
+
+/// The invalid (fault) descriptor.
+pub const DESC_INVALID: Word = 0;
+
+/// Builds a second-level small-page descriptor.
+pub fn l2_page_desc(page_pa: Addr, perms: PagePerms, ns: bool) -> Word {
+    debug_assert_eq!(page_pa & 0xfff, 0);
+    // AP encoding (AFE=0): user RW = 0b011, user RO = 0b010 (priv RW, user
+    // RO), no user access = 0b001. AP[1:0] at bits [5:4], AP[2] at bit 9.
+    let (ap2, ap10): (u32, u32) = if perms.w {
+        (0, 0b11)
+    } else if perms.r {
+        (0, 0b10)
+    } else {
+        (0, 0b01)
+    };
+    let xn = !perms.x as u32;
+    (page_pa & 0xffff_f000) | (ap2 << 9) | (ap10 << 4) | ((ns as u32) << 3) | 0b10 | xn
+}
+
+/// Decodes a second-level descriptor; `None` if invalid/unmodelled.
+pub fn decode_l2_desc(desc: Word) -> Option<Translation> {
+    if desc & 0b10 == 0 {
+        return None; // Fault or large page (unmodelled).
+    }
+    let ap10 = (desc >> 4) & 0b11;
+    let ap2 = (desc >> 9) & 1;
+    let (r, w) = match (ap2, ap10) {
+        (0, 0b11) => (true, true),
+        (0, 0b10) => (true, false),
+        (1, 0b11) | (1, 0b10) => (true, false),
+        _ => (false, false),
+    };
+    Some(Translation {
+        pa: desc & 0xffff_f000,
+        perms: PagePerms {
+            r,
+            w,
+            x: desc & 1 == 0,
+        },
+        ns: desc & (1 << 3) != 0,
+    })
+}
+
+/// Decodes a first-level descriptor to the coarse-table physical address.
+pub fn decode_l1_desc(desc: Word) -> Option<Addr> {
+    if desc & 0b11 != 0b01 {
+        return None;
+    }
+    Some(desc & 0xffff_fc00)
+}
+
+/// Walks the `TTBR0` tree for `va`, reading descriptors from physical
+/// memory with secure bus attributes (page tables live in secure memory).
+///
+/// Returns the translation regardless of the intended access; permission
+/// checking against the access type is the caller's job.
+pub fn walk(mem: &mut PhysMem, ttbr0: Addr, va: Addr) -> Result<Translation, PtwFault> {
+    if (va as u64) >= TTBR0_LIMIT {
+        return Err(PtwFault::Translation);
+    }
+    let l1_index = (va >> 20) as usize;
+    let l1_addr = ttbr0 + (l1_index as u32) * 4;
+    let l1 = mem
+        .read(l1_addr, AccessAttrs::MONITOR)
+        .map_err(PtwFault::External)?;
+    let l2_base = decode_l1_desc(l1).ok_or(PtwFault::Translation)?;
+    let l2_index = (va >> 12) & 0xff;
+    let l2_addr = l2_base + l2_index * 4;
+    let l2 = mem
+        .read(l2_addr, AccessAttrs::MONITOR)
+        .map_err(PtwFault::External)?;
+    let t = decode_l2_desc(l2).ok_or(PtwFault::Translation)?;
+    Ok(Translation {
+        pa: t.pa + (va & (PAGE_SIZE - 1)),
+        ..t
+    })
+}
+
+/// Enumerates the user-*writable* page mappings reachable from `ttbr0`:
+/// `(virtual page base, physical page base, ns)` triples.
+///
+/// This mirrors the paper's model of user-mode execution, which "havocs...
+/// all user-writable pages" found "by walking page tables starting from the
+/// page-table base register" (§5.1); the specification and NI tests use it
+/// to bound what enclave execution can modify.
+pub fn writable_pages(mem: &mut PhysMem, ttbr0: Addr) -> Vec<(Addr, Addr, bool)> {
+    let mut out = Vec::new();
+    for l1_index in 0..L1_ENTRIES {
+        let Ok(l1) = mem.read(ttbr0 + (l1_index as u32) * 4, AccessAttrs::MONITOR) else {
+            continue;
+        };
+        let Some(l2_base) = decode_l1_desc(l1) else {
+            continue;
+        };
+        for l2_index in 0..L2_ENTRIES_PER_TABLE {
+            let Ok(l2) = mem.read(l2_base + (l2_index as u32) * 4, AccessAttrs::MONITOR) else {
+                continue;
+            };
+            let Some(t) = decode_l2_desc(l2) else {
+                continue;
+            };
+            if t.perms.w {
+                let va = ((l1_index as u32) << 20) | ((l2_index as u32) << 12);
+                out.push((va, t.pa, t.ns));
+            }
+        }
+    }
+    out
+}
+
+/// Checks a walk result against an access, producing the fault the
+/// hardware would report.
+pub fn check_access(t: &Translation, va: Addr, write: bool, exec: bool) -> Result<(), MemFault> {
+    let ok = if exec {
+        t.perms.x && t.perms.r
+    } else if write {
+        t.perms.w
+    } else {
+        t.perms.r
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(MemFault::new(va, MemFaultKind::Permission, write))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMem, Addr) {
+        let mut m = PhysMem::new();
+        m.add_region(0, 0x10_0000, false); // 1 MB insecure.
+        m.add_region(0x8000_0000, 0x10_0000, true); // 1 MB secure.
+                                                    // L1 table at secure 0x8000_0000; coarse tables page at 0x8000_1000;
+                                                    // data page at 0x8000_2000.
+        let ttbr0 = 0x8000_0000;
+        (m, ttbr0)
+    }
+
+    fn map_page(m: &mut PhysMem, ttbr0: Addr, va: Addr, pa: Addr, perms: PagePerms, ns: bool) {
+        let l1_index = va >> 20;
+        let l2pt_page = 0x8000_1000u32;
+        // Coarse table for this 1 MB slot lives at a fixed offset in the
+        // L2 page (tests map within one 4 MB slot).
+        let coarse = l2pt_page + (l1_index % 4) * 0x400;
+        m.write(
+            ttbr0 + l1_index * 4,
+            l1_coarse_desc(coarse),
+            AccessAttrs::MONITOR,
+        )
+        .unwrap();
+        let l2_index = (va >> 12) & 0xff;
+        m.write(
+            coarse + l2_index * 4,
+            l2_page_desc(pa, perms, ns),
+            AccessAttrs::MONITOR,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn walk_translates_mapped_page() {
+        let (mut m, ttbr0) = setup();
+        map_page(
+            &mut m,
+            ttbr0,
+            0x0010_0000,
+            0x8000_2000,
+            PagePerms::RW,
+            false,
+        );
+        let t = walk(&mut m, ttbr0, 0x0010_0abc).unwrap();
+        assert_eq!(t.pa, 0x8000_2abc);
+        assert!(t.perms.r && t.perms.w && !t.perms.x);
+        assert!(!t.ns);
+    }
+
+    #[test]
+    fn walk_faults_on_unmapped() {
+        let (mut m, ttbr0) = setup();
+        assert_eq!(walk(&mut m, ttbr0, 0x0020_0000), Err(PtwFault::Translation));
+    }
+
+    #[test]
+    fn walk_faults_beyond_1gb() {
+        let (mut m, ttbr0) = setup();
+        assert_eq!(walk(&mut m, ttbr0, 0x4000_0000), Err(PtwFault::Translation));
+        assert_eq!(walk(&mut m, ttbr0, 0xffff_f000), Err(PtwFault::Translation));
+    }
+
+    #[test]
+    fn desc_roundtrip() {
+        for perms in [PagePerms::RX, PagePerms::RW, PagePerms::R, PagePerms::RWX] {
+            for ns in [false, true] {
+                let d = l2_page_desc(0x0004_5000, perms, ns);
+                let t = decode_l2_desc(d).unwrap();
+                assert_eq!(t.pa, 0x0004_5000);
+                assert_eq!(t.perms, perms);
+                assert_eq!(t.ns, ns);
+            }
+        }
+        assert_eq!(decode_l2_desc(DESC_INVALID), None);
+        assert_eq!(decode_l1_desc(l1_coarse_desc(0x1400)), Some(0x1400));
+        assert_eq!(decode_l1_desc(0), None);
+        // Section descriptors (type 0b10) are unmodelled at L1.
+        assert_eq!(decode_l1_desc(0x0000_0002), None);
+    }
+
+    #[test]
+    fn permission_checks() {
+        let t = Translation {
+            pa: 0x1000,
+            perms: PagePerms::R,
+            ns: false,
+        };
+        assert!(check_access(&t, 0x1000, false, false).is_ok());
+        assert!(check_access(&t, 0x1000, true, false).is_err());
+        assert!(check_access(&t, 0x1000, false, true).is_err());
+        let code = Translation {
+            pa: 0x1000,
+            perms: PagePerms::RX,
+            ns: false,
+        };
+        assert!(check_access(&code, 0x1000, false, true).is_ok());
+    }
+
+    #[test]
+    fn writable_pages_enumeration() {
+        let (mut m, ttbr0) = setup();
+        map_page(
+            &mut m,
+            ttbr0,
+            0x0010_0000,
+            0x8000_2000,
+            PagePerms::RW,
+            false,
+        );
+        map_page(
+            &mut m,
+            ttbr0,
+            0x0010_1000,
+            0x8000_3000,
+            PagePerms::RX,
+            false,
+        );
+        map_page(&mut m, ttbr0, 0x0010_2000, 0x0000_5000, PagePerms::RW, true);
+        let pages = writable_pages(&mut m, ttbr0);
+        assert_eq!(pages.len(), 2);
+        assert!(pages.contains(&(0x0010_0000, 0x8000_2000, false)));
+        assert!(pages.contains(&(0x0010_2000, 0x0000_5000, true)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Core register file with per-mode banking (paper §5.1).
+//!
+//! "The 32-bit ARM architecture includes a register banking feature that we
+//! also model: the SP, LR and SPSR registers are banked according to the
+//! current mode." FIQ-only banked registers (`R8_fiq`–`R12_fiq`) are not
+//! modelled, matching the paper.
+
+use crate::mode::Mode;
+use crate::psr::Psr;
+use crate::word::Word;
+
+/// A core register name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// General-purpose register R0..R12.
+    R(u8),
+    /// Stack pointer (R13), banked per mode.
+    Sp,
+    /// Link register (R14), banked per mode.
+    Lr,
+}
+
+impl Reg {
+    /// The architectural register number (0..=14).
+    pub fn index(self) -> u8 {
+        match self {
+            Reg::R(n) => {
+                debug_assert!(n <= 12);
+                n
+            }
+            Reg::Sp => 13,
+            Reg::Lr => 14,
+        }
+    }
+
+    /// Builds a register from its architectural number; `None` for 15 (`PC`
+    /// is not a general register in this model) or out-of-range values.
+    pub fn from_index(n: u8) -> Option<Reg> {
+        match n {
+            0..=12 => Some(Reg::R(n)),
+            13 => Some(Reg::Sp),
+            14 => Some(Reg::Lr),
+            _ => None,
+        }
+    }
+
+    /// All 15 modelled registers, in architectural order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..15).map(|n| Reg::from_index(n).expect("0..15 are valid"))
+    }
+}
+
+/// Which banked copy of `SP`/`LR`/`SPSR` a mode uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bank {
+    /// Shared user/system bank.
+    Usr,
+    /// Supervisor bank.
+    Svc,
+    /// Abort bank.
+    Abt,
+    /// Undefined bank.
+    Und,
+    /// IRQ bank.
+    Irq,
+    /// FIQ bank.
+    Fiq,
+    /// Monitor bank (secure world).
+    Mon,
+}
+
+impl Bank {
+    /// The bank used by `mode` for `SP`/`LR`.
+    pub fn of(mode: Mode) -> Bank {
+        match mode {
+            Mode::User | Mode::System => Bank::Usr,
+            Mode::Supervisor => Bank::Svc,
+            Mode::Abort => Bank::Abt,
+            Mode::Undefined => Bank::Und,
+            Mode::Irq => Bank::Irq,
+            Mode::Fiq => Bank::Fiq,
+            Mode::Monitor => Bank::Mon,
+        }
+    }
+
+    /// All banks, in a fixed order.
+    pub const ALL: [Bank; 7] = [
+        Bank::Usr,
+        Bank::Svc,
+        Bank::Abt,
+        Bank::Und,
+        Bank::Irq,
+        Bank::Fiq,
+        Bank::Mon,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            Bank::Usr => 0,
+            Bank::Svc => 1,
+            Bank::Abt => 2,
+            Bank::Und => 3,
+            Bank::Irq => 4,
+            Bank::Fiq => 5,
+            Bank::Mon => 6,
+        }
+    }
+}
+
+/// The full banked register file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegFile {
+    /// R0..R12, shared across modes (FIQ banking not modelled).
+    gpr: [Word; 13],
+    /// Banked stack pointers, indexed by [`Bank`].
+    sp: [Word; 7],
+    /// Banked link registers, indexed by [`Bank`].
+    lr: [Word; 7],
+    /// Banked saved PSRs; `None` until first written. `Usr` slot unused.
+    spsr: [Option<Psr>; 7],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// A zeroed register file.
+    pub fn new() -> RegFile {
+        RegFile {
+            gpr: [0; 13],
+            sp: [0; 7],
+            lr: [0; 7],
+            spsr: [None; 7],
+        }
+    }
+
+    /// Reads `reg` as seen from `mode`.
+    pub fn get(&self, mode: Mode, reg: Reg) -> Word {
+        match reg {
+            Reg::R(n) => self.gpr[n as usize],
+            Reg::Sp => self.sp[Bank::of(mode).idx()],
+            Reg::Lr => self.lr[Bank::of(mode).idx()],
+        }
+    }
+
+    /// Writes `reg` as seen from `mode`.
+    pub fn set(&mut self, mode: Mode, reg: Reg, val: Word) {
+        match reg {
+            Reg::R(n) => self.gpr[n as usize] = val,
+            Reg::Sp => self.sp[Bank::of(mode).idx()] = val,
+            Reg::Lr => self.lr[Bank::of(mode).idx()] = val,
+        }
+    }
+
+    /// Reads a banked `SP` directly (monitor save/restore paths).
+    pub fn sp_banked(&self, bank: Bank) -> Word {
+        self.sp[bank.idx()]
+    }
+
+    /// Writes a banked `SP` directly.
+    pub fn set_sp_banked(&mut self, bank: Bank, val: Word) {
+        self.sp[bank.idx()] = val;
+    }
+
+    /// Reads a banked `LR` directly.
+    pub fn lr_banked(&self, bank: Bank) -> Word {
+        self.lr[bank.idx()]
+    }
+
+    /// Writes a banked `LR` directly.
+    pub fn set_lr_banked(&mut self, bank: Bank, val: Word) {
+        self.lr[bank.idx()] = val;
+    }
+
+    /// Reads the `SPSR` of `mode`; `None` if the mode has none or it was
+    /// never written.
+    pub fn spsr(&self, mode: Mode) -> Option<Psr> {
+        if !mode.has_spsr() {
+            return None;
+        }
+        self.spsr[Bank::of(mode).idx()]
+    }
+
+    /// Writes the `SPSR` of `mode`. Writes for modes without an `SPSR` are
+    /// ignored (architecturally unpredictable; the model drops them).
+    pub fn set_spsr(&mut self, mode: Mode, psr: Psr) {
+        if mode.has_spsr() {
+            self.spsr[Bank::of(mode).idx()] = Some(psr);
+        }
+    }
+
+    /// Snapshot of the user-visible registers R0..R12, SP_usr, LR_usr.
+    ///
+    /// This is the state an enclave sees and the state the monitor must
+    /// save/restore and scrub on world switches.
+    pub fn user_visible(&self) -> [Word; 15] {
+        let mut out = [0; 15];
+        out[..13].copy_from_slice(&self.gpr);
+        out[13] = self.sp[Bank::Usr.idx()];
+        out[14] = self.lr[Bank::Usr.idx()];
+        out
+    }
+
+    /// Overwrites the user-visible registers from a snapshot.
+    pub fn set_user_visible(&mut self, vals: &[Word; 15]) {
+        self.gpr.copy_from_slice(&vals[..13]);
+        self.sp[Bank::Usr.idx()] = vals[13];
+        self.lr[Bank::Usr.idx()] = vals[14];
+    }
+
+    /// Zeroes the user-visible registers (information-leak scrubbing on
+    /// enclave exit, per the Komodo specification §5.2).
+    pub fn scrub_user_visible(&mut self) {
+        self.set_user_visible(&[0; 15]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_index(r.index()), Some(r));
+        }
+        assert_eq!(Reg::from_index(15), None);
+    }
+
+    #[test]
+    fn sp_is_banked_per_mode() {
+        let mut rf = RegFile::new();
+        rf.set(Mode::User, Reg::Sp, 0x1000);
+        rf.set(Mode::Monitor, Reg::Sp, 0x2000);
+        rf.set(Mode::Irq, Reg::Sp, 0x3000);
+        assert_eq!(rf.get(Mode::User, Reg::Sp), 0x1000);
+        assert_eq!(rf.get(Mode::Monitor, Reg::Sp), 0x2000);
+        assert_eq!(rf.get(Mode::Irq, Reg::Sp), 0x3000);
+        // System mode shares the user bank.
+        assert_eq!(rf.get(Mode::System, Reg::Sp), 0x1000);
+    }
+
+    #[test]
+    fn gprs_shared_across_modes() {
+        let mut rf = RegFile::new();
+        rf.set(Mode::User, Reg::R(5), 42);
+        assert_eq!(rf.get(Mode::Monitor, Reg::R(5)), 42);
+    }
+
+    #[test]
+    fn spsr_banked_and_guarded() {
+        let mut rf = RegFile::new();
+        assert_eq!(rf.spsr(Mode::User), None);
+        rf.set_spsr(Mode::User, Psr::user()); // Dropped.
+        assert_eq!(rf.spsr(Mode::User), None);
+        rf.set_spsr(Mode::Monitor, Psr::user());
+        rf.set_spsr(Mode::Irq, Psr::privileged(Mode::Irq));
+        assert_eq!(rf.spsr(Mode::Monitor), Some(Psr::user()));
+        assert_eq!(rf.spsr(Mode::Irq), Some(Psr::privileged(Mode::Irq)));
+    }
+
+    #[test]
+    fn user_visible_roundtrip_and_scrub() {
+        let mut rf = RegFile::new();
+        let mut snap = [0u32; 15];
+        for (i, s) in snap.iter_mut().enumerate() {
+            *s = (i as u32 + 1) * 0x11;
+        }
+        rf.set_user_visible(&snap);
+        rf.set(Mode::Monitor, Reg::Sp, 0xdead); // Monitor bank unaffected by scrub.
+        assert_eq!(rf.user_visible(), snap);
+        rf.scrub_user_visible();
+        assert_eq!(rf.user_visible(), [0; 15]);
+        assert_eq!(rf.get(Mode::Monitor, Reg::Sp), 0xdead);
+    }
+}

@@ -1,0 +1,146 @@
+//! TLB-consistency model (paper §5.1).
+//!
+//! "Executing a TLB flush instruction marks the TLB as consistent. Loading
+//! the page-table base register, or executing a store to an address in
+//! either the first-level or any second-level page table, marks the TLB as
+//! inconsistent. This gives the implementation freedom to either simply
+//! flush the TLB whenever consistency is required, or else to prove that its
+//! stores did not modify the page table. For simplicity, we model only
+//! flushes of the entire TLB."
+//!
+//! Besides the consistency bit, the model keeps a translation cache so that
+//! repeated accesses to the same page cost less than a full walk — the
+//! basis for the TLB-flush-avoidance ablation in the evaluation.
+
+use crate::ptw::Translation;
+use crate::word::Addr;
+use std::collections::HashMap;
+
+/// The TLB: a consistency flag plus a per-virtual-page translation cache.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    consistent: bool,
+    entries: HashMap<Addr, Translation>,
+    /// Walks performed (misses); cycle-model input.
+    pub misses: u64,
+    /// Cache hits; cycle-model input.
+    pub hits: u64,
+    /// Full flushes performed.
+    pub flushes: u64,
+}
+
+impl Tlb {
+    /// A fresh, consistent, empty TLB.
+    pub fn new() -> Tlb {
+        Tlb {
+            consistent: true,
+            entries: HashMap::new(),
+            misses: 0,
+            hits: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Whether cached translations are guaranteed to match the tables.
+    pub fn is_consistent(&self) -> bool {
+        self.consistent
+    }
+
+    /// Marks the TLB inconsistent (page-table store or `TTBR` load).
+    pub fn mark_inconsistent(&mut self) {
+        self.consistent = false;
+    }
+
+    /// Flushes the entire TLB, restoring consistency.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.consistent = true;
+        self.flushes += 1;
+    }
+
+    /// Looks up the translation for the page containing `va`.
+    pub fn lookup(&mut self, va: Addr) -> Option<Translation> {
+        let hit = self.entries.get(&(va & !0xfff)).copied();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Inserts a walked translation for the page containing `va`.
+    pub fn insert(&mut self, va: Addr, t: Translation) {
+        self.misses += 1;
+        // Cache the page-base translation (strip the offset `walk` added).
+        let page_t = Translation {
+            pa: t.pa & !0xfff,
+            ..t
+        };
+        self.entries.insert(va & !0xfff, page_t);
+    }
+
+    /// Number of cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptw::PagePerms;
+
+    fn t(pa: Addr) -> Translation {
+        Translation {
+            pa,
+            perms: PagePerms::RW,
+            ns: false,
+        }
+    }
+
+    #[test]
+    fn starts_consistent_and_empty() {
+        let tlb = Tlb::new();
+        assert!(tlb.is_consistent());
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn inconsistency_and_flush() {
+        let mut tlb = Tlb::new();
+        tlb.mark_inconsistent();
+        assert!(!tlb.is_consistent());
+        tlb.flush();
+        assert!(tlb.is_consistent());
+        assert_eq!(tlb.flushes, 1);
+    }
+
+    #[test]
+    fn lookup_after_insert() {
+        let mut tlb = Tlb::new();
+        assert_eq!(tlb.lookup(0x1234), None);
+        tlb.insert(0x1234, t(0x8000_1234));
+        let hit = tlb.lookup(0x1678).unwrap(); // Same page.
+        assert_eq!(hit.pa, 0x8000_1000);
+        assert_eq!(tlb.hits, 1);
+        assert_eq!(tlb.misses, 1);
+    }
+
+    #[test]
+    fn flush_clears_entries() {
+        let mut tlb = Tlb::new();
+        tlb.insert(0x1000, t(0x2000));
+        tlb.flush();
+        assert_eq!(tlb.lookup(0x1000), None);
+    }
+}

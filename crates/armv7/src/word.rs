@@ -1,0 +1,61 @@
+//! Word and address primitives.
+//!
+//! The machine models memory "as a mapping from word-aligned addresses to
+//! 32-bit values" (paper §5.1); all address arithmetic in the monitor and
+//! specification is word- or page-granular.
+
+/// A 32-bit machine word.
+pub type Word = u32;
+
+/// A 32-bit physical or virtual address.
+pub type Addr = u32;
+
+/// Bytes per word.
+pub const WORD_BYTES: u32 = 4;
+
+/// Page size: ARM "small pages" in the short-descriptor format (§5.1).
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Words per 4 kB page.
+pub const WORDS_PER_PAGE: usize = (PAGE_SIZE / WORD_BYTES) as usize;
+
+/// Returns `true` if `a` is word-aligned.
+pub fn word_aligned(a: Addr) -> bool {
+    a.is_multiple_of(WORD_BYTES)
+}
+
+/// Returns `true` if `a` is page-aligned.
+pub fn page_aligned(a: Addr) -> bool {
+    a.is_multiple_of(PAGE_SIZE)
+}
+
+/// Rounds `a` down to the containing page base.
+pub fn page_base(a: Addr) -> Addr {
+    a & !(PAGE_SIZE - 1)
+}
+
+/// Byte offset of `a` within its page.
+pub fn page_offset(a: Addr) -> u32 {
+    a & (PAGE_SIZE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_predicates() {
+        assert!(word_aligned(0));
+        assert!(word_aligned(4));
+        assert!(!word_aligned(2));
+        assert!(page_aligned(0x1000));
+        assert!(!page_aligned(0x1004));
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        assert_eq!(page_base(0x1234), 0x1000);
+        assert_eq!(page_offset(0x1234), 0x234);
+        assert_eq!(page_base(0xffff_ffff), 0xffff_f000);
+    }
+}

@@ -1,0 +1,22 @@
+//! Criterion wall-time companion to Figure 5: the notary at several input
+//! sizes, in both configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use komodo_bench::notary;
+
+fn bench_notary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_notary");
+    g.sample_size(10);
+    for kb in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("enclave", kb), &kb, |b, &kb| {
+            b.iter(|| notary::run_enclave_notary(kb))
+        });
+        g.bench_with_input(BenchmarkId::new("native", kb), &kb, |b, &kb| {
+            b.iter(|| notary::run_native_notary(kb))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_notary);
+criterion_main!(benches);

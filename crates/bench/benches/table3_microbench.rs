@@ -1,0 +1,101 @@
+//! Criterion wall-time companion to Table 3.
+//!
+//! The primary Table 3 artifact is simulated cycles (`--bin table3`); this
+//! bench measures the *simulator's* wall time for the same operations, so
+//! regressions in either the monitor or the machine model show up in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use komodo::{Platform, PlatformConfig};
+use komodo_guest::progs;
+use komodo_os::EnclaveRun;
+use komodo_spec::SmcCall;
+use std::hint::black_box;
+
+fn platform() -> Platform {
+    Platform::with_config(PlatformConfig {
+        insecure_size: 1 << 20,
+        npages: 64,
+        seed: 3,
+    })
+}
+
+fn bench_null_smc(c: &mut Criterion) {
+    let mut p = platform();
+    c.bench_function("table3/get_phys_pages", |b| {
+        b.iter(|| {
+            black_box(
+                p.monitor
+                    .smc(&mut p.machine, SmcCall::GetPhysPages as u32, [0; 4]),
+            )
+        })
+    });
+}
+
+fn bench_enter_exit(c: &mut Criterion) {
+    let mut p = platform();
+    let e = p.load(&progs::null_enclave()).unwrap();
+    c.bench_function("table3/enter_exit", |b| {
+        b.iter(|| {
+            assert_eq!(p.enter(black_box(&e), 0, [0; 3]), EnclaveRun::Exited(0));
+        })
+    });
+}
+
+fn bench_alloc_spare_remove(c: &mut Criterion) {
+    let mut p = platform();
+    let e = p.load(&progs::null_enclave()).unwrap();
+    let spare = p.os.alloc_secure().unwrap();
+    c.bench_function("table3/alloc_spare_remove_pair", |b| {
+        b.iter(|| {
+            let r = p.monitor.smc(
+                &mut p.machine,
+                SmcCall::AllocSpare as u32,
+                [e.asp as u32, spare as u32, 0, 0],
+            );
+            assert_eq!(r.err, komodo_spec::KomErr::Ok);
+            let r = p.monitor.smc(
+                &mut p.machine,
+                SmcCall::Remove as u32,
+                [spare as u32, 0, 0, 0],
+            );
+            assert_eq!(r.err, komodo_spec::KomErr::Ok);
+        })
+    });
+}
+
+fn bench_attest(c: &mut Criterion) {
+    use komodo_armv7::regs::Reg;
+    use komodo_guest::{svc, GuestSegment, Image};
+    let mut a = komodo_armv7::Assembler::new(progs::CODE_VA);
+    for i in 0..8u8 {
+        a.mov_imm(Reg::R(1 + i), i as u32 + 1);
+    }
+    svc::attest(&mut a);
+    svc::exit_imm(&mut a, 0);
+    let img = Image {
+        segments: vec![GuestSegment {
+            va: progs::CODE_VA,
+            words: a.words(),
+            w: false,
+            x: true,
+            shared: false,
+        }],
+        entry: progs::CODE_VA,
+    };
+    let mut p = platform();
+    let e = p.load(&img).unwrap();
+    c.bench_function("table3/attest_crossing", |b| {
+        b.iter(|| {
+            assert_eq!(p.enter(black_box(&e), 0, [0; 3]), EnclaveRun::Exited(0));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_null_smc,
+    bench_enter_exit,
+    bench_alloc_spare_remove,
+    bench_attest
+);
+criterion_main!(benches);

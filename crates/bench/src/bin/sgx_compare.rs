@@ -1,0 +1,75 @@
+//! §8.1 comparison: Komodo vs the modelled SGX baseline — crossing cost
+//! and controlled-channel exposure.
+
+use komodo_bench::micro;
+use komodo_sgx_baseline::attack::{controlled_channel_attack, oracle_trace, recover_secret};
+use komodo_sgx_baseline::model::{PagePerms, PageType, SgxMachine};
+
+fn main() {
+    println!("Komodo vs SGX (paper §8.1 and §2/§3.1)");
+    println!();
+
+    // 1. Crossing cost.
+    let mut sgx = SgxMachine::new(16);
+    let e = sgx.ecreate().unwrap();
+    sgx.eadd_measured(
+        e,
+        PageType::Tcs,
+        0x1000,
+        PagePerms {
+            r: true,
+            w: true,
+            x: false,
+        },
+        &[0; 1024],
+    )
+    .unwrap();
+    sgx.einit(e).unwrap();
+    let sgx_crossing = sgx.null_crossing(e).unwrap();
+    let komodo_crossing = micro::enter_exit();
+    println!("Full enclave crossing (call & return), cycles:");
+    println!("  SGX (EENTER+EEXIT, published numbers): {sgx_crossing:>8}");
+    println!("  Komodo (this monitor, simulated):      {komodo_crossing:>8}");
+    println!(
+        "  ratio: {:.1}x — paper: \"an order of magnitude improvement\"",
+        sgx_crossing as f64 / komodo_crossing as f64
+    );
+    println!();
+
+    // 2. Controlled channel.
+    println!("Controlled-channel attack (Xu et al. [88]), 8-bit secret:");
+    let secret = 0b1011_0110u32;
+    let mut m = SgxMachine::new(32);
+    let v = m.ecreate().unwrap();
+    let perms = PagePerms {
+        r: true,
+        w: true,
+        x: false,
+    };
+    m.eadd_measured(v, PageType::Tcs, 0x1000, perms, &[0; 1024])
+        .unwrap();
+    m.eadd_measured(v, PageType::Reg, 0x2000, perms, &[0; 1024])
+        .unwrap();
+    m.eadd_measured(v, PageType::Reg, 0x3000, perms, &[0; 1024])
+        .unwrap();
+    m.eadd_measured(v, PageType::Reg, 0x4000, perms, &[0; 1024])
+        .unwrap();
+    m.einit(v).unwrap();
+    let trace = oracle_trace(secret, 8, 0x2000);
+    let observed = controlled_channel_attack(&mut m, v, &trace);
+    let recovered = recover_secret(&observed, 0x2000) & 0xff;
+    println!("  SGX baseline: OS observed {} page faults", observed.len());
+    println!(
+        "  secret = {secret:#010b}, recovered = {recovered:#010b} → {}",
+        if recovered == secret {
+            "LEAKED (attack succeeds)"
+        } else {
+            "attack failed"
+        }
+    );
+    println!(
+        "  Komodo: the OS cannot induce or observe enclave page faults (§3.1);\n\
+         \x20 it \"learns only the type of exception taken\" — see\n\
+         \x20 examples/controlled_channel.rs for the Komodo side of this experiment."
+    );
+}

@@ -1,0 +1,134 @@
+//! Regenerates Table 2: line counts per component, paper vs this
+//! reproduction.
+//!
+//! The paper counts physical source lines (excluding comments and
+//! whitespace) of Dafny specification, Vale implementation, and proof
+//! annotation. The Rust reproduction has no proof lines — its analogue is
+//! the test suites (refinement + noninterference), counted separately.
+
+use std::fs;
+use std::path::Path;
+
+/// Counts non-blank, non-comment Rust lines, split into (code, test)
+/// according to `#[cfg(test)]` module boundaries (heuristic: everything
+/// from a line containing `mod tests` to EOF in our layout).
+fn count_file(path: &Path) -> (usize, usize) {
+    let Ok(text) = fs::read_to_string(path) else {
+        return (0, 0);
+    };
+    let mut code = 0;
+    let mut test = 0;
+    let mut in_tests = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        if t.contains("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests {
+            test += 1;
+        } else {
+            code += 1;
+        }
+    }
+    (code, test)
+}
+
+fn count_dir(dir: &Path) -> (usize, usize) {
+    let mut total = (0, 0);
+    if let Ok(entries) = fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                let (c, t) = count_dir(&p);
+                total.0 += c;
+                total.1 += t;
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let (c, t) = count_file(&p);
+                total.0 += c;
+                total.1 += t;
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    println!("Table 2: Line counts");
+    println!();
+    println!("Paper (Dafny/Vale artifact):");
+    println!(
+        "  {:<24} {:>6} {:>6} {:>7} {:>9}",
+        "Component", "Spec", "Impl", "Proof", "Assembly"
+    );
+    for (c, s, i, p, a) in [
+        ("ARM model", 1174, 112, 985, 0),
+        ("Dafny libraries", 588, 0, 806, 0),
+        ("SHA-256, SHA-HMAC", 250, 415, 3200, 170),
+        ("Komodo common", 775, 358, 3078, 136),
+        ("SMC handler", 591, 1082, 4493, 284),
+        ("SVC handler", 204, 612, 2509, 233),
+        ("Other exceptions", 39, 131, 940, 52),
+        ("Noninterference", 175, 0, 2644, 0),
+        ("Assembly printer", 650, 0, 0, 0),
+    ] {
+        println!("  {c:<24} {s:>6} {i:>6} {p:>7} {a:>9}");
+    }
+    println!(
+        "  {:<24} {:>6} {:>6} {:>7} {:>9}",
+        "Total", 4446, 2710, 18655, 875
+    );
+    println!();
+    println!("This reproduction (Rust):");
+    println!(
+        "  {:<24} {:>8} {:>8}   role (paper analogue)",
+        "Crate", "code", "tests"
+    );
+    let rows = [
+        ("crates/armv7", "machine model (ARM model + printer)"),
+        ("crates/crypto", "SHA-256/HMAC (crypto libraries)"),
+        (
+            "crates/spec",
+            "functional spec (Komodo common + handlers spec)",
+        ),
+        (
+            "crates/monitor",
+            "monitor impl (SMC/SVC/exception handlers)",
+        ),
+        ("crates/os", "untrusted OS model (Linux driver)"),
+        ("crates/guest", "guest toolkit + notary (§8.2 app)"),
+        ("crates/ni", "noninterference harness (§6 proofs→tests)"),
+        ("crates/sgx-baseline", "SGX comparison baseline"),
+        ("crates/komodo", "public API"),
+        ("crates/bench", "evaluation harness (§8)"),
+    ];
+    let mut totals = (0usize, 0usize);
+    for (dir, role) in rows {
+        let (c, t) = count_dir(&root.join(dir).join("src"));
+        totals.0 += c;
+        totals.1 += t;
+        println!("  {dir:<24} {c:>8} {t:>8}   {role}");
+    }
+    let (tc, tt) = count_dir(&root.join("tests"));
+    println!(
+        "  {:<24} {:>8} {:>8}   integration/refinement/NI suites",
+        "tests/", tc, tt
+    );
+    let (ec, et) = count_dir(&root.join("examples"));
+    println!(
+        "  {:<24} {:>8} {:>8}   runnable examples",
+        "examples/", ec, et
+    );
+    totals.0 += tc + ec;
+    totals.1 += tt + et;
+    println!("  {:<24} {:>8} {:>8}", "Total", totals.0, totals.1);
+    println!();
+    println!(
+        "The paper's 18.7k proof lines have no direct Rust counterpart; their\n\
+         role (establishing functional correctness and noninterference) is\n\
+         played by the refinement and NI test suites counted above."
+    );
+}

@@ -1,0 +1,62 @@
+//! Constant-time comparison helpers.
+//!
+//! The monitor's `Verify` SVC checks an attestation MAC supplied by
+//! (potentially adversarial) enclave code; the comparison must not leak the
+//! position of the first mismatching word through timing. These helpers
+//! accumulate differences with data-independent control flow.
+
+/// Constant-time equality over word slices.
+///
+/// Returns `false` immediately only on length mismatch (lengths are public);
+/// otherwise examines every element regardless of where differences occur.
+pub fn eq_words(a: &[u32], b: &[u32]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Constant-time equality over byte slices.
+pub fn eq_bytes(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_equal() {
+        assert!(eq_words(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn words_differ_anywhere() {
+        assert!(!eq_words(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!eq_words(&[9, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn words_length_mismatch() {
+        assert!(!eq_words(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn bytes_cases() {
+        assert!(eq_bytes(b"abc", b"abc"));
+        assert!(!eq_bytes(b"abc", b"abd"));
+        assert!(!eq_bytes(b"ab", b"abc"));
+        assert!(eq_bytes(b"", b""));
+    }
+}

@@ -1,0 +1,164 @@
+//! RFC 2104 HMAC-SHA256.
+//!
+//! Komodo attestations are MACs "computed over (i) the attesting enclave's
+//! measurement, and (ii) enclave-provided data" using "a secret key generated
+//! at boot from a cryptographically secure source of randomness" (§4). The
+//! monitor exposes `Attest` and `Verify` SVCs built on this construction.
+
+use crate::sha256::{Sha256, BLOCK_BYTES};
+use crate::Digest;
+
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Incremental HMAC-SHA256 state.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Key XORed with `OPAD`, retained for the outer hash.
+    okey: [u8; BLOCK_BYTES],
+}
+
+impl HmacSha256 {
+    /// Starts a MAC computation under `key`.
+    ///
+    /// Keys longer than the block size are first hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_BYTES];
+        if key.len() > BLOCK_BYTES {
+            k[..32].copy_from_slice(&Sha256::digest(key).to_bytes());
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ikey = [0u8; BLOCK_BYTES];
+        let mut okey = [0u8; BLOCK_BYTES];
+        for i in 0..BLOCK_BYTES {
+            ikey[i] = k[i] ^ IPAD;
+            okey[i] = k[i] ^ OPAD;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ikey);
+        HmacSha256 { inner, okey }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Absorbs message words (big-endian serialisation).
+    pub fn update_words(&mut self, words: &[u32]) {
+        self.inner.update_words(words);
+    }
+
+    /// Finalises and returns the MAC.
+    pub fn finish(self) -> Digest {
+        let inner_digest = self.inner.finish();
+        let mut outer = Sha256::new();
+        outer.update(&self.okey);
+        outer.update(&inner_digest.to_bytes());
+        outer.finish()
+    }
+
+    /// One-shot MAC of a byte message.
+    pub fn mac(key: &[u8], data: &[u8]) -> Digest {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finish()
+    }
+
+    /// One-shot MAC of a word message, as used by the monitor's `Attest`.
+    pub fn mac_words(key: &[u8], words: &[u32]) -> Digest {
+        let mut h = HmacSha256::new(key);
+        h.update_words(words);
+        h.finish()
+    }
+
+    /// Verifies `mac` over `words` under `key`, in constant time.
+    pub fn verify_words(key: &[u8], words: &[u32], mac: &Digest) -> bool {
+        Self::mac_words(key, words).ct_eq(mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &Digest) -> String {
+        d.to_bytes().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&HmacSha256::mac(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaa; 131];
+        assert_eq!(
+            hex(&HmacSha256::mac(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let key = b"boot-time attestation key";
+        let msg = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let mac = HmacSha256::mac_words(key, &msg);
+        assert!(HmacSha256::verify_words(key, &msg, &mac));
+        let mut bad = mac;
+        bad.0[0] ^= 1;
+        assert!(!HmacSha256::verify_words(key, &msg, &bad));
+        let mut other = msg;
+        other[7] ^= 1;
+        assert!(!HmacSha256::verify_words(key, &other, &mac));
+    }
+
+    #[test]
+    fn keys_separate_macs() {
+        let msg = [0u32; 16];
+        assert_ne!(
+            HmacSha256::mac_words(b"k1", &msg),
+            HmacSha256::mac_words(b"k2", &msg)
+        );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_incremental_matches_oneshot(key in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..100), data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..200), split in 0usize..200) {
+            let split = split.min(data.len());
+            let mut h = HmacSha256::new(&key);
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            proptest::prop_assert_eq!(h.finish(), HmacSha256::mac(&key, &data));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Cryptographic primitives for the Komodo monitor.
+//!
+//! The Komodo paper (§7.2) uses a verified SHA-256 implementation derived
+//! from OpenSSL's optimised ARM routines, plus an HMAC-SHA256 construction
+//! for local attestation. This crate provides from-scratch, dependency-free
+//! implementations of the same algorithms:
+//!
+//! - [`sha256`]: FIPS 180-4 SHA-256, incremental and one-shot.
+//! - [`hmac`]: RFC 2104 HMAC-SHA256, used for attestation MACs.
+//! - [`drbg`]: a Hash-DRBG-style deterministic random bit generator modelling
+//!   the hardware random-number source required by Komodo (§3.2). The
+//!   Raspberry Pi 2 prototype derived its attestation secret from the SoC's
+//!   hardware RNG at boot; we model that device as a seedable DRBG so that
+//!   experiments are reproducible.
+//! - [`ct`]: constant-time comparison, used when verifying attestations so
+//!   that MAC checks do not leak via timing.
+//! - [`schnorr`]: Schnorr signatures over a small group, the signing
+//!   primitive for the remote-attestation enclave (the paper's deferred
+//!   future work, §4); see the module docs for the toy-group caveat.
+//!
+//! All code here is pure computation over byte/word slices; the monitor crate
+//! layers the paper's cycle-cost model on top when these routines run "on"
+//! the simulated machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ct;
+pub mod drbg;
+pub mod hmac;
+pub mod schnorr;
+pub mod sha256;
+
+pub use drbg::HashDrbg;
+pub use hmac::HmacSha256;
+pub use sha256::Sha256;
+
+/// Number of bytes in a SHA-256 digest.
+pub const DIGEST_BYTES: usize = 32;
+
+/// Number of 32-bit words in a SHA-256 digest.
+pub const DIGEST_WORDS: usize = 8;
+
+/// A 256-bit digest or MAC, stored as eight big-endian words.
+///
+/// Komodo's specification represents measurements and MACs as sequences of
+/// 32-bit words (the monitor API passes `u32 data[8]` buffers, see Table 1),
+/// so the word view is primary and the byte view is derived.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Digest(pub [u32; DIGEST_WORDS]);
+
+impl Digest {
+    /// Returns the digest as 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; DIGEST_BYTES] {
+        let mut out = [0u8; DIGEST_BYTES];
+        for (i, w) in self.0.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Builds a digest from 32 big-endian bytes.
+    pub fn from_bytes(bytes: &[u8; DIGEST_BYTES]) -> Self {
+        let mut words = [0u32; DIGEST_WORDS];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u32::from_be_bytes([
+                bytes[i * 4],
+                bytes[i * 4 + 1],
+                bytes[i * 4 + 2],
+                bytes[i * 4 + 3],
+            ]);
+        }
+        Digest(words)
+    }
+
+    /// Constant-time equality between two digests.
+    pub fn ct_eq(&self, other: &Digest) -> bool {
+        ct::eq_words(&self.0, &other.0)
+    }
+}
+
+impl core::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Digest(")?;
+        for w in self.0 {
+            write!(f, "{w:08x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<[u32; DIGEST_WORDS]> for Digest {
+    fn from(words: [u32; DIGEST_WORDS]) -> Self {
+        Digest(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_byte_roundtrip() {
+        let d = Digest([1, 2, 3, 4, 5, 6, 7, 0xdeadbeef]);
+        assert_eq!(Digest::from_bytes(&d.to_bytes()), d);
+    }
+
+    #[test]
+    fn digest_debug_is_hex() {
+        let d = Digest([0xdeadbeef; 8]);
+        let s = format!("{d:?}");
+        assert!(s.contains("deadbeef"));
+    }
+
+    #[test]
+    fn digest_ct_eq() {
+        let a = Digest([7; 8]);
+        let mut b = a;
+        assert!(a.ct_eq(&b));
+        b.0[7] ^= 1;
+        assert!(!a.ct_eq(&b));
+    }
+}

@@ -1,0 +1,217 @@
+//! Schnorr signatures over a small Schnorr group — the signing primitive
+//! for the *remote-attestation enclave* the paper designs but defers
+//! ("Komodo implements local (same machine) attestation as a monitor
+//! primitive, and defers remote attestation to a trusted enclave (that we
+//! have yet to implement)", §4).
+//!
+//! The group is the order-`q` subgroup of `Z_p*` for the 61-bit safe prime
+//! `p = 2q+1` below. **Modelling substitution**: the 61-bit modulus keeps
+//! every operation within `u128` on the host and within simple double-word
+//! arithmetic in *guest code*, so the quote-signing enclave runs its
+//! exponentiations instruction-by-instruction on the machine model
+//! (`komodo-guest::math64`/`ra`). The protocol structure (keys generated
+//! in-enclave from `GetRandom`, hash-bound challenges, quotes as
+//! signatures over report data) is what the experiment exercises;
+//! cryptographic strength of the toy group is explicitly not claimed — a
+//! production port would swap in a standard curve.
+//!
+//! Scalars (secret keys, nonces, challenges) are confined to 59 bits via
+//! [`mask59`], so every value is below `q` without guest-side modular
+//! reduction of raw randomness, and the challenge hash input is exactly
+//! one word-granular SHA-256 block so guest and host compute the same `e`.
+
+use crate::sha256::Sha256;
+
+/// The 61-bit safe prime `p` (`(p-1)/2` is also prime).
+pub const P: u64 = 0x1fff_ffff_ffff_f6bb;
+
+/// The subgroup order `q = (p-1)/2`.
+pub const Q: u64 = 0x0fff_ffff_ffff_fb5d;
+
+/// Generator of the order-`q` subgroup (a quadratic residue).
+pub const G: u64 = 25;
+
+/// Domain-separation tag heading the challenge hash block.
+pub const CHAL_TAG: u32 = 0x4b4f_4d43; // "KOMC".
+
+/// Packs two random words into a 59-bit nonzero scalar (< `q`), exactly
+/// as the guest does it: mask the high word to 27 bits, force bit 0.
+pub fn mask59(hi: u32, lo: u32) -> u64 {
+    ((((hi & 0x07ff_ffff) as u64) << 32) | lo as u64) | 1
+}
+
+/// Modular multiplication in `Z_p` (fits in `u128`).
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// A Schnorr keypair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyPair {
+    /// Secret exponent `x` (59-bit, odd).
+    pub secret: u64,
+    /// Public key `y = g^x mod p`.
+    pub public: u64,
+}
+
+impl KeyPair {
+    /// Derives a keypair from two words of secret randomness, with the
+    /// same masking the guest enclave applies to its `GetRandom` output.
+    pub fn from_random_words(hi: u32, lo: u32) -> KeyPair {
+        let secret = mask59(hi, lo);
+        KeyPair {
+            secret,
+            public: pow_mod(G, secret, P),
+        }
+    }
+}
+
+/// A Schnorr signature `(R, s)` with `R = g^k`, `s = k + e·x mod q`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// The commitment `R`.
+    pub r: u64,
+    /// The response `s`.
+    pub s: u64,
+}
+
+/// The Fiat–Shamir challenge: one word-granular SHA-256 block
+/// `[TAG, R_hi, R_lo, report[8], 0…]`, truncated to 59 bits.
+pub fn challenge(r: u64, report: &[u32; 8]) -> u64 {
+    let mut words = [0u32; 16];
+    words[0] = CHAL_TAG;
+    words[1] = (r >> 32) as u32;
+    words[2] = r as u32;
+    words[3..11].copy_from_slice(report);
+    let d = Sha256::digest_words(&words);
+    (((d.0[0] & 0x07ff_ffff) as u64) << 32) | d.0[1] as u64
+}
+
+/// Signs report data with a nonce built from two random words (the guest
+/// draws them from `GetRandom`; uniqueness per signature is the caller's
+/// obligation, as usual for Schnorr).
+pub fn sign(key: &KeyPair, report: &[u32; 8], nonce_hi: u32, nonce_lo: u32) -> Signature {
+    let k = mask59(nonce_hi, nonce_lo);
+    let r = pow_mod(G, k, P);
+    let e = challenge(r, report);
+    let s = ((k as u128 + mul_mod(e, key.secret, Q) as u128) % Q as u128) as u64;
+    Signature { r, s }
+}
+
+/// Verifies: `g^s == R · y^e (mod p)`.
+pub fn verify(public: u64, report: &[u32; 8], sig: &Signature) -> bool {
+    if sig.r == 0 || sig.r >= P || sig.s >= Q {
+        return false;
+    }
+    let e = challenge(sig.r, report);
+    let lhs = pow_mod(G, sig.s, P);
+    let rhs = mul_mod(sig.r, pow_mod(public, e, P), P);
+    lhs == rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: [u32; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+    #[test]
+    fn group_parameters_sane() {
+        assert_eq!(pow_mod(G, Q, P), 1);
+        assert_ne!(pow_mod(G, 1, P), 1);
+        assert_eq!(P, 2 * Q + 1);
+        // 59-bit scalars are always below q.
+        assert!(mask59(u32::MAX, u32::MAX) < Q);
+        assert!(mask59(0, 0) >= 1);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = KeyPair::from_random_words(0xaaaa_bbbb, 0xcccc_dddd);
+        let sig = sign(&key, &REPORT, 0x1111, 0x2222);
+        assert!(verify(key.public, &REPORT, &sig));
+    }
+
+    #[test]
+    fn wrong_report_rejected() {
+        let key = KeyPair::from_random_words(1, 2);
+        let sig = sign(&key, &REPORT, 3, 4);
+        let mut other = REPORT;
+        other[0] ^= 1;
+        assert!(!verify(key.public, &other, &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let k1 = KeyPair::from_random_words(1, 1);
+        let k2 = KeyPair::from_random_words(2, 2);
+        let sig = sign(&k1, &REPORT, 3, 4);
+        assert!(!verify(k2.public, &REPORT, &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let key = KeyPair::from_random_words(7, 7);
+        let sig = sign(&key, &REPORT, 1, 2);
+        assert!(!verify(
+            key.public,
+            &REPORT,
+            &Signature {
+                r: sig.r ^ 1,
+                s: sig.s
+            }
+        ));
+        assert!(!verify(
+            key.public,
+            &REPORT,
+            &Signature {
+                r: sig.r,
+                s: sig.s ^ 1
+            }
+        ));
+        assert!(!verify(key.public, &REPORT, &Signature { r: 0, s: sig.s }));
+        assert!(!verify(key.public, &REPORT, &Signature { r: sig.r, s: Q }));
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_signatures() {
+        let key = KeyPair::from_random_words(3, 3);
+        let s1 = sign(&key, &REPORT, 1, 0);
+        let s2 = sign(&key, &REPORT, 2, 0);
+        assert_ne!(s1, s2);
+        assert!(verify(key.public, &REPORT, &s1));
+        assert!(verify(key.public, &REPORT, &s2));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_pow_mod_matches_naive(b in 1u64..super::P, e in 0u64..1000) {
+            let mut acc = 1u128;
+            for _ in 0..e {
+                acc = acc * b as u128 % super::P as u128;
+            }
+            proptest::prop_assert_eq!(pow_mod(b, e, super::P) as u128, acc);
+        }
+
+        #[test]
+        fn prop_roundtrip(kh in proptest::prelude::any::<u32>(), kl in proptest::prelude::any::<u32>(), nh in proptest::prelude::any::<u32>(), nl in proptest::prelude::any::<u32>(), report in proptest::array::uniform8(proptest::prelude::any::<u32>())) {
+            let key = KeyPair::from_random_words(kh, kl);
+            let sig = sign(&key, &report, nh, nl);
+            proptest::prop_assert!(verify(key.public, &report, &sig));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Guest-side toolkit: enclave programs for the evaluation.
+//!
+//! Komodo enclaves are ordinary user-mode ARM programs; this crate builds
+//! them with the `komodo-armv7` assembler. It provides:
+//!
+//! - [`svc`]: emitters for the enclave→monitor SVC ABI (Table 1).
+//! - [`sha`]: a full SHA-256 implemented in *simulated ARM instructions*
+//!   (compression, schedule expansion, init/finalise), validated against
+//!   the host implementation. The notary's hashing runs instruction by
+//!   instruction on the machine model, which is what makes the Figure 5
+//!   comparison meaningful.
+//! - [`notary`]: the trusted notary application of §8.2, reimplemented for
+//!   the Komodo enclave ABI: a monotonic counter, document hashing, and a
+//!   hash-then-MAC signature via the `Attest` primitive (see DESIGN.md for
+//!   the RSA→MAC substitution rationale).
+//! - [`progs`]: small guests used across the test and experiment suites,
+//!   including attack guests and the controlled-channel victim.
+//!
+//! Programs are described as [`Image`]s — neutral segment lists the OS
+//! loader (or the native-process builder) turns into mappings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod math64;
+pub mod notary;
+pub mod progs;
+pub mod ra;
+pub mod sha;
+pub mod svc;
+
+/// A guest program segment (loader-neutral).
+#[derive(Clone, Debug)]
+pub struct GuestSegment {
+    /// Page-aligned virtual base.
+    pub va: u32,
+    /// Initial contents.
+    pub words: Vec<u32>,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+    /// OS-shared (insecure) memory rather than enclave-private.
+    pub shared: bool,
+}
+
+/// A complete guest program image.
+#[derive(Clone, Debug)]
+pub struct Image {
+    /// Segments to map.
+    pub segments: Vec<GuestSegment>,
+    /// Entry-point virtual address.
+    pub entry: u32,
+}

@@ -1,0 +1,223 @@
+//! The trusted notary (paper §8.2, Figure 5).
+//!
+//! "The notary assigns logical timestamps to documents so they can be
+//! conclusively ordered. ... On subsequent calls, it hashes the provided
+//! document with the current value of the counter and signs it ...
+//! before incrementing the counter and returning the signature."
+//!
+//! This reimplementation targets the Komodo enclave ABI: the monotonic
+//! counter lives in a private data page, the document arrives in OS-shared
+//! pages, hashing runs in guest SHA-256 ([`crate::sha`]), and the
+//! signature is the monitor's `Attest` MAC over the document hash
+//! (hash-then-MAC replaces the paper's RSA; see DESIGN.md). The *same
+//! binary* also runs as a normal-world process for the Figure 5 baseline
+//! — there the `SVC` lands in the OS, which answers with its own MAC —
+//! so the measured difference between the two runs is purely the trust
+//! boundary, exactly what Figure 5 plots.
+
+use komodo_armv7::insn::Cond;
+use komodo_armv7::regs::Reg;
+use komodo_armv7::Assembler;
+
+use crate::sha::{emit_sha256, k_table_words};
+use crate::{GuestSegment, Image};
+
+/// Virtual address of the code segment.
+pub const CODE_VA: u32 = 0x0000_8000;
+/// Virtual address of the SHA-256 constant table (read-only, private).
+pub const K_VA: u32 = 0x0001_0000;
+/// Virtual address of the notary's private state page (counter, hash
+/// state, scratch, stack).
+pub const STATE_VA: u32 = 0x0001_1000;
+/// Virtual address of the document input (OS-shared).
+pub const DOC_VA: u32 = 0x0010_0000;
+/// Virtual address of the MAC output page (OS-shared).
+pub const OUT_VA: u32 = 0x0030_0000;
+
+/// Maximum document size in 16-word (64-byte) blocks: 512 kB.
+pub const MAX_DOC_BLOCKS: u32 = (512 * 1024) / 64;
+
+// Private-state page layout (word offsets × 4 = byte offsets).
+const SCRATCH_OFF: u32 = 0x000; // 64-word SHA schedule buffer.
+const STATE_OFF: u32 = 0x100; // 8-word hash state.
+const BLOCK_OFF: u32 = 0x200; // 16-word staging block.
+const COUNTER_OFF: u32 = 0x300; // Monotonic counter.
+const STACK_TOP_OFF: u32 = 0x1000; // Stack grows down from page end.
+
+const R0: Reg = Reg::R(0);
+const R1: Reg = Reg::R(1);
+const R2: Reg = Reg::R(2);
+const R3: Reg = Reg::R(3);
+const R4: Reg = Reg::R(4);
+
+/// Builds the notary image for a document capacity of `doc_pages` shared
+/// pages. Enter arguments: `arg1` = document length in 64-byte blocks.
+/// Exits with the post-increment counter value; the MAC is written to the
+/// shared output page.
+pub fn notary_image(doc_pages: usize) -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    let over = a.b_fixup(Cond::Al);
+    let sha = emit_sha256(&mut a, K_VA);
+    let main = a.here();
+    a.fix_branch(over, main);
+
+    // Prologue: stack, clamp the block count into R4.
+    a.mov_imm32(Reg::Sp, STATE_VA + STACK_TOP_OFF);
+    a.mov_reg(R4, R0);
+    a.mov_imm32(R3, MAX_DOC_BLOCKS);
+    a.cmp_reg(R4, R3);
+    // If the OS passed a silly length, fault deliberately rather than
+    // reading out of bounds: branch to a UDF.
+    let too_big = a.b_fixup(Cond::Hi);
+
+    // counter += 1 (monotonic timestamp).
+    a.mov_imm32(R2, STATE_VA + COUNTER_OFF);
+    a.ldr_imm(R3, R2, 0);
+    a.add_imm(R3, R3, 1);
+    a.str_imm(R3, R2, 0);
+
+    // Init hash state.
+    a.mov_imm32(R2, STATE_VA + STATE_OFF);
+    a.bl_to(Cond::Al, sha.init);
+
+    // Block 0: the counter, padded with zeroes (binds the timestamp into
+    // the signed hash).
+    a.mov_imm32(R2, STATE_VA + BLOCK_OFF);
+    a.mov_imm32(R3, STATE_VA + COUNTER_OFF);
+    a.ldr_imm(R3, R3, 0);
+    a.str_imm(R3, R2, 0);
+    a.mov_imm(R3, 0);
+    for i in 1..16u16 {
+        a.str_imm(R3, R2, i * 4);
+    }
+    a.mov_imm32(R0, STATE_VA + SCRATCH_OFF);
+    a.mov_imm32(R1, STATE_VA + BLOCK_OFF);
+    a.mov_imm32(R2, STATE_VA + STATE_OFF);
+    a.push(&[R4]);
+    a.bl_to(Cond::Al, sha.compress);
+    a.pop(&[R4]);
+
+    // Document blocks. R5 = block index; compress clobbers everything, so
+    // the loop registers live on the stack across the call.
+    a.mov_imm(Reg::R(5), 0);
+    let doc_loop = a.label();
+    a.cmp_reg(Reg::R(5), R4);
+    let doc_done = a.b_fixup(Cond::Eq);
+    a.mov_imm32(R1, DOC_VA);
+    a.add_lsl(R1, R1, Reg::R(5), 6); // + index * 64.
+    a.mov_imm32(R0, STATE_VA + SCRATCH_OFF);
+    a.mov_imm32(R2, STATE_VA + STATE_OFF);
+    a.push(&[R4, Reg::R(5)]);
+    a.bl_to(Cond::Al, sha.compress);
+    a.pop(&[R4, Reg::R(5)]);
+    a.add_imm(Reg::R(5), Reg::R(5), 1);
+    a.b_to(Cond::Al, doc_loop);
+
+    let done = a.here();
+    a.fix_branch(doc_done, done);
+    // Finalise over nblocks + 1 (counter block + document).
+    a.add_imm(R3, R4, 1);
+    a.mov_imm32(R0, STATE_VA + SCRATCH_OFF);
+    a.mov_imm32(R2, STATE_VA + STATE_OFF);
+    a.bl_to(Cond::Al, sha.finish);
+
+    // Sign: Attest(digest[8]) — digest into R1–R8, MAC replaces it.
+    a.mov_imm32(Reg::R(12), STATE_VA + STATE_OFF);
+    for i in 0..8u16 {
+        a.ldr_imm(Reg::R(1 + i as u8), Reg::R(12), i * 4);
+    }
+    crate::svc::attest(&mut a);
+
+    // Publish the MAC to the shared output page.
+    a.mov_imm32(Reg::R(12), OUT_VA);
+    for i in 0..8u16 {
+        a.str_imm(Reg::R(1 + i as u8), Reg::R(12), i * 4);
+    }
+
+    // Exit(counter).
+    a.mov_imm32(R2, STATE_VA + COUNTER_OFF);
+    a.ldr_imm(R1, R2, 0);
+    crate::svc::exit(&mut a);
+
+    let fault = a.here();
+    a.fix_branch(too_big, fault);
+    a.udf(0xbad);
+
+    Image {
+        segments: vec![
+            GuestSegment {
+                va: CODE_VA,
+                words: a.words(),
+                w: false,
+                x: true,
+                shared: false,
+            },
+            GuestSegment {
+                va: K_VA,
+                words: k_table_words(),
+                w: false,
+                x: false,
+                shared: false,
+            },
+            GuestSegment {
+                va: STATE_VA,
+                words: vec![0; 1024],
+                w: true,
+                x: false,
+                shared: false,
+            },
+            GuestSegment {
+                va: DOC_VA,
+                words: vec![0; doc_pages * 1024],
+                w: false,
+                x: false,
+                shared: true,
+            },
+            GuestSegment {
+                va: OUT_VA,
+                words: vec![0; 1024],
+                w: true,
+                x: false,
+                shared: true,
+            },
+        ],
+        entry: main.addr(),
+    }
+}
+
+/// The hash the notary signs for a given counter value and document: one
+/// counter block followed by the document blocks. Verifiers recompute
+/// this and check the attestation MAC over it.
+pub fn notarised_digest(counter: u32, doc_words: &[u32]) -> [u32; 8] {
+    assert_eq!(doc_words.len() % 16, 0);
+    let mut words = vec![0u32; 16];
+    words[0] = counter;
+    words.extend_from_slice(doc_words);
+    komodo_crypto::Sha256::digest_words(&words).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_has_expected_segments() {
+        let img = notary_image(2);
+        assert_eq!(img.segments.len(), 5);
+        assert!(img.segments[0].x && !img.segments[0].shared);
+        assert!(img.segments[3].shared);
+        assert_eq!(img.segments[3].words.len(), 2048);
+        assert!(img.entry > CODE_VA);
+    }
+
+    #[test]
+    fn digest_depends_on_counter_and_doc() {
+        let doc: Vec<u32> = (0..32).collect();
+        let d1 = notarised_digest(1, &doc);
+        let d2 = notarised_digest(2, &doc);
+        assert_ne!(d1, d2);
+        let mut doc2 = doc.clone();
+        doc2[31] ^= 1;
+        assert_ne!(d1, notarised_digest(1, &doc2));
+    }
+}

@@ -1,0 +1,281 @@
+//! Small guest programs used by the test and experiment suites.
+
+use komodo_armv7::insn::Cond;
+use komodo_armv7::regs::Reg;
+use komodo_armv7::Assembler;
+
+use crate::{svc, GuestSegment, Image};
+
+/// Standard code VA for the small guests.
+pub const CODE_VA: u32 = 0x0000_8000;
+/// Private data page VA.
+pub const DATA_VA: u32 = 0x0000_9000;
+/// Shared page VA.
+pub const SHARED_VA: u32 = 0x0010_0000;
+
+fn code_only(words: Vec<u32>) -> Image {
+    Image {
+        segments: vec![GuestSegment {
+            va: CODE_VA,
+            words,
+            w: false,
+            x: true,
+            shared: false,
+        }],
+        entry: CODE_VA,
+    }
+}
+
+/// `exit(arg1 + arg2)` — the minimal useful enclave.
+pub fn adder() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    a.add_reg(Reg::R(1), Reg::R(0), Reg::R(1));
+    svc::exit(&mut a);
+    code_only(a.words())
+}
+
+/// Immediately exits with a constant — the null enclave used by the
+/// Table 3 `Enter`+`Exit` microbenchmark.
+pub fn null_enclave() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    svc::exit_imm(&mut a, 0);
+    code_only(a.words())
+}
+
+/// Spins forever — used to measure `Enter` alone (the crossing is ended
+/// by an injected interrupt) and the interrupt/resume paths.
+pub fn spinner() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    let top = a.label();
+    a.b_to(Cond::Al, top);
+    code_only(a.words())
+}
+
+/// Keeps a secret word in a private data page: on `enter(op, val)`,
+/// op 0 stores `val`, op 1 exits with the stored secret, op 2 exits with
+/// `secret == val`. The NI tests run it as the victim whose state must
+/// not leak.
+pub fn secret_keeper() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    a.mov_imm32(Reg::R(4), DATA_VA);
+    a.cmp_imm(Reg::R(0), 0);
+    let not_store = a.b_fixup(Cond::Ne);
+    a.str_imm(Reg::R(1), Reg::R(4), 0);
+    svc::exit_imm(&mut a, 0);
+    let l = a.here();
+    a.fix_branch(not_store, l);
+    a.cmp_imm(Reg::R(0), 1);
+    let not_reveal = a.b_fixup(Cond::Ne);
+    a.ldr_imm(Reg::R(1), Reg::R(4), 0);
+    svc::exit(&mut a);
+    let l = a.here();
+    a.fix_branch(not_reveal, l);
+    // Compare: exit(secret == val).
+    a.ldr_imm(Reg::R(3), Reg::R(4), 0);
+    a.cmp_reg(Reg::R(3), Reg::R(1));
+    a.mov_imm(Reg::R(1), 0);
+    a.emit(komodo_armv7::Insn::Dp {
+        cond: Cond::Eq,
+        op: komodo_armv7::insn::DpOp::Mov,
+        s: false,
+        rd: Reg::R(1),
+        rn: Reg::R(0),
+        op2: komodo_armv7::Op2::imm(1),
+    });
+    svc::exit(&mut a);
+    Image {
+        segments: vec![
+            GuestSegment {
+                va: CODE_VA,
+                words: a.words(),
+                w: false,
+                x: true,
+                shared: false,
+            },
+            GuestSegment {
+                va: DATA_VA,
+                words: vec![0; 1024],
+                w: true,
+                x: false,
+                shared: false,
+            },
+        ],
+        entry: CODE_VA,
+    }
+}
+
+/// Tries privileged operations from enclave user mode: `SMC`, then (never
+/// reached) `MCR`. Must die with a fault, observed by the OS only as
+/// `Fault` (§4).
+pub fn privilege_escalator() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    a.smc(0);
+    a.emit(komodo_armv7::Insn::Mcr {
+        cond: Cond::Al,
+        cp: 15,
+        rt: Reg::R(0),
+    });
+    svc::exit_imm(&mut a, 0);
+    code_only(a.words())
+}
+
+/// Dereferences an arbitrary VA passed as `arg1` — probes the enclave's
+/// *own* address space; the monitor must convert any fault into a plain
+/// `Fault` result.
+pub fn prober() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    a.ldr_imm(Reg::R(1), Reg::R(0), 0);
+    svc::exit(&mut a);
+    code_only(a.words())
+}
+
+/// The controlled-channel victim (§3.1): makes a memory access whose
+/// *page* depends on a secret bit (`arg1 & 1`), touching `DATA_VA` for 0
+/// and `DATA_VA + 0x1000` for 1, then exits with 0. Under SGX-style
+/// paging the OS recovers the bit from the fault address; under Komodo it
+/// must not learn anything.
+pub fn page_oracle() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    a.and_imm(Reg::R(3), Reg::R(0), 1);
+    a.mov_imm32(Reg::R(4), DATA_VA);
+    a.add_lsl(Reg::R(4), Reg::R(4), Reg::R(3), 12); // + bit * 0x1000.
+    a.ldr_imm(Reg::R(5), Reg::R(4), 0);
+    svc::exit_imm(&mut a, 0);
+    Image {
+        segments: vec![
+            GuestSegment {
+                va: CODE_VA,
+                words: a.words(),
+                w: false,
+                x: true,
+                shared: false,
+            },
+            GuestSegment {
+                va: DATA_VA,
+                words: vec![0; 2048], // Two pages.
+                w: true,
+                x: false,
+                shared: false,
+            },
+        ],
+        entry: CODE_VA,
+    }
+}
+
+/// Exercises dynamic memory (§4, SGXv2-style): the enclave maps its spare
+/// page `arg1` at `DATA_VA` via `MapData`, writes a value, reads it back,
+/// unmaps, and exits with the value read. The OS only ever sees the spare
+/// page change allocation state.
+pub fn dynamic_memory_user() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    let mapping = komodo_spec_mapping_word(DATA_VA, true, false);
+    // MapData(spare=R0 arg, mapping): marshal from the argument register.
+    a.mov_reg(Reg::R(6), Reg::R(0)); // Spare page number.
+    a.mov_reg(Reg::R(1), Reg::R(6));
+    a.mov_imm32(Reg::R(2), mapping);
+    a.mov_imm(Reg::R(0), 7); // MapData.
+    a.svc(0);
+    // r0 = error code; bail out (fault) if it failed.
+    a.cmp_imm(Reg::R(0), 0);
+    let ok = a.b_fixup(Cond::Eq);
+    a.udf(1);
+    let l = a.here();
+    a.fix_branch(ok, l);
+    // Use the fresh page.
+    a.mov_imm32(Reg::R(4), DATA_VA);
+    a.mov_imm32(Reg::R(5), 0x5eed_f00d);
+    a.str_imm(Reg::R(5), Reg::R(4), 0);
+    a.ldr_imm(Reg::R(7), Reg::R(4), 0);
+    // UnmapData(data=spare page, mapping).
+    a.mov_reg(Reg::R(1), Reg::R(6));
+    a.mov_imm32(Reg::R(2), mapping);
+    a.mov_imm(Reg::R(0), 8); // UnmapData.
+    a.svc(0);
+    a.mov_reg(Reg::R(1), Reg::R(7));
+    svc::exit(&mut a);
+    code_only(a.words())
+}
+
+/// Packs a `komodo_spec::Mapping`-compatible word without depending on
+/// the spec crate (guest code is substrate-only).
+fn komodo_spec_mapping_word(va: u32, w: bool, x: bool) -> u32 {
+    va | 1 | ((w as u32) << 1) | ((x as u32) << 2)
+}
+
+/// Copies `arg1` words from the shared input page to the shared output
+/// area (offset 512 words), then exits with a checksum — plumbing test
+/// for insecure mappings.
+pub fn echo() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    a.mov_imm32(Reg::R(4), SHARED_VA);
+    a.mov_imm(Reg::R(5), 0); // Index (bytes).
+    a.mov_imm(Reg::R(6), 0); // Checksum.
+    a.lsl_imm(Reg::R(7), Reg::R(0), 2); // Byte count.
+    let top = a.label();
+    a.cmp_reg(Reg::R(5), Reg::R(7));
+    let done = a.b_fixup(Cond::Eq);
+    a.ldr_reg(Reg::R(8), Reg::R(4), Reg::R(5));
+    a.add_reg(Reg::R(6), Reg::R(6), Reg::R(8));
+    a.add_imm(Reg::R(9), Reg::R(5), 2048); // Output offset 512 words.
+    a.str_reg(Reg::R(8), Reg::R(4), Reg::R(9));
+    a.add_imm(Reg::R(5), Reg::R(5), 4);
+    a.b_to(Cond::Al, top);
+    let l = a.here();
+    a.fix_branch(done, l);
+    a.mov_reg(Reg::R(1), Reg::R(6));
+    svc::exit(&mut a);
+    Image {
+        segments: vec![
+            GuestSegment {
+                va: CODE_VA,
+                words: a.words(),
+                w: false,
+                x: true,
+                shared: false,
+            },
+            GuestSegment {
+                va: SHARED_VA,
+                words: vec![0; 1024],
+                w: true,
+                x: false,
+                shared: true,
+            },
+        ],
+        entry: CODE_VA,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_wellformed() {
+        for img in [
+            adder(),
+            null_enclave(),
+            spinner(),
+            secret_keeper(),
+            privilege_escalator(),
+            prober(),
+            page_oracle(),
+            dynamic_memory_user(),
+            echo(),
+        ] {
+            assert!(!img.segments.is_empty());
+            assert!(img.segments.iter().any(|s| s.x), "no code segment");
+            for s in &img.segments {
+                assert_eq!(s.va % 4096, 0);
+                assert!(!(s.shared && s.x), "shared segments are never executable");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_word_matches_spec() {
+        // Keep the guest-side packer in sync with the spec ABI.
+        let w = komodo_spec_mapping_word(0x9000, true, false);
+        assert_eq!(w & 0xffff_f000, 0x9000);
+        assert_eq!(w & 7, 0b011); // r, w set; x clear.
+    }
+}

@@ -1,0 +1,339 @@
+//! The remote-attestation enclave — the trusted enclave the paper defers
+//! ("Komodo implements local (same machine) attestation as a monitor
+//! primitive, and defers remote attestation to a trusted enclave (that we
+//! have yet to implement)", §4).
+//!
+//! The design follows the paper's sketch (and Sanctum's signing-enclave
+//! architecture it cites): a dedicated enclave generates a signing keypair
+//! *inside* the enclave from the monitor's `GetRandom`, binds the public
+//! key to its own measurement with the monitor's *local* attestation
+//! primitive, and thereafter signs "quotes" — Schnorr signatures over
+//! caller-supplied report data. A remote verifier that trusts the
+//! platform's local-attestation key (via whatever provisioning
+//! establishes it) can then verify quotes offline with plain public-key
+//! cryptography.
+//!
+//! Everything security-relevant executes in guest code on the machine
+//! model: key masking, the `g^x` and `g^k` exponentiations
+//! ([`crate::math64`]), the Fiat–Shamir challenge hash ([`crate::sha`]),
+//! and the response `s = k + e·x mod q`. The secret key never leaves the
+//! enclave's private page.
+//!
+//! Guest ABI (`Enter(op, _, _)`):
+//! - `op 0` — init: generate the keypair, publish `pub` and the local
+//!   attestation MAC over it to the shared page; exit 0.
+//! - `op 1` — quote: read `report[8]` from the shared page, publish the
+//!   signature `(R, s)`; exit 0.
+//!
+//! Shared-page layout (word offsets): `0..8` report in, `8..10` pubkey
+//! `(lo, hi)`, `10..18` attestation MAC, `18..20` `R (lo, hi)`,
+//! `20..22` `s (lo, hi)`.
+
+use komodo_armv7::insn::Cond;
+use komodo_armv7::regs::Reg;
+use komodo_armv7::Assembler;
+use komodo_crypto::schnorr;
+
+use crate::math64::emit_math64;
+use crate::sha::{emit_sha256, k_table_words};
+use crate::{svc, GuestSegment, Image};
+
+/// Code segment VA.
+pub const CODE_VA: u32 = 0x0000_8000;
+/// SHA constant table VA (private, read-only).
+pub const K_VA: u32 = 0x0001_0000;
+/// Private state page VA.
+pub const STATE_VA: u32 = 0x0001_1000;
+/// Shared page VA.
+pub const SHARED_VA: u32 = 0x0010_0000;
+
+// Private-state byte offsets.
+const X_OFF: u16 = 0x00; // Secret key (lo, hi).
+const K_OFF: u16 = 0x08; // Per-quote nonce (lo, hi).
+const R_OFF: u16 = 0x10; // Commitment R (lo, hi).
+const SCRATCH_OFF: u32 = 0x100; // SHA schedule buffer (64 words).
+const HSTATE_OFF: u32 = 0x200; // SHA state (8 words).
+const BLOCK_OFF: u32 = 0x240; // Challenge block (16 words).
+const STACK_TOP: u32 = 0x1000;
+
+// Shared-page byte offsets.
+const SH_REPORT: u16 = 0; // 8 words in.
+const SH_PUB: u16 = 32; // 2 words out.
+const SH_MAC: u16 = 40; // 8 words out.
+const SH_R: u16 = 72; // 2 words out.
+const SH_S: u16 = 80; // 2 words out.
+
+const R0: Reg = Reg::R(0);
+const R1: Reg = Reg::R(1);
+const R2: Reg = Reg::R(2);
+const R3: Reg = Reg::R(3);
+const R4: Reg = Reg::R(4);
+const R5: Reg = Reg::R(5);
+const R6: Reg = Reg::R(6);
+const R7: Reg = Reg::R(7);
+const R11: Reg = Reg::R(11);
+const R12: Reg = Reg::R(12);
+
+/// Loads the 64-bit constant `v` into the register pair `(lo, hi)`.
+fn mov_u64(a: &mut Assembler, lo: Reg, hi: Reg, v: u64) {
+    a.mov_imm32(lo, v as u32);
+    a.mov_imm32(hi, (v >> 32) as u32);
+}
+
+/// Draws one random word into `R1` (`GetRandom` SVC) and stores it at
+/// `[STATE_VA + off]` via `R12`.
+fn random_to_state(a: &mut Assembler, off: u16) {
+    svc::get_random(a);
+    a.mov_imm32(R12, STATE_VA);
+    a.str_imm(R1, R12, off);
+}
+
+/// Builds the remote-attestation enclave image.
+pub fn ra_image() -> Image {
+    let mut a = Assembler::new(CODE_VA);
+    let over = a.b_fixup(Cond::Al);
+    let sha = emit_sha256(&mut a, K_VA);
+    let math = emit_math64(&mut a);
+
+    let main = a.here();
+    a.fix_branch(over, main);
+    a.mov_imm32(Reg::Sp, STATE_VA + STACK_TOP);
+    a.mov_reg(R11, R0); // op survives SVCs in R11? SVC handlers write R0-R8 only; R11 safe.
+    a.cmp_imm(R11, 0);
+    let not_init = a.b_fixup(Cond::Ne);
+
+    // ---- op 0: init --------------------------------------------------
+    // x = mask59(GetRandom(), GetRandom()).
+    random_to_state(&mut a, X_OFF + 4); // hi first.
+    random_to_state(&mut a, X_OFF); // lo.
+    a.mov_imm32(R12, STATE_VA);
+    a.ldr_imm(R2, R12, X_OFF); // lo |= 1.
+    a.orr_imm1(R2);
+    a.str_imm(R2, R12, X_OFF);
+    a.ldr_imm(R2, R12, X_OFF + 4); // hi &= 0x07ff_ffff.
+    a.mov_imm32(R3, 0x07ff_ffff);
+    a.and_reg(R2, R2, R3);
+    a.str_imm(R2, R12, X_OFF + 4);
+    // pub = g^x mod p.
+    mov_u64(&mut a, R0, R1, schnorr::G);
+    a.ldr_imm(R2, R12, X_OFF);
+    a.ldr_imm(R3, R12, X_OFF + 4);
+    mov_u64(&mut a, R4, R5, schnorr::P);
+    a.bl_to(Cond::Al, math.modexp);
+    // Publish pub.
+    a.mov_imm32(R12, SHARED_VA);
+    a.str_imm(R0, R12, SH_PUB);
+    a.str_imm(R1, R12, SH_PUB + 4);
+    // Attest([pub_lo, pub_hi, 0...]) → MAC to shared.
+    a.mov_reg(R6, R0);
+    a.mov_reg(R7, R1);
+    a.mov_reg(R1, R6);
+    a.mov_reg(R2, R7);
+    for i in 3..=8u8 {
+        a.mov_imm(Reg::R(i), 0);
+    }
+    svc::attest(&mut a);
+    a.mov_imm32(R12, SHARED_VA);
+    for i in 0..8u16 {
+        a.str_imm(Reg::R(1 + i as u8), R12, SH_MAC + i * 4);
+    }
+    svc::exit_imm(&mut a, 0);
+
+    // ---- op 1: quote --------------------------------------------------
+    let quote = a.here();
+    a.fix_branch(not_init, quote);
+    // k = mask59(GetRandom(), GetRandom()).
+    random_to_state(&mut a, K_OFF + 4);
+    random_to_state(&mut a, K_OFF);
+    a.mov_imm32(R12, STATE_VA);
+    a.ldr_imm(R2, R12, K_OFF);
+    a.orr_imm1(R2);
+    a.str_imm(R2, R12, K_OFF);
+    a.ldr_imm(R2, R12, K_OFF + 4);
+    a.mov_imm32(R3, 0x07ff_ffff);
+    a.and_reg(R2, R2, R3);
+    a.str_imm(R2, R12, K_OFF + 4);
+    // R = g^k mod p; save to state and shared.
+    mov_u64(&mut a, R0, R1, schnorr::G);
+    a.ldr_imm(R2, R12, K_OFF);
+    a.ldr_imm(R3, R12, K_OFF + 4);
+    mov_u64(&mut a, R4, R5, schnorr::P);
+    a.bl_to(Cond::Al, math.modexp);
+    a.mov_imm32(R12, STATE_VA);
+    a.str_imm(R0, R12, R_OFF);
+    a.str_imm(R1, R12, R_OFF + 4);
+    a.mov_imm32(R12, SHARED_VA);
+    a.str_imm(R0, R12, SH_R);
+    a.str_imm(R1, R12, SH_R + 4);
+    // Challenge block: [TAG, R_hi, R_lo, report[8], 0,0,0,0,0].
+    a.mov_imm32(R6, STATE_VA + BLOCK_OFF);
+    a.mov_imm32(R2, schnorr::CHAL_TAG);
+    a.str_imm(R2, R6, 0);
+    a.mov_imm32(R12, STATE_VA);
+    a.ldr_imm(R2, R12, R_OFF + 4); // R_hi.
+    a.str_imm(R2, R6, 4);
+    a.ldr_imm(R2, R12, R_OFF); // R_lo.
+    a.str_imm(R2, R6, 8);
+    a.mov_imm32(R12, SHARED_VA);
+    for i in 0..8u16 {
+        a.ldr_imm(R2, R12, SH_REPORT + i * 4);
+        a.str_imm(R2, R6, 12 + i * 4);
+    }
+    a.mov_imm(R2, 0);
+    for i in 11..16u16 {
+        a.str_imm(R2, R6, i * 4);
+    }
+    // e = SHA(block), truncated to 59 bits.
+    a.mov_imm32(R2, STATE_VA + HSTATE_OFF);
+    a.bl_to(Cond::Al, sha.init);
+    a.mov_imm32(R0, STATE_VA + SCRATCH_OFF);
+    a.mov_imm32(R1, STATE_VA + BLOCK_OFF);
+    a.mov_imm32(R2, STATE_VA + HSTATE_OFF);
+    a.bl_to(Cond::Al, sha.compress);
+    a.mov_imm32(R0, STATE_VA + SCRATCH_OFF);
+    a.mov_imm32(R2, STATE_VA + HSTATE_OFF);
+    a.mov_imm(R3, 1);
+    a.bl_to(Cond::Al, sha.finish);
+    // t = modmul(e, x, q); e = (d0 & mask, d1): note digest word 0 is the
+    // high word of e.
+    a.mov_imm32(R12, STATE_VA + HSTATE_OFF);
+    a.ldr_imm(R1, R12, 0); // e_hi = d0 & 0x07ffffff.
+    a.mov_imm32(R3, 0x07ff_ffff);
+    a.and_reg(R1, R1, R3);
+    a.ldr_imm(R0, R12, 4); // e_lo = d1.
+    a.mov_imm32(R12, STATE_VA);
+    a.ldr_imm(R2, R12, X_OFF);
+    a.ldr_imm(R3, R12, X_OFF + 4);
+    mov_u64(&mut a, R4, R5, schnorr::Q);
+    a.bl_to(Cond::Al, math.modmul);
+    // s = (t + k) mod q. modmul preserved R4:R5 = Q.
+    a.mov_imm32(R12, STATE_VA);
+    a.ldr_imm(R2, R12, K_OFF);
+    a.ldr_imm(R3, R12, K_OFF + 4);
+    a.dp(
+        komodo_armv7::insn::DpOp::Add,
+        true,
+        R0,
+        R0,
+        komodo_armv7::Op2::reg(R2),
+    );
+    a.dp(
+        komodo_armv7::insn::DpOp::Adc,
+        false,
+        R1,
+        R1,
+        komodo_armv7::Op2::reg(R3),
+    );
+    // Conditional subtract of Q (both addends < q, so one subtract
+    // suffices): if (R0,R1) >= (R4,R5) subtract.
+    a.cmp_reg(R1, R5);
+    let skip1 = a.b_fixup(Cond::Cc);
+    let dosub = a.b_fixup(Cond::Hi);
+    a.cmp_reg(R0, R4);
+    let skip2 = a.b_fixup(Cond::Cc);
+    let sub_at = a.here();
+    a.fix_branch(dosub, sub_at);
+    a.dp(
+        komodo_armv7::insn::DpOp::Sub,
+        true,
+        R0,
+        R0,
+        komodo_armv7::Op2::reg(R4),
+    );
+    a.dp(
+        komodo_armv7::insn::DpOp::Sbc,
+        false,
+        R1,
+        R1,
+        komodo_armv7::Op2::reg(R5),
+    );
+    let out = a.here();
+    a.fix_branch(skip1, out);
+    a.fix_branch(skip2, out);
+    // Publish s.
+    a.mov_imm32(R12, SHARED_VA);
+    a.str_imm(R0, R12, SH_S);
+    a.str_imm(R1, R12, SH_S + 4);
+    svc::exit_imm(&mut a, 0);
+
+    Image {
+        segments: vec![
+            GuestSegment {
+                va: CODE_VA,
+                words: a.words(),
+                w: false,
+                x: true,
+                shared: false,
+            },
+            GuestSegment {
+                va: K_VA,
+                words: k_table_words(),
+                w: false,
+                x: false,
+                shared: false,
+            },
+            GuestSegment {
+                va: STATE_VA,
+                words: vec![0; 1024],
+                w: true,
+                x: false,
+                shared: false,
+            },
+            GuestSegment {
+                va: SHARED_VA,
+                words: vec![0; 1024],
+                w: true,
+                x: false,
+                shared: true,
+            },
+        ],
+        entry: main.addr(),
+    }
+}
+
+/// Packs two shared-page words `(lo, hi)` into a `u64`.
+pub fn unpack_u64(lo: u32, hi: u32) -> u64 {
+    ((hi as u64) << 32) | lo as u64
+}
+
+/// Convenience trait hook used above; see [`Assembler`].
+trait OrrImm1 {
+    fn orr_imm1(&mut self, r: Reg);
+}
+
+impl OrrImm1 for Assembler {
+    fn orr_imm1(&mut self, r: Reg) {
+        self.dp(
+            komodo_armv7::insn::DpOp::Orr,
+            false,
+            r,
+            r,
+            komodo_armv7::Op2::imm(1),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_is_wellformed() {
+        let img = ra_image();
+        assert_eq!(img.segments.len(), 4);
+        assert!(img.segments[0].x);
+        assert!(img.segments[3].shared);
+        // The code fits the mapped pages.
+        assert!(img.segments[0].words.len() <= 2048);
+        assert!(img.entry >= CODE_VA);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // The point is checking the layout constants.
+    fn shared_layout_constants_are_disjoint() {
+        assert!(SH_REPORT + 32 <= SH_PUB);
+        assert!(SH_PUB + 8 <= SH_MAC);
+        assert!(SH_MAC + 32 <= SH_R);
+        assert!(SH_R + 8 <= SH_S);
+    }
+}

@@ -1,0 +1,359 @@
+//! SHA-256 in guest (simulated ARM) code.
+//!
+//! The paper's notary is CPU-bound on hashing and signing (§8.2, Figure 5);
+//! to reproduce that behaviour the hash must actually execute on the
+//! machine model, instruction by instruction. This module emits a complete
+//! SHA-256 — schedule expansion, 64 rounds, init and block-finalisation —
+//! as three subroutines, in the word-granular convention the monitor also
+//! uses (each 32-bit memory word is one big-endian message word, and
+//! messages are whole 64-byte blocks; see `komodo-crypto`).
+//!
+//! Calling convention (all routines clobber `R0`–`R12` and need a few
+//! words of stack):
+//!
+//! - `init`:     `R2` = state pointer (8 words) — writes `H0`.
+//! - `compress`: `R0` = 64-word schedule scratch, `R1` = 16-word block,
+//!   `R2` = state pointer.
+//! - `finish`:   `R0` = scratch, `R2` = state, `R3` = total block count —
+//!   appends FIPS padding for a `64 * R3`-byte message and compresses it.
+
+use komodo_armv7::asm::Label;
+use komodo_armv7::insn::Cond;
+use komodo_armv7::regs::Reg;
+use komodo_armv7::Assembler;
+
+/// The SHA-256 round constants (FIPS 180-4 §4.2.2), to be placed in a
+/// read-only guest page at the `k_table_va` passed to [`emit_sha256`].
+pub fn k_table_words() -> Vec<u32> {
+    vec![
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ]
+}
+
+/// Entry points of the emitted routines.
+#[derive(Clone, Copy, Debug)]
+pub struct ShaRoutines {
+    /// State initialisation.
+    pub init: Label,
+    /// One-block compression.
+    pub compress: Label,
+    /// Padding + final compression.
+    pub finish: Label,
+}
+
+const R0: Reg = Reg::R(0);
+const R1: Reg = Reg::R(1);
+const R2: Reg = Reg::R(2);
+const R3: Reg = Reg::R(3);
+const R4: Reg = Reg::R(4);
+const R5: Reg = Reg::R(5);
+const R12: Reg = Reg::R(12);
+
+/// Emits the three SHA-256 routines at the assembler's current position.
+pub fn emit_sha256(a: &mut Assembler, k_table_va: u32) -> ShaRoutines {
+    let init = emit_init(a);
+    let compress = emit_compress(a, k_table_va);
+    let finish = emit_finish(a, compress);
+    ShaRoutines {
+        init,
+        compress,
+        finish,
+    }
+}
+
+fn emit_init(a: &mut Assembler) -> Label {
+    let entry = a.here();
+    for (i, h) in komodo_crypto::sha256::H0.iter().enumerate() {
+        a.mov_imm32(R3, *h);
+        a.str_imm(R3, R2, (i * 4) as u16);
+    }
+    a.bx(Reg::Lr);
+    entry
+}
+
+fn emit_compress(a: &mut Assembler, k_table_va: u32) -> Label {
+    let entry = a.here();
+    // Keep the state pointer across the register-hungry rounds.
+    a.push(&[R2, Reg::Lr]);
+
+    // w[0..16] = block (identity copy when the caller aliases them).
+    for i in 0..16u16 {
+        a.ldr_imm(R3, R1, i * 4);
+        a.str_imm(R3, R0, i * 4);
+    }
+
+    // Schedule expansion: R2 = byte offset of w[t], 64..256.
+    a.mov_imm(R2, 64);
+    let ext_loop = a.label();
+    // s0 from w[t-15].
+    a.sub_imm(R12, R2, 60);
+    a.ldr_reg(R3, R0, R12);
+    a.ror_imm(R4, R3, 7);
+    a.eor_ror(R4, R4, R3, 18);
+    a.lsr_imm(R5, R3, 3);
+    a.eor_reg(R4, R4, R5);
+    // s1 from w[t-2].
+    a.sub_imm(R12, R2, 8);
+    a.ldr_reg(R3, R0, R12);
+    a.ror_imm(R5, R3, 17);
+    a.eor_ror(R5, R5, R3, 19);
+    a.lsr_imm(R12, R3, 10);
+    a.eor_reg(R5, R5, R12);
+    // w[t] = w[t-16] + s0 + w[t-7] + s1.
+    a.sub_imm(R12, R2, 64);
+    a.ldr_reg(R3, R0, R12);
+    a.add_reg(R3, R3, R4);
+    a.sub_imm(R12, R2, 28);
+    a.ldr_reg(R12, R0, R12);
+    a.add_reg(R3, R3, R12);
+    a.add_reg(R3, R3, R5);
+    a.str_reg(R3, R0, R2);
+    a.add_imm(R2, R2, 4);
+    a.cmp_imm(R2, 256);
+    a.b_to(Cond::Ne, ext_loop);
+
+    // Load the working variables a–h into R4–R11 from the saved state
+    // pointer (still on the stack).
+    a.ldr_imm(R12, Reg::Sp, 0);
+    for i in 0..8u8 {
+        a.ldr_imm(Reg::R(4 + i), R12, (i as u16) * 4);
+    }
+    a.mov_imm32(R1, k_table_va);
+    a.mov_imm(R2, 0);
+
+    let round_loop = a.label();
+    // t1 = h + S1(e) + ch(e,f,g) + k[t] + w[t], built in R3.
+    a.ldr_reg(R3, R0, R2); // w[t]
+    a.ldr_reg(R12, R1, R2); // k[t]
+    a.add_reg(R3, R3, R12);
+    a.add_reg(R3, R3, Reg::R(11)); // + h
+    a.ror_imm(R12, Reg::R(8), 6); // S1(e)
+    a.eor_ror(R12, R12, Reg::R(8), 11);
+    a.eor_ror(R12, R12, Reg::R(8), 25);
+    a.add_reg(R3, R3, R12);
+    a.eor_reg(R12, Reg::R(9), Reg::R(10)); // ch = g ^ (e & (f ^ g))
+    a.and_reg(R12, R12, Reg::R(8));
+    a.eor_reg(R12, R12, Reg::R(10));
+    a.add_reg(R3, R3, R12);
+    // t2 = S0(a) + maj(a,b,c), built in R12 with R3 parked on the stack.
+    a.push(&[R3]);
+    a.and_reg(R3, R4, R5);
+    a.and_reg(R12, R4, Reg::R(6));
+    a.eor_reg(R3, R3, R12);
+    a.and_reg(R12, R5, Reg::R(6));
+    a.eor_reg(R3, R3, R12); // maj
+    a.ror_imm(R12, R4, 2); // S0(a)
+    a.eor_ror(R12, R12, R4, 13);
+    a.eor_ror(R12, R12, R4, 22);
+    a.add_reg(R12, R12, R3); // t2
+    a.pop(&[R3]); // t1
+                  // Rotate the working variables.
+    a.mov_reg(Reg::R(11), Reg::R(10)); // h = g
+    a.mov_reg(Reg::R(10), Reg::R(9)); // g = f
+    a.mov_reg(Reg::R(9), Reg::R(8)); // f = e
+    a.add_reg(Reg::R(8), Reg::R(7), R3); // e = d + t1
+    a.mov_reg(Reg::R(7), Reg::R(6)); // d = c
+    a.mov_reg(Reg::R(6), R5); // c = b
+    a.mov_reg(R5, R4); // b = a
+    a.add_reg(R4, R3, R12); // a = t1 + t2
+    a.add_imm(R2, R2, 4);
+    a.cmp_imm(R2, 256);
+    a.b_to(Cond::Ne, round_loop);
+
+    // state[i] += working[i].
+    a.pop(&[R1, Reg::Lr]); // R1 = state pointer.
+    for i in 0..8u8 {
+        a.ldr_imm(R3, R1, (i as u16) * 4);
+        a.add_reg(R3, R3, Reg::R(4 + i));
+        a.str_imm(R3, R1, (i as u16) * 4);
+    }
+    a.bx(Reg::Lr);
+    entry
+}
+
+fn emit_finish(a: &mut Assembler, compress: Label) -> Label {
+    let entry = a.here();
+    a.push(&[Reg::Lr]);
+    // Build the padding block in the scratch buffer: 0x80000000, zeroes,
+    // then the 64-bit message bit length (R3 blocks × 512 bits).
+    a.mov_imm(R4, 0x8000_0000);
+    a.str_imm(R4, R0, 0);
+    a.mov_imm(R4, 0);
+    for i in 1..14u16 {
+        a.str_imm(R4, R0, i * 4);
+    }
+    a.lsr_imm(R4, R3, 23); // High word of blocks*512.
+    a.str_imm(R4, R0, 14 * 4);
+    a.lsl_imm(R4, R3, 9); // Low word.
+    a.str_imm(R4, R0, 15 * 4);
+    a.mov_reg(R1, R0); // Block aliases the scratch buffer.
+    a.bl_to(Cond::Al, compress);
+    a.pop(&[Reg::Lr]);
+    a.bx(Reg::Lr);
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_armv7::mem::AccessAttrs;
+    use komodo_armv7::mode::{Mode, World};
+    use komodo_armv7::psr::Psr;
+    use komodo_armv7::ptw::{l1_coarse_desc, l2_page_desc, PagePerms};
+    use komodo_armv7::{ExitReason, Machine};
+    use komodo_crypto::Sha256;
+
+    const CODE_VA: u32 = 0x8000;
+    const K_VA: u32 = 0x1_0000;
+    const RAM_VA: u32 = 0x1_1000; // Scratch (w), state, data, stack.
+
+    /// A bare test machine: flat secure pages mapped 1:1-ish for code, K
+    /// table, and a few RAM pages, running in secure user mode.
+    fn machine_with(code: &[u32], data_pages: usize) -> Machine {
+        let mut m = Machine::new();
+        m.mem.add_region(0x8000_0000, 0x40_0000, true);
+        let ttbr0 = 0x8000_0000u32;
+        let l2 = 0x8000_1000u32;
+        // Map l1 slots 0 (covers VA 0..4 MB) to the coarse tables at l2.
+        for k in 0..4 {
+            m.mem
+                .write(
+                    ttbr0 + k * 4,
+                    l1_coarse_desc(l2 + k * 0x400),
+                    AccessAttrs::MONITOR,
+                )
+                .unwrap();
+        }
+        let map = |va: u32, pa: u32, perms: PagePerms, m: &mut Machine| {
+            let slot = (va >> 12) & 0x3ff;
+            m.mem
+                .write(
+                    l2 + slot * 4,
+                    l2_page_desc(pa, perms, false),
+                    AccessAttrs::MONITOR,
+                )
+                .unwrap();
+        };
+        // Code at VA 0x8000, K table at 0x10000, RAM pages from 0x11000.
+        for i in 0..code.len().div_ceil(1024).max(1) as u32 {
+            map(
+                CODE_VA + i * 0x1000,
+                0x8000_2000 + i * 0x1000,
+                PagePerms::RX,
+                &mut m,
+            );
+        }
+        map(K_VA, 0x8000_8000, PagePerms::R, &mut m);
+        for i in 0..data_pages as u32 {
+            map(
+                RAM_VA + i * 0x1000,
+                0x8000_9000 + i * 0x1000,
+                PagePerms::RW,
+                &mut m,
+            );
+        }
+        m.mem.load_words(0x8000_2000, code).unwrap();
+        m.mem.load_words(0x8000_8000, &k_table_words()).unwrap();
+        m.cp15.mmu_mut(World::Secure).ttbr0 = ttbr0;
+        m.cp15.scr_ns = false;
+        m.cpsr = Psr::user();
+        m.pc = CODE_VA;
+        m
+    }
+
+    /// Drives a full guest hash of `blocks` 16-word blocks and returns the
+    /// resulting digest words.
+    fn guest_hash(words: &[u32]) -> [u32; 8] {
+        assert_eq!(words.len() % 16, 0);
+        let nblocks = words.len() / 16;
+        let scratch = RAM_VA; // 64 words.
+        let state = RAM_VA + 0x100;
+        let data = RAM_VA + 0x200;
+        let stack_top = RAM_VA + 0x1000;
+
+        let mut a = Assembler::new(CODE_VA);
+        let over = a.b_fixup(Cond::Al);
+        let routines = emit_sha256(&mut a, K_VA);
+        let main = a.here();
+        a.fix_branch(over, main);
+        a.mov_imm32(Reg::Sp, stack_top);
+        a.mov_imm32(R2, state);
+        a.bl_to(Cond::Al, routines.init);
+        for b in 0..nblocks {
+            a.mov_imm32(R0, scratch);
+            a.mov_imm32(R1, data + (b as u32) * 64);
+            a.mov_imm32(R2, state);
+            a.bl_to(Cond::Al, routines.compress);
+        }
+        a.mov_imm32(R0, scratch);
+        a.mov_imm32(R2, state);
+        a.mov_imm32(R3, nblocks as u32);
+        a.bl_to(Cond::Al, routines.finish);
+        a.svc(0);
+
+        let mut m = machine_with(&a.words(), 4);
+        m.pc = main.addr();
+        // Load the message into the data area (same physical page layout
+        // as the mapping above).
+        m.mem
+            .load_words(0x8000_9000 + 0x200, words)
+            .expect("data area");
+        let exit = m.run_user(50_000_000).unwrap();
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 }, "guest crashed");
+        let mut out = [0u32; 8];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = m
+                .mem
+                .read(0x8000_9000 + 0x100 + (i as u32) * 4, AccessAttrs::MONITOR)
+                .unwrap();
+        }
+        assert_eq!(m.cpsr.mode, Mode::Supervisor);
+        out
+    }
+
+    #[test]
+    fn guest_sha_matches_host_one_block() {
+        let words: Vec<u32> = (0..16).map(|i| i as u32 * 0x0101_0101).collect();
+        assert_eq!(guest_hash(&words), Sha256::digest_words(&words).0);
+    }
+
+    #[test]
+    fn guest_sha_matches_host_zero_blocks() {
+        assert_eq!(guest_hash(&[]), Sha256::digest_words(&[]).0);
+    }
+
+    #[test]
+    fn guest_sha_matches_host_multi_block() {
+        let words: Vec<u32> = (0..16 * 5)
+            .map(|i| (i as u32).wrapping_mul(0x9e37_79b9))
+            .collect();
+        assert_eq!(guest_hash(&words), Sha256::digest_words(&words).0);
+    }
+
+    #[test]
+    fn guest_sha_distinguishes_inputs() {
+        let a: Vec<u32> = vec![0; 16];
+        let mut b = a.clone();
+        b[15] = 1;
+        assert_ne!(guest_hash(&a), guest_hash(&b));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_guest_sha_matches_host(words in proptest::collection::vec(proptest::prelude::any::<u32>(), 16..64)) {
+            let len = words.len() / 16 * 16;
+            let words = &words[..len];
+            proptest::prop_assert_eq!(guest_hash(words), Sha256::digest_words(words).0);
+        }
+    }
+}

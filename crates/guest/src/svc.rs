@@ -1,0 +1,96 @@
+//! Emitters for the enclave→monitor SVC ABI (Table 1).
+//!
+//! Call number in `R0`; arguments in `R1`+; results come back in `R0`
+//! (error code) and `R1`+ (values).
+
+use komodo_armv7::regs::Reg;
+use komodo_armv7::Assembler;
+
+/// `Exit(retval)`: `retval` must already be in `R1`.
+pub fn exit(a: &mut Assembler) {
+    a.mov_imm(Reg::R(0), 0);
+    a.svc(0);
+}
+
+/// `Exit(#imm)` with an immediate return value.
+pub fn exit_imm(a: &mut Assembler, retval: u32) {
+    a.mov_imm32(Reg::R(1), retval);
+    exit(a);
+}
+
+/// `GetRandom()`: random word lands in `R1`.
+pub fn get_random(a: &mut Assembler) {
+    a.mov_imm(Reg::R(0), 1);
+    a.svc(0);
+}
+
+/// `Attest(data[8])`: `R1`–`R8` must hold the data; the MAC replaces it.
+pub fn attest(a: &mut Assembler) {
+    a.mov_imm(Reg::R(0), 2);
+    a.svc(0);
+}
+
+/// `Verify` step 0 (stage `data[8]` from `R1`–`R8`).
+pub fn verify_step0(a: &mut Assembler) {
+    a.mov_imm(Reg::R(0), 3);
+    a.svc(0);
+}
+
+/// `Verify` step 1 (stage `measure[8]` from `R1`–`R8`).
+pub fn verify_step1(a: &mut Assembler) {
+    a.mov_imm(Reg::R(0), 4);
+    a.svc(0);
+}
+
+/// `Verify` step 2 (check `mac[8]` from `R1`–`R8`; `ok` in `R1`).
+pub fn verify_step2(a: &mut Assembler) {
+    a.mov_imm(Reg::R(0), 5);
+    a.svc(0);
+}
+
+/// `InitL2PTable(sparePg, l1index)` with immediates.
+pub fn init_l2ptable(a: &mut Assembler, spare_pg: u32, l1index: u32) {
+    a.mov_imm32(Reg::R(1), spare_pg);
+    a.mov_imm32(Reg::R(2), l1index);
+    a.mov_imm(Reg::R(0), 6);
+    a.svc(0);
+}
+
+/// `MapData(sparePg, mapping)` with immediates.
+pub fn map_data(a: &mut Assembler, spare_pg: u32, mapping_word: u32) {
+    a.mov_imm32(Reg::R(1), spare_pg);
+    a.mov_imm32(Reg::R(2), mapping_word);
+    a.mov_imm(Reg::R(0), 7);
+    a.svc(0);
+}
+
+/// `UnmapData(dataPg, mapping)` with immediates.
+pub fn unmap_data(a: &mut Assembler, data_pg: u32, mapping_word: u32) {
+    a.mov_imm32(Reg::R(1), data_pg);
+    a.mov_imm32(Reg::R(2), mapping_word);
+    a.mov_imm(Reg::R(0), 8);
+    a.svc(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitters_produce_svc_terminated_sequences() {
+        for f in [
+            exit,
+            get_random,
+            attest,
+            verify_step0,
+            verify_step1,
+            verify_step2,
+        ] {
+            let mut a = Assembler::new(0x8000);
+            f(&mut a);
+            let words = a.words();
+            // Last word is an SVC (condition AL, top byte 0xef).
+            assert_eq!(words.last().unwrap() >> 24, 0xef);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Komodo: verified-monitor enclaves on ARM TrustZone — top-level API.
+//!
+//! This crate is the front door to the Komodo reproduction: it assembles
+//! the machine model, the monitor, and the OS model into a [`Platform`],
+//! and exposes the workflow a downstream user wants:
+//!
+//! ```
+//! use komodo::Platform;
+//! use komodo_guest::progs;
+//! use komodo_os::EnclaveRun;
+//!
+//! let mut p = Platform::new();
+//! let enclave = p.load(&progs::adder()).unwrap();
+//! assert_eq!(p.run(&enclave, 0, [40, 2, 0]), EnclaveRun::Exited(42));
+//! ```
+//!
+//! See the workspace examples for the notary, attestation, dynamic
+//! memory, and the controlled-channel comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod platform;
+
+pub use komodo_armv7::Machine;
+pub use komodo_guest::{GuestSegment, Image};
+pub use komodo_monitor::{Monitor, MonitorLayout};
+pub use komodo_os::{Enclave, EnclaveRun, NativeProcess, Os, Segment};
+pub use komodo_spec::{KomErr, Mapping};
+pub use measure::measure_image;
+pub use platform::{Platform, PlatformConfig};

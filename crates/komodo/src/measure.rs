@@ -1,0 +1,139 @@
+//! Host-side measurement prediction.
+//!
+//! A remote verifier knows the enclave image it expects and must predict
+//! the measurement the monitor computes during construction (§4), so it
+//! can check attestations. This module replays the loader's construction
+//! order against the specification's measurement rules.
+
+use komodo_crypto::Digest;
+use komodo_guest::Image;
+use komodo_spec::measure::Measurement;
+use komodo_spec::Mapping;
+
+/// Predicts the measurement of `image` as loaded by
+/// [`crate::Platform::load_with`] with `threads` threads.
+///
+/// Must mirror `EnclaveBuilder::build`'s SMC order exactly: L2 page
+/// tables for each touched 4 MB slot (ascending), then each segment's
+/// pages in order, then each thread. Spare pages are not measured (§4).
+pub fn measure_image(image: &Image, threads: usize) -> Digest {
+    let mut m = Measurement::new();
+    let mut slots: Vec<u32> = Vec::new();
+    for s in &image.segments {
+        for pg in 0..s.words.len().div_ceil(1024).max(1) {
+            let va = s.va + (pg as u32) * 4096;
+            let slot = va >> 22;
+            if !slots.contains(&slot) {
+                slots.push(slot);
+            }
+        }
+    }
+    slots.sort_unstable();
+    for slot in slots {
+        m.record_init_l2pt(slot);
+    }
+    for s in &image.segments {
+        let npages = s.words.len().div_ceil(1024).max(1);
+        for pg in 0..npages {
+            let va = s.va + (pg as u32) * 4096;
+            let mapping = Mapping {
+                vpn: va >> 12,
+                r: true,
+                w: s.w,
+                x: s.x,
+            };
+            if s.shared {
+                m.record_map_insecure(mapping);
+            } else {
+                let lo = pg * 1024;
+                let hi = ((pg + 1) * 1024).min(s.words.len());
+                let mut page = [0u32; 1024];
+                if lo < s.words.len() {
+                    page[..hi - lo].copy_from_slice(&s.words[lo..hi]);
+                }
+                m.record_map_secure(mapping, &page);
+            }
+        }
+    }
+    for _ in 0..threads {
+        m.record_init_thread(image.entry);
+    }
+    m.finalise()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_guest::progs;
+
+    #[test]
+    fn distinct_images_distinct_measurements() {
+        let a = measure_image(&progs::adder(), 1);
+        let b = measure_image(&progs::null_enclave(), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn thread_count_affects_measurement() {
+        let img = progs::adder();
+        assert_ne!(measure_image(&img, 1), measure_image(&img, 2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let img = progs::secret_keeper();
+        assert_eq!(measure_image(&img, 1), measure_image(&img, 1));
+    }
+
+    /// End-to-end: the predicted measurement must match what the monitor
+    /// actually computed — checked by asking the enclave to `Attest` and
+    /// verifying the MAC against the prediction.
+    #[test]
+    fn prediction_matches_monitor() {
+        use crate::Platform;
+        use komodo_armv7::{Assembler, Reg};
+        use komodo_guest::{svc, GuestSegment, Image};
+        use komodo_os::EnclaveRun;
+
+        // Guest: attest over fixed data, write the MAC to a shared page.
+        let mut a = Assembler::new(0x8000);
+        for i in 0..8u8 {
+            a.mov_imm(Reg::R(1 + i), i as u32 + 1);
+        }
+        svc::attest(&mut a);
+        a.mov_imm32(Reg::R(12), 0x0010_0000);
+        for i in 0..8u16 {
+            a.str_imm(Reg::R(1 + i as u8), Reg::R(12), i * 4);
+        }
+        svc::exit_imm(&mut a, 0);
+        let img = Image {
+            segments: vec![
+                GuestSegment {
+                    va: 0x8000,
+                    words: a.words(),
+                    w: false,
+                    x: true,
+                    shared: false,
+                },
+                GuestSegment {
+                    va: 0x0010_0000,
+                    words: vec![0; 1024],
+                    w: true,
+                    x: false,
+                    shared: true,
+                },
+            ],
+            entry: 0x8000,
+        };
+
+        let mut p = Platform::new();
+        let e = p.load(&img).unwrap();
+        assert_eq!(p.run(&e, 0, [0; 3]), EnclaveRun::Exited(0));
+        let mac_words = p.read_shared(&e, 1, 0, 8);
+
+        let predicted = measure_image(&img, 1);
+        let data = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let expected = komodo_spec::svc::attest_mac(p.monitor.attest_key(), &predicted, &data);
+        assert_eq!(mac_words, expected.0.to_vec());
+    }
+}

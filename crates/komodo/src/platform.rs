@@ -1,0 +1,228 @@
+//! The platform: machine + monitor + OS, wired together.
+
+use komodo_armv7::Machine;
+use komodo_guest::Image;
+use komodo_monitor::{boot, Monitor, MonitorLayout};
+use komodo_os::{Enclave, EnclaveBuilder, EnclaveRun, NativeProcess, Os, Segment};
+use komodo_spec::KomErr;
+
+/// Platform construction parameters.
+#[derive(Clone, Debug)]
+pub struct PlatformConfig {
+    /// Bytes of insecure (normal-world) RAM.
+    pub insecure_size: u32,
+    /// Secure pool pages.
+    pub npages: usize,
+    /// Seed for the modelled hardware RNG (attestation key, `GetRandom`).
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            insecure_size: 4 << 20,
+            npages: 256,
+            seed: 0x6b6f_6d6f, // "komo".
+        }
+    }
+}
+
+/// A booted platform: simulated machine, Komodo monitor, and the
+/// normal-world OS model.
+pub struct Platform {
+    /// The machine state.
+    pub machine: Machine,
+    /// The monitor (secure world).
+    pub monitor: Monitor,
+    /// The OS model (normal world).
+    pub os: Os,
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Platform {
+    /// Boots the default platform (4 MB insecure RAM, 256 secure pages).
+    pub fn new() -> Platform {
+        Self::with_config(PlatformConfig::default())
+    }
+
+    /// Boots with explicit parameters.
+    pub fn with_config(cfg: PlatformConfig) -> Platform {
+        let layout = MonitorLayout::new(cfg.insecure_size, cfg.npages);
+        let (mut machine, mut monitor) = boot(layout, cfg.seed);
+        let os = Os::new(&mut machine, &mut monitor);
+        Platform {
+            machine,
+            monitor,
+            os,
+        }
+    }
+
+    /// Converts guest segments to loader segments.
+    fn segments(image: &Image) -> Vec<Segment> {
+        image
+            .segments
+            .iter()
+            .map(|s| Segment {
+                va: s.va,
+                words: s.words.clone(),
+                w: s.w,
+                x: s.x,
+                shared: s.shared,
+            })
+            .collect()
+    }
+
+    /// Loads `image` as an enclave with one thread at the image entry.
+    pub fn load(&mut self, image: &Image) -> Result<Enclave, KomErr> {
+        self.load_with(image, 1, 0)
+    }
+
+    /// Loads `image` with `threads` threads (all at the entry point) and
+    /// `spares` spare pages for dynamic allocation.
+    pub fn load_with(
+        &mut self,
+        image: &Image,
+        threads: usize,
+        spares: usize,
+    ) -> Result<Enclave, KomErr> {
+        let mut b = EnclaveBuilder::new();
+        for s in Self::segments(image) {
+            b = b.segment(s);
+        }
+        for _ in 0..threads {
+            b = b.thread(image.entry);
+        }
+        b = b.spares(spares);
+        b.build(&mut self.machine, &mut self.monitor, &mut self.os)
+    }
+
+    /// Enters enclave thread `idx`, resuming across interrupts until exit
+    /// or fault.
+    pub fn run(&mut self, enclave: &Enclave, idx: usize, args: [u32; 3]) -> EnclaveRun {
+        enclave.run_to_completion(&mut self.machine, &mut self.monitor, &self.os, idx, args)
+    }
+
+    /// Enters without auto-resume (a single burst).
+    pub fn enter(&mut self, enclave: &Enclave, idx: usize, args: [u32; 3]) -> EnclaveRun {
+        enclave.enter(&mut self.machine, &mut self.monitor, &self.os, idx, args)
+    }
+
+    /// Resumes an interrupted thread (a single burst).
+    pub fn resume(&mut self, enclave: &Enclave, idx: usize) -> EnclaveRun {
+        enclave.resume(&mut self.machine, &mut self.monitor, &self.os, idx)
+    }
+
+    /// Tears the enclave down, returning its pages.
+    pub fn destroy(&mut self, enclave: &Enclave) -> Result<(), KomErr> {
+        enclave.destroy(&mut self.machine, &mut self.monitor, &mut self.os)
+    }
+
+    /// Builds `image` as a *native* normal-world process (the Figure 5
+    /// baseline): same binary, no enclave protection.
+    pub fn load_native(&mut self, image: &Image) -> NativeProcess {
+        let segs = Self::segments(image);
+        NativeProcess::build(&mut self.machine, &mut self.os, &segs, image.entry)
+    }
+
+    /// Reads words from a shared (insecure) page of an enclave segment.
+    pub fn read_shared(
+        &mut self,
+        enclave: &Enclave,
+        segment: usize,
+        offset_words: usize,
+        n: usize,
+    ) -> Vec<u32> {
+        let pfn = enclave.shared_pfns[segment][offset_words / 1024];
+        self.os
+            .read_insecure(&mut self.machine, pfn, offset_words % 1024, n)
+    }
+
+    /// Writes words into a shared page of an enclave segment.
+    pub fn write_shared(
+        &mut self,
+        enclave: &Enclave,
+        segment: usize,
+        offset_words: usize,
+        words: &[u32],
+    ) {
+        // Split across page boundaries.
+        let mut off = offset_words;
+        let mut rest = words;
+        while !rest.is_empty() {
+            let page = off / 1024;
+            let within = off % 1024;
+            let take = rest.len().min(1024 - within);
+            let pfn = enclave.shared_pfns[segment][page];
+            self.os
+                .write_insecure(&mut self.machine, pfn, within, &rest[..take]);
+            off += take;
+            rest = &rest[take..];
+        }
+    }
+
+    /// Simulated cycle counter.
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_guest::progs;
+
+    #[test]
+    fn quickstart_flow() {
+        let mut p = Platform::new();
+        let e = p.load(&progs::adder()).unwrap();
+        assert_eq!(p.run(&e, 0, [40, 2, 0]), EnclaveRun::Exited(42));
+        p.destroy(&e).unwrap();
+    }
+
+    #[test]
+    fn shared_io_roundtrip() {
+        let mut p = Platform::new();
+        let e = p.load(&progs::echo()).unwrap();
+        p.write_shared(&e, 1, 0, &[10, 20, 30, 40]);
+        assert_eq!(p.run(&e, 0, [4, 0, 0]), EnclaveRun::Exited(100));
+        assert_eq!(p.read_shared(&e, 1, 512, 4), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn multiple_enclaves_coexist() {
+        let mut p = Platform::new();
+        let a = p.load(&progs::secret_keeper()).unwrap();
+        let b = p.load(&progs::secret_keeper()).unwrap();
+        assert_eq!(p.run(&a, 0, [0, 111, 0]), EnclaveRun::Exited(0));
+        assert_eq!(p.run(&b, 0, [0, 222, 0]), EnclaveRun::Exited(0));
+        assert_eq!(p.run(&a, 0, [1, 0, 0]), EnclaveRun::Exited(111));
+        assert_eq!(p.run(&b, 0, [1, 0, 0]), EnclaveRun::Exited(222));
+    }
+
+    #[test]
+    fn faulting_guest_reports_fault_only() {
+        let mut p = Platform::new();
+        let e = p.load(&progs::privilege_escalator()).unwrap();
+        assert_eq!(p.run(&e, 0, [0; 3]), EnclaveRun::Faulted);
+    }
+
+    #[test]
+    fn native_process_runs_same_binary() {
+        struct ExitOnly;
+        impl komodo_os::native::Syscalls for ExitOnly {
+            fn handle(&mut self, m: &mut Machine, _os: &Os) -> Option<u32> {
+                use komodo_armv7::regs::Reg;
+                (m.reg(Reg::R(0)) == 0).then(|| m.reg(Reg::R(1)))
+            }
+        }
+        let mut p = Platform::new();
+        let np = p.load_native(&progs::adder());
+        let r = np.run(&mut p.machine, &p.os, &mut ExitOnly, [5, 6, 0], 10_000);
+        assert_eq!(r, komodo_os::native::NativeRun::Exited(11));
+    }
+}

@@ -1,0 +1,175 @@
+//! The abstraction function: concrete memory → specification PageDB.
+//!
+//! The paper's refinement obligation is that the concrete machine state
+//! implements the abstract PageDB ("we consider states (s,d) ... such that
+//! s is an implementation of d", §6.1). This module makes the abstraction
+//! explicit by *reading it back*: given the machine, it reconstructs the
+//! [`komodo_spec::PageDb`] the monitor's in-memory structures denote. The
+//! workspace's refinement tests then check that every monitor call
+//! commutes with the specification through this function.
+
+use komodo_armv7::ptw;
+use komodo_armv7::word::PAGE_SIZE;
+use komodo_armv7::Machine;
+use komodo_crypto::Digest;
+use komodo_spec::measure::Measurement;
+use komodo_spec::pagedb::UserContext;
+use komodo_spec::{AddrspaceState, L2Entry, PageDb, PageEntry};
+
+use crate::layout::MonitorLayout;
+use crate::pgdb::{self, asp_off, astate, ptype, th_off};
+
+/// Lifts the concrete PageDB out of simulated memory.
+///
+/// # Panics
+///
+/// Panics if the concrete state is malformed (unknown type codes,
+/// undecodable descriptors pointing outside the pool) — refinement tests
+/// treat that as a monitor bug, not an input condition.
+pub fn abstract_pagedb(m: &mut Machine, l: &MonitorLayout) -> PageDb {
+    let mut d = PageDb::new(l.npages);
+    for pg in 0..l.npages {
+        let (ty, owner) = pgdb::peek_meta(m, l, pg).expect("metadata readable");
+        let owner = owner as usize;
+        let entry = match ty {
+            ptype::FREE => PageEntry::Free,
+            ptype::ADDRSPACE => abstract_addrspace(m, l, pg),
+            ptype::L1PT => PageEntry::L1PTable {
+                addrspace: owner,
+                slots: abstract_l1(m, l, pg),
+            },
+            ptype::L2PT => PageEntry::L2PTable {
+                addrspace: owner,
+                slots: abstract_l2(m, l, pg),
+            },
+            ptype::THREAD => abstract_thread(m, l, pg, owner),
+            ptype::DATA => {
+                let mut contents = Box::new([0u32; 1024]);
+                for (i, c) in contents.iter_mut().enumerate() {
+                    *c = pgdb::peek_word(m, l, pg, i as u32).expect("pool readable");
+                }
+                PageEntry::Data {
+                    addrspace: owner,
+                    contents,
+                }
+            }
+            ptype::SPARE => PageEntry::Spare { addrspace: owner },
+            other => panic!("unknown page type code {other} for page {pg}"),
+        };
+        d.set(pg, entry);
+    }
+    d
+}
+
+fn abstract_addrspace(m: &mut Machine, l: &MonitorLayout, pg: usize) -> PageEntry {
+    let rd = |m: &mut Machine, off: u32| pgdb::peek_word(m, l, pg, off).expect("pool readable");
+    let l1pt = rd(m, asp_off::L1PT) as usize;
+    let refcount = rd(m, asp_off::REFCOUNT) as usize;
+    let state = match rd(m, asp_off::STATE) {
+        astate::INIT => AddrspaceState::Init,
+        astate::FINAL => AddrspaceState::Final,
+        astate::STOPPED => AddrspaceState::Stopped,
+        other => panic!("unknown addrspace state {other}"),
+    };
+    let mut h = [0u32; 8];
+    for (i, hw) in h.iter_mut().enumerate() {
+        *hw = rd(m, asp_off::MEAS_H + i as u32);
+    }
+    let nblocks = rd(m, asp_off::MEAS_NBLOCKS) as u64;
+    let digest = if rd(m, asp_off::MEAS_DONE) != 0 {
+        let mut dg = [0u32; 8];
+        for (i, w) in dg.iter_mut().enumerate() {
+            *w = rd(m, asp_off::MEAS_DIGEST + i as u32);
+        }
+        Some(Digest(dg))
+    } else {
+        None
+    };
+    PageEntry::Addrspace {
+        l1pt,
+        refcount,
+        state,
+        measurement: Measurement::from_parts(h, nblocks, digest),
+    }
+}
+
+fn abstract_l1(m: &mut Machine, l: &MonitorLayout, pg: usize) -> Box<[Option<usize>; 256]> {
+    let mut slots = Box::new([None; 256]);
+    for (slot, s) in slots.iter_mut().enumerate() {
+        // Komodo slot = 4 consecutive hardware descriptors; the first
+        // determines the L2 page.
+        let desc = pgdb::peek_word(m, l, pg, (slot as u32) * 4).expect("pool readable");
+        if let Some(coarse_pa) = ptw::decode_l1_desc(desc) {
+            let page_pa = coarse_pa & !(PAGE_SIZE - 1);
+            *s = Some(
+                l.pa_to_page(page_pa)
+                    .expect("L1 descriptor points into the pool"),
+            );
+        }
+    }
+    slots
+}
+
+fn abstract_l2(m: &mut Machine, l: &MonitorLayout, pg: usize) -> Box<[L2Entry; 1024]> {
+    let mut slots = Box::new([L2Entry::Nothing; 1024]);
+    for (i, s) in slots.iter_mut().enumerate() {
+        let desc = pgdb::peek_word(m, l, pg, i as u32).expect("pool readable");
+        if desc == 0 {
+            continue;
+        }
+        let t = ptw::decode_l2_desc(desc).expect("valid small-page descriptor");
+        *s = if t.ns {
+            L2Entry::InsecureMapping {
+                pfn: t.pa >> 12,
+                w: t.perms.w,
+            }
+        } else {
+            L2Entry::SecureMapping {
+                page: l.pa_to_page(t.pa).expect("secure mapping into the pool"),
+                w: t.perms.w,
+                x: t.perms.x,
+            }
+        };
+    }
+    slots
+}
+
+fn abstract_thread(m: &mut Machine, l: &MonitorLayout, pg: usize, owner: usize) -> PageEntry {
+    let rd = |m: &mut Machine, off: u32| pgdb::peek_word(m, l, pg, off).expect("pool readable");
+    let entry = rd(m, th_off::ENTRY);
+    let entered = rd(m, th_off::ENTERED) != 0;
+    let mut regs = [0u32; 15];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = rd(m, th_off::REGS + i as u32);
+    }
+    let pc = rd(m, th_off::PC);
+    let cpsr_flags = rd(m, th_off::FLAGS);
+    let mut verify_words = [0u32; 16];
+    for (i, v) in verify_words.iter_mut().enumerate() {
+        *v = rd(m, th_off::VERIFY + i as u32);
+    }
+    PageEntry::Thread {
+        addrspace: owner,
+        entry,
+        entered,
+        context: UserContext {
+            regs,
+            pc,
+            cpsr_flags,
+        },
+        verify_words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boot::boot;
+
+    #[test]
+    fn fresh_platform_abstracts_to_empty_pagedb() {
+        let (mut m, mon) = boot(MonitorLayout::new(1 << 20, 16), 0);
+        let d = abstract_pagedb(&mut m, &mon.layout);
+        assert_eq!(d, PageDb::new(16));
+    }
+}

@@ -1,0 +1,67 @@
+//! The monitor's cycle-cost schedule.
+//!
+//! The prototype of §8.1 is "entirely unoptimised. It conservatively saves
+//! and restores every non-volatile register ... On enclave entry, it also
+//! saves and restores every banked register, although some are known to be
+//! preserved, and flushes the TLB". These constants model that code's
+//! cost, calibrated to a 900 MHz Cortex-A7 so the Table 3 microbenchmarks
+//! land in the paper's regime. Memory traffic the monitor actually performs
+//! on the simulated machine is charged separately by the machine itself
+//! (see `komodo_armv7::machine::cost`); the constants here cover the
+//! instruction work between those accesses.
+//!
+//! The optimisation ablations in the bench crate (`ablation` bench) toggle
+//! the conservative save/restore and unconditional-TLB-flush behaviours to
+//! quantify the headroom the paper describes.
+
+/// SMC dispatch: vector, call-number decode, argument marshalling.
+pub const SMC_DISPATCH: u64 = 28;
+
+/// Conservatively saving the OS's non-volatile registers on SMC entry
+/// (push of r4–r11, lr plus bookkeeping).
+pub const SMC_SAVE_REGS: u64 = 32;
+
+/// Restoring them, plus scrubbing non-return registers on exit.
+pub const SMC_RESTORE_SCRUB: u64 = 40;
+
+/// PageDB metadata validation per call (bounds + type checks beyond actual
+/// memory reads).
+pub const VALIDATE: u64 = 12;
+
+/// Enclave entry: loading the user register file (zeroing or argument
+/// setup) and conservatively saving *every* banked register (§8.1).
+pub const BANKED_SAVE_RESTORE: u64 = 230;
+
+/// Saving or restoring the 17-word thread context beyond the raw stores.
+pub const CONTEXT_SWITCH: u64 = 140;
+
+/// One SHA-256 compression (64-byte block) of the Vale-derived OpenSSL
+/// core at Cortex-A7-class IPC (§7.2, ≈ 32 cycles/byte).
+pub const SHA_BLOCK: u64 = 2400;
+
+/// Data-cache clean/invalidate for a page made visible to user mode
+/// (MapData/MapSecure publish a page to a new address space).
+pub const DCACHE_PAGE: u64 = 3400;
+
+/// SVC dispatch inside the enter loop.
+pub const SVC_DISPATCH: u64 = 12;
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)] // The point is checking the constants.
+mod tests {
+    use super::*;
+
+    /// Coarse calibration guard: the constants must keep the Table 3
+    /// ordering (null SMC < AllocSpare < Enter < Resume < MapData <
+    /// Attest < Verify) achievable; details are checked end-to-end by the
+    /// bench harness.
+    #[test]
+    fn orderings_are_sane() {
+        assert!(SMC_DISPATCH + SMC_SAVE_REGS + SMC_RESTORE_SCRUB < BANKED_SAVE_RESTORE + 100);
+        assert!(SHA_BLOCK * 5 > DCACHE_PAGE);
+        assert!(
+            DCACHE_PAGE + 2048 < SHA_BLOCK * 5,
+            "MapData must undercut Attest"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Physical memory layout (paper Figure 4).
+//!
+//! The platform has one physically contiguous RAM bank, as on the Raspberry
+//! Pi 2; the bootloader reserves its upper part for the monitor image and
+//! the secure page pool, leaving the rest as insecure (normal-world) RAM:
+//!
+//! ```text
+//! 0 ..............................:  insecure RAM (OS, shared pages)
+//! monitor_base ..................:   monitor image/stack/globals  [secure]
+//! secure_base ...................:   secure page pool             [secure]
+//! ```
+//!
+//! Because the monitor's pages sit inside the same physical address space
+//! the OS can name, validating OS-supplied "insecure" addresses must
+//! exclude them — the §9.1 bug this layout exists to reproduce.
+
+use komodo_armv7::word::{Addr, PAGE_SIZE};
+use komodo_armv7::Machine;
+use komodo_spec::SecureParams;
+
+/// The monitor's physical layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonitorLayout {
+    /// Bytes of insecure RAM starting at physical address 0.
+    pub insecure_size: u32,
+    /// Base of the monitor's own (secure) region.
+    pub monitor_base: Addr,
+    /// Size of the monitor region.
+    pub monitor_size: u32,
+    /// Base of the secure page pool.
+    pub secure_base: Addr,
+    /// Number of pool pages.
+    pub npages: usize,
+}
+
+impl MonitorLayout {
+    /// A layout with the given insecure RAM size and pool page count; the
+    /// monitor region is fixed at 64 kB.
+    pub fn new(insecure_size: u32, npages: usize) -> MonitorLayout {
+        assert_eq!(insecure_size % PAGE_SIZE, 0);
+        let monitor_base = insecure_size;
+        let monitor_size = 0x1_0000;
+        MonitorLayout {
+            insecure_size,
+            monitor_base,
+            monitor_size,
+            secure_base: monitor_base + monitor_size,
+            npages,
+        }
+    }
+
+    /// The default evaluation platform: 4 MB insecure RAM, 256 secure pages
+    /// (1 MB pool), echoing the configurable reservation of §8.1.
+    pub fn default_platform() -> MonitorLayout {
+        MonitorLayout::new(4 << 20, 256)
+    }
+
+    /// Physical address of secure pool page `pg`.
+    pub fn page_pa(&self, pg: usize) -> Addr {
+        debug_assert!(pg < self.npages);
+        self.secure_base + (pg as u32) * PAGE_SIZE
+    }
+
+    /// Secure pool page number for a physical address, if it is one.
+    pub fn pa_to_page(&self, pa: Addr) -> Option<usize> {
+        if pa < self.secure_base {
+            return None;
+        }
+        let pg = ((pa - self.secure_base) / PAGE_SIZE) as usize;
+        (pg < self.npages).then_some(pg)
+    }
+
+    /// Address of the `g_pagedb` metadata entry for page `pg` (two words:
+    /// type, owner), in the monitor data region.
+    pub fn pagedb_meta_pa(&self, pg: usize) -> Addr {
+        self.monitor_base + (pg as u32) * 8
+    }
+
+    /// The validation parameters this layout induces. Insecure addresses
+    /// span the whole RAM bank, so the secure pool *and the monitor's own
+    /// pages* must be excluded explicitly (§9.1).
+    pub fn params(&self) -> SecureParams {
+        let end_pfn = (self.secure_base + (self.npages as u32) * PAGE_SIZE) >> 12;
+        SecureParams {
+            npages: self.npages,
+            secure_base_pfn: self.secure_base >> 12,
+            insecure_pfns: 0..end_pfn,
+            monitor_pfns: (self.monitor_base >> 12)..(self.secure_base >> 12),
+        }
+    }
+
+    /// Builds the machine's physical memory regions for this layout.
+    pub fn build_memory(&self, m: &mut Machine) {
+        m.mem.add_region(0, self.insecure_size, false);
+        m.mem.add_region(self.monitor_base, self.monitor_size, true);
+        m.mem
+            .add_region(self.secure_base, (self.npages as u32) * PAGE_SIZE, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_pa_roundtrip() {
+        let l = MonitorLayout::new(1 << 20, 16);
+        for pg in 0..16 {
+            assert_eq!(l.pa_to_page(l.page_pa(pg)), Some(pg));
+        }
+        assert_eq!(l.pa_to_page(0), None);
+        assert_eq!(l.pa_to_page(l.secure_base + 16 * PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn params_exclude_monitor_and_pool() {
+        let l = MonitorLayout::new(1 << 20, 16);
+        let p = l.params();
+        assert!(p.valid_insecure_pfn(0));
+        assert!(p.valid_insecure_pfn((l.monitor_base >> 12) - 1));
+        assert!(!p.valid_insecure_pfn(l.monitor_base >> 12));
+        assert!(!p.valid_insecure_pfn(l.secure_base >> 12));
+        assert!(!p.valid_insecure_pfn((l.secure_base >> 12) + 15));
+    }
+
+    #[test]
+    fn memory_regions_partition_ram() {
+        let l = MonitorLayout::new(1 << 20, 16);
+        let mut m = Machine::new();
+        l.build_memory(&mut m);
+        assert!(!m.mem.is_secure(0));
+        assert!(m.mem.is_secure(l.monitor_base));
+        assert!(m.mem.is_secure(l.page_pa(0)));
+        assert!(m.mem.is_mapped(l.page_pa(15)));
+        assert!(!m.mem.is_mapped(l.page_pa(15) + PAGE_SIZE));
+    }
+
+    #[test]
+    fn metadata_fits_in_monitor_region() {
+        let l = MonitorLayout::default_platform();
+        let last = l.pagedb_meta_pa(l.npages - 1);
+        assert!(last + 8 <= l.monitor_base + l.monitor_size);
+    }
+}

@@ -1,0 +1,278 @@
+//! Direct monitor-path tests: every SMC's accept and reject branches, at
+//! the crate boundary (no OS model), plus cost-model sanity.
+
+use komodo_armv7::Machine;
+use komodo_monitor::abs::abstract_pagedb;
+use komodo_monitor::{boot, Monitor, MonitorLayout};
+use komodo_spec::{KomErr, Mapping, SmcCall};
+
+fn platform() -> (Machine, Monitor) {
+    boot(MonitorLayout::new(1 << 20, 16), 42)
+}
+
+fn smc(m: &mut Machine, mon: &mut Monitor, call: SmcCall, args: [u32; 4]) -> KomErr {
+    mon.smc(m, call as u32, args).err
+}
+
+/// Seeds an insecure page with recognisable contents; returns the PFN.
+fn seed_insecure(m: &mut Machine, pfn: u32, fill: u32) -> u32 {
+    for i in 0..1024u32 {
+        m.mem
+            .write(
+                pfn * 4096 + i * 4,
+                fill ^ i,
+                komodo_armv7::mem::AccessAttrs::NORMAL,
+            )
+            .unwrap();
+    }
+    pfn
+}
+
+#[test]
+fn get_phys_pages_reports_layout() {
+    let (mut m, mut mon) = platform();
+    let r = mon.smc(&mut m, SmcCall::GetPhysPages as u32, [0; 4]);
+    assert_eq!((r.err, r.retval), (KomErr::Ok, 16));
+}
+
+#[test]
+fn init_addrspace_rejections() {
+    let (mut m, mut mon) = platform();
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitAddrspace, [16, 0, 0, 0]),
+        KomErr::InvalidPageNo
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitAddrspace, [0, 16, 0, 0]),
+        KomErr::InvalidPageNo
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitAddrspace, [3, 3, 0, 0]),
+        KomErr::PageInUse
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitAddrspace, [0, 1, 0, 0]),
+        KomErr::Ok
+    );
+    // Reusing either page fails.
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitAddrspace, [0, 2, 0, 0]),
+        KomErr::PageInUse
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitAddrspace, [2, 1, 0, 0]),
+        KomErr::PageInUse
+    );
+}
+
+#[test]
+fn init_thread_and_l2pt_state_checks() {
+    let (mut m, mut mon) = platform();
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitThread, [0, 2, 0, 0]),
+        KomErr::InvalidAddrspace
+    );
+    smc(&mut m, &mut mon, SmcCall::InitAddrspace, [0, 1, 0, 0]);
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitThread, [1, 2, 0, 0]),
+        KomErr::InvalidAddrspace
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitL2PTable, [0, 2, 256, 0]),
+        KomErr::InvalidMapping
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitL2PTable, [0, 2, 0, 0]),
+        KomErr::Ok
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitL2PTable, [0, 3, 0, 0]),
+        KomErr::AddrInUse
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitThread, [0, 3, 0x8000, 0]),
+        KomErr::Ok
+    );
+    smc(&mut m, &mut mon, SmcCall::Finalise, [0, 0, 0, 0]);
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitThread, [0, 4, 0, 0]),
+        KomErr::AlreadyFinal
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::InitL2PTable, [0, 4, 1, 0]),
+        KomErr::AlreadyFinal
+    );
+}
+
+#[test]
+fn map_secure_copies_exact_contents() {
+    let (mut m, mut mon) = platform();
+    smc(&mut m, &mut mon, SmcCall::InitAddrspace, [0, 1, 0, 0]);
+    smc(&mut m, &mut mon, SmcCall::InitL2PTable, [0, 2, 0, 0]);
+    let pfn = seed_insecure(&mut m, 5, 0xabcd_0000);
+    let mapping = Mapping {
+        vpn: 8,
+        r: true,
+        w: false,
+        x: false,
+    };
+    assert_eq!(
+        smc(
+            &mut m,
+            &mut mon,
+            SmcCall::MapSecure,
+            [0, 3, mapping.pack(), pfn]
+        ),
+        KomErr::Ok
+    );
+    let d = abstract_pagedb(&mut m, &mon.layout);
+    match d.get(3).unwrap() {
+        komodo_spec::PageEntry::Data { contents, .. } => {
+            for (i, w) in contents.iter().enumerate() {
+                assert_eq!(*w, 0xabcd_0000 ^ i as u32);
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+    // And the OS later corrupting the staging page does NOT affect the
+    // enclave's copy (TOCTOU safety: the monitor copied, not aliased).
+    seed_insecure(&mut m, 5, 0xffff_ffff);
+    let d = abstract_pagedb(&mut m, &mon.layout);
+    match d.get(3).unwrap() {
+        komodo_spec::PageEntry::Data { contents, .. } => {
+            assert_eq!(contents[0], 0xabcd_0000);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn enter_rejections() {
+    let (mut m, mut mon) = platform();
+    smc(&mut m, &mut mon, SmcCall::InitAddrspace, [0, 1, 0, 0]);
+    smc(&mut m, &mut mon, SmcCall::InitThread, [0, 3, 0x8000, 0]);
+    // Not finalised.
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Enter, [3, 0, 0, 0]),
+        KomErr::NotFinal
+    );
+    // Not a thread page.
+    smc(&mut m, &mut mon, SmcCall::Finalise, [0, 0, 0, 0]);
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Enter, [0, 0, 0, 0]),
+        KomErr::InvalidPageNo
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Enter, [99, 0, 0, 0]),
+        KomErr::InvalidPageNo
+    );
+    // Resume of a never-entered thread.
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Resume, [3, 0, 0, 0]),
+        KomErr::NotEntered
+    );
+    // Stopped enclave.
+    smc(&mut m, &mut mon, SmcCall::Stop, [0, 0, 0, 0]);
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Enter, [3, 0, 0, 0]),
+        KomErr::Stopped
+    );
+}
+
+#[test]
+fn same_call_costs_same_cycles() {
+    // The cost model is input-independent for same-shaped calls — the
+    // basis of the timing side of the NI results.
+    let (mut m1, mut mon1) = platform();
+    let (mut m2, mut mon2) = platform();
+    smc(&mut m1, &mut mon1, SmcCall::InitAddrspace, [0, 1, 0, 0]);
+    smc(&mut m2, &mut mon2, SmcCall::InitAddrspace, [7, 9, 0, 0]);
+    assert_eq!(m1.cycles, m2.cycles);
+    // Rejected calls cost the same regardless of why they fail late vs
+    // early is allowed to differ — but identical failure shapes match.
+    let c1 = {
+        let b = m1.cycles;
+        smc(&mut m1, &mut mon1, SmcCall::InitAddrspace, [0, 1, 0, 0]);
+        m1.cycles - b
+    };
+    let c2 = {
+        let b = m2.cycles;
+        smc(&mut m2, &mut mon2, SmcCall::InitAddrspace, [7, 9, 0, 0]);
+        m2.cycles - b
+    };
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn measurement_insensitive_to_page_numbers() {
+    // The measurement binds VAs, permissions, contents, and entry points —
+    // but *not* which physical pool pages the OS picked (the OS choice is
+    // arbitrary and untrusted).
+    let build = |asp: u32, l1: u32, l2: u32, th: u32, data: u32| {
+        let (mut m, mut mon) = platform();
+        let pfn = seed_insecure(&mut m, 5, 7);
+        smc(&mut m, &mut mon, SmcCall::InitAddrspace, [asp, l1, 0, 0]);
+        smc(&mut m, &mut mon, SmcCall::InitL2PTable, [asp, l2, 0, 0]);
+        let mapping = Mapping {
+            vpn: 8,
+            r: true,
+            w: true,
+            x: false,
+        };
+        smc(
+            &mut m,
+            &mut mon,
+            SmcCall::MapSecure,
+            [asp, data, mapping.pack(), pfn],
+        );
+        smc(&mut m, &mut mon, SmcCall::InitThread, [asp, th, 0x8000, 0]);
+        smc(&mut m, &mut mon, SmcCall::Finalise, [asp, 0, 0, 0]);
+        let d = abstract_pagedb(&mut m, &mon.layout);
+        d.measurement_of(asp as usize).unwrap().digest().unwrap()
+    };
+    assert_eq!(build(0, 1, 2, 3, 4), build(9, 8, 7, 6, 5));
+}
+
+#[test]
+fn remove_order_enforced() {
+    let (mut m, mut mon) = platform();
+    smc(&mut m, &mut mon, SmcCall::InitAddrspace, [0, 1, 0, 0]);
+    smc(&mut m, &mut mon, SmcCall::InitThread, [0, 3, 0, 0]);
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Remove, [3, 0, 0, 0]),
+        KomErr::NotStopped
+    );
+    smc(&mut m, &mut mon, SmcCall::Stop, [0, 0, 0, 0]);
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Remove, [0, 0, 0, 0]),
+        KomErr::PagesRemain
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Remove, [3, 0, 0, 0]),
+        KomErr::Ok
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Remove, [1, 0, 0, 0]),
+        KomErr::Ok
+    );
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Remove, [0, 0, 0, 0]),
+        KomErr::Ok
+    );
+    // Removing a free page is idempotent success.
+    assert_eq!(
+        smc(&mut m, &mut mon, SmcCall::Remove, [0, 0, 0, 0]),
+        KomErr::Ok
+    );
+}
+
+#[test]
+fn world_and_mode_restored_after_every_call() {
+    use komodo_armv7::mode::{Mode, World};
+    let (mut m, mut mon) = platform();
+    for call in 1..=12u32 {
+        let _ = mon.smc(&mut m, call, [0, 1, 2, 3]);
+        assert_eq!(m.cpsr.mode, Mode::Supervisor, "call {call}");
+        assert_eq!(m.world(), World::Normal, "call {call}");
+    }
+}

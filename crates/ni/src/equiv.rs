@@ -1,0 +1,231 @@
+//! Observational-equivalence relations (paper §6.1).
+
+use komodo_spec::{PageDb, PageEntry, PageNr};
+use std::collections::BTreeMap;
+
+/// Definition 1: weak equivalence of PageDB entries, `e1 =enc e2` — how
+/// pages *outside* an observer's address space look to it. "An enclave
+/// cannot observe data page contents or thread context unless those pages
+/// belong to it."
+pub fn weak_eq_page(e1: &PageEntry, e2: &PageEntry) -> bool {
+    match (e1, e2) {
+        (PageEntry::Data { .. }, PageEntry::Data { .. }) => true,
+        (PageEntry::Spare { .. }, PageEntry::Spare { .. }) => true,
+        (PageEntry::Thread { entered: en1, .. }, PageEntry::Thread { entered: en2, .. }) => {
+            en1 == en2
+        }
+        (PageEntry::L1PTable { .. }, PageEntry::L1PTable { .. })
+        | (PageEntry::L2PTable { .. }, PageEntry::L2PTable { .. })
+        | (PageEntry::Addrspace { .. }, PageEntry::Addrspace { .. }) => e1 == e2,
+        _ => false,
+    }
+}
+
+/// Definition 2: observational equivalence `d1 ≈enc d2` from the
+/// perspective of the enclave rooted at address-space page `enc`:
+/// free sets equal, `enc`'s page set equal, pages outside `enc` weakly
+/// equal, pages inside `enc` exactly equal.
+pub fn obs_equiv_enc(d1: &PageDb, d2: &PageDb, enc: PageNr) -> bool {
+    if d1.npages() != d2.npages() {
+        return false;
+    }
+    let a1 = owned_set(d1, enc);
+    let a2 = owned_set(d2, enc);
+    if a1 != a2 {
+        return false;
+    }
+    for pg in 0..d1.npages() {
+        let (e1, e2) = (d1.get(pg).unwrap(), d2.get(pg).unwrap());
+        if e1.is_free() != e2.is_free() {
+            return false; // F(d1) == F(d2).
+        }
+        if e1.is_free() {
+            continue;
+        }
+        if a1.contains(&pg) {
+            if e1 != e2 {
+                return false;
+            }
+        } else if !weak_eq_page(e1, e2) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Pages belonging to the address space `enc`, including the
+/// address-space page itself.
+fn owned_set(d: &PageDb, enc: PageNr) -> Vec<PageNr> {
+    let mut v: Vec<PageNr> = d.pages_of(enc);
+    if d.is_addrspace(enc) {
+        v.push(enc);
+    }
+    v.sort_unstable();
+    v
+}
+
+/// The adversary's full view at the specification level: the PageDB, the
+/// registers the OS can read after a call, and insecure memory. "Two
+/// states are related by ≈adv if in addition to the requirements imposed
+/// by ≈enc, all of the following are the same for both states: the
+/// general-purpose registers, the banked registers (excluding monitor
+/// mode), and the insecure memory."
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdvState {
+    /// The abstract PageDB.
+    pub pagedb: PageDb,
+    /// OS-visible register values (for the spec level: the `(err, retval)`
+    /// pair the handler returns; the concrete level compares the full
+    /// register file).
+    pub regs: Vec<u32>,
+    /// Insecure memory contents by PFN.
+    pub insecure: BTreeMap<u32, Box<[u32; 1024]>>,
+}
+
+/// `≈adv`: ≈enc for the colluding enclave `malicious_enc` plus equality of
+/// the adversary-visible registers and all insecure memory.
+pub fn obs_equiv_adv(s1: &AdvState, s2: &AdvState, malicious_enc: PageNr) -> bool {
+    obs_equiv_enc(&s1.pagedb, &s2.pagedb, malicious_enc)
+        && s1.regs == s2.regs
+        && s1.insecure == s2.insecure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_spec::measure::Measurement;
+    use komodo_spec::pagedb::UserContext;
+    use komodo_spec::AddrspaceState;
+
+    fn data(asp: PageNr, fill: u32) -> PageEntry {
+        PageEntry::Data {
+            addrspace: asp,
+            contents: Box::new([fill; 1024]),
+        }
+    }
+
+    fn thread(asp: PageNr, entered: bool, r0: u32) -> PageEntry {
+        let mut context = UserContext::zeroed();
+        context.regs[0] = r0;
+        PageEntry::Thread {
+            addrspace: asp,
+            entry: 0x8000,
+            entered,
+            context,
+            verify_words: [0; 16],
+        }
+    }
+
+    fn addrspace(l1pt: PageNr, refcount: usize) -> PageEntry {
+        PageEntry::Addrspace {
+            l1pt,
+            refcount,
+            state: AddrspaceState::Final,
+            measurement: Measurement::new(),
+        }
+    }
+
+    #[test]
+    fn weak_eq_hides_data_contents_and_context() {
+        assert!(weak_eq_page(&data(0, 1), &data(0, 2)));
+        assert!(weak_eq_page(&thread(0, true, 5), &thread(0, true, 9)));
+        assert!(!weak_eq_page(&thread(0, true, 5), &thread(0, false, 5)));
+        assert!(!weak_eq_page(
+            &data(0, 1),
+            &PageEntry::Spare { addrspace: 0 }
+        ));
+        assert!(weak_eq_page(
+            &PageEntry::Spare { addrspace: 0 },
+            &PageEntry::Spare { addrspace: 1 }
+        ));
+    }
+
+    #[test]
+    fn weak_eq_exposes_addrspace_and_tables() {
+        let a1 = addrspace(1, 2);
+        let mut a2 = addrspace(1, 2);
+        assert!(weak_eq_page(&a1, &a2));
+        if let PageEntry::Addrspace { refcount, .. } = &mut a2 {
+            *refcount = 3;
+        }
+        assert!(!weak_eq_page(&a1, &a2));
+    }
+
+    /// Two enclaves (0 and 4); the secret lives in enclave 4's data page 6.
+    fn two_enclaves(secret: u32, observer_secret: u32) -> PageDb {
+        let mut d = PageDb::new(8);
+        d.set(0, addrspace(1, 2));
+        d.set(
+            1,
+            PageEntry::L1PTable {
+                addrspace: 0,
+                slots: Box::new([None; 256]),
+            },
+        );
+        d.set(2, data(0, observer_secret));
+        d.set(4, addrspace(5, 2));
+        d.set(
+            5,
+            PageEntry::L1PTable {
+                addrspace: 4,
+                slots: Box::new([None; 256]),
+            },
+        );
+        d.set(6, data(4, secret));
+        d
+    }
+
+    #[test]
+    fn obs_equiv_hides_other_enclave_secrets() {
+        let d1 = two_enclaves(111, 7);
+        let d2 = two_enclaves(222, 7);
+        // From enclave 0's view, enclave 4's data differs invisibly.
+        assert!(obs_equiv_enc(&d1, &d2, 0));
+        // From enclave 4's own view, the difference is visible.
+        assert!(!obs_equiv_enc(&d1, &d2, 4));
+    }
+
+    #[test]
+    fn obs_equiv_sees_own_pages() {
+        let d1 = two_enclaves(1, 10);
+        let d2 = two_enclaves(1, 20);
+        assert!(!obs_equiv_enc(&d1, &d2, 0));
+        assert!(obs_equiv_enc(&d1, &d2, 4));
+    }
+
+    #[test]
+    fn obs_equiv_requires_same_free_set() {
+        let d1 = two_enclaves(1, 1);
+        let mut d2 = two_enclaves(1, 1);
+        d2.set(7, PageEntry::Spare { addrspace: 0 });
+        assert!(!obs_equiv_enc(&d1, &d2, 4));
+    }
+
+    #[test]
+    fn obs_equiv_requires_same_ownership() {
+        let d1 = two_enclaves(1, 1);
+        let mut d2 = two_enclaves(1, 1);
+        // Reassign the secret page to the observer.
+        d2.set(6, data(0, 1));
+        assert!(!obs_equiv_enc(&d1, &d2, 0));
+    }
+
+    #[test]
+    fn adv_equiv_adds_regs_and_insecure() {
+        let base = AdvState {
+            pagedb: two_enclaves(1, 2),
+            regs: vec![0, 42],
+            insecure: BTreeMap::new(),
+        };
+        let mut same = base.clone();
+        // Vary only the victim's secret.
+        same.pagedb = two_enclaves(9, 2);
+        assert!(obs_equiv_adv(&base, &same, 0));
+        let mut diff_regs = base.clone();
+        diff_regs.regs = vec![0, 43];
+        assert!(!obs_equiv_adv(&base, &diff_regs, 0));
+        let mut diff_mem = base.clone();
+        diff_mem.insecure.insert(3, Box::new([1; 1024]));
+        assert!(!obs_equiv_adv(&base, &diff_mem, 0));
+    }
+}

@@ -1,0 +1,368 @@
+//! Randomized generation of valid states, secret-twins, and adversary
+//! traces.
+//!
+//! States are built the only way real states arise: by running random
+//! (but mostly well-formed) OS call sequences through the specification.
+//! A *twin* replaces the victim enclave's runtime secrets — data-page
+//! contents and saved thread context — with fresh values, producing a
+//! pair related by `≈adv`: everything the adversary can see is identical.
+
+use komodo_spec::enter::InsecureMem;
+use komodo_spec::{KomErr, Mapping, PageDb, PageEntry, PageNr, SecureParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Insecure memory as a sparse page map (the spec-level bus).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MapMem(pub BTreeMap<u32, Box<[u32; 1024]>>);
+
+impl InsecureMem for MapMem {
+    fn read_page(&mut self, pfn: u32) -> Box<[u32; 1024]> {
+        self.0
+            .get(&pfn)
+            .cloned()
+            .unwrap_or_else(|| Box::new([0; 1024]))
+    }
+    fn write_word(&mut self, pfn: u32, index: usize, value: u32) {
+        self.0.entry(pfn).or_insert_with(|| Box::new([0; 1024]))[index] = value;
+    }
+}
+
+/// A generated scenario: one finalised *victim* enclave holding secrets,
+/// one *adversary* enclave colluding with the OS, shared insecure memory.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Platform parameters.
+    pub params: SecureParams,
+    /// The state.
+    pub d: PageDb,
+    /// Insecure memory.
+    pub insecure: MapMem,
+    /// Victim address-space page.
+    pub victim: PageNr,
+    /// Victim thread pages.
+    pub victim_threads: Vec<PageNr>,
+    /// Victim spare page, if any.
+    pub victim_spare: Option<PageNr>,
+    /// Adversary address-space page.
+    pub adversary: PageNr,
+    /// Adversary thread pages.
+    pub adversary_threads: Vec<PageNr>,
+}
+
+/// Builds a random valid scenario from `seed`.
+pub fn scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = SecureParams::for_tests();
+    let mut d = PageDb::new(params.npages);
+    let mut insecure = MapMem::default();
+    let mut next_page = 0usize;
+    let alloc = |n: &mut usize| {
+        let p = *n;
+        *n += 1;
+        p
+    };
+
+    // Pre-fill some insecure pages with random (public) data.
+    for pfn in 10..14u32 {
+        let mut page = Box::new([0u32; 1024]);
+        for w in page.iter_mut() {
+            *w = rng.gen();
+        }
+        insecure.0.insert(pfn, page);
+    }
+
+    // Victim enclave: addrspace, L2 tables, 1–2 data pages, an insecure
+    // mapping, 1–2 threads, finalised, maybe a spare.
+    let victim = alloc(&mut next_page);
+    let l1 = alloc(&mut next_page);
+    let (nd, e) = komodo_spec::smc::init_addrspace(d, &params, victim, l1);
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+    let l2 = alloc(&mut next_page);
+    let (nd, e) = komodo_spec::smc::init_l2ptable(d, &params, victim, l2, 0);
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+
+    let ndata = rng.gen_range(1..=2);
+    for i in 0..ndata {
+        let data = alloc(&mut next_page);
+        let mapping = Mapping {
+            vpn: 8 + i as u32,
+            r: true,
+            w: true,
+            x: false,
+        };
+        let contents = insecure.read_page(10 + i as u32);
+        let (nd, e) = komodo_spec::smc::map_secure(
+            d,
+            &params,
+            victim,
+            data,
+            mapping,
+            10 + i as u32,
+            &contents,
+        );
+        assert_eq!(e, KomErr::Ok);
+        d = nd;
+    }
+    // A writable shared page for declass-free public output.
+    let (nd, e) = komodo_spec::smc::map_insecure(
+        d,
+        &params,
+        victim,
+        Mapping {
+            vpn: 16,
+            r: true,
+            w: true,
+            x: false,
+        },
+        13,
+    );
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+
+    let mut victim_threads = Vec::new();
+    for _ in 0..rng.gen_range(1..=2usize) {
+        let th = alloc(&mut next_page);
+        let (nd, e) = komodo_spec::smc::init_thread(d, &params, victim, th, 0x8000);
+        assert_eq!(e, KomErr::Ok);
+        d = nd;
+        victim_threads.push(th);
+    }
+    let (nd, e) = komodo_spec::smc::finalise(d, &params, victim);
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+    let victim_spare = if rng.gen_bool(0.5) {
+        let sp = alloc(&mut next_page);
+        let (nd, e) = komodo_spec::smc::alloc_spare(d, &params, victim, sp);
+        assert_eq!(e, KomErr::Ok);
+        d = nd;
+        Some(sp)
+    } else {
+        None
+    };
+
+    // Adversary enclave: similar but simpler, also finalised (so it can
+    // run and collude).
+    let adversary = alloc(&mut next_page);
+    let al1 = alloc(&mut next_page);
+    let (nd, e) = komodo_spec::smc::init_addrspace(d, &params, adversary, al1);
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+    let al2 = alloc(&mut next_page);
+    let (nd, e) = komodo_spec::smc::init_l2ptable(d, &params, adversary, al2, 0);
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+    let adata = alloc(&mut next_page);
+    let contents = insecure.read_page(12);
+    let (nd, e) = komodo_spec::smc::map_secure(
+        d,
+        &params,
+        adversary,
+        adata,
+        Mapping {
+            vpn: 8,
+            r: true,
+            w: true,
+            x: false,
+        },
+        12,
+        &contents,
+    );
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+    let (nd, e) = komodo_spec::smc::map_insecure(
+        d,
+        &params,
+        adversary,
+        Mapping {
+            vpn: 16,
+            r: true,
+            w: true,
+            x: false,
+        },
+        13,
+    );
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+    let ath = alloc(&mut next_page);
+    let (nd, e) = komodo_spec::smc::init_thread(d, &params, adversary, ath, 0x8000);
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+    let (nd, e) = komodo_spec::smc::finalise(d, &params, adversary);
+    assert_eq!(e, KomErr::Ok);
+    d = nd;
+
+    assert!(komodo_spec::invariants::valid_pagedb(&d, &params));
+    Scenario {
+        params,
+        d,
+        insecure,
+        victim,
+        victim_threads,
+        victim_spare,
+        adversary,
+        adversary_threads: vec![ath],
+    }
+}
+
+/// Produces the secret-twin of a scenario: identical except the victim's
+/// data-page contents (and any saved victim thread context) are replaced
+/// with values derived from `secret_seed`. The result is `≈adv`-related
+/// to the original by construction.
+pub fn twin(s: &Scenario, secret_seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(secret_seed);
+    let mut t = s.clone();
+    for pg in t.d.pages_of(s.victim) {
+        match t.d.get_mut(pg) {
+            Some(PageEntry::Data { contents, .. }) => {
+                for w in contents.iter_mut() {
+                    *w = rng.gen();
+                }
+            }
+            Some(PageEntry::Thread {
+                entered, context, ..
+            }) if *entered => {
+                for r in context.regs.iter_mut() {
+                    *r = rng.gen();
+                }
+                context.pc = rng.gen();
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// One adversary action in a trace.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// An SMC with raw call number and arguments.
+    Smc(u32, [u32; 4]),
+    /// Enter a victim thread (index into `victim_threads`) with a fresh
+    /// seeded exec.
+    EnterVictim(usize, [u32; 3]),
+    /// Resume a victim thread.
+    ResumeVictim(usize),
+    /// Enter the adversary's own thread.
+    EnterAdversary([u32; 3]),
+    /// The OS scribbles a (public) value into insecure memory.
+    ScribbleInsecure(u32, usize, u32),
+}
+
+/// Generates a random adversary trace. When `touch_victim` is false, the
+/// trace never runs the victim nor removes/stops it — the premise of the
+/// integrity frame test.
+pub fn trace(s: &Scenario, seed: u64, len: usize, touch_victim: bool) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ace);
+    let mut out = Vec::new();
+    for _ in 0..len {
+        let roll = rng.gen_range(0..100);
+        let action = if roll < 25 && touch_victim {
+            if rng.gen_bool(0.5) {
+                Action::EnterVictim(
+                    rng.gen_range(0..s.victim_threads.len()),
+                    [rng.gen(), rng.gen(), rng.gen()],
+                )
+            } else {
+                Action::ResumeVictim(rng.gen_range(0..s.victim_threads.len()))
+            }
+        } else if roll < 40 {
+            Action::EnterAdversary([rng.gen(), rng.gen(), rng.gen()])
+        } else if roll < 55 {
+            Action::ScribbleInsecure(13, rng.gen_range(0..1024), rng.gen())
+        } else {
+            // Structural SMCs with small-range (often-valid, sometimes
+            // garbage) arguments.
+            let call = rng.gen_range(1..=12u32);
+            let args = [
+                rng.gen_range(0..40u32),
+                rng.gen_range(0..40u32),
+                if rng.gen_bool(0.5) {
+                    Mapping {
+                        vpn: rng.gen_range(0..32),
+                        r: true,
+                        w: rng.gen_bool(0.5),
+                        x: false,
+                    }
+                    .pack()
+                } else {
+                    rng.gen_range(0..64)
+                },
+                rng.gen_range(0..16u32),
+            ];
+            // Respect the no-touch premise.
+            let touches_victim = {
+                let victim_pages: Vec<u32> = {
+                    let mut v: Vec<u32> =
+                        s.d.pages_of(s.victim).iter().map(|p| *p as u32).collect();
+                    v.push(s.victim as u32);
+                    v
+                };
+                // Enter/Resume (9/10) anywhere; AllocSpare (5), Stop (11)
+                // or Remove (12) aimed at the victim's pages.
+                matches!(call, 9 | 10)
+                    || (matches!(call, 5 | 11 | 12) && victim_pages.contains(&args[0]))
+            };
+            if !touch_victim && touches_victim {
+                Action::ScribbleInsecure(13, 0, rng.gen())
+            } else {
+                Action::Smc(call, args)
+            }
+        };
+        out.push(action);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::obs_equiv_enc;
+
+    #[test]
+    fn scenario_is_valid_and_deterministic() {
+        let a = scenario(1);
+        let b = scenario(1);
+        assert_eq!(a.d, b.d);
+        assert!(komodo_spec::invariants::valid_pagedb(&a.d, &a.params));
+    }
+
+    #[test]
+    fn twin_is_adv_equivalent_but_not_identical() {
+        for seed in 0..5 {
+            let s = scenario(seed);
+            let t = twin(&s, 999);
+            assert!(obs_equiv_enc(&s.d, &t.d, s.adversary), "seed {seed}");
+            // The victim's own view differs (it has ≥1 data page whose
+            // contents changed).
+            assert!(!obs_equiv_enc(&s.d, &t.d, s.victim), "seed {seed}");
+            assert!(komodo_spec::invariants::valid_pagedb(&t.d, &t.params));
+        }
+    }
+
+    #[test]
+    fn no_touch_trace_avoids_victim() {
+        let s = scenario(3);
+        let tr = trace(&s, 7, 200, false);
+        for a in tr {
+            match a {
+                Action::EnterVictim(..) | Action::ResumeVictim(..) => {
+                    panic!("no-touch trace ran the victim")
+                }
+                Action::Smc(call, args) => {
+                    let mut vp: Vec<u32> =
+                        s.d.pages_of(s.victim).iter().map(|p| *p as u32).collect();
+                    vp.push(s.victim as u32);
+                    assert!(!matches!(call, 9 | 10));
+                    if matches!(call, 11 | 12) {
+                        assert!(!vp.contains(&args[0]));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

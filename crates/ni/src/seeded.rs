@@ -1,0 +1,265 @@
+//! Enclave execution as a seeded uninterpreted function (paper §6.3).
+//!
+//! "Our specification models the non-determinism by updating each part of
+//! the enclave state with an uninterpreted function specific to the
+//! updated state. Each function takes at least two inputs: (i) all of the
+//! user-visible state ... and (ii) a source of non-determinism modelled as
+//! an unknown integer seed."
+//!
+//! The structure below is exactly what makes the confidentiality proof
+//! (and test) go through:
+//!
+//! - *Secret-influenced* outputs — new secure-page contents and the
+//!   non-interface registers — are derived from a hash of the **full**
+//!   view (secure contents included).
+//! - *Public* outputs — insecure-memory writes, the SVC/exit choices, SVC
+//!   arguments, and the exit value — are derived from a hash of the
+//!   **public** part only (registers at a public entry, insecure
+//!   contents, the address-space shape, and the seed). "Enclave updates
+//!   to [insecure memory] are still non-deterministic, but do not depend
+//!   on user state."
+//!
+//! A deliberately *leaky* variant ([`SeededExec::leaky`]) routes a secret
+//! word into the exit value; the NI suite uses it to demonstrate the
+//!   bisimulation actually detects leaks (the declassification boundary of
+//! §6.2 is where such flows would have to be accounted).
+
+use komodo_crypto::Sha256;
+use komodo_spec::enter::{UserExec, UserExitKind, UserStep, UserVisible};
+use komodo_spec::types::SvcCall;
+
+/// Deterministic, seeded enclave behaviour.
+#[derive(Clone, Debug)]
+pub struct SeededExec {
+    /// The nondeterminism seed; the proofs "require that the seeds in the
+    /// initial states are the same for successful executions of the
+    /// observer enclave".
+    pub seed: u64,
+    /// Number of non-exit SVC bursts before exiting.
+    pub svcs_before_exit: u32,
+    /// Candidate spare page for dynamic-memory SVCs (public: the OS
+    /// allocated it).
+    pub spare_page: Option<u32>,
+    /// When set, the exit value is the first word of the first secure
+    /// page — a secret flow the monitor cannot prevent (it is the
+    /// enclave's own choice) and the declassification axioms would have
+    /// to release.
+    pub leak_secret: bool,
+    burst: u32,
+}
+
+impl SeededExec {
+    /// A well-behaved enclave.
+    pub fn new(seed: u64, svcs_before_exit: u32) -> SeededExec {
+        SeededExec {
+            seed,
+            svcs_before_exit,
+            spare_page: None,
+            leak_secret: false,
+            burst: 0,
+        }
+    }
+
+    /// A leaky enclave (for negative tests).
+    pub fn leaky(seed: u64) -> SeededExec {
+        SeededExec {
+            leak_secret: true,
+            ..SeededExec::new(seed, 0)
+        }
+    }
+
+    fn public_hash(&self, view: &UserVisible) -> [u32; 8] {
+        let mut h = Sha256::new();
+        h.update(&self.seed.to_be_bytes());
+        h.update(&self.burst.to_be_bytes());
+        h.update(&view.pc.to_be_bytes());
+        // Registers at a fresh Enter are public (zeroed + OS arguments);
+        // across SVC returns they carry monitor results derived from
+        // public data for well-behaved enclaves. Saved-context registers
+        // on Resume are *not* public, so they are deliberately excluded —
+        // only the structural shape below feeds the public hash.
+        for (vpn, _, w, x) in &view.secure_pages {
+            h.update(&vpn.to_be_bytes());
+            h.update(&[*w as u8, *x as u8]);
+        }
+        for (vpn, pfn, w, contents) in &view.insecure_pages {
+            h.update(&vpn.to_be_bytes());
+            h.update(&pfn.to_be_bytes());
+            h.update(&[*w as u8]);
+            for word in contents.iter() {
+                h.update(&word.to_be_bytes());
+            }
+        }
+        h.finish().0
+    }
+
+    fn full_hash(&self, view: &UserVisible, public: &[u32; 8]) -> [u32; 8] {
+        let mut h = Sha256::new();
+        for w in public {
+            h.update(&w.to_be_bytes());
+        }
+        for r in &view.regs {
+            h.update(&r.to_be_bytes());
+        }
+        for (_, contents, _, _) in &view.secure_pages {
+            for word in contents.iter() {
+                h.update(&word.to_be_bytes());
+            }
+        }
+        h.finish().0
+    }
+}
+
+impl UserExec for SeededExec {
+    fn step(&mut self, view: &UserVisible) -> UserStep {
+        let public = self.public_hash(view);
+        let full = self.full_hash(view, &public);
+        self.burst += 1;
+
+        // Havoc: non-interface registers from the full (secret-tainted)
+        // hash; they stay inside the enclave boundary.
+        let mut regs = [0u32; 15];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = full[i % 8].wrapping_add(i as u32);
+        }
+
+        // Secure writes (secret-tainted): rewrite the first word of every
+        // writable private page.
+        let mut secure_writes = Vec::new();
+        for (i, (vpn, contents, w, _)) in view.secure_pages.iter().enumerate() {
+            if *w {
+                let mut c = contents.clone();
+                c[0] ^= full[i % 8];
+                c[1] = c[1].wrapping_add(1);
+                secure_writes.push((*vpn, c));
+            }
+        }
+
+        // Insecure writes (public-only): one word per writable shared
+        // mapping, derived from the public hash.
+        let mut insecure_writes = Vec::new();
+        for (i, (_, pfn, w, _)) in view.insecure_pages.iter().enumerate() {
+            if *w {
+                insecure_writes.push((*pfn, i % 1024, public[i % 8]));
+            }
+        }
+
+        // Exit choice (public-only).
+        if self.burst <= self.svcs_before_exit {
+            let choice = public[7] % if self.spare_page.is_some() { 4 } else { 2 };
+            match choice {
+                0 => {
+                    regs[0] = SvcCall::GetRandom as u32;
+                }
+                1 => {
+                    regs[0] = SvcCall::Attest as u32;
+                    // Attestation payload: public-derived.
+                    regs[1..9].copy_from_slice(&public);
+                }
+                2 => {
+                    regs[0] = SvcCall::MapData as u32;
+                    regs[1] = self.spare_page.expect("choice 2 only with a spare");
+                    // Map at a fixed spare VA with rw permissions.
+                    regs[2] = 0x0020_0000 | 0b011;
+                }
+                _ => {
+                    regs[0] = SvcCall::UnmapData as u32;
+                    regs[1] = self.spare_page.expect("choice 3 only with a spare");
+                    regs[2] = 0x0020_0000 | 0b011;
+                }
+            }
+            UserStep {
+                regs,
+                pc: view.pc.wrapping_add(4),
+                cpsr_flags: 0,
+                secure_writes,
+                insecure_writes,
+                exit: UserExitKind::Svc,
+            }
+        } else {
+            regs[0] = SvcCall::Exit as u32;
+            regs[1] = if self.leak_secret {
+                view.secure_pages
+                    .first()
+                    .map(|(_, c, _, _)| c[0])
+                    .unwrap_or(0)
+            } else {
+                public[3]
+            };
+            UserStep {
+                regs,
+                pc: view.pc.wrapping_add(4),
+                cpsr_flags: 0,
+                secure_writes,
+                insecure_writes,
+                exit: UserExitKind::Svc,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(secret: u32, public_word: u32) -> UserVisible {
+        UserVisible {
+            regs: [0; 15],
+            pc: 0x8000,
+            secure_pages: vec![(8, Box::new([secret; 1024]), true, false)],
+            insecure_pages: vec![(0x100, 7, true, Box::new([public_word; 1024]))],
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SeededExec::new(5, 1);
+        let mut b = SeededExec::new(5, 1);
+        let v = view(1, 2);
+        let sa = a.step(&v);
+        let sb = b.step(&v);
+        assert_eq!(sa.regs, sb.regs);
+        assert_eq!(sa.insecure_writes, sb.insecure_writes);
+        assert_eq!(sa.exit, sb.exit);
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = SeededExec::new(5, 0);
+        let mut b = SeededExec::new(6, 0);
+        let v = view(1, 2);
+        assert_ne!(a.step(&v).regs[1], b.step(&v).regs[1]);
+    }
+
+    #[test]
+    fn public_outputs_ignore_secrets() {
+        // Same public data, different secret contents: the insecure
+        // writes and exit value must coincide.
+        let mut a = SeededExec::new(5, 0);
+        let mut b = SeededExec::new(5, 0);
+        let sa = a.step(&view(111, 9));
+        let sb = b.step(&view(222, 9));
+        assert_eq!(sa.insecure_writes, sb.insecure_writes);
+        assert_eq!(sa.regs[1], sb.regs[1], "exit value leaked a secret");
+        // The secret-tainted secure writes may (and here do) differ.
+        assert_ne!(sa.secure_writes[0].1[0], sb.secure_writes[0].1[0]);
+    }
+
+    #[test]
+    fn public_outputs_track_public_inputs() {
+        let mut a = SeededExec::new(5, 0);
+        let mut b = SeededExec::new(5, 0);
+        let sa = a.step(&view(1, 10));
+        let sb = b.step(&view(1, 20));
+        assert_ne!(sa.insecure_writes, sb.insecure_writes);
+    }
+
+    #[test]
+    fn leaky_variant_leaks() {
+        let mut a = SeededExec::leaky(5);
+        let mut b = SeededExec::leaky(5);
+        let sa = a.step(&view(111, 9));
+        let sb = b.step(&view(222, 9));
+        assert_ne!(sa.regs[1], sb.regs[1]);
+    }
+}

@@ -1,0 +1,201 @@
+//! A malicious OS (threat model §3.1).
+//!
+//! "We assume a software attacker who controls privileged software." Every
+//! routine here is an attack the monitor or the TrustZone hardware must
+//! defeat; the security test suite asserts that each one fails and that
+//! enclave state is unaffected.
+
+use komodo_armv7::mem::AccessAttrs;
+use komodo_armv7::word::PAGE_SIZE;
+use komodo_armv7::Machine;
+use komodo_monitor::Monitor;
+use komodo_spec::{KomErr, Mapping, SmcCall};
+
+use crate::builder::Enclave;
+use crate::os::Os;
+
+/// Outcome of an attack attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The monitor rejected the call with this error.
+    RejectedByMonitor(KomErr),
+    /// The hardware (TrustZone memory controller) blocked the access.
+    BlockedByHardware,
+    /// The attack appeared to succeed — a security failure the tests
+    /// assert never happens.
+    Succeeded,
+}
+
+/// Attempts to read a secure page directly from the normal world.
+pub fn read_secure_memory(m: &mut Machine, mon: &Monitor, page: usize) -> AttackOutcome {
+    match m.mem.read(mon.layout.page_pa(page), AccessAttrs::NORMAL) {
+        Ok(_) => AttackOutcome::Succeeded,
+        Err(_) => AttackOutcome::BlockedByHardware,
+    }
+}
+
+/// Attempts to overwrite a secure page directly from the normal world.
+pub fn write_secure_memory(m: &mut Machine, mon: &Monitor, page: usize) -> AttackOutcome {
+    match m
+        .mem
+        .write(mon.layout.page_pa(page), 0xdead_beef, AccessAttrs::NORMAL)
+    {
+        Ok(_) => AttackOutcome::Succeeded,
+        Err(_) => AttackOutcome::BlockedByHardware,
+    }
+}
+
+/// Attempts to map a victim enclave's data page into an attacker enclave
+/// (the "double-mapping between distrusting enclaves" §4 forbids).
+///
+/// The attacker has built its own enclave (`attacker_asp` still in the
+/// init state) and names the *victim's* secure data page as the target of
+/// its own `MapSecure`.
+pub fn double_map_secure_page(
+    m: &mut Machine,
+    mon: &mut Monitor,
+    os: &Os,
+    attacker_asp: usize,
+    victim_data_page: usize,
+    va: u32,
+) -> AttackOutcome {
+    let mapping = Mapping {
+        vpn: va >> 12,
+        r: true,
+        w: true,
+        x: false,
+    };
+    // A staging PFN is still needed for the contents argument.
+    let r = os.map_secure(m, mon, attacker_asp, victim_data_page, mapping, 1);
+    if r.err == KomErr::Ok {
+        AttackOutcome::Succeeded
+    } else {
+        AttackOutcome::RejectedByMonitor(r.err)
+    }
+}
+
+/// Attempts to pass the *monitor's own* pages as the insecure contents
+/// source for `MapSecure` — the §9.1 validation bug.
+pub fn map_secure_from_monitor_page(
+    m: &mut Machine,
+    mon: &mut Monitor,
+    os: &Os,
+    asp: usize,
+    data_pg: usize,
+    va: u32,
+) -> AttackOutcome {
+    let mapping = Mapping {
+        vpn: va >> 12,
+        r: true,
+        w: false,
+        x: false,
+    };
+    let monitor_pfn = mon.layout.monitor_base >> 12;
+    let r = os.map_secure(m, mon, asp, data_pg, mapping, monitor_pfn);
+    if r.err == KomErr::Ok {
+        AttackOutcome::Succeeded
+    } else {
+        AttackOutcome::RejectedByMonitor(r.err)
+    }
+}
+
+/// Attempts to map a *secure pool* page into an enclave as "insecure"
+/// shared memory, which would let the OS... nothing, actually — the
+/// monitor must reject the aliasing outright.
+pub fn map_insecure_aliasing_pool(
+    m: &mut Machine,
+    mon: &mut Monitor,
+    os: &Os,
+    asp: usize,
+    va: u32,
+) -> AttackOutcome {
+    let mapping = Mapping {
+        vpn: va >> 12,
+        r: true,
+        w: true,
+        x: false,
+    };
+    let pool_pfn = mon.layout.secure_base >> 12;
+    let r = os.map_insecure(m, mon, asp, mapping, pool_pfn);
+    if r.err == KomErr::Ok {
+        AttackOutcome::Succeeded
+    } else {
+        AttackOutcome::RejectedByMonitor(r.err)
+    }
+}
+
+/// Attempts `InitAddrspace(p, p)` — the aliasing bug of §9.1.
+pub fn aliased_init_addrspace(
+    m: &mut Machine,
+    mon: &mut Monitor,
+    os: &Os,
+    pg: usize,
+) -> AttackOutcome {
+    let r = os.init_addrspace(m, mon, pg, pg);
+    if r.err == KomErr::Ok {
+        AttackOutcome::Succeeded
+    } else {
+        AttackOutcome::RejectedByMonitor(r.err)
+    }
+}
+
+/// Attempts to re-enter an interrupted thread instead of resuming it,
+/// which would let the OS roll back and replay enclave execution (§4:
+/// "the thread context is marked as entered, to prevent a suspended
+/// thread from being re-entered").
+pub fn reenter_suspended_thread(
+    m: &mut Machine,
+    mon: &mut Monitor,
+    os: &Os,
+    enclave: &Enclave,
+) -> AttackOutcome {
+    let r = os.enter(m, mon, enclave.threads[0], [0; 3]);
+    if r.err == KomErr::AlreadyEntered {
+        AttackOutcome::RejectedByMonitor(r.err)
+    } else {
+        AttackOutcome::Succeeded
+    }
+}
+
+/// Attempts to remove a running (non-stopped) enclave's data page.
+pub fn remove_live_page(m: &mut Machine, mon: &mut Monitor, os: &Os, page: usize) -> AttackOutcome {
+    let r = os.remove(m, mon, page);
+    match r.err {
+        KomErr::Ok => AttackOutcome::Succeeded,
+        e => AttackOutcome::RejectedByMonitor(e),
+    }
+}
+
+/// Attempts to call the monitor with a garbage call number.
+pub fn garbage_call(m: &mut Machine, mon: &mut Monitor, call: u32) -> AttackOutcome {
+    if SmcCall::from_code(call).is_some() {
+        return AttackOutcome::Succeeded; // Misuse of the helper.
+    }
+    let r = mon.smc(m, call, [0xffff_ffff; 4]);
+    match r.err {
+        KomErr::InvalidCall => AttackOutcome::RejectedByMonitor(r.err),
+        _ => AttackOutcome::Succeeded,
+    }
+}
+
+/// Sweeps every secure page and verifies the normal world can read none
+/// of them; returns the number of pages probed.
+pub fn sweep_secure_pool(m: &mut Machine, mon: &Monitor) -> usize {
+    let mut probed = 0;
+    for pg in 0..mon.layout.npages {
+        assert_eq!(
+            read_secure_memory(m, mon, pg),
+            AttackOutcome::BlockedByHardware,
+            "secure page {pg} readable from normal world"
+        );
+        probed += 1;
+    }
+    // The monitor's own region is equally unreachable.
+    for off in (0..mon.layout.monitor_size).step_by(PAGE_SIZE as usize) {
+        assert!(m
+            .mem
+            .read(mon.layout.monitor_base + off, AccessAttrs::NORMAL)
+            .is_err());
+    }
+    probed
+}

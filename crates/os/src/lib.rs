@@ -1,0 +1,33 @@
+//! Normal-world OS model.
+//!
+//! Komodo's OS is untrusted: "the OS allocates and maps \[pages\] to
+//! enclaves, and ... chooses when ... to execute enclave threads" (§2),
+//! interacting with the monitor only through the Table 1 SMC interface —
+//! on the prototype, via a Linux kernel driver (§8.1). This crate models
+//! that driver and the surrounding OS:
+//!
+//! - [`os::Os`]: secure-page and insecure-RAM allocators plus typed SMC
+//!   wrappers (the kernel driver).
+//! - [`builder::EnclaveBuilder`] / [`builder::Enclave`]: the enclave
+//!   loader — lays out code/data/shared segments, drives the construction
+//!   SMC sequence, and runs threads.
+//! - [`native::NativeProcess`]: a normal-world user process with its own
+//!   page table and OS system calls — the "Linux process" baseline of
+//!   Figure 5.
+//! - [`attacks`]: a deliberately malicious OS for the security tests:
+//!   every attack here must be defeated by the monitor or the hardware.
+//! - [`smp`]: the §9.2 multi-core design — several OS cores serialised
+//!   through a single global monitor lock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod builder;
+pub mod native;
+pub mod os;
+pub mod smp;
+
+pub use builder::{Enclave, EnclaveBuilder, EnclaveRun, Segment};
+pub use native::NativeProcess;
+pub use os::Os;

@@ -1,0 +1,245 @@
+//! Normal-world user processes — the "native Linux process" baseline of
+//! Figure 5.
+//!
+//! The OS builds a page table in its own (insecure) RAM, runs the guest in
+//! normal-world user mode, and services its system calls itself. The same
+//! guest binary that runs inside a Komodo enclave runs here; only the
+//! trust boundary differs, which is exactly what the notary comparison
+//! measures.
+
+use komodo_armv7::mode::{Mode, World};
+use komodo_armv7::psr::Psr;
+use komodo_armv7::ptw::{l1_coarse_desc, l2_page_desc, PagePerms};
+use komodo_armv7::regs::Reg;
+use komodo_armv7::word::{Word, PAGE_SIZE, WORDS_PER_PAGE};
+use komodo_armv7::{ExitReason, Machine};
+
+use crate::builder::Segment;
+use crate::os::Os;
+
+/// How the OS answers a process system call; the handler reads/writes the
+/// machine's registers directly.
+pub trait Syscalls {
+    /// Handles the call; returns `Some(exit_code)` when the process asked
+    /// to terminate, `None` to continue execution.
+    fn handle(&mut self, m: &mut Machine, os: &Os) -> Option<u32>;
+}
+
+/// Outcome of running a native process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NativeRun {
+    /// Process exited with this code.
+    Exited(u32),
+    /// Process faulted.
+    Faulted,
+    /// The step budget ran out.
+    TimedOut,
+}
+
+/// A normal-world user process.
+#[derive(Clone, Debug)]
+pub struct NativeProcess {
+    ttbr0: u32,
+    entry: u32,
+    /// PFNs of each segment's backing pages, in segment order.
+    pub segment_pfns: Vec<Vec<u32>>,
+}
+
+impl NativeProcess {
+    /// Builds the process: allocates a page table and backing pages in
+    /// insecure RAM and maps every segment (shared segments are simply
+    /// pages the OS also keeps a PFN for — everything is OS-visible here).
+    pub fn build(m: &mut Machine, os: &mut Os, segments: &[Segment], entry: u32) -> NativeProcess {
+        // L1 table: one 4 kB page (TTBCR.N=2 layout, same as enclaves).
+        let l1_pfn = os.alloc_insecure().expect("insecure RAM for page table");
+        let l1_pa = l1_pfn * PAGE_SIZE;
+        let mut l2_pages: Vec<(u32, u32)> = Vec::new(); // (l1slot, pfn)
+
+        let mut segment_pfns = Vec::new();
+        for s in segments {
+            let npages = s.words.len().div_ceil(WORDS_PER_PAGE).max(1);
+            let mut pfns = Vec::new();
+            for pg in 0..npages {
+                let va = s.va + (pg as u32) * PAGE_SIZE;
+                let slot = va >> 22;
+                let l2_pfn = match l2_pages.iter().find(|(sl, _)| *sl == slot) {
+                    Some((_, pfn)) => *pfn,
+                    None => {
+                        let pfn = os.alloc_insecure().expect("insecure RAM for L2 table");
+                        l2_pages.push((slot, pfn));
+                        // Four coarse tables per Komodo slot.
+                        for k in 0..4 {
+                            let desc = l1_coarse_desc(pfn * PAGE_SIZE + k * 0x400);
+                            write_pa(m, l1_pa + (slot * 4 + k) * 4, desc);
+                        }
+                        pfn
+                    }
+                };
+                let page_pfn = os.alloc_insecure().expect("insecure RAM for process page");
+                let lo = pg * WORDS_PER_PAGE;
+                let hi = ((pg + 1) * WORDS_PER_PAGE).min(s.words.len());
+                if lo < s.words.len() {
+                    os.write_insecure(m, page_pfn, 0, &s.words[lo..hi]);
+                }
+                let perms = PagePerms {
+                    r: true,
+                    w: s.w,
+                    x: s.x,
+                };
+                let l2_slot = (va >> 12) & 0x3ff;
+                let desc = l2_page_desc(page_pfn * PAGE_SIZE, perms, true);
+                write_pa(m, l2_pfn * PAGE_SIZE + l2_slot * 4, desc);
+                pfns.push(page_pfn);
+            }
+            segment_pfns.push(pfns);
+        }
+        NativeProcess {
+            ttbr0: l1_pa,
+            entry,
+            segment_pfns,
+        }
+    }
+
+    /// Runs the process until exit, fault, or the step budget lapses.
+    pub fn run(
+        &self,
+        m: &mut Machine,
+        os: &Os,
+        syscalls: &mut dyn Syscalls,
+        args: [u32; 3],
+        step_budget: u64,
+    ) -> NativeRun {
+        assert_eq!(
+            m.world(),
+            World::Normal,
+            "native processes are normal-world"
+        );
+        m.cp15.mmu_mut(World::Normal).ttbr0 = self.ttbr0;
+        m.tlb_flush();
+        m.regs.scrub_user_visible();
+        for (i, a) in args.iter().enumerate() {
+            m.regs.set(Mode::User, Reg::R(i as u8), *a);
+        }
+        // OS "exec": drop to user mode at the entry point.
+        let os_psr = m.cpsr;
+        m.regs.set_spsr(m.cpsr.mode, Psr::user());
+        m.regs.set(m.cpsr.mode, Reg::Lr, self.entry);
+        m.exception_return().expect("supervisor has an SPSR");
+
+        let result = loop {
+            match m.run_user(step_budget).expect("native run contract") {
+                ExitReason::Svc { .. } => {
+                    if let Some(code) = syscalls.handle(m, os) {
+                        break NativeRun::Exited(code);
+                    }
+                    m.exception_return().expect("svc mode");
+                }
+                ExitReason::Irq | ExitReason::Fiq => {
+                    // The OS handles its own interrupt and resumes.
+                    m.irq_at = None;
+                    m.fiq_at = None;
+                    m.exception_return().expect("irq mode");
+                }
+                ExitReason::StepLimit => break NativeRun::TimedOut,
+                _ => break NativeRun::Faulted,
+            }
+        };
+        m.cpsr = os_psr;
+        result
+    }
+}
+
+fn write_pa(m: &mut Machine, pa: u32, val: Word) {
+    m.mem
+        .write(pa, val, komodo_armv7::mem::AccessAttrs::NORMAL)
+        .expect("insecure RAM");
+    m.note_pagetable_store();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_armv7::{Assembler, Reg};
+    use komodo_monitor::{boot, MonitorLayout};
+
+    struct ExitOnly;
+
+    impl Syscalls for ExitOnly {
+        fn handle(&mut self, m: &mut Machine, _os: &Os) -> Option<u32> {
+            let r0 = m.reg(Reg::R(0));
+            (r0 == 0).then(|| m.reg(Reg::R(1)))
+        }
+    }
+
+    fn platform() -> (Machine, Os) {
+        let (mut m, mut mon) = boot(MonitorLayout::new(1 << 20, 16), 1);
+        let os = Os::new(&mut m, &mut mon);
+        (m, os)
+    }
+
+    #[test]
+    fn native_process_runs_and_exits() {
+        let (mut m, mut os) = platform();
+        let mut a = Assembler::new(0x8000);
+        a.add_reg(Reg::R(3), Reg::R(0), Reg::R(1));
+        a.mov_imm(Reg::R(0), 0);
+        a.mov_reg(Reg::R(1), Reg::R(3));
+        a.svc(0);
+        let p = NativeProcess::build(&mut m, &mut os, &[Segment::code(0x8000, a.words())], 0x8000);
+        let r = p.run(&mut m, &os, &mut ExitOnly, [30, 12, 0], 1_000_000);
+        assert_eq!(r, NativeRun::Exited(42));
+    }
+
+    #[test]
+    fn native_process_faults_on_bad_access() {
+        let (mut m, mut os) = platform();
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x0030_0000); // Unmapped VA.
+        a.ldr_imm(Reg::R(0), Reg::R(1), 0);
+        let p = NativeProcess::build(&mut m, &mut os, &[Segment::code(0x8000, a.words())], 0x8000);
+        assert_eq!(
+            p.run(&mut m, &os, &mut ExitOnly, [0; 3], 1000),
+            NativeRun::Faulted
+        );
+    }
+
+    #[test]
+    fn native_process_cannot_touch_secure_memory() {
+        // Even if the OS (maliciously) points a process mapping at the
+        // monitor's secure RAM, the TrustZone memory controller rejects
+        // the access: the process faults.
+        let (mut m, mut os) = platform();
+        let (_, mon) = boot(MonitorLayout::new(1 << 20, 16), 1);
+        let secure_pa = mon.layout.page_pa(0);
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x0010_0000);
+        a.ldr_imm(Reg::R(0), Reg::R(1), 0);
+        let p = NativeProcess::build(
+            &mut m,
+            &mut os,
+            &[
+                Segment::code(0x8000, a.words()),
+                Segment::data(0x0010_0000, vec![0]),
+            ],
+            0x8000,
+        );
+        // Forge the data mapping: hardware L1 index for the VA, then the
+        // coarse-table slot, overwritten to point at secure RAM.
+        let l1_entry_pa = p.ttbr0 + 4;
+        let coarse = m
+            .mem
+            .read(l1_entry_pa, komodo_armv7::mem::AccessAttrs::NORMAL)
+            .unwrap()
+            & 0xffff_fc00;
+        let l2_slot_pa = coarse;
+        write_pa(
+            &mut m,
+            l2_slot_pa,
+            l2_page_desc(secure_pa, PagePerms::RW, true),
+        );
+        assert_eq!(
+            p.run(&mut m, &os, &mut ExitOnly, [0; 3], 1000),
+            NativeRun::Faulted
+        );
+    }
+}

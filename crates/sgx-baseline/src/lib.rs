@@ -1,0 +1,61 @@
+//! A modelled Intel SGX baseline (paper §2, §8.1).
+//!
+//! The paper compares Komodo against SGX along two axes:
+//!
+//! 1. **Crossing cost** — published `EENTER`/`EEXIT` latencies of ≈3,800
+//!    and ≈3,300 cycles (Orenbach et al., cited in §8.1) against Komodo's
+//!    738-cycle full crossing.
+//! 2. **Controlled channels** — "enclaves are vulnerable to new
+//!    'controlled-channel' attacks in which the OS exploits its ability to
+//!    induce and observe enclave page faults to deduce secrets" (§2),
+//!    which Komodo's design eliminates (§3.1).
+//!
+//! Since no SGX hardware exists inside this simulation (and the authors'
+//! comparison used published numbers, not a local testbed), this crate
+//! models the SGX enclave lifecycle at the level the comparison needs: an
+//! EPCM-managed page cache, the v1 leaf functions (`ECREATE`/`EADD`/
+//! `EEXTEND`/`EINIT`/`EENTER`/`EEXIT`/`ERESUME` plus asynchronous exits),
+//! the v2 dynamic-memory pair (`EAUG`/`EACCEPT`), and — crucially — the
+//! OS-controlled demand paging (`EWB`/`ELDU`) whose fault visibility is
+//! the controlled channel. Costs come from the published measurements
+//! ([`costs`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod model;
+
+pub use attack::controlled_channel_attack;
+pub use model::{EnclaveId, LeafError, PagePerms, PageType, SgxMachine, TraceOp};
+
+/// Modelled cycle costs, from published measurements where available.
+pub mod costs {
+    /// `EENTER` (Orenbach et al. [66, §2.2], cited by the paper §8.1).
+    pub const EENTER: u64 = 3_800;
+    /// `EEXIT` (same source).
+    pub const EEXIT: u64 = 3_300;
+    /// `ERESUME` — comparable to `EENTER`.
+    pub const ERESUME: u64 = 3_900;
+    /// Asynchronous exit (AEX): exception during enclave execution.
+    pub const AEX: u64 = 3_000;
+    /// `EADD`: EPCM update plus a 4 kB copy.
+    pub const EADD: u64 = 2_200;
+    /// `EEXTEND` measures 256 bytes; a page takes 16 — this is the
+    /// per-page aggregate.
+    pub const EEXTEND_PAGE: u64 = 6_400;
+    /// `ECREATE`.
+    pub const ECREATE: u64 = 1_800;
+    /// `EINIT` (key derivation and MRENCLAVE finalisation).
+    pub const EINIT: u64 = 30_000;
+    /// `EWB`: evict + encrypt + MAC one page.
+    pub const EWB: u64 = 9_000;
+    /// `ELDU`: reload + decrypt + verify one page.
+    pub const ELDU: u64 = 9_000;
+    /// `EAUG` (SGXv2 dynamic add).
+    pub const EAUG: u64 = 2_000;
+    /// `EACCEPT` (SGXv2, from inside the enclave).
+    pub const EACCEPT: u64 = 1_900;
+    /// Page-fault delivery to the OS handler.
+    pub const FAULT_DELIVERY: u64 = 800;
+}

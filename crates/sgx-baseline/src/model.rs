@@ -1,0 +1,498 @@
+//! The SGX machine model: EPCM, leaf functions, enclave execution with
+//! OS-controlled demand paging.
+
+use komodo_crypto::Digest;
+use komodo_crypto::Sha256;
+
+use crate::costs;
+
+/// Identifies an enclave (its SECS page index, like hardware).
+pub type EnclaveId = usize;
+
+/// EPCM page types (paper §2: "allocation state, type, owning enclave,
+/// permissions, and virtual address").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageType {
+    /// SGX Enclave Control Structure (one per enclave).
+    Secs,
+    /// Thread Control Structure.
+    Tcs,
+    /// Regular data/code page.
+    Reg,
+}
+
+/// Page permissions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagePerms {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+/// One EPCM entry plus the page contents.
+#[derive(Clone, Debug)]
+struct EpcPage {
+    valid: bool,
+    ptype: PageType,
+    enclave: EnclaveId,
+    vaddr: u32,
+    perms: PagePerms,
+    /// SGXv2: added via `EAUG`, awaiting `EACCEPT`.
+    pending: bool,
+    /// Present in EPC (false after `EWB` eviction).
+    resident: bool,
+    contents: Box<[u32; 1024]>,
+}
+
+/// Enclave metadata (the SECS).
+#[derive(Clone, Debug)]
+struct Secs {
+    initialised: bool,
+    /// Running/final measurement (MRENCLAVE).
+    measurement: Sha256,
+    mrenclave: Option<Digest>,
+}
+
+/// Errors from leaf functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafError {
+    /// EPC slot already in use / not free.
+    PageInUse,
+    /// Bad page index or wrong type.
+    InvalidPage,
+    /// Enclave already initialised (no static adds after `EINIT`).
+    AlreadyInit,
+    /// Enclave not yet initialised (cannot enter).
+    NotInit,
+    /// Page is not pending acceptance.
+    NotPending,
+    /// Page not resident (needs `ELDU`).
+    NotResident,
+}
+
+/// One step of a (scripted) enclave program: the model does not execute
+/// x86 code; programs are traces of the events that matter to the
+/// experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Touch the page containing this virtual address (read).
+    Access(u32),
+    /// Burn computation cycles.
+    Compute(u64),
+    /// `EACCEPT` a pending page at this address (SGXv2).
+    Accept(u32),
+    /// `EEXIT` with a value.
+    Exit(u32),
+}
+
+/// How an enclave execution burst ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SgxRun {
+    /// `EEXIT` with the value.
+    Exited(u32),
+    /// Asynchronous exit on a page fault — **the OS observes the faulting
+    /// virtual address**, which is the controlled channel (§2).
+    PageFault {
+        /// The faulting VA, page-aligned, as delivered to the OS handler.
+        vaddr: u32,
+        /// Trace index to resume from.
+        resume_at: usize,
+    },
+}
+
+/// The modelled SGX platform.
+#[derive(Clone, Debug)]
+pub struct SgxMachine {
+    epc: Vec<EpcPage>,
+    enclaves: Vec<Secs>,
+    /// Cycle counter.
+    pub cycles: u64,
+}
+
+impl SgxMachine {
+    /// A platform with `epc_pages` EPC slots.
+    pub fn new(epc_pages: usize) -> SgxMachine {
+        SgxMachine {
+            epc: (0..epc_pages)
+                .map(|_| EpcPage {
+                    valid: false,
+                    ptype: PageType::Reg,
+                    enclave: 0,
+                    vaddr: 0,
+                    perms: PagePerms {
+                        r: false,
+                        w: false,
+                        x: false,
+                    },
+                    pending: false,
+                    resident: true,
+                    contents: Box::new([0; 1024]),
+                })
+                .collect(),
+            enclaves: Vec::new(),
+            cycles: 0,
+        }
+    }
+
+    fn free_slot(&self) -> Option<usize> {
+        self.epc.iter().position(|p| !p.valid)
+    }
+
+    /// `ECREATE`: makes a new enclave (SECS page).
+    pub fn ecreate(&mut self) -> Result<EnclaveId, LeafError> {
+        let slot = self.free_slot().ok_or(LeafError::PageInUse)?;
+        self.cycles += costs::ECREATE;
+        let id = self.enclaves.len();
+        self.enclaves.push(Secs {
+            initialised: false,
+            measurement: Sha256::new(),
+            mrenclave: None,
+        });
+        let p = &mut self.epc[slot];
+        p.valid = true;
+        p.ptype = PageType::Secs;
+        p.enclave = id;
+        Ok(id)
+    }
+
+    /// `EADD` + the 16 `EEXTEND`s that measure the page: adds a page to a
+    /// not-yet-initialised enclave.
+    pub fn eadd_measured(
+        &mut self,
+        enclave: EnclaveId,
+        ptype: PageType,
+        vaddr: u32,
+        perms: PagePerms,
+        contents: &[u32; 1024],
+    ) -> Result<(), LeafError> {
+        let secs = self.enclaves.get(enclave).ok_or(LeafError::InvalidPage)?;
+        if secs.initialised {
+            return Err(LeafError::AlreadyInit);
+        }
+        if ptype == PageType::Secs {
+            return Err(LeafError::InvalidPage);
+        }
+        let slot = self.free_slot().ok_or(LeafError::PageInUse)?;
+        self.cycles += costs::EADD + costs::EEXTEND_PAGE;
+        let p = &mut self.epc[slot];
+        p.valid = true;
+        p.ptype = ptype;
+        p.enclave = enclave;
+        p.vaddr = vaddr & !0xfff;
+        p.perms = perms;
+        p.pending = false;
+        p.resident = true;
+        *p.contents = *contents;
+        let secs = &mut self.enclaves[enclave];
+        secs.measurement.update(&vaddr.to_be_bytes());
+        secs.measurement
+            .update(&[perms.r as u8, perms.w as u8, perms.x as u8]);
+        secs.measurement.update_words(contents);
+        Ok(())
+    }
+
+    /// `EINIT`: fixes MRENCLAVE and enables entry.
+    pub fn einit(&mut self, enclave: EnclaveId) -> Result<Digest, LeafError> {
+        let secs = self
+            .enclaves
+            .get_mut(enclave)
+            .ok_or(LeafError::InvalidPage)?;
+        if secs.initialised {
+            return Err(LeafError::AlreadyInit);
+        }
+        self.cycles += costs::EINIT;
+        let d = secs.measurement.clone().finish();
+        secs.mrenclave = Some(d);
+        secs.initialised = true;
+        Ok(d)
+    }
+
+    /// MRENCLAVE after `EINIT`.
+    pub fn mrenclave(&self, enclave: EnclaveId) -> Option<Digest> {
+        self.enclaves.get(enclave).and_then(|s| s.mrenclave)
+    }
+
+    /// `EAUG` (SGXv2): the OS adds a pending zero page at `vaddr`; the
+    /// enclave must `EACCEPT` it. Note what the OS controls here — type,
+    /// address, permissions — the side-channel asymmetry §4 points out
+    /// relative to Komodo's spare pages.
+    pub fn eaug(&mut self, enclave: EnclaveId, vaddr: u32) -> Result<(), LeafError> {
+        let secs = self.enclaves.get(enclave).ok_or(LeafError::InvalidPage)?;
+        if !secs.initialised {
+            return Err(LeafError::NotInit);
+        }
+        let slot = self.free_slot().ok_or(LeafError::PageInUse)?;
+        self.cycles += costs::EAUG;
+        let p = &mut self.epc[slot];
+        p.valid = true;
+        p.ptype = PageType::Reg;
+        p.enclave = enclave;
+        p.vaddr = vaddr & !0xfff;
+        p.perms = PagePerms {
+            r: true,
+            w: true,
+            x: false,
+        };
+        p.pending = true;
+        p.resident = true;
+        *p.contents = [0; 1024];
+        Ok(())
+    }
+
+    fn page_at(&self, enclave: EnclaveId, vaddr: u32) -> Option<usize> {
+        let va = vaddr & !0xfff;
+        self.epc.iter().position(|p| {
+            p.valid && p.enclave == enclave && p.vaddr == va && p.ptype != PageType::Secs
+        })
+    }
+
+    /// `EWB`: the OS evicts an enclave page from the EPC (contents remain
+    /// modelled; encryption is implicit). Subsequent enclave access
+    /// faults — visibly to the OS.
+    pub fn ewb(&mut self, enclave: EnclaveId, vaddr: u32) -> Result<(), LeafError> {
+        let slot = self.page_at(enclave, vaddr).ok_or(LeafError::InvalidPage)?;
+        self.cycles += costs::EWB;
+        self.epc[slot].resident = false;
+        Ok(())
+    }
+
+    /// `ELDU`: the OS reloads an evicted page.
+    pub fn eldu(&mut self, enclave: EnclaveId, vaddr: u32) -> Result<(), LeafError> {
+        let slot = self.page_at(enclave, vaddr).ok_or(LeafError::InvalidPage)?;
+        self.cycles += costs::ELDU;
+        self.epc[slot].resident = true;
+        Ok(())
+    }
+
+    /// Evicts *every* resident page of the enclave (the standard
+    /// controlled-channel attack setup).
+    pub fn evict_all(&mut self, enclave: EnclaveId) {
+        for slot in 0..self.epc.len() {
+            let p = &self.epc[slot];
+            if p.valid && p.enclave == enclave && p.ptype == PageType::Reg && p.resident {
+                self.cycles += costs::EWB;
+                self.epc[slot].resident = false;
+            }
+        }
+    }
+
+    /// `EENTER` + execution of the scripted trace from `start` until exit
+    /// or a page fault (AEX). The returned fault address is what the
+    /// paper's threat model says it is: OS-visible.
+    pub fn eenter(
+        &mut self,
+        enclave: EnclaveId,
+        trace: &[TraceOp],
+        start: usize,
+    ) -> Result<SgxRun, LeafError> {
+        let secs = self.enclaves.get(enclave).ok_or(LeafError::InvalidPage)?;
+        if !secs.initialised {
+            return Err(LeafError::NotInit);
+        }
+        self.cycles += if start == 0 {
+            costs::EENTER
+        } else {
+            costs::ERESUME
+        };
+        for (i, op) in trace.iter().enumerate().skip(start) {
+            match op {
+                TraceOp::Access(va) => match self.page_at(enclave, *va) {
+                    Some(slot) if self.epc[slot].resident && !self.epc[slot].pending => {
+                        self.cycles += 3; // A cached access.
+                    }
+                    _ => {
+                        // AEX: fault address delivered to the OS.
+                        self.cycles += costs::AEX + costs::FAULT_DELIVERY;
+                        return Ok(SgxRun::PageFault {
+                            vaddr: va & !0xfff,
+                            resume_at: i,
+                        });
+                    }
+                },
+                TraceOp::Compute(c) => self.cycles += c,
+                TraceOp::Accept(va) => {
+                    if let Some(slot) = self.page_at(enclave, *va) {
+                        if !self.epc[slot].pending {
+                            return Err(LeafError::NotPending);
+                        }
+                        self.cycles += costs::EACCEPT;
+                        self.epc[slot].pending = false;
+                    } else {
+                        return Err(LeafError::InvalidPage);
+                    }
+                }
+                TraceOp::Exit(v) => {
+                    self.cycles += costs::EEXIT;
+                    return Ok(SgxRun::Exited(*v));
+                }
+            }
+        }
+        self.cycles += costs::EEXIT;
+        Ok(SgxRun::Exited(0))
+    }
+
+    /// A full `EENTER`+`EEXIT` crossing with an empty body — the §8.1
+    /// comparison number.
+    pub fn null_crossing(&mut self, enclave: EnclaveId) -> Result<u64, LeafError> {
+        let before = self.cycles;
+        match self.eenter(enclave, &[TraceOp::Exit(0)], 0)? {
+            SgxRun::Exited(_) => Ok(self.cycles - before),
+            _ => unreachable!("no memory access in the null trace"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn built() -> (SgxMachine, EnclaveId) {
+        let mut m = SgxMachine::new(32);
+        let e = m.ecreate().unwrap();
+        m.eadd_measured(
+            e,
+            PageType::Tcs,
+            0x1000,
+            PagePerms {
+                r: true,
+                w: true,
+                x: false,
+            },
+            &[0; 1024],
+        )
+        .unwrap();
+        m.eadd_measured(
+            e,
+            PageType::Reg,
+            0x2000,
+            PagePerms {
+                r: true,
+                w: true,
+                x: false,
+            },
+            &[7; 1024],
+        )
+        .unwrap();
+        m.einit(e).unwrap();
+        (m, e)
+    }
+
+    #[test]
+    fn lifecycle_and_measurement() {
+        let (m, e) = built();
+        assert!(m.mrenclave(e).is_some());
+    }
+
+    #[test]
+    fn measurement_reflects_contents_and_layout() {
+        let build = |fill: u32, va: u32| {
+            let mut m = SgxMachine::new(8);
+            let e = m.ecreate().unwrap();
+            m.eadd_measured(
+                e,
+                PageType::Reg,
+                va,
+                PagePerms {
+                    r: true,
+                    w: false,
+                    x: true,
+                },
+                &[fill; 1024],
+            )
+            .unwrap();
+            m.einit(e).unwrap()
+        };
+        assert_eq!(build(1, 0x1000), build(1, 0x1000));
+        assert_ne!(build(1, 0x1000), build(2, 0x1000));
+        assert_ne!(build(1, 0x1000), build(1, 0x2000));
+    }
+
+    #[test]
+    fn no_adds_after_init() {
+        let (mut m, e) = built();
+        let err = m
+            .eadd_measured(
+                e,
+                PageType::Reg,
+                0x9000,
+                PagePerms {
+                    r: true,
+                    w: true,
+                    x: false,
+                },
+                &[0; 1024],
+            )
+            .unwrap_err();
+        assert_eq!(err, LeafError::AlreadyInit);
+    }
+
+    #[test]
+    fn null_crossing_cost_matches_published_numbers() {
+        let (mut m, e) = built();
+        let c = m.null_crossing(e).unwrap();
+        assert_eq!(c, costs::EENTER + costs::EEXIT);
+        assert_eq!(c, 7_100, "the paper's §8.1 comparison figure");
+    }
+
+    #[test]
+    fn evicted_page_faults_visibly_and_resumes() {
+        let (mut m, e) = built();
+        let trace = [
+            TraceOp::Access(0x2000),
+            TraceOp::Compute(10),
+            TraceOp::Exit(5),
+        ];
+        // Resident: runs straight through.
+        assert_eq!(m.eenter(e, &trace, 0).unwrap(), SgxRun::Exited(5));
+        // Evicted: the OS sees the fault address.
+        m.ewb(e, 0x2000).unwrap();
+        let r = m.eenter(e, &trace, 0).unwrap();
+        assert_eq!(
+            r,
+            SgxRun::PageFault {
+                vaddr: 0x2000,
+                resume_at: 0
+            }
+        );
+        // Reload and resume to completion.
+        m.eldu(e, 0x2000).unwrap();
+        assert_eq!(m.eenter(e, &trace, 0).unwrap(), SgxRun::Exited(5));
+    }
+
+    #[test]
+    fn sgxv2_aug_accept_flow() {
+        let (mut m, e) = built();
+        m.eaug(e, 0x5000).unwrap();
+        // Access before EACCEPT faults.
+        let r = m
+            .eenter(e, &[TraceOp::Access(0x5000), TraceOp::Exit(0)], 0)
+            .unwrap();
+        assert!(matches!(r, SgxRun::PageFault { vaddr: 0x5000, .. }));
+        // Accept then access succeeds.
+        let r = m
+            .eenter(
+                e,
+                &[
+                    TraceOp::Accept(0x5000),
+                    TraceOp::Access(0x5000),
+                    TraceOp::Exit(1),
+                ],
+                0,
+            )
+            .unwrap();
+        assert_eq!(r, SgxRun::Exited(1));
+    }
+
+    #[test]
+    fn uninitialised_enclave_cannot_enter() {
+        let mut m = SgxMachine::new(8);
+        let e = m.ecreate().unwrap();
+        assert_eq!(
+            m.eenter(e, &[TraceOp::Exit(0)], 0).unwrap_err(),
+            LeafError::NotInit
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The top-level `smchandler` (paper §5.2).
+//!
+//! "The top level of our specification is a predicate describing the SMC
+//! handler", relating the pre-call machine/PageDB states to the post-call
+//! states. Executable form: a dispatcher that routes an OS call number and
+//! argument registers to the pure per-call functions, producing the
+//! successor PageDB, an error code, and a return value — the three things
+//! the OS observes.
+
+use crate::enter::{enter, resume, EnterEnv, InsecureMem, UserExec};
+use crate::pagedb::PageDb;
+use crate::params::SecureParams;
+use crate::smc;
+use crate::types::{KomErr, Mapping, SmcCall, KOM_PAGE_WORDS};
+
+/// Environment threaded through the handler: platform parameters plus the
+/// enclave-execution machinery for `Enter`/`Resume`.
+pub struct HandlerEnv<'a> {
+    /// Validation parameters.
+    pub params: &'a SecureParams,
+    /// Boot-time attestation secret.
+    pub attest_key: &'a [u8],
+    /// Hardware randomness.
+    pub rng: &'a mut dyn FnMut() -> u32,
+    /// Nondeterministic enclave execution.
+    pub exec: &'a mut dyn UserExec,
+    /// Insecure memory.
+    pub insecure: &'a mut dyn InsecureMem,
+    /// SVC round-trip bound.
+    pub max_svcs: usize,
+}
+
+/// Dispatches one secure monitor call.
+///
+/// `MapSecure` reads its initial contents from the named insecure page via
+/// the environment, *after* validating the PFN — mirroring the monitor.
+pub fn smc_handler(
+    d: PageDb,
+    env: &mut HandlerEnv<'_>,
+    call: u32,
+    args: [u32; 4],
+) -> (PageDb, KomErr, u32) {
+    let Some(call) = SmcCall::from_code(call) else {
+        return (d, KomErr::InvalidCall, 0);
+    };
+    match call {
+        SmcCall::GetPhysPages => {
+            let n = smc::get_phys_pages(&d);
+            (d, KomErr::Ok, n)
+        }
+        SmcCall::InitAddrspace => {
+            let (d, e) = smc::init_addrspace(d, env.params, args[0] as usize, args[1] as usize);
+            (d, e, 0)
+        }
+        SmcCall::InitThread => {
+            let (d, e) =
+                smc::init_thread(d, env.params, args[0] as usize, args[1] as usize, args[2]);
+            (d, e, 0)
+        }
+        SmcCall::InitL2PTable => {
+            let (d, e) =
+                smc::init_l2ptable(d, env.params, args[0] as usize, args[1] as usize, args[2]);
+            (d, e, 0)
+        }
+        SmcCall::AllocSpare => {
+            let (d, e) = smc::alloc_spare(d, env.params, args[0] as usize, args[1] as usize);
+            (d, e, 0)
+        }
+        SmcCall::MapSecure => {
+            let mapping = Mapping::unpack(args[2]);
+            let pfn = args[3];
+            // Contents are read only once the PFN is known valid; an
+            // invalid PFN still flows through `map_secure` so the error
+            // is reported at the same position in the check order as the
+            // implementation's.
+            let contents: Box<[u32; KOM_PAGE_WORDS]> = if env.params.valid_insecure_pfn(pfn) {
+                env.insecure.read_page(pfn)
+            } else {
+                Box::new([0; KOM_PAGE_WORDS])
+            };
+            let (d, e) = smc::map_secure(
+                d,
+                env.params,
+                args[0] as usize,
+                args[1] as usize,
+                mapping,
+                pfn,
+                &contents,
+            );
+            (d, e, 0)
+        }
+        SmcCall::MapInsecure => {
+            let (d, e) = smc::map_insecure(
+                d,
+                env.params,
+                args[0] as usize,
+                Mapping::unpack(args[1]),
+                args[2],
+            );
+            (d, e, 0)
+        }
+        SmcCall::Finalise => {
+            let (d, e) = smc::finalise(d, env.params, args[0] as usize);
+            (d, e, 0)
+        }
+        SmcCall::Enter => {
+            let mut eenv = EnterEnv {
+                attest_key: env.attest_key,
+                rng: env.rng,
+                max_svcs: env.max_svcs,
+            };
+            enter(
+                d,
+                &mut eenv,
+                env.exec,
+                env.insecure,
+                args[0] as usize,
+                [args[1], args[2], args[3]],
+            )
+        }
+        SmcCall::Resume => {
+            let mut eenv = EnterEnv {
+                attest_key: env.attest_key,
+                rng: env.rng,
+                max_svcs: env.max_svcs,
+            };
+            resume(d, &mut eenv, env.exec, env.insecure, args[0] as usize)
+        }
+        SmcCall::Stop => {
+            let (d, e) = smc::stop(d, env.params, args[0] as usize);
+            (d, e, 0)
+        }
+        SmcCall::Remove => {
+            let (d, e) = smc::remove(d, env.params, args[0] as usize);
+            (d, e, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enter::{UserExitKind, UserStep, UserVisible};
+    use std::collections::HashMap;
+
+    struct NopExec;
+
+    impl UserExec for NopExec {
+        fn step(&mut self, view: &UserVisible) -> UserStep {
+            let mut regs = view.regs;
+            regs[0] = crate::types::SvcCall::Exit as u32;
+            regs[1] = 123;
+            UserStep {
+                regs,
+                pc: view.pc,
+                cpsr_flags: 0,
+                secure_writes: Vec::new(),
+                insecure_writes: Vec::new(),
+                exit: UserExitKind::Svc,
+            }
+        }
+    }
+
+    struct MapMem(HashMap<u32, Box<[u32; KOM_PAGE_WORDS]>>);
+
+    impl InsecureMem for MapMem {
+        fn read_page(&mut self, pfn: u32) -> Box<[u32; KOM_PAGE_WORDS]> {
+            self.0
+                .get(&pfn)
+                .cloned()
+                .unwrap_or_else(|| Box::new([0; KOM_PAGE_WORDS]))
+        }
+        fn write_word(&mut self, pfn: u32, index: usize, value: u32) {
+            self.0
+                .entry(pfn)
+                .or_insert_with(|| Box::new([0; KOM_PAGE_WORDS]))[index] = value;
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_through_dispatcher() {
+        let params = SecureParams::for_tests();
+        let mut rng = || 4u32;
+        let mut exec = NopExec;
+        let mut insecure = MapMem(HashMap::new());
+        let mut env = HandlerEnv {
+            params: &params,
+            attest_key: b"k",
+            rng: &mut rng,
+            exec: &mut exec,
+            insecure: &mut insecure,
+            max_svcs: 8,
+        };
+        let d = PageDb::new(params.npages);
+        let (d, e, n) = smc_handler(d, &mut env, SmcCall::GetPhysPages as u32, [0; 4]);
+        assert_eq!((e, n as usize), (KomErr::Ok, params.npages));
+        let (d, e, _) = smc_handler(d, &mut env, SmcCall::InitAddrspace as u32, [0, 1, 0, 0]);
+        assert_eq!(e, KomErr::Ok);
+        let (d, e, _) = smc_handler(d, &mut env, SmcCall::InitL2PTable as u32, [0, 2, 0, 0]);
+        assert_eq!(e, KomErr::Ok);
+        let (d, e, _) = smc_handler(d, &mut env, SmcCall::InitThread as u32, [0, 3, 0x8000, 0]);
+        assert_eq!(e, KomErr::Ok);
+        let m = Mapping {
+            vpn: 8,
+            r: true,
+            w: true,
+            x: false,
+        };
+        let (d, e, _) = smc_handler(d, &mut env, SmcCall::MapSecure as u32, [0, 4, m.pack(), 10]);
+        assert_eq!(e, KomErr::Ok);
+        let (d, e, _) = smc_handler(d, &mut env, SmcCall::Finalise as u32, [0, 0, 0, 0]);
+        assert_eq!(e, KomErr::Ok);
+        let (d, e, v) = smc_handler(d, &mut env, SmcCall::Enter as u32, [3, 9, 9, 9]);
+        assert_eq!((e, v), (KomErr::Ok, 123));
+        assert!(crate::invariants::valid_pagedb(&d, &params));
+    }
+
+    #[test]
+    fn unknown_call_rejected() {
+        let params = SecureParams::for_tests();
+        let mut rng = || 0u32;
+        let mut exec = NopExec;
+        let mut insecure = MapMem(HashMap::new());
+        let mut env = HandlerEnv {
+            params: &params,
+            attest_key: b"k",
+            rng: &mut rng,
+            exec: &mut exec,
+            insecure: &mut insecure,
+            max_svcs: 8,
+        };
+        let (_, e, _) = smc_handler(PageDb::new(params.npages), &mut env, 99, [0; 4]);
+        assert_eq!(e, KomErr::InvalidCall);
+    }
+}

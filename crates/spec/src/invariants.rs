@@ -1,0 +1,278 @@
+//! PageDB validity invariants (paper §5.2).
+//!
+//! "A valid PageDB satisfies invariants guaranteeing internal consistency:
+//! e.g., reference counts are correct, internal references (including page
+//! table pointers) are to pages of the correct type belonging to the same
+//! address space, and all leaf pages mapped in a page table are either
+//! insecure pages or data pages allocated to the same address space."
+//!
+//! As in the Dafny development, the structural invariants on page-table
+//! contents are *relaxed for stopped address spaces*: once stopped, pages
+//! may be removed one at a time (dangling references are unreachable since
+//! a stopped enclave never executes), and only ownership/refcount
+//! consistency is retained.
+
+use crate::pagedb::{AddrspaceState, L2Entry, PageDb, PageEntry};
+use crate::params::SecureParams;
+use crate::types::PageNr;
+
+/// Checks all invariants, returning a human-readable list of violations
+/// (empty means valid). Tests assert on [`valid_pagedb`]; this variant
+/// exists for debuggability.
+pub fn pagedb_violations(d: &PageDb, params: &SecureParams) -> Vec<String> {
+    let mut out = Vec::new();
+    if d.npages() != params.npages {
+        out.push(format!(
+            "pagedb has {} entries but platform has {} pages",
+            d.npages(),
+            params.npages
+        ));
+    }
+
+    for pg in 0..d.npages() {
+        let entry = d.get(pg).expect("in range");
+        // Ownership: every owned page's address space must be valid.
+        if let Some(asp) = entry.addrspace() {
+            if !d.is_addrspace(asp) {
+                out.push(format!("page {pg} owned by non-addrspace {asp}"));
+                continue;
+            }
+        }
+        match entry {
+            PageEntry::Addrspace {
+                l1pt,
+                refcount,
+                state,
+                measurement,
+            } => {
+                let owned = d.pages_of(pg);
+                if owned.len() != *refcount {
+                    out.push(format!(
+                        "addrspace {pg} refcount {refcount} but owns {} pages",
+                        owned.len()
+                    ));
+                }
+                match state {
+                    AddrspaceState::Stopped => {}
+                    _ => {
+                        // The L1 page table must exist and belong to us.
+                        match d.get(*l1pt) {
+                            Some(PageEntry::L1PTable { addrspace, .. }) if *addrspace == pg => {}
+                            _ => out.push(format!(
+                                "addrspace {pg} l1pt {l1pt} is not its L1 page table"
+                            )),
+                        }
+                    }
+                }
+                match state {
+                    AddrspaceState::Init => {
+                        if measurement.digest().is_some() {
+                            out.push(format!("addrspace {pg} measured before finalise"));
+                        }
+                    }
+                    AddrspaceState::Final => {
+                        if measurement.digest().is_none() {
+                            out.push(format!("final addrspace {pg} lacks a measurement digest"));
+                        }
+                    }
+                    AddrspaceState::Stopped => {}
+                }
+            }
+            PageEntry::L1PTable { addrspace, slots } => {
+                if stopped(d, *addrspace) {
+                    continue;
+                }
+                if d.l1pt_of(*addrspace) != Some(pg) {
+                    out.push(format!("L1PT {pg} is not its addrspace's l1pt"));
+                }
+                for (i, slot) in slots.iter().enumerate() {
+                    if let Some(l2) = slot {
+                        match d.get(*l2) {
+                            Some(PageEntry::L2PTable { addrspace: a2, .. }) if a2 == addrspace => {}
+                            _ => out.push(format!(
+                                "L1PT {pg} slot {i} -> {l2} is not an owned L2 table"
+                            )),
+                        }
+                    }
+                }
+            }
+            PageEntry::L2PTable { addrspace, slots } => {
+                if stopped(d, *addrspace) {
+                    continue;
+                }
+                for (i, slot) in slots.iter().enumerate() {
+                    match slot {
+                        L2Entry::Nothing => {}
+                        L2Entry::SecureMapping { page, .. } => match d.get(*page) {
+                            Some(PageEntry::Data { addrspace: a2, .. }) if a2 == addrspace => {}
+                            _ => out.push(format!(
+                                "L2PT {pg} slot {i} maps {page}, not an owned data page"
+                            )),
+                        },
+                        L2Entry::InsecureMapping { pfn, .. } => {
+                            if !params.valid_insecure_pfn(*pfn) {
+                                out.push(format!(
+                                    "L2PT {pg} slot {i} maps invalid insecure pfn {pfn:#x}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Exactly one L1 slot must reference this table.
+                let refs = l1_references(d, *addrspace, pg);
+                if refs != 1 {
+                    out.push(format!("L2PT {pg} referenced by {refs} L1 slots"));
+                }
+            }
+            PageEntry::Thread {
+                addrspace, entered, ..
+            } => {
+                if *entered && d.addrspace_state(*addrspace) != Some(AddrspaceState::Final) {
+                    out.push(format!("thread {pg} entered but addrspace not final"));
+                }
+            }
+            PageEntry::Data { .. } | PageEntry::Spare { .. } | PageEntry::Free => {}
+        }
+    }
+    out
+}
+
+fn stopped(d: &PageDb, asp: PageNr) -> bool {
+    d.addrspace_state(asp) == Some(AddrspaceState::Stopped)
+}
+
+fn l1_references(d: &PageDb, asp: PageNr, l2pg: PageNr) -> usize {
+    let Some(l1pt) = d.l1pt_of(asp) else { return 0 };
+    let Some(PageEntry::L1PTable { slots, .. }) = d.get(l1pt) else {
+        return 0;
+    };
+    slots.iter().filter(|s| **s == Some(l2pg)).count()
+}
+
+/// Whether the PageDB satisfies every invariant.
+pub fn valid_pagedb(d: &PageDb, params: &SecureParams) -> bool {
+    pagedb_violations(d, params).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Measurement;
+    use crate::types::{KOM_L1_SLOTS, KOM_L2_SLOTS};
+
+    fn params() -> SecureParams {
+        SecureParams::for_tests()
+    }
+
+    #[test]
+    fn empty_pagedb_valid() {
+        assert!(valid_pagedb(&PageDb::new(params().npages), &params()));
+    }
+
+    #[test]
+    fn wrong_size_invalid() {
+        assert!(!valid_pagedb(&PageDb::new(3), &params()));
+    }
+
+    #[test]
+    fn bad_refcount_detected() {
+        let mut d = PageDb::new(params().npages);
+        d.set(
+            0,
+            PageEntry::Addrspace {
+                l1pt: 1,
+                refcount: 5, // Owns only one page.
+                state: AddrspaceState::Init,
+                measurement: Measurement::new(),
+            },
+        );
+        d.set(
+            1,
+            PageEntry::L1PTable {
+                addrspace: 0,
+                slots: Box::new([None; KOM_L1_SLOTS]),
+            },
+        );
+        let v = pagedb_violations(&d, &params());
+        assert!(v.iter().any(|m| m.contains("refcount")), "{v:?}");
+    }
+
+    #[test]
+    fn dangling_l1_slot_detected() {
+        let mut d = PageDb::new(params().npages);
+        let mut slots = Box::new([None; KOM_L1_SLOTS]);
+        slots[0] = Some(9); // Page 9 is free.
+        d.set(
+            0,
+            PageEntry::Addrspace {
+                l1pt: 1,
+                refcount: 1,
+                state: AddrspaceState::Init,
+                measurement: Measurement::new(),
+            },
+        );
+        d.set(
+            1,
+            PageEntry::L1PTable {
+                addrspace: 0,
+                slots,
+            },
+        );
+        assert!(!valid_pagedb(&d, &params()));
+    }
+
+    #[test]
+    fn cross_addrspace_mapping_detected() {
+        // Two enclaves; enclave A's L2 table maps enclave B's data page —
+        // exactly the double-mapping §4 says the monitor must prevent.
+        let p = params();
+        let d = PageDb::new(p.npages);
+        let (d, _) = crate::smc::init_addrspace(d, &p, 0, 1);
+        let (d, _) = crate::smc::init_l2ptable(d, &p, 0, 2, 0);
+        let (d, _) = crate::smc::init_addrspace(d, &p, 4, 5);
+        let (d, _) = crate::smc::init_l2ptable(d, &p, 4, 6, 0);
+        let m = crate::types::Mapping {
+            vpn: 3,
+            r: true,
+            w: true,
+            x: false,
+        };
+        let (mut d, e) = crate::smc::map_secure(d, &p, 4, 7, m, 10, &[0; KOM_L2_SLOTS]);
+        assert_eq!(e, crate::types::KomErr::Ok);
+        assert!(valid_pagedb(&d, &p));
+        // Forge the cross mapping in enclave 0's table.
+        if let Some(PageEntry::L2PTable { slots, .. }) = d.get_mut(2) {
+            slots[3] = L2Entry::SecureMapping {
+                page: 7,
+                w: true,
+                x: false,
+            };
+        }
+        assert!(!valid_pagedb(&d, &p));
+    }
+
+    #[test]
+    fn stopped_addrspace_relaxes_structure() {
+        let p = params();
+        let d = PageDb::new(p.npages);
+        let (d, _) = crate::smc::init_addrspace(d, &p, 0, 1);
+        let (d, _) = crate::smc::init_l2ptable(d, &p, 0, 2, 0);
+        let (d, _) = crate::smc::stop(d, &p, 0);
+        // Remove the L1PT out from under the addrspace: legal once stopped.
+        let (d, e) = crate::smc::remove(d, &p, 1);
+        assert_eq!(e, crate::types::KomErr::Ok);
+        assert!(valid_pagedb(&d, &p), "{:?}", pagedb_violations(&d, &p));
+    }
+
+    #[test]
+    fn entered_thread_requires_final() {
+        let p = params();
+        let d = PageDb::new(p.npages);
+        let (d, _) = crate::smc::init_addrspace(d, &p, 0, 1);
+        let (mut d, _) = crate::smc::init_thread(d, &p, 0, 3, 0x8000);
+        if let Some(PageEntry::Thread { entered, .. }) = d.get_mut(3) {
+            *entered = true;
+        }
+        assert!(!valid_pagedb(&d, &p));
+    }
+}

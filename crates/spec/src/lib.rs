@@ -1,0 +1,45 @@
+//! Executable functional specification of the Komodo monitor (paper §5.2).
+//!
+//! The paper specifies the monitor in Dafny as pure functions over an
+//! abstract *PageDB* — "a map from page numbers to entries, each of which
+//! has one of the six types" — plus a top-level `smchandler` predicate
+//! relating machine/PageDB states across each secure monitor call. This
+//! crate is a direct executable transcription:
+//!
+//! - [`pagedb`]: the abstract PageDB and its six page types.
+//! - [`params`]: the platform's physical layout, against which insecure
+//!   addresses are validated (including the monitor's own pages — the §9.1
+//!   bug class).
+//! - [`measure`]: the attestation measurement — a hash over the sequence of
+//!   page-allocation calls and their parameters (§4).
+//! - [`smc`]: pure functions for each OS-facing secure monitor call
+//!   (Table 1), `(PageDb, args) -> (PageDb, KomErr, value)`.
+//! - [`svc`]: pure functions for each enclave-facing supervisor call.
+//! - [`enter`]: the `Enter`/`Resume` specification, with enclave execution
+//!   modelled as an uninterpreted function of the user-visible state and a
+//!   nondeterminism seed, exactly as §6.3 describes.
+//! - [`invariants`]: the PageDB validity invariants ("reference counts are
+//!   correct, internal references ... are to pages of the correct type
+//!   belonging to the same address space", §5.2), checked after every
+//!   transition in tests.
+//!
+//! The concrete monitor (`komodo-monitor`) must *refine* this
+//! specification; the workspace's differential tests check exactly that
+//! relation, standing in for the paper's machine-checked proof.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enter;
+pub mod handler;
+pub mod invariants;
+pub mod measure;
+pub mod pagedb;
+pub mod params;
+pub mod smc;
+pub mod svc;
+pub mod types;
+
+pub use pagedb::{AddrspaceState, L2Entry, PageDb, PageEntry, UserContext};
+pub use params::SecureParams;
+pub use types::{KomErr, Mapping, PageNr, SmcCall, SvcCall, KOM_PAGE_WORDS};

@@ -1,0 +1,252 @@
+//! Attestation measurement (paper §4).
+//!
+//! "As the enclave is being constructed, the monitor constructs a hash of
+//! the sequence of page allocation calls and their parameters; specifically:
+//! (i) the enclave virtual address, permissions and initial contents of each
+//! secure page; and (ii) the entry point of every thread. ... When the
+//! enclave is finalised, this hash becomes the enclave's immutable
+//! measurement."
+//!
+//! Each recorded operation is padded to a whole number of 64-byte SHA-256
+//! blocks, honouring the implementation's precondition that "Komodo only
+//! invokes SHA on block-aligned data" (§7.2). The measurement state is the
+//! running (unpadded) SHA-256 chaining value plus a block count — exactly
+//! what the concrete monitor stores in the address-space page — so the
+//! abstraction function can reconstruct a specification measurement from
+//! concrete memory bit-for-bit.
+
+use komodo_crypto::sha256::{Sha256, BLOCK_WORDS, H0};
+use komodo_crypto::Digest;
+
+use crate::types::{Mapping, KOM_PAGE_WORDS};
+
+/// Operation tags in measurement records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum MeasureOp {
+    /// `MapSecure` — followed by the page contents.
+    MapSecure = 1,
+    /// `MapInsecure` — address and permissions only (contents are
+    /// untrusted and excluded).
+    MapInsecure = 2,
+    /// `InitThread` — entry point.
+    InitThread = 3,
+    /// `InitL2PTable` — the populated `l1index`.
+    InitL2PTable = 4,
+}
+
+/// The measurement: a running block-aligned hash of enclave layout, fixed
+/// at finalisation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Measurement {
+    /// Running SHA-256 chaining value over the records so far.
+    h: [u32; 8],
+    /// Whole 64-byte blocks absorbed.
+    nblocks: u64,
+    /// The digest, fixed at finalisation.
+    digest: Option<Digest>,
+}
+
+impl Default for Measurement {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Measurement {
+    /// An empty measurement (fresh address space).
+    pub fn new() -> Measurement {
+        Measurement {
+            h: H0,
+            nblocks: 0,
+            digest: None,
+        }
+    }
+
+    /// Reconstructs a measurement from its stored state — used by the
+    /// abstraction function that lifts the concrete monitor's in-memory
+    /// representation back to the specification.
+    pub fn from_parts(h: [u32; 8], nblocks: u64, digest: Option<Digest>) -> Measurement {
+        Measurement { h, nblocks, digest }
+    }
+
+    fn record(&mut self, op: MeasureOp, args: &[u32], contents: Option<&[u32; KOM_PAGE_WORDS]>) {
+        debug_assert!(self.digest.is_none(), "measurement extended after finalise");
+        // One block-aligned header record: tag, args, zero padding.
+        let mut header = [0u32; BLOCK_WORDS];
+        header[0] = op as u32;
+        header[1..1 + args.len()].copy_from_slice(args);
+        Sha256::compress_words(&mut self.h, &header);
+        self.nblocks += 1;
+        if let Some(c) = contents {
+            // Page contents are already 64 whole blocks.
+            Sha256::compress_words(&mut self.h, &c[..]);
+            self.nblocks += (KOM_PAGE_WORDS / BLOCK_WORDS) as u64;
+        }
+    }
+
+    /// Records a `MapSecure`: mapping word plus initial page contents.
+    pub fn record_map_secure(&mut self, mapping: Mapping, contents: &[u32; KOM_PAGE_WORDS]) {
+        self.record(MeasureOp::MapSecure, &[mapping.pack()], Some(contents));
+    }
+
+    /// Records a `MapInsecure`: mapping word only.
+    pub fn record_map_insecure(&mut self, mapping: Mapping) {
+        self.record(MeasureOp::MapInsecure, &[mapping.pack()], None);
+    }
+
+    /// Records an `InitThread`: the entry point.
+    pub fn record_init_thread(&mut self, entry: u32) {
+        self.record(MeasureOp::InitThread, &[entry], None);
+    }
+
+    /// Records an `InitL2PTable` issued by the OS during construction.
+    pub fn record_init_l2pt(&mut self, l1index: u32) {
+        self.record(MeasureOp::InitL2PTable, &[l1index], None);
+    }
+
+    /// The running (unpadded) hash state — the concrete monitor stores
+    /// exactly this in the address-space page.
+    pub fn running_hash(&self) -> [u32; 8] {
+        self.h
+    }
+
+    /// Number of whole blocks recorded so far.
+    pub fn blocks(&self) -> u64 {
+        self.nblocks
+    }
+
+    /// Finalises: computes and fixes the digest (idempotent).
+    pub fn finalise(&mut self) -> Digest {
+        if let Some(d) = self.digest {
+            return d;
+        }
+        let d = Sha256::finish_blocks(self.h, self.nblocks);
+        self.digest = Some(d);
+        d
+    }
+
+    /// The fixed digest, if finalised.
+    pub fn digest(&self) -> Option<Digest> {
+        self.digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(vpn: u32) -> Mapping {
+        Mapping {
+            vpn,
+            r: true,
+            w: true,
+            x: false,
+        }
+    }
+
+    #[test]
+    fn block_accounting() {
+        let mut m = Measurement::new();
+        assert_eq!(m.blocks(), 0);
+        m.record_init_thread(0x8000);
+        assert_eq!(m.blocks(), 1);
+        m.record_map_secure(mapping(8), &[7u32; KOM_PAGE_WORDS]);
+        assert_eq!(m.blocks(), 1 + 1 + 64);
+        m.record_map_insecure(mapping(9));
+        assert_eq!(m.blocks(), 67);
+    }
+
+    #[test]
+    fn layout_changes_change_digest() {
+        let contents = [0u32; KOM_PAGE_WORDS];
+        let mut a = Measurement::new();
+        a.record_map_secure(mapping(8), &contents);
+        let mut b = Measurement::new();
+        b.record_map_secure(mapping(9), &contents); // Different VA.
+        assert_ne!(a.finalise(), b.finalise());
+
+        let mut c = Measurement::new();
+        let mut other = contents;
+        other[0] = 1; // Different contents.
+        c.record_map_secure(mapping(8), &other);
+        let mut a2 = Measurement::new();
+        a2.record_map_secure(mapping(8), &contents);
+        assert_ne!(a2.finalise(), c.finalise());
+    }
+
+    #[test]
+    fn permissions_affect_digest() {
+        let contents = [0u32; KOM_PAGE_WORDS];
+        let mut a = Measurement::new();
+        a.record_map_secure(mapping(8), &contents);
+        let mut b = Measurement::new();
+        b.record_map_secure(
+            Mapping {
+                x: true,
+                ..mapping(8)
+            },
+            &contents,
+        );
+        assert_ne!(a.finalise(), b.finalise());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Measurement::new();
+        a.record_init_thread(0x1000);
+        a.record_map_insecure(mapping(5));
+        let mut b = Measurement::new();
+        b.record_map_insecure(mapping(5));
+        b.record_init_thread(0x1000);
+        assert_ne!(a.finalise(), b.finalise());
+    }
+
+    #[test]
+    fn finalise_is_idempotent() {
+        let mut m = Measurement::new();
+        m.record_init_thread(1);
+        let d1 = m.finalise();
+        let d2 = m.finalise();
+        assert_eq!(d1, d2);
+        assert_eq!(m.digest(), Some(d1));
+    }
+
+    #[test]
+    fn identical_construction_identical_digest() {
+        let build = || {
+            let mut m = Measurement::new();
+            m.record_init_l2pt(2);
+            m.record_map_secure(mapping(2048), &[3u32; KOM_PAGE_WORDS]);
+            m.record_init_thread(0x0080_0000);
+            m.finalise()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let mut m = Measurement::new();
+        m.record_init_thread(0xcafe);
+        let rebuilt = Measurement::from_parts(m.running_hash(), m.blocks(), m.digest());
+        assert_eq!(rebuilt, m);
+        let d = rebuilt.clone();
+        let mut m2 = m.clone();
+        assert_eq!(m2.finalise(), {
+            let mut r = d;
+            r.finalise()
+        });
+    }
+
+    #[test]
+    fn digest_matches_oneshot_hash_of_records() {
+        // The incremental state must equal hashing the concatenated
+        // block-aligned records in one shot.
+        let mut m = Measurement::new();
+        m.record_init_thread(0x8000);
+        let mut words = vec![0u32; 16];
+        words[0] = MeasureOp::InitThread as u32;
+        words[1] = 0x8000;
+        assert_eq!(m.finalise(), Sha256::digest_words(&words));
+    }
+}

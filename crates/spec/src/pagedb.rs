@@ -1,0 +1,394 @@
+//! The abstract PageDB (paper §4, §5.2).
+//!
+//! "Komodo tracks the state of secure pages using a data structure we term
+//! the PageDB ... for every secure page, it stores the page's allocation
+//! state, and, if allocated, its type and a reference to the owning
+//! enclave." Each allocated page has one of six types: address space,
+//! thread, first-level page table, second-level page table, data page, and
+//! spare page.
+
+use crate::measure::Measurement;
+use crate::types::{PageNr, KOM_L1_SLOTS, KOM_L2_SLOTS, KOM_PAGE_WORDS};
+
+/// Lifecycle state of an address space (enclave).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AddrspaceState {
+    /// Under construction: the OS may map pages and create threads.
+    Init,
+    /// Finalised: executable; the measurement is fixed (§4).
+    Final,
+    /// Stopped: never executes again; pages may be `Remove`d.
+    Stopped,
+}
+
+/// Saved user-mode execution context of a suspended thread.
+///
+/// "On an interrupt, the monitor saves register context in the thread page"
+/// (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UserContext {
+    /// R0–R12, SP, LR as the enclave last saw them.
+    pub regs: [u32; 15],
+    /// Program counter to resume at.
+    pub pc: u32,
+    /// Saved condition flags (N, Z, C, V packed in bits 31–28).
+    pub cpsr_flags: u32,
+}
+
+impl UserContext {
+    /// The all-zero context of a fresh thread.
+    pub fn zeroed() -> UserContext {
+        UserContext {
+            regs: [0; 15],
+            pc: 0,
+            cpsr_flags: 0,
+        }
+    }
+}
+
+/// A second-level page-table slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L2Entry {
+    /// Unmapped.
+    Nothing,
+    /// A secure data page owned by the same address space.
+    SecureMapping {
+        /// The data page.
+        page: PageNr,
+        /// Writable by the enclave.
+        w: bool,
+        /// Executable by the enclave.
+        x: bool,
+    },
+    /// An insecure (OS-shared) physical page; never executable.
+    InsecureMapping {
+        /// Physical page frame number in insecure RAM.
+        pfn: u32,
+        /// Writable by the enclave.
+        w: bool,
+    },
+}
+
+/// One PageDB entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageEntry {
+    /// Unallocated.
+    Free,
+    /// An address space (enclave root).
+    Addrspace {
+        /// The enclave's first-level page table page.
+        l1pt: PageNr,
+        /// Number of other pages owned by this address space (the
+        /// address space "is reference counted, and must be removed
+        /// last", §4).
+        refcount: usize,
+        /// Lifecycle state.
+        state: AddrspaceState,
+        /// Attestation measurement (running record until finalised).
+        measurement: Measurement,
+    },
+    /// The single first-level page table of an address space: 256 slots of
+    /// 4 MB, each optionally naming an L2 page-table page.
+    L1PTable {
+        /// Owning address space.
+        addrspace: PageNr,
+        /// `l1index -> L2 page-table page`.
+        slots: Box<[Option<PageNr>; KOM_L1_SLOTS]>,
+    },
+    /// A second-level page-table page: 1024 small-page slots (4 MB).
+    L2PTable {
+        /// Owning address space.
+        addrspace: PageNr,
+        /// Mapping slots.
+        slots: Box<[L2Entry; KOM_L2_SLOTS]>,
+    },
+    /// An enclave thread.
+    Thread {
+        /// Owning address space.
+        addrspace: PageNr,
+        /// Entry point virtual address.
+        entry: u32,
+        /// "The thread context is marked as entered, to prevent a
+        /// suspended thread from being re-entered" (§4).
+        entered: bool,
+        /// Saved context (meaningful when `entered`).
+        context: UserContext,
+        /// Staging buffer for the multi-step `Verify` SVC: `data[8]` then
+        /// `measure[8]`.
+        verify_words: [u32; 16],
+    },
+    /// A secure data page with private contents.
+    Data {
+        /// Owning address space.
+        addrspace: PageNr,
+        /// Page contents.
+        contents: Box<[u32; KOM_PAGE_WORDS]>,
+    },
+    /// A spare page allocated for dynamic memory management (SGXv2-style,
+    /// §4 "Dynamic allocation"); not yet accessible to the enclave.
+    Spare {
+        /// Owning address space.
+        addrspace: PageNr,
+    },
+}
+
+impl PageEntry {
+    /// The owning address space for owned page types (`None` for `Free`
+    /// and for `Addrspace` itself).
+    pub fn addrspace(&self) -> Option<PageNr> {
+        match *self {
+            PageEntry::Free | PageEntry::Addrspace { .. } => None,
+            PageEntry::L1PTable { addrspace, .. }
+            | PageEntry::L2PTable { addrspace, .. }
+            | PageEntry::Thread { addrspace, .. }
+            | PageEntry::Data { addrspace, .. }
+            | PageEntry::Spare { addrspace } => Some(addrspace),
+        }
+    }
+
+    /// Whether this entry is free.
+    pub fn is_free(&self) -> bool {
+        matches!(self, PageEntry::Free)
+    }
+}
+
+/// The PageDB: one entry per secure page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageDb {
+    entries: Vec<PageEntry>,
+}
+
+impl PageDb {
+    /// A PageDB with `npages` free pages (the boot state).
+    pub fn new(npages: usize) -> PageDb {
+        PageDb {
+            entries: vec![PageEntry::Free; npages],
+        }
+    }
+
+    /// Number of secure pages.
+    pub fn npages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The entry for `pg`, if in range.
+    pub fn get(&self, pg: PageNr) -> Option<&PageEntry> {
+        self.entries.get(pg)
+    }
+
+    /// Mutable entry for `pg`.
+    pub fn get_mut(&mut self, pg: PageNr) -> Option<&mut PageEntry> {
+        self.entries.get_mut(pg)
+    }
+
+    /// Replaces the entry for `pg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pg` is out of range (callers validate first).
+    pub fn set(&mut self, pg: PageNr, e: PageEntry) {
+        self.entries[pg] = e;
+    }
+
+    /// Whether `pg` is in range and free.
+    pub fn is_free(&self, pg: PageNr) -> bool {
+        matches!(self.get(pg), Some(PageEntry::Free))
+    }
+
+    /// Whether `pg` is a valid address-space page.
+    pub fn is_addrspace(&self, pg: PageNr) -> bool {
+        matches!(self.get(pg), Some(PageEntry::Addrspace { .. }))
+    }
+
+    /// The state of address space `asp`, if it is one.
+    pub fn addrspace_state(&self, asp: PageNr) -> Option<AddrspaceState> {
+        match self.get(asp) {
+            Some(PageEntry::Addrspace { state, .. }) => Some(*state),
+            _ => None,
+        }
+    }
+
+    /// The L1 page table of address space `asp`.
+    pub fn l1pt_of(&self, asp: PageNr) -> Option<PageNr> {
+        match self.get(asp) {
+            Some(PageEntry::Addrspace { l1pt, .. }) => Some(*l1pt),
+            _ => None,
+        }
+    }
+
+    /// The measurement of address space `asp`.
+    pub fn measurement_of(&self, asp: PageNr) -> Option<&Measurement> {
+        match self.get(asp) {
+            Some(PageEntry::Addrspace { measurement, .. }) => Some(measurement),
+            _ => None,
+        }
+    }
+
+    /// Adjusts the refcount of address space `asp`.
+    pub(crate) fn add_ref(&mut self, asp: PageNr, delta: isize) {
+        if let Some(PageEntry::Addrspace { refcount, .. }) = self.get_mut(asp) {
+            *refcount = refcount
+                .checked_add_signed(delta)
+                .expect("refcount underflow is a specification bug");
+        }
+    }
+
+    /// All pages owned by `asp` (excluding the address-space page itself).
+    pub fn pages_of(&self, asp: PageNr) -> Vec<PageNr> {
+        (0..self.npages())
+            .filter(|&pg| self.entries[pg].addrspace() == Some(asp))
+            .collect()
+    }
+
+    /// Set of free page numbers — `F(d)` in the paper's Definition 2.
+    pub fn free_pages(&self) -> Vec<PageNr> {
+        (0..self.npages())
+            .filter(|&pg| self.entries[pg].is_free())
+            .collect()
+    }
+
+    /// Looks up the L2 entry for `mapping` in `asp`'s page tables, along
+    /// with the L2 page-table page holding it.
+    pub fn lookup_mapping(
+        &self,
+        asp: PageNr,
+        mapping: crate::types::Mapping,
+    ) -> Option<(PageNr, L2Entry)> {
+        let l1pt = self.l1pt_of(asp)?;
+        let PageEntry::L1PTable { slots, .. } = self.get(l1pt)? else {
+            return None;
+        };
+        let l2pg = (*slots.get(mapping.l1_index())?)?;
+        let PageEntry::L2PTable { slots, .. } = self.get(l2pg)? else {
+            return None;
+        };
+        Some((l2pg, slots[mapping.l2_slot()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Mapping;
+
+    #[test]
+    fn new_pagedb_all_free() {
+        let d = PageDb::new(8);
+        assert_eq!(d.npages(), 8);
+        assert_eq!(d.free_pages().len(), 8);
+        assert!(d.is_free(7));
+        assert!(!d.is_free(8));
+    }
+
+    #[test]
+    fn ownership_queries() {
+        let mut d = PageDb::new(8);
+        d.set(
+            0,
+            PageEntry::Addrspace {
+                l1pt: 1,
+                refcount: 2,
+                state: AddrspaceState::Init,
+                measurement: Measurement::new(),
+            },
+        );
+        d.set(
+            1,
+            PageEntry::L1PTable {
+                addrspace: 0,
+                slots: Box::new([None; KOM_L1_SLOTS]),
+            },
+        );
+        d.set(2, PageEntry::Spare { addrspace: 0 });
+        assert!(d.is_addrspace(0));
+        assert!(!d.is_addrspace(1));
+        assert_eq!(d.l1pt_of(0), Some(1));
+        assert_eq!(d.pages_of(0), vec![1, 2]);
+        assert_eq!(d.addrspace_state(0), Some(AddrspaceState::Init));
+    }
+
+    #[test]
+    fn refcount_adjustment() {
+        let mut d = PageDb::new(4);
+        d.set(
+            0,
+            PageEntry::Addrspace {
+                l1pt: 1,
+                refcount: 0,
+                state: AddrspaceState::Init,
+                measurement: Measurement::new(),
+            },
+        );
+        d.add_ref(0, 1);
+        d.add_ref(0, 1);
+        d.add_ref(0, -1);
+        match d.get(0) {
+            Some(PageEntry::Addrspace { refcount, .. }) => assert_eq!(*refcount, 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn lookup_mapping_walks_tables() {
+        let mut d = PageDb::new(8);
+        let mut l1 = Box::new([None; KOM_L1_SLOTS]);
+        l1[3] = Some(2);
+        let mut l2 = Box::new([L2Entry::Nothing; KOM_L2_SLOTS]);
+        l2[7] = L2Entry::SecureMapping {
+            page: 5,
+            w: true,
+            x: false,
+        };
+        d.set(
+            0,
+            PageEntry::Addrspace {
+                l1pt: 1,
+                refcount: 3,
+                state: AddrspaceState::Init,
+                measurement: Measurement::new(),
+            },
+        );
+        d.set(
+            1,
+            PageEntry::L1PTable {
+                addrspace: 0,
+                slots: l1,
+            },
+        );
+        d.set(
+            2,
+            PageEntry::L2PTable {
+                addrspace: 0,
+                slots: l2,
+            },
+        );
+        // l1_index 3, l2_slot 7 → vpn = 3*1024 + 7.
+        let m = Mapping {
+            vpn: 3 * 1024 + 7,
+            r: true,
+            w: true,
+            x: false,
+        };
+        assert_eq!(
+            d.lookup_mapping(0, m),
+            Some((
+                2,
+                L2Entry::SecureMapping {
+                    page: 5,
+                    w: true,
+                    x: false
+                }
+            ))
+        );
+        // A VPN whose L1 slot is empty resolves to nothing.
+        let unmapped = Mapping { vpn: 9 * 1024, ..m };
+        assert_eq!(d.lookup_mapping(0, unmapped), None);
+    }
+
+    #[test]
+    fn entry_addrspace_field() {
+        assert_eq!(PageEntry::Free.addrspace(), None);
+        assert_eq!(PageEntry::Spare { addrspace: 3 }.addrspace(), Some(3));
+        assert!(PageEntry::Free.is_free());
+    }
+}

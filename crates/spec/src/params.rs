@@ -1,0 +1,101 @@
+//! Platform physical-layout parameters used for validation.
+//!
+//! The monitor must validate every insecure physical address the OS (or an
+//! enclave mapping) supplies. The paper reports (§9.1) that the unverified
+//! prototype got this wrong: "To check whether an insecure physical address
+//! passed to the monitor ... is valid, it is not sufficient merely to check
+//! that it does not refer to secure pages; instead, it must also avoid any
+//! of the monitor's own pages", because the monitor's text and data exist
+//! in the direct-mapped physical region (Figure 4). This module encodes
+//! that check once, for both the specification and the implementation.
+
+use crate::types::PageNr;
+
+/// Physical layout of the platform, in page-number space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecureParams {
+    /// Number of pages in the secure pool (`GetPhysPages` result).
+    pub npages: usize,
+    /// Physical page frame number of the first secure pool page.
+    pub secure_base_pfn: u32,
+    /// Insecure RAM as physical page frame numbers `[start, end)`.
+    pub insecure_pfns: core::ops::Range<u32>,
+    /// The monitor's own image/stack/globals, as PFNs `[start, end)`;
+    /// *inside* the physical address space the OS can name.
+    pub monitor_pfns: core::ops::Range<u32>,
+}
+
+impl SecureParams {
+    /// A small default layout used by tests: 64 secure pages, 256 insecure
+    /// pages at PFN 0, monitor at PFNs 0x300..0x310.
+    pub fn for_tests() -> SecureParams {
+        SecureParams {
+            npages: 64,
+            secure_base_pfn: 0x8_0000, // 0x8000_0000 >> 12.
+            insecure_pfns: 0..256,
+            monitor_pfns: 0x300..0x310,
+        }
+    }
+
+    /// Whether `pg` is a valid secure page number.
+    pub fn valid_page(&self, pg: PageNr) -> bool {
+        pg < self.npages
+    }
+
+    /// Physical page frame number of secure page `pg`.
+    pub fn secure_pfn(&self, pg: PageNr) -> u32 {
+        self.secure_base_pfn + pg as u32
+    }
+
+    /// Physical page frame numbers of the secure pool `[start, end)`.
+    pub fn secure_pfns(&self) -> core::ops::Range<u32> {
+        self.secure_base_pfn..self.secure_base_pfn + self.npages as u32
+    }
+
+    /// Validates an insecure physical page the OS supplied: it must lie in
+    /// insecure RAM and must alias *neither* the secure pool *nor* the
+    /// monitor's own pages (the §9.1 bug).
+    pub fn valid_insecure_pfn(&self, pfn: u32) -> bool {
+        self.insecure_pfns.contains(&pfn)
+            && !self.secure_pfns().contains(&pfn)
+            && !self.monitor_pfns.contains(&pfn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_page_bounds() {
+        let p = SecureParams::for_tests();
+        assert!(p.valid_page(0));
+        assert!(p.valid_page(63));
+        assert!(!p.valid_page(64));
+    }
+
+    #[test]
+    fn secure_pfn_mapping() {
+        let p = SecureParams::for_tests();
+        assert_eq!(p.secure_pfn(0), 0x8_0000);
+        assert_eq!(p.secure_pfn(5), 0x8_0005);
+    }
+
+    #[test]
+    fn insecure_validation_rejects_monitor_pages() {
+        // Layout where the monitor sits *inside* insecure RAM, as in
+        // Figure 4's direct map — the paper's bug scenario.
+        let p = SecureParams {
+            npages: 4,
+            secure_base_pfn: 0x1000,
+            insecure_pfns: 0..0x400,
+            monitor_pfns: 0x300..0x310,
+        };
+        assert!(p.valid_insecure_pfn(0x2ff));
+        assert!(!p.valid_insecure_pfn(0x300), "monitor page accepted");
+        assert!(!p.valid_insecure_pfn(0x30f), "monitor page accepted");
+        assert!(p.valid_insecure_pfn(0x310));
+        assert!(!p.valid_insecure_pfn(0x400), "beyond insecure RAM");
+        assert!(!p.valid_insecure_pfn(0x1001), "secure page accepted");
+    }
+}

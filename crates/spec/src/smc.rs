@@ -1,0 +1,645 @@
+//! Pure functional specification of the structural secure monitor calls
+//! (Table 1, excluding `Enter`/`Resume` which involve enclave execution and
+//! live in [`crate::enter`]).
+//!
+//! "We specify the body of the rest as pure functions that, given an input
+//! PageDB and call parameters, compute an error/success code and resulting
+//! PageDB" (§5.2). Each function here takes the PageDB by value and returns
+//! the successor PageDB with a [`KomErr`]; on error the PageDB is returned
+//! unchanged.
+
+use crate::pagedb::{AddrspaceState, L2Entry, PageDb, PageEntry, UserContext};
+use crate::params::SecureParams;
+use crate::types::{KomErr, Mapping, PageNr, KOM_L1_SLOTS, KOM_L2_SLOTS, KOM_PAGE_WORDS};
+
+/// `GetPhysPages() -> int npages`: the size of the secure page pool.
+pub fn get_phys_pages(d: &PageDb) -> u32 {
+    d.npages() as u32
+}
+
+/// Checks that `asp` is a valid address space in the given state.
+fn check_addrspace_state(d: &PageDb, asp: PageNr, want: AddrspaceState) -> Result<(), KomErr> {
+    match d.addrspace_state(asp) {
+        None => Err(KomErr::InvalidAddrspace),
+        Some(s) if s == want => Ok(()),
+        Some(AddrspaceState::Final) => Err(KomErr::AlreadyFinal),
+        Some(AddrspaceState::Stopped) => Err(KomErr::Stopped),
+        Some(AddrspaceState::Init) => Err(KomErr::NotFinal),
+    }
+}
+
+/// `InitAddrspace(asPg, l1ptPg)`: creates an empty address space.
+///
+/// The two pages must be valid, free, and *distinct* — the unverified
+/// prototype "hadn't considered the case when the two arguments are the
+/// same page" (§9.1); the specification makes the check explicit.
+pub fn init_addrspace(
+    mut d: PageDb,
+    params: &SecureParams,
+    as_pg: PageNr,
+    l1pt_pg: PageNr,
+) -> (PageDb, KomErr) {
+    if !params.valid_page(as_pg) || !params.valid_page(l1pt_pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    if as_pg == l1pt_pg {
+        return (d, KomErr::PageInUse);
+    }
+    if !d.is_free(as_pg) || !d.is_free(l1pt_pg) {
+        return (d, KomErr::PageInUse);
+    }
+    d.set(
+        as_pg,
+        PageEntry::Addrspace {
+            l1pt: l1pt_pg,
+            refcount: 1, // The L1 page table.
+            state: AddrspaceState::Init,
+            measurement: crate::measure::Measurement::new(),
+        },
+    );
+    d.set(
+        l1pt_pg,
+        PageEntry::L1PTable {
+            addrspace: as_pg,
+            slots: Box::new([None; KOM_L1_SLOTS]),
+        },
+    );
+    (d, KomErr::Ok)
+}
+
+/// `InitThread(asPg, threadPg, entry)`: creates an enclave thread with the
+/// given entry point; the entry point is measured (§4).
+pub fn init_thread(
+    mut d: PageDb,
+    params: &SecureParams,
+    as_pg: PageNr,
+    thread_pg: PageNr,
+    entry: u32,
+) -> (PageDb, KomErr) {
+    if !params.valid_page(as_pg) || !params.valid_page(thread_pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    if let Err(e) = check_addrspace_state(&d, as_pg, AddrspaceState::Init) {
+        return (d, e);
+    }
+    if !d.is_free(thread_pg) {
+        return (d, KomErr::PageInUse);
+    }
+    d.set(
+        thread_pg,
+        PageEntry::Thread {
+            addrspace: as_pg,
+            entry,
+            entered: false,
+            context: UserContext::zeroed(),
+            verify_words: [0; 16],
+        },
+    );
+    d.add_ref(as_pg, 1);
+    if let Some(PageEntry::Addrspace { measurement, .. }) = d.get_mut(as_pg) {
+        measurement.record_init_thread(entry);
+    }
+    (d, KomErr::Ok)
+}
+
+/// `InitL2PTable(asPg, l2ptPg, l1index)`: allocates a second-level page
+/// table covering the 4 MB slot `l1index`.
+pub fn init_l2ptable(
+    mut d: PageDb,
+    params: &SecureParams,
+    as_pg: PageNr,
+    l2pt_pg: PageNr,
+    l1index: u32,
+) -> (PageDb, KomErr) {
+    if !params.valid_page(as_pg) || !params.valid_page(l2pt_pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    if let Err(e) = check_addrspace_state(&d, as_pg, AddrspaceState::Init) {
+        return (d, e);
+    }
+    if !d.is_free(l2pt_pg) {
+        return (d, KomErr::PageInUse);
+    }
+    if l1index as usize >= KOM_L1_SLOTS {
+        return (d, KomErr::InvalidMapping);
+    }
+    match install_l2pt(&mut d, as_pg, l2pt_pg, l1index as usize) {
+        Ok(()) => {}
+        Err(e) => return (d, e),
+    }
+    if let Some(PageEntry::Addrspace { measurement, .. }) = d.get_mut(as_pg) {
+        measurement.record_init_l2pt(l1index);
+    }
+    (d, KomErr::Ok)
+}
+
+/// Shared tail of the SMC and SVC `InitL2PTable` paths: installs a zeroed
+/// L2 table at `l1index` and bumps the refcount.
+pub(crate) fn install_l2pt(
+    d: &mut PageDb,
+    as_pg: PageNr,
+    l2pt_pg: PageNr,
+    l1index: usize,
+) -> Result<(), KomErr> {
+    let l1pt = d.l1pt_of(as_pg).ok_or(KomErr::InvalidAddrspace)?;
+    let Some(PageEntry::L1PTable { slots, .. }) = d.get(l1pt) else {
+        return Err(KomErr::InvalidAddrspace);
+    };
+    if slots[l1index].is_some() {
+        return Err(KomErr::AddrInUse);
+    }
+    d.set(
+        l2pt_pg,
+        PageEntry::L2PTable {
+            addrspace: as_pg,
+            slots: Box::new([L2Entry::Nothing; KOM_L2_SLOTS]),
+        },
+    );
+    if let Some(PageEntry::L1PTable { slots, .. }) = d.get_mut(l1pt) {
+        slots[l1index] = Some(l2pt_pg);
+    }
+    d.add_ref(as_pg, 1);
+    Ok(())
+}
+
+/// `AllocSpare(asPg, sparePg)`: gives the enclave a spare page for dynamic
+/// allocation. Legal "at any time" before the enclave is stopped (§4), and
+/// does not alter the measurement.
+pub fn alloc_spare(
+    mut d: PageDb,
+    params: &SecureParams,
+    as_pg: PageNr,
+    spare_pg: PageNr,
+) -> (PageDb, KomErr) {
+    if !params.valid_page(as_pg) || !params.valid_page(spare_pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    match d.addrspace_state(as_pg) {
+        None => return (d, KomErr::InvalidAddrspace),
+        Some(AddrspaceState::Stopped) => return (d, KomErr::Stopped),
+        Some(_) => {}
+    }
+    if !d.is_free(spare_pg) {
+        return (d, KomErr::PageInUse);
+    }
+    d.set(spare_pg, PageEntry::Spare { addrspace: as_pg });
+    d.add_ref(as_pg, 1);
+    (d, KomErr::Ok)
+}
+
+/// Validates the common parts of a mapping argument: bounds and the
+/// existence of the covering L2 page table; returns the L2 page.
+fn check_mapping(d: &PageDb, as_pg: PageNr, mapping: Mapping) -> Result<PageNr, KomErr> {
+    if !mapping.in_bounds() || !mapping.r {
+        return Err(KomErr::InvalidMapping);
+    }
+    match d.lookup_mapping(as_pg, mapping) {
+        None => Err(KomErr::InvalidMapping),
+        Some((_, L2Entry::SecureMapping { .. })) | Some((_, L2Entry::InsecureMapping { .. })) => {
+            Err(KomErr::AddrInUse)
+        }
+        Some((l2pg, L2Entry::Nothing)) => Ok(l2pg),
+    }
+}
+
+/// `MapSecure(asPg, dataPg, mapping, contentsPfn)`: allocates a private
+/// data page, initialised from an insecure page, mapped at the given VA
+/// and permissions. The VA, permissions and contents are all measured (§4).
+///
+/// `contents` are the words the dispatcher read from `contents_pfn`; the
+/// PFN itself is validated against the platform layout (including the
+/// monitor's own pages, §9.1).
+pub fn map_secure(
+    mut d: PageDb,
+    params: &SecureParams,
+    as_pg: PageNr,
+    data_pg: PageNr,
+    mapping: Mapping,
+    contents_pfn: u32,
+    contents: &[u32; KOM_PAGE_WORDS],
+) -> (PageDb, KomErr) {
+    if !params.valid_page(as_pg) || !params.valid_page(data_pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    if let Err(e) = check_addrspace_state(&d, as_pg, AddrspaceState::Init) {
+        return (d, e);
+    }
+    if !d.is_free(data_pg) {
+        return (d, KomErr::PageInUse);
+    }
+    if !params.valid_insecure_pfn(contents_pfn) {
+        return (d, KomErr::InvalidInsecure);
+    }
+    let l2pg = match check_mapping(&d, as_pg, mapping) {
+        Ok(p) => p,
+        Err(e) => return (d, e),
+    };
+    d.set(
+        data_pg,
+        PageEntry::Data {
+            addrspace: as_pg,
+            contents: Box::new(*contents),
+        },
+    );
+    if let Some(PageEntry::L2PTable { slots, .. }) = d.get_mut(l2pg) {
+        slots[mapping.l2_slot()] = L2Entry::SecureMapping {
+            page: data_pg,
+            w: mapping.w,
+            x: mapping.x,
+        };
+    }
+    d.add_ref(as_pg, 1);
+    if let Some(PageEntry::Addrspace { measurement, .. }) = d.get_mut(as_pg) {
+        measurement.record_map_secure(mapping, contents);
+    }
+    (d, KomErr::Ok)
+}
+
+/// `MapInsecure(asPg, mapping, targetPfn)`: maps an OS-shared page. The
+/// mapping (but not the untrusted contents) is measured; insecure pages
+/// are never executable.
+pub fn map_insecure(
+    mut d: PageDb,
+    params: &SecureParams,
+    as_pg: PageNr,
+    mapping: Mapping,
+    target_pfn: u32,
+) -> (PageDb, KomErr) {
+    if !params.valid_page(as_pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    if let Err(e) = check_addrspace_state(&d, as_pg, AddrspaceState::Init) {
+        return (d, e);
+    }
+    if mapping.x {
+        return (d, KomErr::InvalidMapping);
+    }
+    if !params.valid_insecure_pfn(target_pfn) {
+        return (d, KomErr::InvalidInsecure);
+    }
+    let l2pg = match check_mapping(&d, as_pg, mapping) {
+        Ok(p) => p,
+        Err(e) => return (d, e),
+    };
+    if let Some(PageEntry::L2PTable { slots, .. }) = d.get_mut(l2pg) {
+        slots[mapping.l2_slot()] = L2Entry::InsecureMapping {
+            pfn: target_pfn,
+            w: mapping.w,
+        };
+    }
+    if let Some(PageEntry::Addrspace { measurement, .. }) = d.get_mut(as_pg) {
+        measurement.record_map_insecure(mapping);
+    }
+    (d, KomErr::Ok)
+}
+
+/// `Finalise(asPg)`: fixes the measurement and permits execution.
+pub fn finalise(mut d: PageDb, params: &SecureParams, as_pg: PageNr) -> (PageDb, KomErr) {
+    if !params.valid_page(as_pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    if let Err(e) = check_addrspace_state(&d, as_pg, AddrspaceState::Init) {
+        return (d, e);
+    }
+    if let Some(PageEntry::Addrspace {
+        state, measurement, ..
+    }) = d.get_mut(as_pg)
+    {
+        measurement.finalise();
+        *state = AddrspaceState::Final;
+    }
+    (d, KomErr::Ok)
+}
+
+/// `Stop(asPg)`: prevents further execution and permits deallocation.
+pub fn stop(mut d: PageDb, params: &SecureParams, as_pg: PageNr) -> (PageDb, KomErr) {
+    if !params.valid_page(as_pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    if !d.is_addrspace(as_pg) {
+        return (d, KomErr::InvalidAddrspace);
+    }
+    if let Some(PageEntry::Addrspace { state, .. }) = d.get_mut(as_pg) {
+        *state = AddrspaceState::Stopped;
+    }
+    (d, KomErr::Ok)
+}
+
+/// `Remove(pg)`: deallocates a page. Spare pages may be reclaimed at any
+/// time; other owned pages require a stopped enclave; the address-space
+/// page is reference counted and must be removed last (§4).
+pub fn remove(mut d: PageDb, params: &SecureParams, pg: PageNr) -> (PageDb, KomErr) {
+    if !params.valid_page(pg) {
+        return (d, KomErr::InvalidPageNo);
+    }
+    let entry = d.get(pg).expect("validated").clone();
+    match entry {
+        PageEntry::Free => (d, KomErr::Ok),
+        PageEntry::Addrspace { refcount, .. } => {
+            if refcount != 0 {
+                return (d, KomErr::PagesRemain);
+            }
+            d.set(pg, PageEntry::Free);
+            (d, KomErr::Ok)
+        }
+        PageEntry::Spare { addrspace } => {
+            d.set(pg, PageEntry::Free);
+            d.add_ref(addrspace, -1);
+            (d, KomErr::Ok)
+        }
+        PageEntry::L1PTable { addrspace, .. }
+        | PageEntry::L2PTable { addrspace, .. }
+        | PageEntry::Thread { addrspace, .. }
+        | PageEntry::Data { addrspace, .. } => {
+            if d.addrspace_state(addrspace) != Some(AddrspaceState::Stopped) {
+                return (d, KomErr::NotStopped);
+            }
+            d.set(pg, PageEntry::Free);
+            d.add_ref(addrspace, -1);
+            (d, KomErr::Ok)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::valid_pagedb;
+
+    fn params() -> SecureParams {
+        SecureParams::for_tests()
+    }
+
+    fn page(v: u32) -> [u32; KOM_PAGE_WORDS] {
+        [v; KOM_PAGE_WORDS]
+    }
+
+    /// Builds an Init-state enclave: addrspace 0, L1PT 1, L2PT 2 at
+    /// l1index 0, thread 3 at entry 0x8000.
+    fn built() -> PageDb {
+        let p = params();
+        let d = PageDb::new(p.npages);
+        let (d, e) = init_addrspace(d, &p, 0, 1);
+        assert_eq!(e, KomErr::Ok);
+        let (d, e) = init_l2ptable(d, &p, 0, 2, 0);
+        assert_eq!(e, KomErr::Ok);
+        let (d, e) = init_thread(d, &p, 0, 3, 0x8000);
+        assert_eq!(e, KomErr::Ok);
+        d
+    }
+
+    fn map8() -> Mapping {
+        Mapping {
+            vpn: 8,
+            r: true,
+            w: false,
+            x: true,
+        }
+    }
+
+    #[test]
+    fn get_phys_pages_reports_pool_size() {
+        assert_eq!(get_phys_pages(&PageDb::new(64)), 64);
+    }
+
+    #[test]
+    fn init_addrspace_happy_path() {
+        let d = built();
+        assert!(d.is_addrspace(0));
+        assert_eq!(d.l1pt_of(0), Some(1));
+        assert!(valid_pagedb(&d, &params()));
+    }
+
+    #[test]
+    fn init_addrspace_rejects_aliased_pages() {
+        // The §9.1 bug: InitAddrspace(p, p).
+        let (d, e) = init_addrspace(PageDb::new(8), &params(), 5, 5);
+        assert_eq!(e, KomErr::PageInUse);
+        assert!(d.is_free(5));
+    }
+
+    #[test]
+    fn init_addrspace_rejects_bad_pages() {
+        let p = params();
+        let (_, e) = init_addrspace(PageDb::new(p.npages), &p, p.npages, 0);
+        assert_eq!(e, KomErr::InvalidPageNo);
+        let d = built();
+        let (_, e) = init_addrspace(d, &p, 0, 4); // Page 0 allocated.
+        assert_eq!(e, KomErr::PageInUse);
+    }
+
+    #[test]
+    fn init_thread_requires_init_state() {
+        let p = params();
+        let d = built();
+        let (d, e) = finalise(d, &p, 0);
+        assert_eq!(e, KomErr::Ok);
+        let (_, e) = init_thread(d, &p, 0, 4, 0);
+        assert_eq!(e, KomErr::AlreadyFinal);
+    }
+
+    #[test]
+    fn init_thread_rejects_non_addrspace() {
+        let (_, e) = init_thread(built(), &params(), 1, 4, 0);
+        assert_eq!(e, KomErr::InvalidAddrspace);
+    }
+
+    #[test]
+    fn init_l2ptable_rejects_duplicate_slot() {
+        let (_, e) = init_l2ptable(built(), &params(), 0, 4, 0);
+        assert_eq!(e, KomErr::AddrInUse);
+    }
+
+    #[test]
+    fn init_l2ptable_rejects_bad_index() {
+        let (_, e) = init_l2ptable(built(), &params(), 0, 4, 256);
+        assert_eq!(e, KomErr::InvalidMapping);
+    }
+
+    #[test]
+    fn map_secure_happy_path_and_measurement() {
+        let p = params();
+        let (d, e) = map_secure(built(), &p, 0, 4, map8(), 10, &page(7));
+        assert_eq!(e, KomErr::Ok);
+        assert!(valid_pagedb(&d, &p));
+        assert!(matches!(
+            d.lookup_mapping(0, map8()),
+            Some((
+                2,
+                L2Entry::SecureMapping {
+                    page: 4,
+                    w: false,
+                    x: true
+                }
+            ))
+        ));
+        let m = d.measurement_of(0).unwrap();
+        assert!(m.blocks() > 0);
+    }
+
+    #[test]
+    fn map_secure_rejects_monitor_aliasing_pfn() {
+        // The §9.1 insecure-address bug: PFN 0x300 is a monitor page.
+        let (_, e) = map_secure(built(), &params(), 0, 4, map8(), 0x300, &page(0));
+        assert_eq!(e, KomErr::InvalidInsecure);
+    }
+
+    #[test]
+    fn map_secure_rejects_double_mapping() {
+        let p = params();
+        let (d, e) = map_secure(built(), &p, 0, 4, map8(), 10, &page(0));
+        assert_eq!(e, KomErr::Ok);
+        let (_, e) = map_secure(d, &p, 0, 5, map8(), 10, &page(0));
+        assert_eq!(e, KomErr::AddrInUse);
+    }
+
+    #[test]
+    fn map_secure_requires_l2pt() {
+        // vpn in l1index 1, which has no L2 table.
+        let m = Mapping {
+            vpn: 1024,
+            r: true,
+            w: true,
+            x: false,
+        };
+        let (_, e) = map_secure(built(), &params(), 0, 4, m, 10, &page(0));
+        assert_eq!(e, KomErr::InvalidMapping);
+    }
+
+    #[test]
+    fn map_secure_requires_read_and_bounds() {
+        let bad_r = Mapping { r: false, ..map8() };
+        let (_, e) = map_secure(built(), &params(), 0, 4, bad_r, 10, &page(0));
+        assert_eq!(e, KomErr::InvalidMapping);
+        let oob = Mapping {
+            vpn: 0x40000,
+            ..map8()
+        };
+        let (_, e) = map_secure(built(), &params(), 0, 4, oob, 10, &page(0));
+        assert_eq!(e, KomErr::InvalidMapping);
+    }
+
+    #[test]
+    fn map_insecure_never_executable() {
+        let m = Mapping {
+            vpn: 9,
+            r: true,
+            w: true,
+            x: true,
+        };
+        let (_, e) = map_insecure(built(), &params(), 0, m, 10);
+        assert_eq!(e, KomErr::InvalidMapping);
+    }
+
+    #[test]
+    fn map_insecure_happy_path() {
+        let p = params();
+        let m = Mapping {
+            vpn: 9,
+            r: true,
+            w: true,
+            x: false,
+        };
+        let (d, e) = map_insecure(built(), &p, 0, m, 10);
+        assert_eq!(e, KomErr::Ok);
+        assert!(matches!(
+            d.lookup_mapping(0, m),
+            Some((_, L2Entry::InsecureMapping { pfn: 10, w: true }))
+        ));
+        assert!(valid_pagedb(&d, &p));
+    }
+
+    #[test]
+    fn map_insecure_rejects_monitor_pfn() {
+        let m = Mapping {
+            vpn: 9,
+            r: true,
+            w: false,
+            x: false,
+        };
+        let (_, e) = map_insecure(built(), &params(), 0, m, 0x305);
+        assert_eq!(e, KomErr::InvalidInsecure);
+    }
+
+    #[test]
+    fn finalise_fixes_measurement() {
+        let p = params();
+        let (d, e) = finalise(built(), &p, 0);
+        assert_eq!(e, KomErr::Ok);
+        assert_eq!(d.addrspace_state(0), Some(AddrspaceState::Final));
+        assert!(d.measurement_of(0).unwrap().digest().is_some());
+        // Double finalise fails.
+        let (_, e) = finalise(d, &p, 0);
+        assert_eq!(e, KomErr::AlreadyFinal);
+    }
+
+    #[test]
+    fn alloc_spare_allowed_after_finalise() {
+        let p = params();
+        let (d, _) = finalise(built(), &p, 0);
+        let (d, e) = alloc_spare(d, &p, 0, 4);
+        assert_eq!(e, KomErr::Ok);
+        assert!(matches!(d.get(4), Some(PageEntry::Spare { addrspace: 0 })));
+        assert!(valid_pagedb(&d, &p));
+    }
+
+    #[test]
+    fn alloc_spare_rejected_when_stopped() {
+        let p = params();
+        let (d, _) = stop(built(), &p, 0);
+        let (_, e) = alloc_spare(d, &p, 0, 4);
+        assert_eq!(e, KomErr::Stopped);
+    }
+
+    #[test]
+    fn remove_requires_stopped_except_spares() {
+        let p = params();
+        let (d, e) = alloc_spare(built(), &p, 0, 4);
+        assert_eq!(e, KomErr::Ok);
+        // Thread page: not stopped → refused.
+        let (d, e) = remove(d, &p, 3);
+        assert_eq!(e, KomErr::NotStopped);
+        // Spare page: reclaimable any time.
+        let (d, e) = remove(d, &p, 4);
+        assert_eq!(e, KomErr::Ok);
+        assert!(d.is_free(4));
+        assert!(valid_pagedb(&d, &p));
+    }
+
+    #[test]
+    fn full_teardown_addrspace_last() {
+        let p = params();
+        let (d, _) = stop(built(), &p, 0);
+        // Addrspace still has pages.
+        let (d, e) = remove(d, &p, 0);
+        assert_eq!(e, KomErr::PagesRemain);
+        let (d, e) = remove(d, &p, 3); // Thread.
+        assert_eq!(e, KomErr::Ok);
+        let (d, e) = remove(d, &p, 2); // L2PT.
+        assert_eq!(e, KomErr::Ok);
+        let (d, e) = remove(d, &p, 1); // L1PT.
+        assert_eq!(e, KomErr::Ok);
+        let (d, e) = remove(d, &p, 0); // Addrspace last.
+        assert_eq!(e, KomErr::Ok);
+        assert_eq!(d.free_pages().len(), p.npages);
+        assert!(valid_pagedb(&d, &p));
+    }
+
+    #[test]
+    fn remove_free_page_is_ok() {
+        let (_, e) = remove(PageDb::new(8), &params(), 5);
+        assert_eq!(e, KomErr::Ok);
+    }
+
+    #[test]
+    fn errors_leave_pagedb_unchanged() {
+        let p = params();
+        let d0 = built();
+        let (d, e) = map_secure(d0.clone(), &p, 0, 4, map8(), 0x300, &page(0));
+        assert_ne!(e, KomErr::Ok);
+        assert_eq!(d, d0);
+        let (d, e) = init_addrspace(d0.clone(), &p, 4, 4);
+        assert_ne!(e, KomErr::Ok);
+        assert_eq!(d, d0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Pure functional specification of the enclave-facing supervisor calls
+//! (Table 1).
+//!
+//! "The specifications of SVCs from an enclave are logically nested inside
+//! the definition of Enter and Resume" (§5.2); [`crate::enter`] drives these
+//! functions from its execution loop. They are factored out here so the
+//! refinement tests can exercise each one directly.
+
+use komodo_crypto::{Digest, HmacSha256};
+
+use crate::pagedb::{AddrspaceState, L2Entry, PageDb, PageEntry};
+use crate::smc::install_l2pt;
+use crate::types::{KomErr, Mapping, PageNr, KOM_L1_SLOTS, KOM_PAGE_WORDS};
+
+/// `Attest(data[8]) -> mac[8]`: a MAC over "(i) the attesting enclave's
+/// measurement, and (ii) enclave-provided data" under the boot-time secret
+/// key (§4).
+///
+/// Requires a finalised enclave (an executing enclave always is).
+pub fn attest(d: &PageDb, key: &[u8], asp: PageNr, user_data: &[u32; 8]) -> Result<Digest, KomErr> {
+    let Some(m) = d.measurement_of(asp) else {
+        return Err(KomErr::InvalidAddrspace);
+    };
+    let Some(digest) = m.digest() else {
+        return Err(KomErr::NotFinal);
+    };
+    Ok(attest_mac(key, &digest, user_data))
+}
+
+/// The attestation MAC: `HMAC(key, measurement[8] || data[8])`.
+pub fn attest_mac(key: &[u8], measurement: &Digest, user_data: &[u32; 8]) -> Digest {
+    let mut msg = [0u32; 16];
+    msg[..8].copy_from_slice(&measurement.0);
+    msg[8..].copy_from_slice(user_data);
+    HmacSha256::mac_words(key, &msg)
+}
+
+/// `Verify(data[8], measure[8], mac[8]) -> ok`: checks an attestation.
+///
+/// The three 8-word groups arrive over three SVC steps; this is the final
+/// check once `data` and `measure` have been staged.
+pub fn verify(key: &[u8], data: &[u32; 8], measure: &[u32; 8], mac: &[u32; 8]) -> bool {
+    let expected = attest_mac(key, &Digest(*measure), data);
+    expected.ct_eq(&Digest(*mac))
+}
+
+/// Validates that `pg` is a spare page of `asp`.
+fn check_spare(d: &PageDb, asp: PageNr, pg: PageNr) -> Result<(), KomErr> {
+    match d.get(pg) {
+        None => Err(KomErr::InvalidPageNo),
+        Some(PageEntry::Spare { addrspace }) if *addrspace == asp => Ok(()),
+        Some(_) => Err(KomErr::NotSpare),
+    }
+}
+
+/// SVC `InitL2PTable(sparePg, l1index)`: the enclave turns one of its spare
+/// pages into a second-level page table (§4, dynamic allocation).
+pub fn svc_init_l2ptable(
+    mut d: PageDb,
+    asp: PageNr,
+    spare_pg: PageNr,
+    l1index: u32,
+) -> (PageDb, KomErr) {
+    if let Err(e) = check_spare(&d, asp, spare_pg) {
+        return (d, e);
+    }
+    if l1index as usize >= KOM_L1_SLOTS {
+        return (d, KomErr::InvalidMapping);
+    }
+    // `install_l2pt` bumps the refcount for a fresh allocation; the spare
+    // was already counted, so compensate.
+    match install_l2pt(&mut d, asp, spare_pg, l1index as usize) {
+        Ok(()) => {
+            d.add_ref(asp, -1);
+            (d, KomErr::Ok)
+        }
+        Err(e) => (d, e),
+    }
+}
+
+/// SVC `MapData(sparePg, mapping)`: maps a spare page as a zero-filled data
+/// page at the given address and permissions (§4).
+pub fn svc_map_data(
+    mut d: PageDb,
+    asp: PageNr,
+    spare_pg: PageNr,
+    mapping: Mapping,
+) -> (PageDb, KomErr) {
+    if let Err(e) = check_spare(&d, asp, spare_pg) {
+        return (d, e);
+    }
+    if !mapping.in_bounds() || !mapping.r {
+        return (d, KomErr::InvalidMapping);
+    }
+    let l2pg = match d.lookup_mapping(asp, mapping) {
+        None => return (d, KomErr::InvalidMapping),
+        Some((_, L2Entry::SecureMapping { .. })) | Some((_, L2Entry::InsecureMapping { .. })) => {
+            return (d, KomErr::AddrInUse)
+        }
+        Some((l2pg, L2Entry::Nothing)) => l2pg,
+    };
+    d.set(
+        spare_pg,
+        PageEntry::Data {
+            addrspace: asp,
+            contents: Box::new([0; KOM_PAGE_WORDS]),
+        },
+    );
+    if let Some(PageEntry::L2PTable { slots, .. }) = d.get_mut(l2pg) {
+        slots[mapping.l2_slot()] = L2Entry::SecureMapping {
+            page: spare_pg,
+            w: mapping.w,
+            x: mapping.x,
+        };
+    }
+    (d, KomErr::Ok)
+}
+
+/// SVC `UnmapData(dataPg, mapping)`: unmaps a data page, "turning it back
+/// into a spare page" (Table 1).
+pub fn svc_unmap_data(
+    mut d: PageDb,
+    asp: PageNr,
+    data_pg: PageNr,
+    mapping: Mapping,
+) -> (PageDb, KomErr) {
+    // Validate the page argument before the mapping, matching the
+    // implementation's check order so error codes refine exactly.
+    match d.get(data_pg) {
+        Some(PageEntry::Data { addrspace, .. }) if *addrspace == asp => {}
+        _ => return (d, KomErr::InvalidPageNo),
+    }
+    if !mapping.in_bounds() {
+        return (d, KomErr::InvalidMapping);
+    }
+    let l2pg = match d.lookup_mapping(asp, mapping) {
+        Some((l2pg, L2Entry::SecureMapping { page, .. })) if page == data_pg => l2pg,
+        Some(_) | None => return (d, KomErr::InvalidMapping),
+    };
+    if let Some(PageEntry::L2PTable { slots, .. }) = d.get_mut(l2pg) {
+        slots[mapping.l2_slot()] = L2Entry::Nothing;
+    }
+    // Contents are dropped: a spare page carries no data, so the next
+    // MapData observably starts from zeroes.
+    d.set(data_pg, PageEntry::Spare { addrspace: asp });
+    (d, KomErr::Ok)
+}
+
+/// Whether `asp` may execute (finalised, not stopped).
+pub fn executable(d: &PageDb, asp: PageNr) -> bool {
+    d.addrspace_state(asp) == Some(AddrspaceState::Final)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::valid_pagedb;
+    use crate::params::SecureParams;
+    use crate::smc;
+
+    const KEY: &[u8] = b"test attestation key";
+
+    fn params() -> SecureParams {
+        SecureParams::for_tests()
+    }
+
+    /// A finalised enclave with a spare page 4.
+    fn built() -> PageDb {
+        let p = params();
+        let d = PageDb::new(p.npages);
+        let (d, _) = smc::init_addrspace(d, &p, 0, 1);
+        let (d, _) = smc::init_l2ptable(d, &p, 0, 2, 0);
+        let (d, _) = smc::init_thread(d, &p, 0, 3, 0x8000);
+        let (d, e) = smc::finalise(d, &p, 0);
+        assert_eq!(e, KomErr::Ok);
+        let (d, e) = smc::alloc_spare(d, &p, 0, 4);
+        assert_eq!(e, KomErr::Ok);
+        d
+    }
+
+    #[test]
+    fn attest_verify_roundtrip() {
+        let d = built();
+        let data = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let mac = attest(&d, KEY, 0, &data).unwrap();
+        let measure = d.measurement_of(0).unwrap().digest().unwrap();
+        assert!(verify(KEY, &data, &measure.0, &mac.0));
+        // Wrong data fails.
+        let mut bad = data;
+        bad[0] ^= 1;
+        assert!(!verify(KEY, &bad, &measure.0, &mac.0));
+        // Wrong measurement fails.
+        let mut badm = measure.0;
+        badm[7] ^= 1;
+        assert!(!verify(KEY, &data, &badm, &mac.0));
+        // Wrong key fails.
+        let other = attest_mac(b"other key", &measure, &data);
+        assert!(!verify(KEY, &data, &measure.0, &other.0));
+    }
+
+    #[test]
+    fn attest_requires_final() {
+        let p = params();
+        let d = PageDb::new(p.npages);
+        let (d, _) = smc::init_addrspace(d, &p, 0, 1);
+        assert_eq!(attest(&d, KEY, 0, &[0; 8]), Err(KomErr::NotFinal));
+        assert_eq!(attest(&d, KEY, 1, &[0; 8]), Err(KomErr::InvalidAddrspace));
+    }
+
+    fn map9() -> Mapping {
+        Mapping {
+            vpn: 9,
+            r: true,
+            w: true,
+            x: false,
+        }
+    }
+
+    #[test]
+    fn map_data_turns_spare_into_zeroed_page() {
+        let p = params();
+        let (d, e) = svc_map_data(built(), 0, 4, map9());
+        assert_eq!(e, KomErr::Ok);
+        assert!(valid_pagedb(&d, &p));
+        match d.get(4) {
+            Some(PageEntry::Data { contents, .. }) => assert!(contents.iter().all(|w| *w == 0)),
+            other => panic!("expected data page, got {other:?}"),
+        }
+        assert!(matches!(
+            d.lookup_mapping(0, map9()),
+            Some((
+                2,
+                L2Entry::SecureMapping {
+                    page: 4,
+                    w: true,
+                    x: false
+                }
+            ))
+        ));
+    }
+
+    #[test]
+    fn map_data_requires_spare() {
+        let (_, e) = svc_map_data(built(), 0, 3, map9()); // Thread page.
+        assert_eq!(e, KomErr::NotSpare);
+        let (_, e) = svc_map_data(built(), 0, 99, map9());
+        assert_eq!(e, KomErr::InvalidPageNo);
+    }
+
+    #[test]
+    fn unmap_data_roundtrip() {
+        let p = params();
+        let (d, _) = svc_map_data(built(), 0, 4, map9());
+        let (d, e) = svc_unmap_data(d, 0, 4, map9());
+        assert_eq!(e, KomErr::Ok);
+        assert!(valid_pagedb(&d, &p));
+        assert!(matches!(d.get(4), Some(PageEntry::Spare { addrspace: 0 })));
+        assert!(matches!(
+            d.lookup_mapping(0, map9()),
+            Some((_, L2Entry::Nothing))
+        ));
+    }
+
+    #[test]
+    fn unmap_data_validates_mapping_target() {
+        let (d, _) = svc_map_data(built(), 0, 4, map9());
+        // Not a data page at all (a thread page): page check fires first.
+        let (_, e) = svc_unmap_data(d.clone(), 0, 3, map9());
+        assert_eq!(e, KomErr::InvalidPageNo);
+        // Unmapped VA for a real data page.
+        let other = Mapping { vpn: 12, ..map9() };
+        let (_, e) = svc_unmap_data(d.clone(), 0, 4, other);
+        assert_eq!(e, KomErr::InvalidMapping);
+        // Right VA, wrong data page: map a second data page at another VA
+        // and cross the arguments.
+        let m12 = Mapping { vpn: 12, ..map9() };
+        let (d, e) = crate::smc::alloc_spare(d, &params(), 0, 5);
+        assert_eq!(e, KomErr::Ok);
+        let (d, e) = svc_map_data(d, 0, 5, m12);
+        assert_eq!(e, KomErr::Ok);
+        // Page 5 is data but mapped at vpn 12, not vpn 9.
+        let (_, e) = svc_unmap_data(d, 0, 5, map9());
+        assert_eq!(e, KomErr::InvalidMapping);
+    }
+
+    #[test]
+    fn svc_init_l2pt_preserves_refcount() {
+        let p = params();
+        let d = built();
+        let before = d.pages_of(0).len();
+        let (d, e) = svc_init_l2ptable(d, 0, 4, 1);
+        assert_eq!(e, KomErr::Ok);
+        assert!(
+            valid_pagedb(&d, &p),
+            "{:?}",
+            crate::invariants::pagedb_violations(&d, &p)
+        );
+        assert_eq!(d.pages_of(0).len(), before);
+        assert!(matches!(d.get(4), Some(PageEntry::L2PTable { .. })));
+    }
+
+    #[test]
+    fn svc_init_l2pt_rejects_occupied_slot() {
+        let (_, e) = svc_init_l2ptable(built(), 0, 4, 0); // Slot 0 exists.
+        assert_eq!(e, KomErr::AddrInUse);
+    }
+
+    #[test]
+    fn remap_after_unmap_is_zero_filled() {
+        // Enclave writes, unmaps, remaps: contents must be zeroes again.
+        let (mut d, _) = svc_map_data(built(), 0, 4, map9());
+        if let Some(PageEntry::Data { contents, .. }) = d.get_mut(4) {
+            contents[0] = 0xdead_beef;
+        }
+        let (d, _) = svc_unmap_data(d, 0, 4, map9());
+        let (d, e) = svc_map_data(d, 0, 4, map9());
+        assert_eq!(e, KomErr::Ok);
+        match d.get(4) {
+            Some(PageEntry::Data { contents, .. }) => assert_eq!(contents[0], 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn executable_states() {
+        let p = params();
+        let d = PageDb::new(p.npages);
+        let (d, _) = smc::init_addrspace(d, &p, 0, 1);
+        assert!(!executable(&d, 0));
+        let (d, _) = smc::finalise(d, &p, 0);
+        assert!(executable(&d, 0));
+        let (d, _) = smc::stop(d, &p, 0);
+        assert!(!executable(&d, 0));
+    }
+}

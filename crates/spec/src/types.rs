@@ -1,0 +1,284 @@
+//! Core specification types: page numbers, mappings, call numbers, errors.
+
+/// Index of a page within the secure page pool (not a physical address).
+///
+/// The OS names secure pages by number in every monitor call; the monitor
+/// translates to physical addresses internally.
+pub type PageNr = usize;
+
+/// Words per 4 kB secure page.
+pub const KOM_PAGE_WORDS: usize = 1024;
+
+/// Enclave virtual address space limit: 1 GB (`TTBCR.N = 2`, Figure 4).
+pub const KOM_ENCLAVE_VA_LIMIT: u32 = 0x4000_0000;
+
+/// Number of 4 MB first-level slots in the enclave address space; the
+/// `l1index` argument of `InitL2PTable` must be below this.
+pub const KOM_L1_SLOTS: usize = 256;
+
+/// Second-level mapping slots per Komodo L2 page-table page (four 1 kB
+/// coarse tables × 256 entries, covering 4 MB).
+pub const KOM_L2_SLOTS: usize = 1024;
+
+/// A virtual mapping argument: target virtual page plus permissions,
+/// packed into a single word as in the Komodo ABI (`Mapping va` in
+/// Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// Virtual page number (`va >> 12`); must lie below the 1 GB limit.
+    pub vpn: u32,
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl Mapping {
+    /// Packs to the ABI word: VA page in bits `[31:12]`, `R`/`W`/`X` in
+    /// bits 0–2.
+    pub fn pack(self) -> u32 {
+        (self.vpn << 12) | (self.r as u32) | ((self.w as u32) << 1) | ((self.x as u32) << 2)
+    }
+
+    /// Unpacks from the ABI word.
+    pub fn unpack(word: u32) -> Mapping {
+        Mapping {
+            vpn: word >> 12,
+            r: word & 1 != 0,
+            w: word & 2 != 0,
+            x: word & 4 != 0,
+        }
+    }
+
+    /// The virtual address of the mapped page.
+    pub fn va(self) -> u32 {
+        self.vpn << 12
+    }
+
+    /// The 4 MB first-level slot this mapping falls in.
+    pub fn l1_index(self) -> usize {
+        (self.vpn >> 10) as usize
+    }
+
+    /// The slot within the owning L2 page-table page.
+    pub fn l2_slot(self) -> usize {
+        (self.vpn & 0x3ff) as usize
+    }
+
+    /// Whether the virtual page lies within the enclave address space.
+    pub fn in_bounds(self) -> bool {
+        self.vpn < (KOM_ENCLAVE_VA_LIMIT >> 12)
+    }
+}
+
+/// Monitor call result codes, mirroring the Komodo ABI's `KOM_ERR_*`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum KomErr {
+    /// Success.
+    Ok = 0,
+    /// A page-number argument is out of range.
+    InvalidPageNo = 1,
+    /// A page expected to be free is allocated (or vice versa).
+    PageInUse = 2,
+    /// The address-space argument does not name a valid address space (or
+    /// the page belongs to a different one).
+    InvalidAddrspace = 3,
+    /// Operation requires a non-finalised enclave.
+    AlreadyFinal = 4,
+    /// Operation requires a finalised enclave.
+    NotFinal = 5,
+    /// The mapping argument is malformed, out of bounds, or the relevant
+    /// page table does not exist.
+    InvalidMapping = 6,
+    /// The target virtual address is already mapped.
+    AddrInUse = 7,
+    /// Deallocation requires a stopped enclave.
+    NotStopped = 8,
+    /// The address space still owns pages and cannot be removed.
+    PagesRemain = 9,
+    /// The thread is already entered and must be `Resume`d.
+    AlreadyEntered = 10,
+    /// The thread is not entered and cannot be `Resume`d.
+    NotEntered = 11,
+    /// Enclave execution was interrupted; the OS should `Resume`.
+    Interrupted = 12,
+    /// The enclave faulted; the thread is dead.
+    Fault = 13,
+    /// An insecure-memory address argument is invalid (outside insecure
+    /// RAM, or aliasing monitor/secure memory).
+    InvalidInsecure = 14,
+    /// A malformed call number or argument.
+    InvalidCall = 15,
+    /// The page is not a spare page (dynamic-memory SVCs).
+    NotSpare = 16,
+    /// The enclave is stopped and cannot run or be modified.
+    Stopped = 17,
+}
+
+impl KomErr {
+    /// The ABI word for this error.
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+}
+
+/// Secure monitor call numbers (OS→monitor ABI, Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum SmcCall {
+    /// `GetPhysPages() -> int npages`.
+    GetPhysPages = 1,
+    /// `InitAddrspace(asPg, l1ptPg)`.
+    InitAddrspace = 2,
+    /// `InitThread(asPg, threadPg, entry)`.
+    InitThread = 3,
+    /// `InitL2PTable(asPg, l2ptPg, l1index)`.
+    InitL2PTable = 4,
+    /// `AllocSpare(asPg, sparePg)` (SGXv2-style dynamic memory).
+    AllocSpare = 5,
+    /// `MapSecure(asPg, dataPg, mapping, contentsPg)`.
+    MapSecure = 6,
+    /// `MapInsecure(asPg, mapping, targetPg)`.
+    MapInsecure = 7,
+    /// `Finalise(asPg)`.
+    Finalise = 8,
+    /// `Enter(threadPg, a1, a2, a3) -> retval`.
+    Enter = 9,
+    /// `Resume(threadPg) -> retval`.
+    Resume = 10,
+    /// `Stop(asPg)`.
+    Stop = 11,
+    /// `Remove(pg)`.
+    Remove = 12,
+}
+
+impl SmcCall {
+    /// Decodes an ABI call number.
+    pub fn from_code(code: u32) -> Option<SmcCall> {
+        Some(match code {
+            1 => SmcCall::GetPhysPages,
+            2 => SmcCall::InitAddrspace,
+            3 => SmcCall::InitThread,
+            4 => SmcCall::InitL2PTable,
+            5 => SmcCall::AllocSpare,
+            6 => SmcCall::MapSecure,
+            7 => SmcCall::MapInsecure,
+            8 => SmcCall::Finalise,
+            9 => SmcCall::Enter,
+            10 => SmcCall::Resume,
+            11 => SmcCall::Stop,
+            12 => SmcCall::Remove,
+            _ => return None,
+        })
+    }
+}
+
+/// Supervisor call numbers (enclave→monitor ABI, Table 1).
+///
+/// `Verify(data[8], measure[8], mac[8])` takes 24 words of input — more
+/// than the register file carries — so, as in the Komodo prototype, it is
+/// split into three register-sized steps buffered in the thread page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum SvcCall {
+    /// `Exit(retval)`: return `R1` to the OS.
+    Exit = 0,
+    /// `GetRandom() -> u32` in `R1`.
+    GetRandom = 1,
+    /// `Attest(data[8])`: data in `R1`–`R8`, MAC returned in `R1`–`R8`.
+    Attest = 2,
+    /// `Verify` step 0: stage `data[8]` from `R1`–`R8`.
+    VerifyStep0 = 3,
+    /// `Verify` step 1: stage `measure[8]` from `R1`–`R8`.
+    VerifyStep1 = 4,
+    /// `Verify` step 2: check `mac[8]` from `R1`–`R8`; `ok` in `R1`.
+    VerifyStep2 = 5,
+    /// `InitL2PTable(sparePg, l1index)` (enclave-initiated).
+    InitL2PTable = 6,
+    /// `MapData(sparePg, mapping)`.
+    MapData = 7,
+    /// `UnmapData(dataPg, mapping)`.
+    UnmapData = 8,
+}
+
+impl SvcCall {
+    /// Decodes an ABI call number (passed in `R0`).
+    pub fn from_code(code: u32) -> Option<SvcCall> {
+        Some(match code {
+            0 => SvcCall::Exit,
+            1 => SvcCall::GetRandom,
+            2 => SvcCall::Attest,
+            3 => SvcCall::VerifyStep0,
+            4 => SvcCall::VerifyStep1,
+            5 => SvcCall::VerifyStep2,
+            6 => SvcCall::InitL2PTable,
+            7 => SvcCall::MapData,
+            8 => SvcCall::UnmapData,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_pack_roundtrip() {
+        let m = Mapping {
+            vpn: 0x12345,
+            r: true,
+            w: false,
+            x: true,
+        };
+        assert_eq!(Mapping::unpack(m.pack()), m);
+    }
+
+    #[test]
+    fn mapping_indices() {
+        let m = Mapping {
+            vpn: 0x40000 - 1, // Last page below 1 GB.
+            r: true,
+            w: true,
+            x: false,
+        };
+        assert!(m.in_bounds());
+        assert_eq!(m.l1_index(), 255);
+        assert_eq!(m.l2_slot(), 1023);
+        let over = Mapping { vpn: 0x40000, ..m };
+        assert!(!over.in_bounds());
+    }
+
+    #[test]
+    fn mapping_va() {
+        let m = Mapping {
+            vpn: 5,
+            r: true,
+            w: false,
+            x: false,
+        };
+        assert_eq!(m.va(), 0x5000);
+    }
+
+    #[test]
+    fn smc_call_roundtrip() {
+        for code in 1..=12 {
+            let c = SmcCall::from_code(code).unwrap();
+            assert_eq!(c as u32, code);
+        }
+        assert_eq!(SmcCall::from_code(0), None);
+        assert_eq!(SmcCall::from_code(13), None);
+    }
+
+    #[test]
+    fn svc_call_roundtrip() {
+        for code in 0..=8 {
+            let c = SvcCall::from_code(code).unwrap();
+            assert_eq!(c as u32, code);
+        }
+        assert_eq!(SvcCall::from_code(9), None);
+    }
+}

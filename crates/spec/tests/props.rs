@@ -1,0 +1,212 @@
+//! Specification-level properties.
+//!
+//! The Dafny development proves that every monitor call preserves the
+//! PageDB invariants ("we prove that each SMC and SVC preserves the PageDB
+//! invariants", §5.2) and that errors have no effect. These properties run
+//! over randomized call sequences instead of all of them.
+
+use komodo_spec::enter::{InsecureMem, UserExec, UserExitKind, UserStep, UserVisible};
+use komodo_spec::handler::{smc_handler, HandlerEnv};
+use komodo_spec::invariants::{pagedb_violations, valid_pagedb};
+use komodo_spec::{KomErr, Mapping, PageDb, PageEntry, SecureParams, SmcCall};
+use proptest::prelude::*;
+
+struct ZeroMem;
+
+impl InsecureMem for ZeroMem {
+    fn read_page(&mut self, pfn: u32) -> Box<[u32; 1024]> {
+        // Deterministic non-trivial contents per pfn.
+        let mut p = Box::new([0u32; 1024]);
+        for (i, w) in p.iter_mut().enumerate() {
+            *w = pfn.wrapping_mul(31).wrapping_add(i as u32);
+        }
+        p
+    }
+    fn write_word(&mut self, _: u32, _: usize, _: u32) {}
+}
+
+/// A hash-driven enclave exec that always exits after up to two SVCs.
+struct QuickExec(u64);
+
+impl UserExec for QuickExec {
+    fn step(&mut self, view: &UserVisible) -> UserStep {
+        let mut regs = view.regs;
+        let choice = self.0 % 3;
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        regs[0] = match choice {
+            0 => 0, // Exit.
+            1 => 1, // GetRandom.
+            _ => 2, // Attest.
+        };
+        regs[1] = (self.0 >> 32) as u32;
+        UserStep {
+            regs,
+            pc: view.pc,
+            cpsr_flags: 0,
+            secure_writes: Vec::new(),
+            insecure_writes: Vec::new(),
+            exit: UserExitKind::Svc,
+        }
+    }
+}
+
+fn arb_call() -> impl Strategy<Value = (u32, [u32; 4])> {
+    (1u32..=12, proptest::array::uniform4(0u32..48)).prop_map(|(call, mut args)| {
+        // Bias mapping-shaped args for the mapping calls.
+        if call == 6 || call == 7 {
+            let m = Mapping {
+                vpn: args[2] % 64,
+                r: true,
+                w: args[3] % 2 == 0,
+                x: args[3] % 3 == 0,
+            };
+            if call == 6 {
+                args[2] = m.pack();
+                args[3] %= 40; // pfn.
+            } else {
+                args[1] = m.pack();
+                args[2] %= 40;
+            }
+        }
+        (call, args)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every randomized call sequence preserves the PageDB invariants at
+    /// every step, and page accounting stays conserved.
+    #[test]
+    fn prop_invariants_preserved(
+        calls in proptest::collection::vec(arb_call(), 1..80),
+        seed in any::<u64>(),
+    ) {
+        let params = SecureParams::for_tests();
+        let mut d = PageDb::new(params.npages);
+        let mut rng_state = seed;
+        for (call, args) in calls {
+            let mut rng = || {
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                (rng_state >> 32) as u32
+            };
+            let mut exec = QuickExec(seed);
+            let mut mem = ZeroMem;
+            let mut env = HandlerEnv {
+                params: &params,
+                attest_key: b"props",
+                rng: &mut rng,
+                exec: &mut exec,
+                insecure: &mut mem,
+                max_svcs: 4,
+            };
+            let (nd, _, _) = smc_handler(d, &mut env, call, args);
+            d = nd;
+            prop_assert!(
+                valid_pagedb(&d, &params),
+                "after call {call} {args:?}: {:?}",
+                pagedb_violations(&d, &params)
+            );
+            // Page conservation: every page is exactly one of free or
+            // allocated, and the entry count never changes.
+            prop_assert_eq!(d.npages(), params.npages);
+        }
+    }
+
+    /// Failing calls leave the PageDB untouched (atomicity of rejection).
+    #[test]
+    fn prop_errors_have_no_effect(
+        setup in proptest::collection::vec(arb_call(), 0..30),
+        probe in arb_call(),
+        seed in any::<u64>(),
+    ) {
+        let params = SecureParams::for_tests();
+        let mut d = PageDb::new(params.npages);
+        let run_one = |d: PageDb, call: u32, args: [u32; 4], seed: u64| {
+            let mut rng_state = seed;
+            let mut rng = move || {
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                (rng_state >> 32) as u32
+            };
+            let mut exec = QuickExec(seed);
+            let mut mem = ZeroMem;
+            let mut env = HandlerEnv {
+                params: &params,
+                attest_key: b"props",
+                rng: &mut rng,
+                exec: &mut exec,
+                insecure: &mut mem,
+                max_svcs: 4,
+            };
+            smc_handler(d, &mut env, call, args)
+        };
+        for (call, args) in setup {
+            let (nd, _, _) = run_one(d, call, args, seed);
+            d = nd;
+        }
+        let before = d.clone();
+        let (after, err, _) = run_one(d, probe.0, probe.1, seed);
+        if err != KomErr::Ok && err != KomErr::Interrupted && err != KomErr::Fault {
+            prop_assert_eq!(after, before, "call {} {:?} failed with {:?} but mutated state", probe.0, probe.1, err);
+        }
+    }
+
+    /// Construction determinism: the same call sequence from the same
+    /// empty state yields the same PageDB and, when finalised, the same
+    /// measurement.
+    #[test]
+    fn prop_construction_deterministic(calls in proptest::collection::vec(arb_call(), 1..50)) {
+        let params = SecureParams::for_tests();
+        let build = || {
+            let mut d = PageDb::new(params.npages);
+            for (call, args) in &calls {
+                if *call == SmcCall::Enter as u32 || *call == SmcCall::Resume as u32 {
+                    continue; // Keep it structural.
+                }
+                let mut rng = || 0u32;
+                let mut exec = QuickExec(0);
+                let mut mem = ZeroMem;
+                let mut env = HandlerEnv {
+                    params: &params,
+                    attest_key: b"props",
+                    rng: &mut rng,
+                    exec: &mut exec,
+                    insecure: &mut mem,
+                    max_svcs: 0,
+                };
+                let (nd, _, _) = smc_handler(d, &mut env, *call, *args);
+                d = nd;
+            }
+            d
+        };
+        prop_assert_eq!(build(), build());
+    }
+
+    /// Refcounts equal ownership — stated directly, not via the invariant
+    /// checker, as an independent cross-check.
+    #[test]
+    fn prop_refcounts_count_ownership(calls in proptest::collection::vec(arb_call(), 1..60)) {
+        let params = SecureParams::for_tests();
+        let mut d = PageDb::new(params.npages);
+        for (call, args) in calls {
+            let mut rng = || 3u32;
+            let mut exec = QuickExec(1);
+            let mut mem = ZeroMem;
+            let mut env = HandlerEnv {
+                params: &params,
+                attest_key: b"props",
+                rng: &mut rng,
+                exec: &mut exec,
+                insecure: &mut mem,
+                max_svcs: 2,
+            };
+            let (nd, _, _) = smc_handler(d, &mut env, call, args);
+            d = nd;
+        }
+        for pg in 0..d.npages() {
+            if let Some(PageEntry::Addrspace { refcount, .. }) = d.get(pg) {
+                assert_eq!(*refcount, d.pages_of(pg).len(), "addrspace {pg}");
+            }
+        }
+    }
+}

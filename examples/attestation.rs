@@ -1,0 +1,128 @@
+//! Local attestation between enclaves (paper §4): enclave A attests a
+//! claim; enclave B verifies it through the monitor, over an untrusted
+//! OS channel.
+//!
+//! ```sh
+//! cargo run --example attestation
+//! ```
+
+use komodo::{measure_image, Platform, PlatformConfig};
+use komodo_armv7::regs::Reg;
+use komodo_armv7::Assembler;
+use komodo_guest::{svc, GuestSegment, Image};
+use komodo_os::EnclaveRun;
+
+const SHARED_VA: u32 = 0x0010_0000;
+
+fn shared_segment() -> GuestSegment {
+    GuestSegment {
+        va: SHARED_VA,
+        words: vec![0; 1024],
+        w: true,
+        x: false,
+        shared: true,
+    }
+}
+
+/// Enclave A: loads an 8-word claim from its shared page, MACs it with
+/// `Attest`, publishes the MAC after the claim.
+fn prover_image() -> Image {
+    let mut a = Assembler::new(0x8000);
+    a.mov_imm32(Reg::R(12), SHARED_VA);
+    for i in 0..8u16 {
+        a.ldr_imm(Reg::R(1 + i as u8), Reg::R(12), i * 4);
+    }
+    svc::attest(&mut a);
+    a.mov_imm32(Reg::R(12), SHARED_VA);
+    for i in 0..8u16 {
+        a.str_imm(Reg::R(1 + i as u8), Reg::R(12), 32 + i * 4);
+    }
+    svc::exit_imm(&mut a, 0);
+    Image {
+        segments: vec![
+            GuestSegment {
+                va: 0x8000,
+                words: a.words(),
+                w: false,
+                x: true,
+                shared: false,
+            },
+            shared_segment(),
+        ],
+        entry: 0x8000,
+    }
+}
+
+/// Enclave B: reads (claim, measurement, mac) from its shared page and
+/// checks the attestation with the three-step `Verify`.
+fn verifier_image() -> Image {
+    let mut a = Assembler::new(0x8000);
+    let load8 = |a: &mut Assembler, off: u16| {
+        a.mov_imm32(Reg::R(12), SHARED_VA);
+        for i in 0..8u16 {
+            a.ldr_imm(Reg::R(1 + i as u8), Reg::R(12), off + i * 4);
+        }
+    };
+    load8(&mut a, 0); // data
+    svc::verify_step0(&mut a);
+    load8(&mut a, 32); // measure
+    svc::verify_step1(&mut a);
+    load8(&mut a, 64); // mac
+    svc::verify_step2(&mut a);
+    svc::exit(&mut a); // R1 = verdict.
+    Image {
+        segments: vec![
+            GuestSegment {
+                va: 0x8000,
+                words: a.words(),
+                w: false,
+                x: true,
+                shared: false,
+            },
+            shared_segment(),
+        ],
+        entry: 0x8000,
+    }
+}
+
+fn main() {
+    let mut p = Platform::with_config(PlatformConfig::default());
+    let img_a = prover_image();
+    let img_b = verifier_image();
+    let a = p.load(&img_a).unwrap();
+    let b = p.load(&img_b).unwrap();
+    println!("prover and verifier enclaves loaded");
+
+    // The prover attests a claim (e.g. a public-key fingerprint, §4's
+    // bootstrap use case).
+    let claim = [0xb0u32, 0x07, 0x57, 0x4a, 0x90, 0x11, 0x22, 0x33];
+    p.write_shared(&a, 1, 0, &claim);
+    assert_eq!(p.run(&a, 0, [0; 3]), EnclaveRun::Exited(0));
+    let mac = p.read_shared(&a, 1, 8, 8);
+    println!("prover attested its claim; MAC published to the OS");
+
+    // The OS relays claim + *asserted* measurement + MAC to the verifier.
+    // The measurement is computed off the image — the verifier decides
+    // whom to trust by measurement, exactly like SGX's MRENCLAVE.
+    let measurement_a = measure_image(&img_a, 1);
+    let mut relay = Vec::new();
+    relay.extend_from_slice(&claim);
+    relay.extend_from_slice(&measurement_a.0);
+    relay.extend_from_slice(&mac);
+    p.write_shared(&b, 1, 0, &relay);
+    assert_eq!(p.run(&b, 0, [0; 3]), EnclaveRun::Exited(1));
+    println!(
+        "verifier accepted: the claim was made by an enclave measuring {:08x}...",
+        measurement_a.0[0]
+    );
+
+    // The OS cannot forge: tamper with the claim, the measurement, or the
+    // MAC and verification fails.
+    for (i, what) in [(0usize, "claim"), (8, "measurement"), (16, "MAC")] {
+        let mut bad = relay.clone();
+        bad[i] ^= 1;
+        p.write_shared(&b, 1, 0, &bad);
+        assert_eq!(p.run(&b, 0, [0; 3]), EnclaveRun::Exited(0));
+        println!("tampered {what}: verifier rejected");
+    }
+}

@@ -1,0 +1,85 @@
+//! The controlled-channel experiment (paper §2 / §3.1): the same
+//! secret-dependent victim under the SGX baseline and under Komodo.
+//!
+//! ```sh
+//! cargo run --example controlled_channel
+//! ```
+
+use komodo::{Platform, PlatformConfig};
+use komodo_guest::progs;
+use komodo_ni::concrete::adversary_view;
+use komodo_os::EnclaveRun;
+use komodo_sgx_baseline::attack::{controlled_channel_attack, oracle_trace, recover_secret};
+use komodo_sgx_baseline::model::{PagePerms, PageType, SgxMachine};
+
+const SECRET: u32 = 0b1011_0101;
+const NBITS: u32 = 8;
+
+fn sgx_side() {
+    println!("--- SGX baseline ---");
+    let mut m = SgxMachine::new(32);
+    let e = m.ecreate().unwrap();
+    let perms = PagePerms {
+        r: true,
+        w: true,
+        x: false,
+    };
+    m.eadd_measured(e, PageType::Tcs, 0x1000, perms, &[0; 1024])
+        .unwrap();
+    for va in [0x2000u32, 0x3000, 0x4000] {
+        m.eadd_measured(e, PageType::Reg, va, perms, &[0; 1024])
+            .unwrap();
+    }
+    m.einit(e).unwrap();
+    let trace = oracle_trace(SECRET, NBITS, 0x2000);
+    let observed = controlled_channel_attack(&mut m, e, &trace);
+    let recovered = recover_secret(&observed, 0x2000) & ((1 << NBITS) - 1);
+    println!("victim's secret:        {SECRET:#010b}");
+    println!(
+        "OS observed {} page faults at addresses: {:x?}",
+        observed.len(),
+        observed
+    );
+    println!("OS recovered:           {recovered:#010b}");
+    assert_eq!(recovered, SECRET);
+    println!("→ the page-fault side channel leaks the secret bit-for-bit.\n");
+}
+
+fn komodo_side() {
+    println!("--- Komodo ---");
+    // The equivalent victim: page_oracle touches one of two private pages
+    // depending on a secret bit. Run it with secret bit 0 and secret bit
+    // 1 on twin platforms; compare everything the OS can observe.
+    let run = |bit: u32| {
+        let mut p = Platform::with_config(PlatformConfig {
+            insecure_size: 1 << 20,
+            npages: 64,
+            seed: 5,
+        });
+        let e = p.load(&progs::page_oracle()).unwrap();
+        let r = p.run(&e, 0, [bit, 0, 0]);
+        assert_eq!(r, EnclaveRun::Exited(0));
+        (
+            adversary_view(&mut p.machine, &p.monitor.layout),
+            p.cycles(),
+        )
+    };
+    let (v0, c0) = run(0);
+    let (v1, c1) = run(1);
+    println!("victim ran with secret bit 0 and (separately) secret bit 1");
+    println!("OS view digests equal:  {}", v0 == v1);
+    println!("cycle counters equal:   {}", c0 == c1);
+    assert_eq!(v0, v1);
+    assert_eq!(c0, c1);
+    println!(
+        "→ the OS cannot induce or observe enclave page faults (§3.1); it\n\
+         \x20 \"learns only the type of exception taken\" — here: a clean exit,\n\
+         \x20 identical for both secrets."
+    );
+}
+
+fn main() {
+    println!("Controlled-channel attack: SGX baseline vs Komodo\n");
+    sgx_side();
+    komodo_side();
+}

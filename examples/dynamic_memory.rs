@@ -1,0 +1,60 @@
+//! SGXv2-style dynamic memory management (paper §4): spare pages, and the
+//! enclave-initiated `MapData`/`UnmapData`/`InitL2PTable` SVCs.
+//!
+//! ```sh
+//! cargo run --example dynamic_memory
+//! ```
+
+use komodo::{Platform, PlatformConfig};
+use komodo_guest::progs;
+use komodo_monitor::abs::abstract_pagedb;
+use komodo_os::EnclaveRun;
+use komodo_spec::{KomErr, PageEntry};
+
+fn main() {
+    let mut p = Platform::with_config(PlatformConfig::default());
+
+    // Build an enclave with one spare page. Spares are allocated by the
+    // OS *after* finalisation — they do not change the measurement.
+    let enclave = p
+        .load_with(&progs::dynamic_memory_user(), 1, 1)
+        .expect("build");
+    let spare = enclave.spares[0];
+    println!("enclave built with spare page {spare} (allocated post-finalise)");
+
+    // Before the enclave touches it, the page is a spare: the OS can see
+    // its allocation state (the §6.2 declassified side channel) but never
+    // its future contents.
+    let d = abstract_pagedb(&mut p.machine, &p.monitor.layout);
+    assert!(matches!(d.get(spare), Some(PageEntry::Spare { .. })));
+    println!("OS view: page {spare} is allocated-as-spare (type visible, contents never)");
+
+    // The enclave turns it into a private data page, uses it, and returns
+    // it to spare state — all via SVCs, no OS involvement.
+    let r = p.run(&enclave, 0, [spare as u32, 0, 0]);
+    assert_eq!(r, EnclaveRun::Exited(0x5eed_f00d));
+    println!("enclave mapped the spare at VA 0x9000, stored/loaded 0x5eedf00d, unmapped");
+
+    let d = abstract_pagedb(&mut p.machine, &p.monitor.layout);
+    assert!(matches!(d.get(spare), Some(PageEntry::Spare { .. })));
+    println!("OS view: page {spare} is a spare again");
+
+    // Contrast with SGXv2 (§4): there, "the OS remains in control of the
+    // type, address and permissions of all dynamic allocations"; under
+    // Komodo "it cannot tell whether the enclave has used them as data or
+    // page-table pages".
+
+    // The OS reclaims the spare at any time.
+    let r = p.os.remove(&mut p.machine, &mut p.monitor, spare);
+    assert_eq!(r.err, KomErr::Ok);
+    println!("OS reclaimed the spare page (legal at any time for spares)");
+
+    // But reclaiming a *live* page of the running enclave is refused.
+    let r =
+        p.os.remove(&mut p.machine, &mut p.monitor, enclave.threads[0]);
+    assert_eq!(r.err, KomErr::NotStopped);
+    println!(
+        "OS attempt to remove the live thread page: {:?} (refused)",
+        r.err
+    );
+}

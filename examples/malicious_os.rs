@@ -1,0 +1,93 @@
+//! A malicious OS throws the §3.1 threat model at a victim enclave; every
+//! attack is defeated and the victim's secret survives.
+//!
+//! ```sh
+//! cargo run --example malicious_os
+//! ```
+
+use komodo::{Platform, PlatformConfig};
+use komodo_guest::progs;
+use komodo_os::attacks::{self, AttackOutcome};
+use komodo_os::EnclaveRun;
+use komodo_spec::KomErr;
+
+fn main() {
+    let mut p = Platform::with_config(PlatformConfig {
+        insecure_size: 1 << 20,
+        npages: 64,
+        seed: 1234,
+    });
+    let victim = p.load(&progs::secret_keeper()).unwrap();
+    assert_eq!(
+        p.run(&victim, 0, [0, 0xcafe_f00d, 0]),
+        EnclaveRun::Exited(0)
+    );
+    println!("victim enclave stores secret 0xcafef00d in a private page\n");
+
+    println!("attack 1: read every secure page from the normal world");
+    let n = attacks::sweep_secure_pool(&mut p.machine, &p.monitor);
+    println!("  → all {n} pages: blocked by the TrustZone memory controller");
+
+    println!("attack 2: InitAddrspace(p, p) aliasing (the §9.1 bug)");
+    let r = attacks::aliased_init_addrspace(&mut p.machine, &mut p.monitor, &p.os, 40);
+    println!("  → {r:?}");
+    assert_eq!(r, AttackOutcome::RejectedByMonitor(KomErr::PageInUse));
+
+    println!("attack 3: remove the victim's live pages");
+    for pg in &victim.owned_pages {
+        let r = attacks::remove_live_page(&mut p.machine, &mut p.monitor, &p.os, *pg);
+        assert!(matches!(r, AttackOutcome::RejectedByMonitor(_)));
+    }
+    println!("  → every removal rejected (NotStopped)");
+
+    println!("attack 4: build a colluding enclave and double-map the victim's data page");
+    let asp = p.os.alloc_secure().unwrap();
+    let l1 = p.os.alloc_secure().unwrap();
+    p.os.init_addrspace(&mut p.machine, &mut p.monitor, asp, l1);
+    let l2 = p.os.alloc_secure().unwrap();
+    p.os.init_l2ptable(&mut p.machine, &mut p.monitor, asp, l2, 0);
+    // Any page owned by the victim will do for the demonstration.
+    let target = victim.owned_pages[victim.owned_pages.len() - 1];
+    let r =
+        attacks::double_map_secure_page(&mut p.machine, &mut p.monitor, &p.os, asp, target, 0x9000);
+    println!("  → {r:?}");
+    assert!(matches!(r, AttackOutcome::RejectedByMonitor(_)));
+
+    println!("attack 5: feed the monitor its own pages as 'insecure' memory (§9.1)");
+    let data = p.os.alloc_secure().unwrap();
+    let r = attacks::map_secure_from_monitor_page(
+        &mut p.machine,
+        &mut p.monitor,
+        &p.os,
+        asp,
+        data,
+        0xa000,
+    );
+    println!("  → {r:?}");
+    assert_eq!(r, AttackOutcome::RejectedByMonitor(KomErr::InvalidInsecure));
+
+    println!("attack 6: interrupt the victim mid-run, then try to re-enter (rollback)");
+    p.monitor.step_budget = 50;
+    let spin = p.load(&progs::spinner()).unwrap();
+    assert_eq!(p.enter(&spin, 0, [0; 3]), EnclaveRun::Interrupted);
+    let r = attacks::reenter_suspended_thread(&mut p.machine, &mut p.monitor, &p.os, &spin);
+    println!("  → {r:?}");
+    assert_eq!(r, AttackOutcome::RejectedByMonitor(KomErr::AlreadyEntered));
+    p.monitor.step_budget = 500_000_000;
+
+    println!("attack 7: garbage monitor calls with hostile arguments");
+    for call in [0u32, 13, 0xffff_ffff] {
+        let r = attacks::garbage_call(&mut p.machine, &mut p.monitor, call);
+        assert!(matches!(r, AttackOutcome::RejectedByMonitor(_)));
+    }
+    println!("  → rejected");
+
+    println!();
+    match p.run(&victim, 0, [1, 0, 0]) {
+        EnclaveRun::Exited(secret) => {
+            assert_eq!(secret, 0xcafe_f00d);
+            println!("victim's secret intact after the barrage: {secret:#010x}");
+        }
+        other => panic!("victim damaged: {other:?}"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: boot a platform, build an enclave, run it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use komodo::{Platform, PlatformConfig};
+use komodo_armv7::regs::Reg;
+use komodo_guest::{svc, GuestSegment, Image};
+use komodo_os::EnclaveRun;
+
+fn main() {
+    // 1. Boot: machine + monitor (secure world) + OS model (normal world).
+    let mut platform = Platform::with_config(PlatformConfig::default());
+    println!(
+        "booted: {} secure pages, attestation key derived from the boot RNG",
+        platform.monitor.layout.npages
+    );
+
+    // 2. Write a guest program with the assembler. This one computes
+    //    arg1 * arg2 + arg3 and exits with the result.
+    let mut a = komodo_armv7::Assembler::new(0x8000);
+    a.mul(Reg::R(4), Reg::R(0), Reg::R(1));
+    a.add_reg(Reg::R(1), Reg::R(4), Reg::R(2));
+    svc::exit(&mut a); // Exit(R1) back to the OS.
+    let image = Image {
+        segments: vec![GuestSegment {
+            va: 0x8000,
+            words: a.words(),
+            w: false,
+            x: true,
+            shared: false,
+        }],
+        entry: 0x8000,
+    };
+
+    // 3. The OS loads it: address space, page tables, measured code page,
+    //    a thread, finalise — the whole Table 1 construction sequence.
+    let enclave = platform.load(&image).expect("construction succeeds");
+    println!(
+        "built enclave: addrspace page {}, thread page {}, measurement fixed",
+        enclave.asp, enclave.threads[0]
+    );
+
+    // 4. Enter. The monitor switches worlds, the guest executes
+    //    instruction-by-instruction in secure user mode, and Exit returns
+    //    through the monitor with scrubbed registers.
+    let before = platform.cycles();
+    match platform.run(&enclave, 0, [6, 7, 100]) {
+        EnclaveRun::Exited(v) => println!("enclave says: 6 * 7 + 100 = {v}"),
+        other => panic!("unexpected result: {other:?}"),
+    }
+    println!(
+        "crossing + execution took {} simulated cycles",
+        platform.cycles() - before
+    );
+
+    // 5. Tear down: stop, remove every page (address space last).
+    platform.destroy(&enclave).expect("teardown succeeds");
+    println!("enclave destroyed; all pages returned to the OS");
+}

@@ -1,0 +1,203 @@
+//! Regression tests for the bugs the paper reports (§9.1).
+//!
+//! "A small code base is no substitute for verification": the authors'
+//! *unverified* 650-line prototype contained security bugs that the
+//! specification process surfaced. Each is encoded here as a permanent
+//! regression test against the monitor.
+
+use komodo_monitor::{boot, MonitorLayout};
+use komodo_os::Os;
+use komodo_spec::{KomErr, Mapping, SmcCall};
+
+fn platform() -> (komodo_armv7::Machine, komodo_monitor::Monitor, Os) {
+    let (mut m, mut mon) = boot(MonitorLayout::new(1 << 20, 32), 77);
+    let os = Os::new(&mut m, &mut mon);
+    (m, mon, os)
+}
+
+/// Bug 1 (§9.1): `InitAddrspace` "checked that both [pages] were free,
+/// before proceeding" — but "hadn't considered the case when the two
+/// arguments are the same page". A same-page call must fail atomically.
+#[test]
+fn init_addrspace_same_page_rejected() {
+    let (mut m, mut mon, os) = platform();
+    let r = os.init_addrspace(&mut m, &mut mon, 5, 5);
+    assert_eq!(r.err, KomErr::PageInUse);
+    // The page is still free and fully usable afterwards.
+    let d = komodo_monitor::abs::abstract_pagedb(&mut m, &mon.layout);
+    assert!(d.is_free(5));
+    let r = os.init_addrspace(&mut m, &mut mon, 5, 6);
+    assert_eq!(r.err, KomErr::Ok);
+}
+
+/// Bug 2 (§9.1): "when checking the validity of insecure memory pages, we
+/// had failed to account for the fact that the monitor's text and data
+/// exist in direct-map physical as well as virtual memory. ... it must
+/// also avoid any of the monitor's own pages."
+#[test]
+fn insecure_checks_exclude_monitor_pages() {
+    let (mut m, mut mon, os) = platform();
+    // Build to the point where MapSecure/MapInsecure are legal.
+    assert_eq!(os.init_addrspace(&mut m, &mut mon, 0, 1).err, KomErr::Ok);
+    assert_eq!(os.init_l2ptable(&mut m, &mut mon, 0, 2, 0).err, KomErr::Ok);
+    let mapping = Mapping {
+        vpn: 8,
+        r: true,
+        w: false,
+        x: false,
+    };
+    let monitor_pfns = mon.params.monitor_pfns.clone();
+    for pfn in [monitor_pfns.start, monitor_pfns.end - 1] {
+        // As MapSecure contents source: the monitor would copy its own
+        // secrets (attestation key pages!) into an enclave.
+        let r = os.map_secure(&mut m, &mut mon, 0, 3, mapping, pfn);
+        assert_eq!(
+            r.err,
+            KomErr::InvalidInsecure,
+            "MapSecure accepted monitor pfn {pfn:#x}"
+        );
+        // As a MapInsecure target: the enclave would read/write monitor
+        // state directly.
+        let shared = Mapping {
+            vpn: 9,
+            r: true,
+            w: true,
+            x: false,
+        };
+        let r = os.map_insecure(&mut m, &mut mon, 0, shared, pfn);
+        assert_eq!(
+            r.err,
+            KomErr::InvalidInsecure,
+            "MapInsecure accepted monitor pfn {pfn:#x}"
+        );
+    }
+    // Secure-pool PFNs are equally rejected.
+    let pool_pfn = mon.params.secure_base_pfn;
+    let r = os.map_secure(&mut m, &mut mon, 0, 3, mapping, pool_pfn);
+    assert_eq!(r.err, KomErr::InvalidInsecure);
+    // And a genuinely insecure PFN works.
+    let r = os.map_secure(&mut m, &mut mon, 0, 3, mapping, 7);
+    assert_eq!(r.err, KomErr::Ok);
+}
+
+/// §9.1's "trusted components" lesson, register-bank edition: "a bug in
+/// the assembly printer caused all instructions intended to operate on
+/// banked SPSR registers to instead use the current mode's SPSR". The
+/// analogous property here: each exception mode's SPSR is its own — an
+/// interrupt taken during enclave execution must not clobber the monitor's
+/// banked state, or the SMC return path would restore the wrong context.
+#[test]
+fn nested_exceptions_preserve_monitor_banked_state() {
+    use komodo::{Platform, PlatformConfig};
+    use komodo_guest::progs;
+    use komodo_os::EnclaveRun;
+
+    let mut p = Platform::with_config(PlatformConfig {
+        insecure_size: 1 << 20,
+        npages: 32,
+        seed: 1,
+    });
+    let e = p.load(&progs::spinner()).unwrap();
+    // Force deep nesting: interrupt during enclave execution, then resume
+    // repeatedly. If any handler used the wrong SPSR bank, the machine
+    // would come back in the wrong mode/world.
+    p.monitor.step_budget = 100;
+    assert_eq!(p.enter(&e, 0, [0; 3]), EnclaveRun::Interrupted);
+    for _ in 0..10 {
+        assert_eq!(p.resume(&e, 0), EnclaveRun::Interrupted);
+        // After every SMC, the OS is back in normal-world supervisor mode.
+        assert_eq!(p.machine.cpsr.mode, komodo_armv7::Mode::Supervisor);
+        assert_eq!(p.machine.world(), komodo_armv7::World::Normal);
+    }
+}
+
+/// §9.1's cache-attribute lesson, TLB edition: "inconsistencies in the
+/// configuration of caches and page attributes ... resulted in incoherent
+/// caches". The analogous hazard the model *does* capture is TLB
+/// coherence: a dynamic-memory SVC rewrites page tables mid-execution,
+/// and stale translations would let the enclave keep using an unmapped
+/// page. The model enforces flush-before-user-execution; this test drives
+/// the exact sequence.
+#[test]
+fn dynamic_remap_never_uses_stale_translations() {
+    use komodo::{Platform, PlatformConfig};
+    use komodo_armv7::regs::Reg;
+    use komodo_guest::{svc, GuestSegment, Image};
+    use komodo_os::EnclaveRun;
+
+    // Guest: map spare at VA, write, unmap, then *touch it again* — the
+    // touch must fault (stale TLB would let it succeed).
+    let mapping_word = 0x0020_0000 | 0b011;
+    let mut a = komodo_armv7::Assembler::new(0x8000);
+    a.mov_reg(Reg::R(6), Reg::R(0));
+    a.mov_reg(Reg::R(1), Reg::R(6));
+    a.mov_imm32(Reg::R(2), mapping_word);
+    a.mov_imm(Reg::R(0), 7); // MapData.
+    a.svc(0);
+    a.mov_imm32(Reg::R(4), 0x0020_0000);
+    a.mov_imm32(Reg::R(5), 0x77);
+    a.str_imm(Reg::R(5), Reg::R(4), 0);
+    a.mov_reg(Reg::R(1), Reg::R(6));
+    a.mov_imm32(Reg::R(2), mapping_word);
+    a.mov_imm(Reg::R(0), 8); // UnmapData.
+    a.svc(0);
+    a.ldr_imm(Reg::R(5), Reg::R(4), 0); // Must fault.
+    svc::exit_imm(&mut a, 0xbad); // Unreachable.
+    let img = Image {
+        segments: vec![GuestSegment {
+            va: 0x8000,
+            words: a.words(),
+            w: false,
+            x: true,
+            shared: false,
+        }],
+        entry: 0x8000,
+    };
+    let mut p = Platform::with_config(PlatformConfig {
+        insecure_size: 1 << 20,
+        npages: 32,
+        seed: 2,
+    });
+    let e = p.load_with(&img, 1, 1).unwrap();
+    let spare = e.spares[0] as u32;
+    assert_eq!(
+        p.run(&e, 0, [spare, 0, 0]),
+        EnclaveRun::Faulted,
+        "stale translation allowed use-after-unmap"
+    );
+}
+
+/// The §5.2 register-hygiene rules at the SMC boundary: non-volatile
+/// registers preserved, volatile non-return registers zeroed.
+#[test]
+fn smc_register_hygiene() {
+    use komodo_armv7::mode::Mode;
+    use komodo_armv7::regs::Reg;
+
+    let (mut m, mut mon, _os) = platform();
+    // Plant values in every register the OS owns.
+    for i in 0..13u8 {
+        m.regs.set(Mode::Supervisor, Reg::R(i), 0xaa00 + i as u32);
+    }
+    let r = mon.smc(&mut m, SmcCall::GetPhysPages as u32, [0; 4]);
+    assert_eq!(r.err, KomErr::Ok);
+    // R0/R1 carry the result.
+    assert_eq!(m.regs.get(Mode::Supervisor, Reg::R(0)), 0);
+    assert_eq!(m.regs.get(Mode::Supervisor, Reg::R(1)), 32);
+    // Argument/scratch registers R2–R4 and R12 scrubbed.
+    for i in [2u8, 3, 4, 12] {
+        assert_eq!(
+            m.regs.get(Mode::Supervisor, Reg::R(i)),
+            0,
+            "r{i} not scrubbed"
+        );
+    }
+    // Non-volatile R5–R11 preserved.
+    for i in 5..12u8 {
+        assert_eq!(
+            m.regs.get(Mode::Supervisor, Reg::R(i)),
+            0xaa00 + i as u32,
+            "r{i} clobbered"
+        );
+    }
+}
