@@ -103,6 +103,7 @@ impl Default for Cp15 {
 
 impl Cp15 {
     /// The MMU register bank for `world`.
+    #[inline]
     pub fn mmu(&self, world: World) -> &MmuRegs {
         match world {
             World::Secure => &self.mmu_secure,

@@ -1,0 +1,515 @@
+//! Host-side fetch/decode acceleration.
+//!
+//! `Machine::step` spends most of its host time on three per-instruction
+//! costs: a TLB map lookup to translate the PC, a region scan to read the
+//! instruction word, and a fresh `decode` of that word. All three are
+//! redundant while execution stays on a code page that has not changed,
+//! which is the overwhelmingly common case (guest code is RX; the monitor
+//! writes code pages only while an enclave is being built).
+//!
+//! [`FetchAccel`] removes that redundancy with two caches:
+//!
+//! - a **decode cache** keyed by physical page base, holding the page's
+//!   1024 words eagerly decoded to [`Insn`] values, and
+//! - a **one-entry fetch-translation cache** remembering the last code
+//!   page's VA→PA mapping (plus the world and `TTBR0` it was formed under).
+//!
+//! Both are *architecturally invisible*: the simulated cycle count, the
+//! TLB hit/miss/flush statistics, the memory access counters, and all
+//! exception behaviour are bit-for-bit identical with the accelerator on
+//! or off. Only host wall-clock time changes. Concretely:
+//!
+//! - a decode-cache hit bumps `PhysMem::reads` exactly as the `mem.read`
+//!   it replaces would have;
+//! - a translation-cache hit bumps `Tlb::hits` exactly as the `Tlb::lookup`
+//!   it replaces would have (the entry provably still sits in the TLB —
+//!   only a flush evicts, and a flush clears this cache);
+//! - anything unusual — unaligned PC, a page not fully RAM-backed, a
+//!   secure page fetched with non-secure attributes — falls back to the
+//!   uncached path so faults are raised and counted identically.
+//!
+//! Invalidation: filling a page registers it with [`PhysMem`]'s code
+//! watch; any write into a watched page bumps a generation counter that
+//! the next fetch observes, dropping the whole cache. `Machine` also
+//! drops it on `tlb_flush`, `load_ttbr0` and `note_pagetable_store`.
+
+use crate::decode::decode;
+use crate::fxhash::FxHashMap;
+use crate::insn::{Cond, Insn};
+use crate::mem::{AccessAttrs, PhysMem};
+use crate::mode::World;
+use crate::ptw::Translation;
+use crate::word::{page_base, page_offset, word_aligned, Addr, Word, WORD_BYTES};
+
+/// One physical code page, eagerly decoded.
+#[derive(Clone, Debug)]
+struct CachedPage {
+    /// Whether the backing region is secure (for the bus-attribute check a
+    /// real fetch would perform).
+    secure: bool,
+    /// `(word, decoded, condition)` per word of the page; the raw word is
+    /// kept because exception paths report it (`ExitReason::Undefined`),
+    /// and the condition field is pre-extracted so the hot path skips the
+    /// [`Insn::cond`] dispatch.
+    entries: Box<[(Word, Insn, Cond)]>,
+}
+
+/// The last successful instruction-fetch translation, with everything its
+/// validity depends on.
+#[derive(Clone, Copy, Debug)]
+struct FetchEntry {
+    va_page: Addr,
+    pa_page: Addr,
+    attrs: AccessAttrs,
+    world: World,
+    ttbr0: Addr,
+}
+
+/// Per-page decode cache (see module docs).
+#[derive(Clone, Debug, Default)]
+struct DecodeCache {
+    pages: Vec<CachedPage>,
+    index: FxHashMap<Addr, usize>,
+    /// Last page served — straight-line code hits this without hashing.
+    last: Option<(Addr, usize)>,
+    /// Snapshot of `PhysMem::code_gen` the cached pages were filled under.
+    gen: u64,
+}
+
+impl DecodeCache {
+    fn clear(&mut self) {
+        self.pages.clear();
+        self.index.clear();
+        self.last = None;
+    }
+
+    /// Decodes and caches the page at `base`; `None` if the page is not
+    /// fully RAM-backed (such fetches stay on the uncached path).
+    fn fill(&mut self, mem: &mut PhysMem, base: Addr) -> Option<usize> {
+        let (words, secure) = mem.code_page_snapshot(base)?;
+        let entries: Box<[(Word, Insn, Cond)]> = words
+            .iter()
+            .map(|&w| {
+                let i = decode(w);
+                let c = i.cond();
+                (w, i, c)
+            })
+            .collect();
+        mem.watch_code_page(base);
+        let idx = self.pages.len();
+        self.pages.push(CachedPage { secure, entries });
+        self.index.insert(base, idx);
+        self.last = Some((base, idx));
+        Some(idx)
+    }
+}
+
+/// The last successful data-side translation, with everything its
+/// validity depends on. Unlike the fetch entry this caches the raw
+/// [`Translation`], so the caller re-runs the permission check per access
+/// — a page readable but not writable still faults on stores exactly as
+/// the TLB path would.
+#[derive(Clone, Copy, Debug)]
+struct DataEntry {
+    va_page: Addr,
+    world: World,
+    ttbr0: Addr,
+    t: Translation,
+}
+
+/// A fused fast-path entry: the last fetch's translation *and* decoded
+/// page, validated together so the common straight-line/loop case costs a
+/// single compare chain per step. Only formed after the page's secure
+/// attribute admitted the translation's bus attributes; a hit replays the
+/// identical translation, so that check's outcome is unchanged and no
+/// fault the uncached path would raise can be masked.
+#[derive(Clone, Copy, Debug)]
+struct HotFetch {
+    va_page: Addr,
+    world: World,
+    ttbr0: Addr,
+    idx: usize,
+}
+
+/// The fetch accelerator: decode cache + one-entry translation cache.
+///
+/// Lives in [`crate::Machine`] but is **not** architectural state: it is
+/// excluded from machine equality and never affects simulated counters.
+#[derive(Clone, Debug)]
+pub struct FetchAccel {
+    enabled: bool,
+    dcache: DecodeCache,
+    fetch_tc: Option<FetchEntry>,
+    data_tc: Option<DataEntry>,
+    hot: Option<HotFetch>,
+    /// Host-side statistics: fetches served from the decode cache.
+    served: u64,
+    /// Host-side statistics: pages decoded and cached.
+    fills: u64,
+}
+
+impl FetchAccel {
+    /// A fresh, enabled accelerator with nothing cached.
+    pub fn new() -> FetchAccel {
+        FetchAccel {
+            enabled: true,
+            dcache: DecodeCache::default(),
+            fetch_tc: None,
+            data_tc: None,
+            hot: None,
+            served: 0,
+            fills: 0,
+        }
+    }
+
+    /// Whether the accelerator is consulted at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns the accelerator on or off (off forces every fetch down the
+    /// uncached path — used by the differential tests and benchmarks).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Drops every cached page and the translation entries.
+    pub fn invalidate(&mut self) {
+        self.dcache.clear();
+        self.fetch_tc = None;
+        self.data_tc = None;
+        self.hot = None;
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.dcache.pages.len()
+    }
+
+    /// Fetches served from the decode cache (host-side statistic).
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Pages decoded and cached (host-side statistic).
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// The fused fast path: serves the instruction at virtual address `pc`
+    /// when the last fetch's translation and decoded page both still apply
+    /// (same VA page, world and `TTBR0`; no store into a watched code page
+    /// since). On a hit the caller must account one TLB hit, one memory
+    /// read and the instruction cycle — exactly what the uncached path
+    /// would have recorded (see [`FetchAccel::fetch_tc_lookup`] and
+    /// [`FetchAccel::fetch`], whose accounting this combines).
+    #[inline]
+    pub(crate) fn hot_fetch(
+        &mut self,
+        pc: Addr,
+        world: World,
+        ttbr0: Addr,
+        mem: &PhysMem,
+    ) -> Option<(Word, Insn, Cond)> {
+        if !self.enabled {
+            return None;
+        }
+        let h = self.hot.as_ref()?;
+        if h.va_page != page_base(pc)
+            || h.world != world
+            || h.ttbr0 != ttbr0
+            || self.dcache.gen != mem.code_gen()
+            || !word_aligned(pc)
+        {
+            return None;
+        }
+        self.served += 1;
+        let page = &self.dcache.pages[h.idx];
+        Some(page.entries[(page_offset(pc) / WORD_BYTES) as usize])
+    }
+
+    /// Consults the one-entry translation cache for the fetch of `pc`.
+    ///
+    /// A hit is returned only if the entry was formed under the same world
+    /// and `TTBR0`; the caller must account the TLB hit the lookup this
+    /// replaces would have recorded.
+    #[inline]
+    pub(crate) fn fetch_tc_lookup(
+        &self,
+        pc: Addr,
+        world: World,
+        ttbr0: Addr,
+    ) -> Option<(Addr, AccessAttrs)> {
+        if !self.enabled {
+            return None;
+        }
+        let e = self.fetch_tc.as_ref()?;
+        if e.va_page == page_base(pc) && e.world == world && e.ttbr0 == ttbr0 {
+            Some((e.pa_page | page_offset(pc), e.attrs))
+        } else {
+            None
+        }
+    }
+
+    /// Consults the one-entry data-side translation cache for `va`.
+    ///
+    /// A hit returns the cached [`Translation`]; the caller must account
+    /// the TLB hit the [`crate::tlb::Tlb::lookup`] this replaces would
+    /// have recorded, and must re-run the permission check — the entry
+    /// provably still sits in the TLB (only a flush evicts, and a flush
+    /// drops this cache), so only the map probe is skipped.
+    #[inline]
+    pub(crate) fn data_tc_lookup(
+        &self,
+        va: Addr,
+        world: World,
+        ttbr0: Addr,
+    ) -> Option<Translation> {
+        if !self.enabled {
+            return None;
+        }
+        let e = self.data_tc.as_ref()?;
+        if e.va_page == page_base(va) && e.world == world && e.ttbr0 == ttbr0 {
+            Some(e.t)
+        } else {
+            None
+        }
+    }
+
+    /// Records a translation now present in the TLB for the data side.
+    #[inline]
+    pub(crate) fn data_tc_fill(&mut self, va: Addr, world: World, ttbr0: Addr, t: Translation) {
+        if !self.enabled {
+            return;
+        }
+        self.data_tc = Some(DataEntry {
+            va_page: page_base(va),
+            world,
+            ttbr0,
+            t,
+        });
+    }
+
+    /// Records a successful fetch translation for `pc`.
+    pub(crate) fn fetch_tc_fill(
+        &mut self,
+        pc: Addr,
+        pa: Addr,
+        attrs: AccessAttrs,
+        world: World,
+        ttbr0: Addr,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.fetch_tc = Some(FetchEntry {
+            va_page: page_base(pc),
+            pa_page: page_base(pa),
+            attrs,
+            world,
+            ttbr0,
+        });
+    }
+
+    /// Serves the instruction at physical address `ppc`, or `None` to send
+    /// the fetch down the uncached path.
+    ///
+    /// On a hit this bumps `mem.reads` by one — the read the uncached path
+    /// would have performed — keeping the access counters bit-identical.
+    #[inline]
+    pub(crate) fn fetch(
+        &mut self,
+        mem: &mut PhysMem,
+        ppc: Addr,
+        attrs: AccessAttrs,
+    ) -> Option<(Word, Insn, Cond)> {
+        if !self.enabled {
+            return None;
+        }
+        if self.dcache.gen != mem.code_gen() {
+            // A store landed in a watched code page since the last fetch.
+            self.dcache.clear();
+            self.hot = None;
+            mem.clear_code_watch();
+            self.dcache.gen = mem.code_gen();
+        }
+        if !word_aligned(ppc) {
+            return None; // Let the uncached path raise the alignment fault.
+        }
+        let base = page_base(ppc);
+        let idx = match self.dcache.last {
+            Some((b, i)) if b == base => i,
+            _ => match self.dcache.index.get(&base) {
+                Some(&i) => {
+                    self.dcache.last = Some((base, i));
+                    i
+                }
+                None => {
+                    let i = self.dcache.fill(mem, base)?;
+                    self.fills += 1;
+                    i
+                }
+            },
+        };
+        let page = &self.dcache.pages[idx];
+        if page.secure && !attrs.secure {
+            // The bus would reject this fetch; take the uncached path so
+            // the fault is raised (and left uncounted) exactly as without
+            // the cache.
+            return None;
+        }
+        // Arm the fused fast path for the next step: the translation cache
+        // already holds this page's mapping (the caller translates before
+        // fetching), and the secure check above just passed for `attrs`,
+        // which are the attributes that translation yields.
+        if let Some(tc) = self.fetch_tc {
+            if tc.pa_page == base {
+                self.hot = Some(HotFetch {
+                    va_page: tc.va_page,
+                    world: tc.world,
+                    ttbr0: tc.ttbr0,
+                    idx,
+                });
+            }
+        }
+        mem.reads += 1; // The word read the uncached path would have done.
+        self.served += 1;
+        Some(page.entries[(page_offset(ppc) / WORD_BYTES) as usize])
+    }
+}
+
+impl Default for FetchAccel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with_code(words: &[Word], secure: bool) -> PhysMem {
+        let mut m = PhysMem::new();
+        m.add_region(0x8000_0000, 0x4000, secure);
+        m.load_words(0x8000_2000, words).unwrap();
+        m
+    }
+
+    #[test]
+    fn hit_replays_word_and_counts_one_read() {
+        let mut mem = mem_with_code(&[0xe3a0_0001, 0xef00_0000], true);
+        let mut acc = FetchAccel::new();
+        let r0 = mem.reads;
+        let (w, i, c) = acc
+            .fetch(&mut mem, 0x8000_2000, AccessAttrs::MONITOR)
+            .unwrap();
+        assert_eq!(w, 0xe3a0_0001);
+        assert_eq!(i, decode(0xe3a0_0001));
+        assert_eq!(c, i.cond());
+        assert_eq!(mem.reads, r0 + 1, "hit must count exactly one read");
+        assert_eq!(acc.cached_pages(), 1);
+        assert_eq!(acc.fills(), 1);
+        // Second fetch on the same page: served from cache, one more read.
+        let (w, _, _) = acc
+            .fetch(&mut mem, 0x8000_2004, AccessAttrs::MONITOR)
+            .unwrap();
+        assert_eq!(w, 0xef00_0000);
+        assert_eq!(mem.reads, r0 + 2);
+        assert_eq!(acc.served(), 2);
+        assert_eq!(acc.fills(), 1);
+    }
+
+    #[test]
+    fn write_to_cached_page_invalidates() {
+        let mut mem = mem_with_code(&[0xe3a0_0001], true);
+        let mut acc = FetchAccel::new();
+        acc.fetch(&mut mem, 0x8000_2000, AccessAttrs::MONITOR)
+            .unwrap();
+        mem.write(0x8000_2000, 0xef00_0000, AccessAttrs::MONITOR)
+            .unwrap();
+        let (w, i, _) = acc
+            .fetch(&mut mem, 0x8000_2000, AccessAttrs::MONITOR)
+            .unwrap();
+        assert_eq!(w, 0xef00_0000, "stale decode served after overwrite");
+        assert_eq!(i, decode(0xef00_0000));
+        assert_eq!(acc.fills(), 2, "page must be re-decoded after the store");
+    }
+
+    #[test]
+    fn write_to_unwatched_page_keeps_cache() {
+        let mut mem = mem_with_code(&[0xe3a0_0001], true);
+        let mut acc = FetchAccel::new();
+        acc.fetch(&mut mem, 0x8000_2000, AccessAttrs::MONITOR)
+            .unwrap();
+        // A data page the accelerator never cached.
+        mem.write(0x8000_3000, 7, AccessAttrs::MONITOR).unwrap();
+        acc.fetch(&mut mem, 0x8000_2000, AccessAttrs::MONITOR)
+            .unwrap();
+        assert_eq!(acc.fills(), 1, "unrelated stores must not invalidate");
+    }
+
+    #[test]
+    fn secure_page_not_served_to_nonsecure_fetch() {
+        let mut mem = mem_with_code(&[0xe3a0_0001], true);
+        let mut acc = FetchAccel::new();
+        acc.fetch(&mut mem, 0x8000_2000, AccessAttrs::MONITOR)
+            .unwrap();
+        let r0 = mem.reads;
+        assert!(acc
+            .fetch(&mut mem, 0x8000_2000, AccessAttrs::NORMAL)
+            .is_none());
+        assert_eq!(mem.reads, r0, "rejected fetch must not count a read");
+    }
+
+    #[test]
+    fn unaligned_and_unmapped_fall_back() {
+        let mut mem = mem_with_code(&[0xe3a0_0001], false);
+        let mut acc = FetchAccel::new();
+        assert!(acc
+            .fetch(&mut mem, 0x8000_2002, AccessAttrs::NORMAL)
+            .is_none());
+        assert!(acc
+            .fetch(&mut mem, 0x4000_0000, AccessAttrs::NORMAL)
+            .is_none());
+    }
+
+    #[test]
+    fn disabled_accelerator_serves_nothing() {
+        let mut mem = mem_with_code(&[0xe3a0_0001], false);
+        let mut acc = FetchAccel::new();
+        acc.set_enabled(false);
+        assert!(acc
+            .fetch(&mut mem, 0x8000_2000, AccessAttrs::NORMAL)
+            .is_none());
+        assert!(acc
+            .fetch_tc_lookup(0x8000, World::Secure, 0x8000_0000)
+            .is_none());
+    }
+
+    #[test]
+    fn fetch_tc_validates_world_and_ttbr0() {
+        let mut acc = FetchAccel::new();
+        acc.fetch_tc_fill(
+            0x8123,
+            0x8000_2123,
+            AccessAttrs::ENCLAVE,
+            World::Secure,
+            0x8000_0000,
+        );
+        let (pa, attrs) = acc
+            .fetch_tc_lookup(0x8ffc, World::Secure, 0x8000_0000)
+            .unwrap();
+        assert_eq!(pa, 0x8000_2ffc);
+        assert_eq!(attrs, AccessAttrs::ENCLAVE);
+        // Different page, world, or TTBR0: miss.
+        assert!(acc
+            .fetch_tc_lookup(0x9000, World::Secure, 0x8000_0000)
+            .is_none());
+        assert!(acc
+            .fetch_tc_lookup(0x8ffc, World::Normal, 0x8000_0000)
+            .is_none());
+        assert!(acc
+            .fetch_tc_lookup(0x8ffc, World::Secure, 0x8000_4000)
+            .is_none());
+    }
+}

@@ -6,7 +6,7 @@
 //! fault-status registers and switch the machine into the appropriate
 //! banked mode before returning an [`ExitReason`] to the privileged caller.
 
-use crate::alu::{alu, eval_op2};
+use crate::alu::{alu, alu_value, eval_op2, eval_op2_value};
 use crate::cp15::FaultStatus;
 use crate::decode::decode;
 use crate::error::{MemFault, MemFaultKind};
@@ -69,20 +69,39 @@ impl Machine {
     ) -> Result<(Addr, AccessAttrs), MemFault> {
         let world = self.world();
         let ttbr0 = self.cp15.mmu(world).ttbr0;
-        let t = match self.tlb.lookup(va) {
-            Some(t) => t,
+        // The accelerator's one-entry cache fronts the TLB map: a hit
+        // accounts the TLB hit the map probe would have recorded (the
+        // entry is provably still in the TLB — see `data_tc_lookup`), and
+        // the permission check below still runs per access.
+        let t = match self.accel.data_tc_lookup(va, world, ttbr0) {
+            Some(t) => {
+                self.tlb.hits += 1;
+                t
+            }
             None => {
-                self.charge(cost::TLB_WALK);
-                match ptw::walk(&mut self.mem, ttbr0, va) {
-                    Ok(t) => {
-                        self.tlb.insert(va, t);
-                        t
+                let t = match self.tlb.lookup(va) {
+                    Some(t) => t,
+                    None => {
+                        self.charge(cost::TLB_WALK);
+                        // Count the miss here, at the walk site, so that
+                        // faulting walks (which never reach `insert`) are
+                        // included — they charged `cost::TLB_WALK` like
+                        // any other walk.
+                        self.tlb.note_walk();
+                        match ptw::walk(&mut self.mem, ttbr0, va) {
+                            Ok(t) => {
+                                self.tlb.insert(va, t);
+                                t
+                            }
+                            Err(PtwFault::Translation) => {
+                                return Err(MemFault::new(va, MemFaultKind::Translation, write));
+                            }
+                            Err(PtwFault::External(f)) => return Err(f),
+                        }
                     }
-                    Err(PtwFault::Translation) => {
-                        return Err(MemFault::new(va, MemFaultKind::Translation, write));
-                    }
-                    Err(PtwFault::External(f)) => return Err(f),
-                }
+                };
+                self.accel.data_tc_fill(va, world, ttbr0, t);
+                t
             }
         };
         ptw::check_access(&t, va, write, exec)?;
@@ -107,21 +126,36 @@ impl Machine {
         if !self.tlb.is_consistent() {
             return Err(ModelViolation::TlbInconsistent);
         }
+        // `irq_at`/`fiq_at` are set only between runs, so the earliest
+        // cycle either could fire is loop-invariant: one compare per step
+        // replaces the two `Option` tests on the hot path.
+        let fiq_deadline = self.fiq_at.unwrap_or(u64::MAX);
+        let irq_deadline = self.irq_at.unwrap_or(u64::MAX);
+        let wake = fiq_deadline.min(irq_deadline);
+        let mut need_first_cycle = self.first_user_insn_cycle.is_none();
+        // The TrustZone world and fetch TTBR0 are fixed for the whole run:
+        // user code cannot switch mode, `SCR.NS` or `TTBR0` without an
+        // exception, and every exception path exits this loop.
+        let world = self.world();
+        let ttbr0 = self.cp15.mmu(world).ttbr0;
         for _ in 0..max_steps {
             // Pending interrupts are taken before the next instruction;
             // FIQ has priority.
-            if self.fiq_pending() && !self.cpsr.fiq_masked {
-                self.take_exception(ExceptionKind::Fiq, self.pc);
-                return Ok(ExitReason::Fiq);
+            if self.cycles >= wake {
+                if self.cycles >= fiq_deadline && !self.cpsr.fiq_masked {
+                    self.take_exception(ExceptionKind::Fiq, self.pc);
+                    return Ok(ExitReason::Fiq);
+                }
+                if self.cycles >= irq_deadline && !self.cpsr.irq_masked {
+                    self.take_exception(ExceptionKind::Irq, self.pc);
+                    return Ok(ExitReason::Irq);
+                }
             }
-            if self.irq_pending() && !self.cpsr.irq_masked {
-                self.take_exception(ExceptionKind::Irq, self.pc);
-                return Ok(ExitReason::Irq);
-            }
-            if self.first_user_insn_cycle.is_none() {
+            if need_first_cycle {
                 self.first_user_insn_cycle = Some(self.cycles);
+                need_first_cycle = false;
             }
-            match self.step() {
+            match self.step(world, ttbr0) {
                 StepOutcome::Continue => {}
                 StepOutcome::Exit(reason) => return Ok(reason),
             }
@@ -129,10 +163,51 @@ impl Machine {
         Ok(ExitReason::StepLimit)
     }
 
-    fn step(&mut self) -> StepOutcome {
+    /// Translates the fetch of `pc`, consulting the accelerator's one-entry
+    /// last-code-page cache before the TLB.
+    ///
+    /// A cache hit accounts one TLB hit: the entry was formed by a
+    /// successful [`Machine::translate_user`], the TLB evicts only on a
+    /// full flush, and a flush drops this cache — so the TLB provably still
+    /// holds the entry and the uncached path would have hit it. World and
+    /// `TTBR0` are re-validated on every use, so the replayed translation
+    /// (and the permission check baked into it) is exactly what the
+    /// uncached path would recompute.
+    fn fetch_translate(
+        &mut self,
+        pc: Addr,
+        world: World,
+        ttbr0: Addr,
+    ) -> Result<(Addr, AccessAttrs), MemFault> {
+        if let Some(hit) = self.accel.fetch_tc_lookup(pc, world, ttbr0) {
+            self.tlb.hits += 1;
+            return Ok(hit);
+        }
+        let r = self.translate_user(pc, false, true);
+        if let Ok((pa, attrs)) = r {
+            self.accel.fetch_tc_fill(pc, pa, attrs, world, ttbr0);
+        }
+        r
+    }
+
+    fn step(&mut self, world: World, ttbr0: Addr) -> StepOutcome {
         let pc = self.pc;
+        // Fused fast path: translation and decoded page validated in one
+        // compare chain. A hit accounts the same TLB hit, instruction
+        // cycle and memory read the full path below records — see
+        // `FetchAccel::hot_fetch` for the validity argument.
+        if let Some((word, insn, cond)) = self.accel.hot_fetch(pc, world, ttbr0, &self.mem) {
+            self.tlb.hits += 1;
+            self.charge(cost::INSN);
+            self.mem.reads += 1;
+            if !self.cond_holds(cond) {
+                self.pc = pc.wrapping_add(4);
+                return StepOutcome::Continue;
+            }
+            return self.execute(insn, word);
+        }
         // Fetch.
-        let (ppc, fattrs) = match self.translate_user(pc, false, true) {
+        let (ppc, fattrs) = match self.fetch_translate(pc, world, ttbr0) {
             Ok(x) => x,
             Err(f) => {
                 self.cp15.ifsr = fault_status(f.kind);
@@ -141,16 +216,26 @@ impl Machine {
             }
         };
         self.charge(cost::INSN);
-        let word = match self.mem.read(ppc, fattrs) {
-            Ok(w) => w,
-            Err(_) => {
-                self.cp15.ifsr = FaultStatus::External;
-                self.take_exception(ExceptionKind::PrefetchAbort, pc);
-                return StepOutcome::Exit(ExitReason::PrefetchAbort(pc));
-            }
+        // Decode, via the per-page decode cache when possible. A cache hit
+        // bumps `mem.reads` itself; a `None` fall-through performs the
+        // plain counted read, so the counters agree bit-for-bit. The cache
+        // also carries the precomputed condition field (`Insn::cond` is a
+        // pure function of the word, so caching it is invisible).
+        let (word, insn, cond) = match self.accel.fetch(&mut self.mem, ppc, fattrs) {
+            Some(e) => e,
+            None => match self.mem.read(ppc, fattrs) {
+                Ok(w) => {
+                    let i = decode(w);
+                    (w, i, i.cond())
+                }
+                Err(_) => {
+                    self.cp15.ifsr = FaultStatus::External;
+                    self.take_exception(ExceptionKind::PrefetchAbort, pc);
+                    return StepOutcome::Exit(ExitReason::PrefetchAbort(pc));
+                }
+            },
         };
-        let insn = decode(word);
-        if !self.cond_holds(insn.cond()) {
+        if !self.cond_holds(cond) {
             self.pc = pc.wrapping_add(4);
             return StepOutcome::Continue;
         }
@@ -216,13 +301,26 @@ impl Machine {
             Insn::Dp {
                 op, s, rd, rn, op2, ..
             } => {
-                let carry = self.cpsr.c;
-                let sh = eval_op2(op2, carry, |r| self.reg(r));
-                let res = alu(op, self.reg(rn), sh, self.cpsr);
-                if let Some(v) = res.value {
+                if !s && !op.is_compare() {
+                    // Flags-free fast path: skip the NZCV computation the
+                    // full ALU always performs. `alu_value` is proven
+                    // equivalent to `alu(..).value` by the
+                    // `dp_value_path_matches_full_alu` test.
+                    let carry = self.cpsr.c;
+                    let v = alu_value(
+                        op,
+                        self.reg(rn),
+                        eval_op2_value(op2, |r| self.reg(r)),
+                        carry,
+                    );
                     self.set_reg(rd, v);
-                }
-                if s || op.is_compare() {
+                } else {
+                    let carry = self.cpsr.c;
+                    let sh = eval_op2(op2, carry, |r| self.reg(r));
+                    let res = alu(op, self.reg(rn), sh, self.cpsr);
+                    if let Some(v) = res.value {
+                        self.set_reg(rd, v);
+                    }
                     self.cpsr.n = res.n;
                     self.cpsr.z = res.z;
                     self.cpsr.c = res.c;
@@ -284,6 +382,10 @@ impl Machine {
                     LsmMode::Ia => base,
                     LsmMode::Db => base.wrapping_sub(4 * n),
                 };
+                // Base-in-list semantics are pinned: with the base in the
+                // list the loaded value ends up in Rn (writeback forms
+                // with the base listed are rejected at decode, so the
+                // load can never be silently clobbered by writeback).
                 let mut addr = start;
                 for i in 0..15u8 {
                     if regs & (1 << i) != 0 {
@@ -295,6 +397,7 @@ impl Machine {
                         addr = addr.wrapping_add(4);
                     }
                 }
+                debug_assert!(!writeback || regs & (1 << rn.index()) == 0);
                 if writeback {
                     let nb = match mode {
                         LsmMode::Ia => base.wrapping_add(4 * n),
@@ -317,6 +420,9 @@ impl Machine {
                     LsmMode::Ia => base,
                     LsmMode::Db => base.wrapping_sub(4 * n),
                 };
+                // Base-in-list semantics are pinned: the *original* base
+                // value is stored (writeback happens after all stores, and
+                // decode rejects writeback forms with the base listed).
                 let mut addr = start;
                 for i in 0..15u8 {
                     if regs & (1 << i) != 0 {
@@ -328,6 +434,7 @@ impl Machine {
                         addr = addr.wrapping_add(4);
                     }
                 }
+                debug_assert!(!writeback || regs & (1 << rn.index()) == 0);
                 if writeback {
                     let nb = match mode {
                         LsmMode::Ia => base.wrapping_add(4 * n),
@@ -415,6 +522,12 @@ mod tests {
     /// at VA 0x9000, both backed by secure memory, running in secure user
     /// mode (an enclave-like configuration).
     fn guest_machine(code: &[Word]) -> Machine {
+        guest_machine_with_perms(code, PagePerms::RX)
+    }
+
+    /// As [`guest_machine`], with chosen permissions on the code page
+    /// (RWX enables the self-modifying-code tests).
+    fn guest_machine_with_perms(code: &[Word], code_perms: PagePerms) -> Machine {
         let mut m = Machine::new();
         m.mem.add_region(0x0000_0000, 0x10_0000, false);
         m.mem.add_region(0x8000_0000, 0x10_0000, true);
@@ -429,7 +542,7 @@ mod tests {
         m.mem
             .write(
                 l2_page + (0x8 * 4),
-                l2_page_desc(code_pa, PagePerms::RX, false),
+                l2_page_desc(code_pa, code_perms, false),
                 AccessAttrs::MONITOR,
             )
             .unwrap();
@@ -650,5 +763,227 @@ mod tests {
         // One walk for the code page, one for the data page; the rest hit.
         assert_eq!(m.tlb.misses, 2);
         assert!(m.tlb.hits > 8);
+    }
+
+    /// Regression: a walk that *faults* must still count as a TLB miss —
+    /// it charged `cost::TLB_WALK` like any successful walk. The miss used
+    /// to be counted in `Tlb::insert`, which faulting walks never reach.
+    #[test]
+    fn faulting_walk_counts_as_tlb_miss() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x0010_0000); // Unmapped VA.
+        a.ldr_imm(Reg::R(0), Reg::R(1), 0);
+        let mut m = guest_machine(&a.words());
+        let exit = m.run_user(100).unwrap();
+        assert!(matches!(exit, ExitReason::DataAbort(_)));
+        // One successful walk (code page) + one faulting walk (bad VA).
+        assert_eq!(m.tlb.misses, 2);
+    }
+
+    /// LDM with the base register in the list (no writeback) is pinned:
+    /// the loaded value ends up in the base register.
+    #[test]
+    fn ldm_base_in_list_gets_loaded_value() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x9000);
+        a.emit(Insn::Ldm {
+            cond: Cond::Al,
+            rn: Reg::R(1),
+            writeback: false,
+            regs: 0b0111, // r0, r1 (the base), r2.
+            mode: LsmMode::Ia,
+        });
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        m.mem.load_words(0x8000_3000, &[10, 20, 30]).unwrap();
+        m.run_user(100).unwrap();
+        assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 10);
+        assert_eq!(m.regs.get(Mode::User, Reg::R(1)), 20, "loaded value wins");
+        assert_eq!(m.regs.get(Mode::User, Reg::R(2)), 30);
+    }
+
+    /// STM with the base register in the list (no writeback) is pinned:
+    /// the *original* base value is what reaches memory.
+    #[test]
+    fn stm_base_in_list_stores_original_base() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x9000);
+        a.mov_imm(Reg::R(0), 5);
+        a.mov_imm(Reg::R(2), 6);
+        a.emit(Insn::Stm {
+            cond: Cond::Al,
+            rn: Reg::R(1),
+            writeback: false,
+            regs: 0b0111,
+            mode: LsmMode::Ia,
+        });
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        m.run_user(100).unwrap();
+        assert_eq!(
+            m.mem.dump_words(0x8000_3000, 3).unwrap(),
+            vec![5, 0x9000, 6],
+            "original base must be stored"
+        );
+    }
+
+    /// The UNPREDICTABLE combination — writeback with the base listed —
+    /// is rejected at decode and raises an undefined-instruction
+    /// exception, for both LDM and STM.
+    #[test]
+    fn lsm_writeback_base_in_list_raises_undefined() {
+        use crate::encode::encode;
+        for load in [true, false] {
+            let insn = if load {
+                Insn::Ldm {
+                    cond: Cond::Al,
+                    rn: Reg::R(1),
+                    writeback: true,
+                    regs: 0b0010, // Base r1 in the list.
+                    mode: LsmMode::Ia,
+                }
+            } else {
+                Insn::Stm {
+                    cond: Cond::Al,
+                    rn: Reg::R(1),
+                    writeback: true,
+                    regs: 0b0010,
+                    mode: LsmMode::Ia,
+                }
+            };
+            let mut m = guest_machine(&[encode(insn)]);
+            let exit = m.run_user(10).unwrap();
+            assert!(matches!(exit, ExitReason::Undefined(_)), "load={load}");
+            assert_eq!(m.cpsr.mode, Mode::Undefined);
+        }
+    }
+
+    /// A store into the page being executed must be visible to the very
+    /// next fetch — the decode cache may never serve a stale instruction.
+    /// Run the same self-modifying program with the accelerator on and
+    /// off; behaviour and all architectural state must match exactly.
+    #[test]
+    fn self_modifying_code_invalidates_decode_cache() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x8000); // Code page VA.
+        a.mov_imm32(Reg::R(0), 0xe3a0_2007); // Encoding of `mov r2, #7`.
+        let slot = a.len() as u16 + 1; // Word index of the slot below.
+        a.str_imm(Reg::R(0), Reg::R(1), slot * 4);
+        a.mov_imm(Reg::R(2), 99); // The slot: overwritten before it runs.
+        a.svc(0);
+        let code = a.words();
+
+        let run = |accel: bool| {
+            let mut m = guest_machine_with_perms(&code, PagePerms::RWX);
+            m.set_fetch_accel(accel);
+            let exit = m.run_user(100).unwrap();
+            assert_eq!(exit, ExitReason::Svc { imm24: 0 }, "accel={accel}");
+            assert_eq!(
+                m.regs.get(Mode::User, Reg::R(2)),
+                7,
+                "stale decode executed (accel={accel})"
+            );
+            m
+        };
+        let cached = run(true);
+        let uncached = run(false);
+        assert!(cached == uncached, "architectural state diverged");
+    }
+
+    /// A monitor write (`mon_write`) into a cached code page invalidates
+    /// the cached decode, so resumed execution sees the new instruction.
+    #[test]
+    fn mon_write_into_cached_code_page_invalidates() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 1);
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        m.run_user(100).unwrap();
+        assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 1);
+        assert!(m.accel.served() > 0, "decode cache should have engaged");
+        // The monitor rewrites the first instruction to `mov r0, #7`.
+        m.mon_write(0x8000_2000, 0xe3a0_0007).unwrap();
+        m.exception_return().unwrap();
+        m.pc = 0x8000;
+        m.run_user(100).unwrap();
+        assert_eq!(
+            m.regs.get(Mode::User, Reg::R(0)),
+            7,
+            "stale decode served after monitor write"
+        );
+    }
+
+    /// `tlb_flush` drops the accelerator's cached pages and translation
+    /// entry (their validity arguments are anchored to TLB residency),
+    /// and execution afterwards is still correct.
+    #[test]
+    fn tlb_flush_drops_fetch_accelerator_state() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 1);
+        a.svc(0);
+        let mut m = guest_machine(&a.words());
+        m.run_user(100).unwrap();
+        assert!(m.accel.cached_pages() > 0);
+        m.tlb_flush();
+        assert_eq!(m.accel.cached_pages(), 0, "flush must drop cached pages");
+        m.exception_return().unwrap();
+        m.pc = 0x8000;
+        assert_eq!(m.run_user(100).unwrap(), ExitReason::Svc { imm24: 0 });
+    }
+
+    /// An `ldr` from the RX code page primes the accelerator's data-side
+    /// translation cache; the `str` through the same mapping must still
+    /// abort — permissions are re-checked on every access, cache or not.
+    #[test]
+    fn data_cache_hit_still_faults_on_write_to_readonly_page() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(8), 0x8000);
+        a.ldr_imm(Reg::R(0), Reg::R(8), 0);
+        a.str_imm(Reg::R(0), Reg::R(8), 0);
+        a.svc(0);
+        let run = |accel: bool| {
+            let mut m = guest_machine(&a.words());
+            m.set_fetch_accel(accel);
+            let exit = m.run_user(100).unwrap();
+            (m, exit)
+        };
+        let (m_on, e_on) = run(true);
+        let (m_off, e_off) = run(false);
+        assert!(matches!(e_on, ExitReason::DataAbort(_)), "{e_on:?}");
+        assert_eq!(e_on, e_off);
+        assert!(m_on == m_off, "architectural state diverged");
+    }
+
+    /// The accelerator is cycle-model-neutral on the plain hot path too:
+    /// identical cycles, TLB statistics and access counters either way.
+    #[test]
+    fn accelerator_preserves_counters_exactly() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 0);
+        a.mov_imm(Reg::R(1), 50);
+        a.mov_imm32(Reg::R(2), 0x9000);
+        let top = a.label();
+        a.add_reg(Reg::R(0), Reg::R(0), Reg::R(1));
+        a.str_imm(Reg::R(0), Reg::R(2), 0);
+        a.ldr_imm(Reg::R(3), Reg::R(2), 0);
+        a.subs_imm(Reg::R(1), Reg::R(1), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let code = a.words();
+        let run = |accel: bool| {
+            let mut m = guest_machine(&code);
+            m.set_fetch_accel(accel);
+            assert_eq!(m.run_user(10_000).unwrap(), ExitReason::Svc { imm24: 0 });
+            m
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(on.accel.served() > 100, "accelerator never engaged");
+        assert_eq!(on.cycles, off.cycles);
+        assert_eq!(on.tlb.hits, off.tlb.hits);
+        assert_eq!(on.tlb.misses, off.tlb.misses);
+        assert_eq!(on.mem.reads, off.mem.reads);
+        assert_eq!(on.mem.writes, off.mem.writes);
+        assert!(on == off, "architectural state diverged");
     }
 }

@@ -259,6 +259,7 @@ impl DpOp {
     }
 
     /// Comparison/test opcodes write no destination and always set flags.
+    #[inline]
     pub fn is_compare(self) -> bool {
         matches!(self, DpOp::Tst | DpOp::Teq | DpOp::Cmp | DpOp::Cmn)
     }
@@ -473,6 +474,7 @@ pub enum Insn {
 
 impl Insn {
     /// The instruction's condition field ([`Cond::Al`] where unconditional).
+    #[inline]
     pub fn cond(&self) -> Cond {
         match *self {
             Insn::Dp { cond, .. }

@@ -43,11 +43,13 @@
 pub mod alu;
 pub mod asm;
 pub mod cp15;
+pub mod dcache;
 pub mod decode;
 pub mod encode;
 pub mod error;
 pub mod exec;
 pub mod exn;
+pub mod fxhash;
 pub mod insn;
 pub mod machine;
 pub mod mem;
@@ -59,6 +61,7 @@ pub mod tlb;
 pub mod word;
 
 pub use asm::Assembler;
+pub use dcache::FetchAccel;
 pub use error::{MemFault, MemFaultKind};
 pub use exec::ExitReason;
 pub use exn::ExceptionKind;

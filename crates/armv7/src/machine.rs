@@ -4,6 +4,7 @@
 //! everything visible about a machine (e.g. registers and memory)" (§5.1).
 
 use crate::cp15::Cp15;
+use crate::dcache::FetchAccel;
 use crate::exn::ExceptionKind;
 use crate::mem::{AccessAttrs, PhysMem};
 use crate::mode::{Mode, World};
@@ -84,6 +85,30 @@ pub struct Machine {
     /// benches reset it to time the world-switch paths, à la Table 3's
     /// "Enter only" row).
     pub first_user_insn_cycle: Option<u64>,
+    /// Host-side fetch/decode accelerator. **Not architectural state**:
+    /// excluded from machine equality, bit-for-bit neutral on the cycle
+    /// model and all simulated counters (see [`crate::dcache`]).
+    pub accel: FetchAccel,
+}
+
+/// Architectural equality: registers, PSR, PC, CP15, memory (contents and
+/// access counters), TLB (entries and statistics), cycle counter and
+/// interrupt schedule. The fetch accelerator is deliberately excluded —
+/// it must never influence any of these fields, and the differential
+/// property tests rely on this equality to prove it.
+impl PartialEq for Machine {
+    fn eq(&self, other: &Self) -> bool {
+        self.regs == other.regs
+            && self.cpsr == other.cpsr
+            && self.pc == other.pc
+            && self.cp15 == other.cp15
+            && self.mem == other.mem
+            && self.tlb == other.tlb
+            && self.cycles == other.cycles
+            && self.irq_at == other.irq_at
+            && self.fiq_at == other.fiq_at
+            && self.first_user_insn_cycle == other.first_user_insn_cycle
+    }
 }
 
 impl Machine {
@@ -100,11 +125,28 @@ impl Machine {
             irq_at: None,
             fiq_at: None,
             first_user_insn_cycle: None,
+            accel: FetchAccel::new(),
         }
+    }
+
+    /// Enables or disables the host-side fetch accelerator. Disabling (or
+    /// re-enabling) drops all cached state; simulated behaviour is
+    /// identical either way, only host speed changes.
+    pub fn set_fetch_accel(&mut self, on: bool) {
+        self.accel.set_enabled(on);
+        self.invalidate_fetch_accel();
+    }
+
+    /// Drops the accelerator's cached decodes and translation entry, and
+    /// the memory-side write watch that backs them.
+    fn invalidate_fetch_accel(&mut self) {
+        self.accel.invalidate();
+        self.mem.clear_code_watch();
     }
 
     /// The current TrustZone world: monitor mode is always secure;
     /// otherwise `SCR.NS` selects (§3.3).
+    #[inline]
     pub fn world(&self) -> World {
         if self.cpsr.mode == Mode::Monitor || !self.cp15.scr_ns {
             World::Secure
@@ -114,26 +156,31 @@ impl Machine {
     }
 
     /// Reads a register as seen from the current mode.
+    #[inline]
     pub fn reg(&self, r: Reg) -> Word {
         self.regs.get(self.cpsr.mode, r)
     }
 
     /// Writes a register as seen from the current mode.
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, v: Word) {
         self.regs.set(self.cpsr.mode, r, v);
     }
 
     /// Charges `n` cycles.
+    #[inline]
     pub fn charge(&mut self, n: u64) {
         self.cycles += n;
     }
 
     /// Whether an IRQ is pending at the current cycle.
+    #[inline]
     pub fn irq_pending(&self) -> bool {
         self.irq_at.is_some_and(|at| self.cycles >= at)
     }
 
     /// Whether an FIQ is pending at the current cycle.
+    #[inline]
     pub fn fiq_pending(&self) -> bool {
         self.fiq_at.is_some_and(|at| self.cycles >= at)
     }
@@ -177,12 +224,16 @@ impl Machine {
         let world = self.world();
         self.cp15.mmu_mut(world).ttbr0 = pa;
         self.tlb.mark_inconsistent();
+        self.invalidate_fetch_accel();
     }
 
     /// Flushes the entire TLB (the only flush the model supports, §5.1).
+    /// Also drops the fetch accelerator's caches, whose validity arguments
+    /// are anchored to TLB residency.
     pub fn tlb_flush(&mut self) {
         self.tlb.flush();
         self.charge(cost::TLB_FLUSH);
+        self.invalidate_fetch_accel();
     }
 
     /// Notes a store to page-table memory, marking the TLB inconsistent.
@@ -192,6 +243,7 @@ impl Machine {
     /// stores need no such tracking.
     pub fn note_pagetable_store(&mut self) {
         self.tlb.mark_inconsistent();
+        self.invalidate_fetch_accel();
     }
 
     /// Monitor-attributed physical read with cycle charging.

@@ -9,7 +9,8 @@
 //! accounting for Table 3.
 
 use crate::error::{MemFault, MemFaultKind};
-use crate::word::{word_aligned, Addr, Word, WORD_BYTES};
+use crate::fxhash::FxHashSet;
+use crate::word::{page_aligned, page_base, word_aligned, Addr, Word, WORDS_PER_PAGE, WORD_BYTES};
 
 /// Security attribute of an access, as driven onto the bus.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,7 +40,7 @@ impl AccessAttrs {
 }
 
 /// A contiguous RAM region.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Region {
     base: Addr,
     words: Vec<Word>,
@@ -65,6 +66,23 @@ pub struct PhysMem {
     pub reads: u64,
     /// Number of word writes since construction.
     pub writes: u64,
+    /// Page bases whose decoded contents the fetch accelerator holds;
+    /// writes into these bump [`PhysMem::code_gen`]. Host-side state, not
+    /// part of the architectural memory contents.
+    code_watch: FxHashSet<Addr>,
+    /// Generation counter bumped by every write into a watched page; the
+    /// accelerator compares it to detect stale decoded code.
+    code_gen: u64,
+}
+
+/// Architectural equality: region contents and access counters. The code
+/// watch is host-side accelerator bookkeeping and deliberately excluded —
+/// two machines that executed identically compare equal regardless of
+/// whether the fetch accelerator was on.
+impl PartialEq for PhysMem {
+    fn eq(&self, other: &Self) -> bool {
+        self.regions == other.regions && self.reads == other.reads && self.writes == other.writes
+    }
 }
 
 impl PhysMem {
@@ -74,6 +92,8 @@ impl PhysMem {
             regions: Vec::new(),
             reads: 0,
             writes: 0,
+            code_watch: FxHashSet::default(),
+            code_gen: 0,
         }
     }
 
@@ -153,7 +173,45 @@ impl PhysMem {
         let r = self.region_for_mut(addr).expect("checked above");
         let base = r.base;
         r.words[((addr - base) / WORD_BYTES) as usize] = val;
+        if !self.code_watch.is_empty() && self.code_watch.contains(&page_base(addr)) {
+            self.code_gen = self.code_gen.wrapping_add(1);
+        }
         Ok(())
+    }
+
+    /// Registers the page at `page` (a page base) for write monitoring on
+    /// behalf of the fetch accelerator: any subsequent write into it bumps
+    /// [`PhysMem::code_gen`].
+    pub(crate) fn watch_code_page(&mut self, page: Addr) {
+        debug_assert!(page_aligned(page));
+        self.code_watch.insert(page);
+    }
+
+    /// Drops all watched pages (the accelerator has dropped its copies).
+    /// The generation counter is left monotone.
+    pub(crate) fn clear_code_watch(&mut self) {
+        self.code_watch.clear();
+    }
+
+    /// Current code-page write generation (see [`PhysMem::watch_code_page`]).
+    #[inline]
+    pub(crate) fn code_gen(&self) -> u64 {
+        self.code_gen
+    }
+
+    /// Raw snapshot of one fully-RAM-backed page for decode-cache fill:
+    /// the page's words and whether its region is secure. Bypasses the
+    /// access counters and attribute checks — callers must re-impose both
+    /// (the accelerator does) to stay architecturally invisible.
+    pub(crate) fn code_page_snapshot(&self, page: Addr) -> Option<(&[Word], bool)> {
+        debug_assert!(page_aligned(page));
+        let r = self.region_for(page)?;
+        let start = ((page - r.base) / WORD_BYTES) as usize;
+        let end = start + WORDS_PER_PAGE;
+        if end > r.words.len() {
+            return None; // Page straddles the region end; stay uncached.
+        }
+        Some((&r.words[start..end], r.secure))
     }
 
     /// Reads a byte (for guest `LDRB`); the containing word is read and the
@@ -282,5 +340,49 @@ mod tests {
         let mut m = mem();
         m.load_words(0x400, &[1, 2, 3]).unwrap();
         assert_eq!(m.dump_words(0x400, 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn code_watch_generation_tracks_writes_into_watched_pages() {
+        let mut m = mem();
+        assert_eq!(m.code_gen(), 0);
+        m.write(0x1000, 1, AccessAttrs::NORMAL).unwrap(); // Unwatched.
+        assert_eq!(m.code_gen(), 0);
+        m.watch_code_page(0x1000);
+        m.write(0x1ffc, 2, AccessAttrs::NORMAL).unwrap(); // Same page.
+        assert_eq!(m.code_gen(), 1);
+        m.write_byte(0x1003, 0xab, AccessAttrs::NORMAL).unwrap(); // RMW path.
+        assert_eq!(m.code_gen(), 2);
+        m.write(0x2000, 3, AccessAttrs::NORMAL).unwrap(); // Next page.
+        assert_eq!(m.code_gen(), 2);
+        m.clear_code_watch();
+        m.write(0x1000, 4, AccessAttrs::NORMAL).unwrap();
+        assert_eq!(m.code_gen(), 2, "cleared watch must stop bumping");
+    }
+
+    #[test]
+    fn code_page_snapshot_is_raw_and_bounded() {
+        let mut m = mem();
+        m.write(0x1004, 42, AccessAttrs::NORMAL).unwrap();
+        let r0 = m.reads;
+        let (words, secure) = m.code_page_snapshot(0x1000).unwrap();
+        assert_eq!(words.len(), WORDS_PER_PAGE);
+        assert_eq!(words[1], 42);
+        assert!(!secure);
+        assert!(m.code_page_snapshot(0x8000_0000).unwrap().1);
+        assert_eq!(m.reads, r0, "snapshots must not count as reads");
+        assert!(m.code_page_snapshot(0x4000_0000).is_none());
+    }
+
+    #[test]
+    fn equality_ignores_code_watch_state() {
+        let mut a = mem();
+        let mut b = mem();
+        a.write(0x100, 9, AccessAttrs::NORMAL).unwrap();
+        b.write(0x100, 9, AccessAttrs::NORMAL).unwrap();
+        a.watch_code_page(0x1000);
+        assert_eq!(a, b, "watch bookkeeping must be invisible to equality");
+        b.write(0x104, 1, AccessAttrs::NORMAL).unwrap();
+        assert_ne!(a, b);
     }
 }

@@ -138,6 +138,7 @@ impl RegFile {
     }
 
     /// Reads `reg` as seen from `mode`.
+    #[inline]
     pub fn get(&self, mode: Mode, reg: Reg) -> Word {
         match reg {
             Reg::R(n) => self.gpr[n as usize],
@@ -147,6 +148,7 @@ impl RegFile {
     }
 
     /// Writes `reg` as seen from `mode`.
+    #[inline]
     pub fn set(&mut self, mode: Mode, reg: Reg, val: Word) {
         match reg {
             Reg::R(n) => self.gpr[n as usize] = val,

@@ -12,15 +12,19 @@
 //! repeated accesses to the same page cost less than a full walk — the
 //! basis for the TLB-flush-avoidance ablation in the evaluation.
 
+use crate::fxhash::FxHashMap;
 use crate::ptw::Translation;
 use crate::word::Addr;
-use std::collections::HashMap;
 
 /// The TLB: a consistency flag plus a per-virtual-page translation cache.
-#[derive(Clone, Debug)]
+///
+/// The entries map sits on the per-instruction fetch path, so it uses the
+/// local FxHash hasher rather than `std`'s keyed SipHash (the keys are
+/// guest page addresses, not attacker-chosen host input).
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tlb {
     consistent: bool,
-    entries: HashMap<Addr, Translation>,
+    entries: FxHashMap<Addr, Translation>,
     /// Walks performed (misses); cycle-model input.
     pub misses: u64,
     /// Cache hits; cycle-model input.
@@ -34,7 +38,7 @@ impl Tlb {
     pub fn new() -> Tlb {
         Tlb {
             consistent: true,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             misses: 0,
             hits: 0,
             flushes: 0,
@@ -67,9 +71,19 @@ impl Tlb {
         hit
     }
 
-    /// Inserts a walked translation for the page containing `va`.
-    pub fn insert(&mut self, va: Addr, t: Translation) {
+    /// Records a page-table walk (a TLB miss). Counted at the walk site —
+    /// not in [`Tlb::insert`] — so that *faulting* walks, which charge
+    /// `cost::TLB_WALK` but never produce a translation to insert, are
+    /// included in the statistic.
+    pub fn note_walk(&mut self) {
         self.misses += 1;
+    }
+
+    /// Inserts a walked translation for the page containing `va`.
+    ///
+    /// Does **not** count the miss; the walk site calls [`Tlb::note_walk`]
+    /// whether or not the walk succeeds.
+    pub fn insert(&mut self, va: Addr, t: Translation) {
         // Cache the page-base translation (strip the offset `walk` added).
         let page_t = Translation {
             pa: t.pa & !0xfff,
@@ -129,11 +143,22 @@ mod tests {
     fn lookup_after_insert() {
         let mut tlb = Tlb::new();
         assert_eq!(tlb.lookup(0x1234), None);
-        tlb.insert(0x1234, t(0x8000_1234));
+        tlb.note_walk(); // The walk site counts the miss...
+        tlb.insert(0x1234, t(0x8000_1234)); // ...insert does not.
         let hit = tlb.lookup(0x1678).unwrap(); // Same page.
         assert_eq!(hit.pa, 0x8000_1000);
         assert_eq!(tlb.hits, 1);
         assert_eq!(tlb.misses, 1);
+    }
+
+    #[test]
+    fn faulting_walk_counts_without_insert() {
+        // A walk that faults never reaches `insert`, but the walk site
+        // still counts it (it charged `cost::TLB_WALK`).
+        let mut tlb = Tlb::new();
+        tlb.note_walk();
+        assert_eq!(tlb.misses, 1);
+        assert!(tlb.is_empty());
     }
 
     #[test]

@@ -283,6 +283,96 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cycle-model preservation, adversarially: for *arbitrary* code
+    /// (including garbage that faults, branches wild, or self-traps),
+    /// running with the fetch accelerator on and off yields bit-identical
+    /// machines — registers, memory contents, access counters, TLB
+    /// hit/miss/flush statistics, the cycle counter — and identical exits.
+    #[test]
+    fn prop_fetch_accel_is_architecturally_invisible(
+        code in proptest::collection::vec(any::<u32>(), 1..64),
+        init in proptest::array::uniform8(any::<u32>()),
+        irq_after in 0u64..500,
+    ) {
+        let run = |accel: bool| {
+            let mut m = machine_with(&code);
+            m.set_fetch_accel(accel);
+            for (i, v) in init.iter().enumerate() {
+                m.regs.set(Mode::User, Reg::R(i as u8), *v);
+            }
+            if irq_after > 0 {
+                m.irq_at = Some(m.cycles + irq_after);
+            }
+            let exit = m.run_user(2_000).unwrap();
+            (m, exit)
+        };
+        let (on, exit_on) = run(true);
+        let (off, exit_off) = run(false);
+        prop_assert_eq!(exit_on, exit_off);
+        prop_assert_eq!(on.cycles, off.cycles, "cycle model diverged");
+        prop_assert_eq!(on.tlb.hits, off.tlb.hits, "TLB hit accounting diverged");
+        prop_assert_eq!(on.tlb.misses, off.tlb.misses, "TLB miss accounting diverged");
+        prop_assert_eq!(on.tlb.flushes, off.tlb.flushes);
+        prop_assert_eq!(on.mem.reads, off.mem.reads, "read counter diverged");
+        prop_assert_eq!(on.mem.writes, off.mem.writes, "write counter diverged");
+        prop_assert!(on == off, "architectural state diverged");
+    }
+
+    /// Same invisibility property on a structured compute kernel with
+    /// loops, memory traffic, and interrupt preemption/resume — the case
+    /// where the accelerator's caches are actually hot.
+    #[test]
+    fn prop_fetch_accel_invisible_under_preemption(
+        seed_vals in proptest::array::uniform4(any::<u32>()),
+        irq_after in 1u64..400,
+    ) {
+        let mut a = Assembler::new(CODE_VA);
+        a.mov_imm32(Reg::R(8), DATA_VA);
+        a.mov_imm(Reg::R(7), 20);
+        let top = a.label();
+        a.add_reg(Reg::R(0), Reg::R(0), Reg::R(1));
+        a.eor_ror(Reg::R(1), Reg::R(1), Reg::R(2), 7);
+        a.mul(Reg::R(2), Reg::R(3), Reg::R(0));
+        a.str_imm(Reg::R(0), Reg::R(8), 0);
+        a.ldr_imm(Reg::R(3), Reg::R(8), 0);
+        a.add_imm(Reg::R(8), Reg::R(8), 4);
+        a.subs_imm(Reg::R(7), Reg::R(7), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let code = a.words();
+
+        let run = |accel: bool| -> Result<Machine, proptest::test_runner::TestCaseError> {
+            let mut m = machine_with(&code);
+            m.set_fetch_accel(accel);
+            for (i, v) in seed_vals.iter().enumerate() {
+                m.regs.set(Mode::User, Reg::R(i as u8), *v);
+            }
+            m.irq_at = Some(m.cycles + irq_after);
+            loop {
+                match m.run_user(100_000).unwrap() {
+                    ExitReason::Svc { .. } => break,
+                    ExitReason::Irq => {
+                        m.irq_at = None;
+                        m.exception_return().unwrap();
+                    }
+                    other => prop_assert!(false, "unexpected exit {:?}", other),
+                }
+            }
+            Ok(m)
+        };
+        let on = run(true)?;
+        let off = run(false)?;
+        prop_assert!(on.accel.served() > 100, "accelerator never engaged");
+        prop_assert_eq!(on.cycles, off.cycles);
+        prop_assert_eq!(on.tlb.hits, off.tlb.hits);
+        prop_assert_eq!(on.tlb.misses, off.tlb.misses);
+        prop_assert!(on == off, "architectural state diverged");
+    }
+}
+
 /// FIQ takes priority over IRQ and lands in FIQ mode with its own bank.
 #[test]
 fn fiq_beats_irq_and_banks_correctly() {

@@ -1,0 +1,50 @@
+//! Host wall-time throughput of the simulator hot path, fetch accelerator
+//! on vs off (see `komodo_armv7::dcache` and `komodo_bench::throughput`).
+//!
+//! Run with `cargo bench -p komodo-bench --bench sim_throughput`; set
+//! `KOMODO_BENCH_QUICK=1` for the CI smoke configuration. Besides the
+//! per-workload timings, a summary table of host instructions/second and
+//! the accelerated-over-baseline speedup is printed at the end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use komodo_bench::throughput::{guest, measure_all, workloads};
+
+fn quick() -> bool {
+    std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    let steps: u64 = if quick() { 5_000 } else { 50_000 };
+    let mut g = c.benchmark_group("sim_throughput");
+    for (name, code) in workloads() {
+        for accel in [true, false] {
+            let label = if accel { "accel" } else { "base" };
+            g.bench_with_input(BenchmarkId::new(name, label), &code, |b, code| {
+                b.iter(|| {
+                    let mut m = guest(code);
+                    m.set_fetch_accel(accel);
+                    m.run_user(steps).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+
+    println!();
+    println!(
+        "{:<16} {:>14} {:>14} {:>9}",
+        "workload", "accel insn/s", "base insn/s", "speedup"
+    );
+    for t in measure_all(steps) {
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>8.2}x",
+            t.name,
+            t.accel_ips,
+            t.base_ips,
+            t.speedup()
+        );
+    }
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

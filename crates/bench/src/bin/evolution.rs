@@ -12,6 +12,7 @@
 //! reproduction, the analogue of the paper's effort accounting.
 
 use komodo::{Platform, PlatformConfig};
+use komodo_bench::throughput;
 use komodo_guest::progs;
 use komodo_os::EnclaveRun;
 
@@ -116,4 +117,35 @@ fn main() {
          while SGXv2 hardware was still unannounced 3 years after its\n\
          specification (§1, §7.3)."
     );
+    println!();
+
+    // (c) Simulator host throughput, tracked across the repo's evolution.
+    // The fetch accelerator is bit-for-bit neutral on the simulated cycle
+    // model (measure() asserts final-state equality), so only host
+    // instructions/second move here.
+    let steps: u64 = if std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1") {
+        5_000
+    } else {
+        50_000
+    };
+    println!("Simulator host throughput ({steps} simulated instructions/workload):");
+    println!(
+        "  {:<16} {:>14} {:>14} {:>9}",
+        "workload", "accel insn/s", "base insn/s", "speedup"
+    );
+    let results = throughput::measure_all(steps);
+    for t in &results {
+        println!(
+            "  {:<16} {:>14.0} {:>14.0} {:>8.2}x",
+            t.name,
+            t.accel_ips,
+            t.base_ips,
+            t.speedup()
+        );
+    }
+    let json_path = root.join("BENCH_sim_throughput.json");
+    match std::fs::write(&json_path, throughput::to_json(&results)) {
+        Ok(()) => println!("  wrote {}", json_path.display()),
+        Err(e) => println!("  (could not write {}: {e})", json_path.display()),
+    }
 }

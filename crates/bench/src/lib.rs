@@ -22,6 +22,7 @@
 
 pub mod micro;
 pub mod notary;
+pub mod throughput;
 
 /// Clock frequency of the paper's evaluation platform (Raspberry Pi 2,
 /// 900 MHz Cortex-A7) — used to convert simulated cycles to time.

@@ -1,0 +1,206 @@
+//! Vendored minimal wall-time benchmark harness.
+//!
+//! The workspace builds hermetically with no crate registry, so the real
+//! `criterion` cannot be fetched. This crate implements the subset of its
+//! API the bench targets use — `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with `bench_with_input`,
+//! `BenchmarkId`, and `Bencher::iter` — with a simple adaptive-iteration
+//! timer instead of criterion's statistics engine.
+//!
+//! Environment knobs:
+//! - `KOMODO_BENCH_QUICK=1` caps each benchmark at a handful of
+//!   iterations, for CI smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures one benchmark's closure.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    /// Total iterations executed.
+    iters: u64,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times `f`, choosing an iteration count adaptively.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup.
+        let warmup = if self.quick { 1 } else { 3 };
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let budget = if self.quick {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(300)
+        };
+        let mut batch: u64 = 1;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t0.elapsed();
+            iters += batch;
+            if self.quick && iters >= 3 {
+                break;
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        self.iters = iters.max(1);
+        self.mean_ns = total.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Identifies a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1"),
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let (scaled, unit) = if b.mean_ns >= 1e9 {
+        (b.mean_ns / 1e9, "s")
+    } else if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "us")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{name:<44} {scaled:>10.3} {unit}/iter  ({} iters)", b.iters);
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+            quick: self.quick,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive timer ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+            quick: self.c.quick,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Produces `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group!(smoke_group, spin);
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("KOMODO_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        smoke_group(&mut c);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &k| b.iter(|| k + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,542 @@
+//! Vendored minimal property-testing harness.
+//!
+//! This workspace builds in a hermetic environment with no access to a
+//! crate registry, so the real `proptest` cannot be fetched. This crate
+//! reimplements the (small) subset of its API that the test suites use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - [`prop_oneof!`], [`strategy::Just`], `.prop_map(..)`,
+//! - [`arbitrary::any`], integer-range strategies, tuple strategies,
+//! - [`collection::vec`], [`array::uniform4`] / [`array::uniform8`].
+//!
+//! Semantics differ from the real crate in one deliberate way: there is
+//! no shrinking. Failing cases report the generated inputs directly; the
+//! deterministic per-test RNG makes every failure reproducible.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of randomized cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed test case (carried as an early return out of the case body).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic RNG (splitmix64) seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG deterministically seeded from the property's name.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name; stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Multiply-shift; bias is negligible for test generation.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator. Unlike real proptest there is no shrinking: a
+    /// strategy is just a function from RNG state to a value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { s: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        s: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.s.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies ([`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given non-empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty());
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Span ≤ u64::MAX for all supported types.
+                    (self.start as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t; // Full-width range.
+                    }
+                    (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    $(let $v = $s.generate(rng);)+
+                    ($($v,)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A / a);
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+}
+
+/// [`any`] and the [`Arbitrary`] trait.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s with lengths drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`uniform4`] / [`uniform8`].
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            let mut out = Vec::with_capacity(N);
+            for _ in 0..N {
+                out.push(self.0.generate(rng));
+            }
+            match out.try_into() {
+                Ok(a) => a,
+                Err(_) => unreachable!("length N by construction"),
+            }
+        }
+    }
+
+    /// An array of 4 values drawn from `s`.
+    pub fn uniform4<S: Strategy>(s: S) -> UniformArray<S, 4> {
+        UniformArray(s)
+    }
+
+    /// An array of 8 values drawn from `s`.
+    pub fn uniform8<S: Strategy>(s: S) -> UniformArray<S, 8> {
+        UniformArray(s)
+    }
+}
+
+/// The usual imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn p(x in strat) { .. } }`.
+///
+/// Each property runs `cases` times (from the optional
+/// `#![proptest_config(..)]`, default 256) with inputs drawn from the
+/// given strategies by a deterministic per-test RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(::std::stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // Inputs are rendered up front because the body may consume
+                // them by value.
+                let __inputs = [$(::std::format!(
+                    ::std::concat!("  ", ::std::stringify!($arg), " = {:?}"),
+                    &$arg
+                )),+]
+                .join("\n");
+                let __r: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __r {
+                    ::std::panic!(
+                        "property {} failed at case {}/{}: {}\ninputs:\n{}",
+                        ::std::stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                        __e,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr $(,)?) => {{
+        let (__l, __r) = (&$l, &$r);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($l:expr, $r:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$l, &$r);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` for property cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr $(,)?) => {{
+        let (__l, __r) = (&$l, &$r);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($l:expr, $r:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$l, &$r);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  left: {:?}\n right: {:?}\n {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(1u8..32), &mut rng);
+            assert!((1..32).contains(&v));
+            let v = Strategy::generate(&(1u32..=12), &mut rng);
+            assert!((1..=12).contains(&v));
+            let v = Strategy::generate(&(-5i32..7), &mut rng);
+            assert!((-5..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let s = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut rng = TestRng::for_test("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(Strategy::generate(&s, &mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let s = crate::collection::vec(any::<u32>(), 1..4);
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: generated args bind and assertions work.
+        #[test]
+        fn prop_macro_smoke(x in any::<u32>(), y in 1u64..100, v in crate::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!((1..100).contains(&y));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(y, 0);
+            prop_assert!(v.len() < 8, "len {}", v.len());
+        }
+    }
+}
