@@ -32,10 +32,30 @@
 //! watch; any write into a watched page bumps a generation counter that
 //! the next fetch observes, dropping the whole cache. `Machine` also
 //! drops it on `tlb_flush`, `load_ttbr0` and `note_pagetable_store`.
+//!
+//! # Superblocks
+//!
+//! On top of the decode cache sits a **superblock engine**: straight-line
+//! traces of predecoded `(insn, cond)` entries, formed at a hot fetch and
+//! ending at the first branch, potential exception source, PC-writing
+//! instruction, or page boundary. A trace is validated **once** at entry
+//! (`(VA page, world, TTBR0, generation, alignment)` — the same facts the
+//! per-instruction hot path re-checks every step) and then executed in a
+//! tight loop by `Machine::run_user`, with the TLB-hit / memory-read /
+//! cycle accounting batched per block so the architecturally visible
+//! counters stay bit-for-bit identical to per-instruction stepping (see
+//! `Block` for the admission rules that make this sound). Blocks chain:
+//! each records the block id its fall-through and taken-branch exits last
+//! dispatched to, so steady-state loops skip even the hash probe.
+//! Invalidation rides the existing generation mechanism — a bumped
+//! generation (guest store, `mon_write`, page-table store) or an
+//! accelerator-wide invalidation (`tlb_flush`, `load_ttbr0`) kills every
+//! block along with the decoded pages they were built from.
 
 use crate::decode::decode;
 use crate::fxhash::FxHashMap;
 use crate::insn::{Cond, Insn};
+use crate::machine::cost;
 use crate::mem::{AccessAttrs, PhysMem};
 use crate::mode::World;
 use crate::ptw::Translation;
@@ -131,6 +151,106 @@ struct HotFetch {
     idx: usize,
 }
 
+/// How a superblock's straight-line body ends.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum BlockEnd {
+    /// A direct `B`/`BL`: the target is static, so the branch itself is
+    /// part of the block (taken → `target`, not taken → fall through).
+    Branch {
+        /// The branch's condition field.
+        cond: Cond,
+        /// Absolute taken-branch target (`va + 8 + offset*4`).
+        target: Addr,
+        /// `BL`: write the return address to `LR` when taken.
+        link: bool,
+    },
+    /// The next instruction is not block-safe (potential exception source,
+    /// indirect control flow, memory access) or the page ended; execution
+    /// falls through to the per-instruction path.
+    Fallthrough,
+}
+
+/// Which way the last dispatched superblock exited — the key under which
+/// its successor link is recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ExitKind {
+    /// Fell through (body end, or branch condition false).
+    Fall = 0,
+    /// Took the ending branch.
+    Taken = 1,
+}
+
+/// A superblock: a predecoded straight-line trace.
+///
+/// Admission rules (checked at build time, from the already-validated
+/// decode cache): the body holds only instructions that can neither fault
+/// nor touch the PC — data-processing, multiply, `MOVW`/`MOVT`, `MRS`
+/// (decode maps any PC-destination form to [`Insn::Unknown`], which is
+/// never admitted). Loads/stores, `LDM`/`STM`, `BX`, `SVC` and every
+/// privileged/undefined instruction terminate the trace *before*
+/// themselves; a direct `B`/`BL` terminates it *inclusively* (its target
+/// is static). A block therefore runs to its end unconditionally: no body
+/// instruction can raise an exception, redirect control, or write memory
+/// (so the generation validated at entry cannot move under the block).
+#[derive(Clone, Debug)]
+pub(crate) struct Block {
+    /// Entry virtual address and the context it was built under; all
+    /// three are re-validated on every dispatch.
+    pub(crate) entry_va: Addr,
+    pub(crate) world: World,
+    pub(crate) ttbr0: Addr,
+    /// The straight-line body (condition fields pre-extracted).
+    pub(crate) body: Box<[(Insn, Cond)]>,
+    /// How the trace ends.
+    pub(crate) end: BlockEnd,
+    /// Upper bound on the cycles one execution of the block can charge
+    /// (every condition assumed true, branch assumed taken). Used to hoist
+    /// the interrupt-wake compare out of the block: if
+    /// `cycles + max_charge < wake`, no per-instruction wake check inside
+    /// the block could have fired.
+    pub(crate) max_charge: u64,
+    /// Chained successors, indexed by [`ExitKind`]: the block id the
+    /// corresponding exit last dispatched to. Purely a probe shortcut —
+    /// the successor is re-validated like any dispatch, so a stale link
+    /// costs a hash probe, never correctness.
+    succ: [Option<u32>; 2],
+}
+
+/// Index sentinel: "no worthwhile block starts at this address" (the entry
+/// instruction already terminates the trace) — cached so hopeless PCs are
+/// rejected with one probe instead of a rebuild attempt per dispatch.
+const NO_BLOCK: u32 = u32::MAX;
+
+/// Superblock-engine statistics, surfaced through
+/// [`crate::Machine::superblock_stats`]. Host-side only — never part of
+/// architectural state or machine equality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SbStats {
+    /// Traces built from decoded pages.
+    pub built: u64,
+    /// Dispatches served from the block cache (including chained ones).
+    pub hits: u64,
+    /// Dispatches resolved through a successor link, skipping the probe.
+    pub chained: u64,
+    /// Whole-cache invalidations (generation bumps, flushes, toggles).
+    pub invalidations: u64,
+}
+
+/// The block cache (see the module docs' *Superblocks* section).
+#[derive(Clone, Debug, Default)]
+struct SbCache {
+    blocks: Vec<Block>,
+    /// Entry VA → block id (or [`NO_BLOCK`]). Keyed by VA alone; the
+    /// block's recorded world/`TTBR0` are validated on every hit.
+    index: FxHashMap<Addr, u32>,
+    /// Snapshot of `PhysMem::code_gen` the blocks were built under.
+    gen: u64,
+    /// The last block dispatched and how it exited — the chain source the
+    /// next dispatch links (or follows).
+    last: Option<(u32, ExitKind)>,
+    stats: SbStats,
+}
+
 /// The fetch accelerator: decode cache + one-entry translation cache.
 ///
 /// Lives in [`crate::Machine`] but is **not** architectural state: it is
@@ -142,6 +262,9 @@ pub struct FetchAccel {
     fetch_tc: Option<FetchEntry>,
     data_tc: Option<DataEntry>,
     hot: Option<HotFetch>,
+    /// Whether the superblock engine runs on top of the decode cache.
+    sb_enabled: bool,
+    sb: SbCache,
     /// Host-side statistics: fetches served from the decode cache.
     served: u64,
     /// Host-side statistics: pages decoded and cached.
@@ -157,6 +280,8 @@ impl FetchAccel {
             fetch_tc: None,
             data_tc: None,
             hot: None,
+            sb_enabled: true,
+            sb: SbCache::default(),
             served: 0,
             fills: 0,
         }
@@ -173,12 +298,192 @@ impl FetchAccel {
         self.enabled = on;
     }
 
-    /// Drops every cached page and the translation entries.
+    /// Drops every cached page, the translation entries, and all
+    /// superblocks.
     pub fn invalidate(&mut self) {
         self.dcache.clear();
         self.fetch_tc = None;
         self.data_tc = None;
         self.hot = None;
+        self.sb_invalidate();
+    }
+
+    /// Whether the superblock engine is active (requires the accelerator
+    /// itself to be enabled).
+    pub fn superblocks_enabled(&self) -> bool {
+        self.enabled && self.sb_enabled
+    }
+
+    /// Turns the superblock engine on or off, dropping all blocks either
+    /// way. Off leaves the PR-1 accelerator layers (decode cache, fused
+    /// hot fetch, translation caches) intact — used by the differential
+    /// tests and benchmarks to isolate the engine's contribution.
+    pub fn set_superblocks(&mut self, on: bool) {
+        self.sb_enabled = on;
+        self.sb_invalidate();
+    }
+
+    /// Superblock-engine statistics.
+    pub fn sb_stats(&self) -> SbStats {
+        self.sb.stats
+    }
+
+    /// Number of superblocks currently cached.
+    pub fn cached_blocks(&self) -> usize {
+        self.sb.blocks.len()
+    }
+
+    /// Drops every superblock and the chain source.
+    fn sb_invalidate(&mut self) {
+        if !self.sb.blocks.is_empty() || !self.sb.index.is_empty() {
+            self.sb.stats.invalidations += 1;
+        }
+        self.sb.blocks.clear();
+        self.sb.index.clear();
+        self.sb.last = None;
+    }
+
+    /// Looks up (or builds) the superblock entered at `pc` under
+    /// `(world, ttbr0)`, with `gen_now` the current `PhysMem::code_gen`.
+    /// Returns its id, or `None` to stay on the per-instruction path.
+    ///
+    /// Probe order: the previous block's successor link for its recorded
+    /// exit, then the entry-VA index, then a build attempt. Every path
+    /// re-validates `(entry VA, world, TTBR0)` against the block and the
+    /// cache-wide generation against `gen_now`, so a stale link or index
+    /// entry is a missed shortcut, never a wrong dispatch.
+    pub(crate) fn sb_dispatch(
+        &mut self,
+        pc: Addr,
+        world: World,
+        ttbr0: Addr,
+        gen_now: u64,
+    ) -> Option<u32> {
+        if !self.enabled || !self.sb_enabled {
+            return None;
+        }
+        if self.sb.gen != gen_now {
+            // A store landed in a watched code page: every block may hold
+            // stale decodes of it.
+            self.sb_invalidate();
+            self.sb.gen = gen_now;
+        }
+        let prev = self.sb.last.take();
+        if let Some((pid, kind)) = prev {
+            if let Some(id) = self.sb.blocks[pid as usize].succ[kind as usize] {
+                let b = &self.sb.blocks[id as usize];
+                if b.entry_va == pc && b.world == world && b.ttbr0 == ttbr0 {
+                    self.sb.stats.hits += 1;
+                    self.sb.stats.chained += 1;
+                    return Some(id);
+                }
+            }
+        }
+        let id = match self.sb.index.get(&pc).copied() {
+            Some(NO_BLOCK) => return None,
+            Some(id) => {
+                let b = &self.sb.blocks[id as usize];
+                if b.world == world && b.ttbr0 == ttbr0 {
+                    self.sb.stats.hits += 1;
+                    id
+                } else {
+                    // Same VA under a different context (the old block
+                    // stays allocated but unreachable until invalidation).
+                    self.sb_build(pc, world, ttbr0, gen_now)?
+                }
+            }
+            None => self.sb_build(pc, world, ttbr0, gen_now)?,
+        };
+        if let Some((pid, kind)) = prev {
+            // Remember where the previous block's exit led: next time the
+            // same exit is taken, the probe above short-circuits.
+            self.sb.blocks[pid as usize].succ[kind as usize] = Some(id);
+        }
+        Some(id)
+    }
+
+    /// Forms a trace starting at `pc` from the decoded page the hot-fetch
+    /// entry points at (see [`Block`] for the admission rules).
+    fn sb_build(&mut self, pc: Addr, world: World, ttbr0: Addr, gen_now: u64) -> Option<u32> {
+        if self.dcache.gen != gen_now || !word_aligned(pc) {
+            return None; // Stale decodes; the per-insn fetch reconciles.
+        }
+        // Blocks are built only behind a validated hot-fetch entry for this
+        // exact `(VA page, world, TTBR0)`: that entry carries the proof that
+        // the translation is in the TLB and the secure-attribute check
+        // passed, which is what entitles every instruction in the trace to
+        // account `hit + read + INSN` exactly like the per-insn hot path.
+        let h = self.hot.as_ref()?;
+        if h.va_page != page_base(pc) || h.world != world || h.ttbr0 != ttbr0 {
+            return None;
+        }
+        let page = &self.dcache.pages[h.idx];
+        let start = (page_offset(pc) / WORD_BYTES) as usize;
+        let mut body = Vec::new();
+        let mut max_charge = 0u64;
+        let mut end = BlockEnd::Fallthrough;
+        for &(_, insn, cond) in &page.entries[start..] {
+            match insn {
+                Insn::Dp { .. } | Insn::Movw { .. } | Insn::Movt { .. } | Insn::Mrs { .. } => {
+                    max_charge += cost::INSN;
+                    body.push((insn, cond));
+                }
+                Insn::Mul { .. } => {
+                    max_charge += cost::INSN + cost::MUL;
+                    body.push((insn, cond));
+                }
+                Insn::B { cond, offset } | Insn::Bl { cond, offset } => {
+                    let va = pc.wrapping_add(body.len() as u32 * WORD_BYTES);
+                    end = BlockEnd::Branch {
+                        cond,
+                        target: va
+                            .wrapping_add(8)
+                            .wrapping_add((offset as u32).wrapping_mul(4)),
+                        link: matches!(insn, Insn::Bl { .. }),
+                    };
+                    max_charge += cost::INSN + cost::BRANCH_TAKEN;
+                    break;
+                }
+                // Anything that can fault, write memory, or redirect the
+                // PC ends the trace *before* itself.
+                _ => break,
+            }
+        }
+        let with_branch = matches!(end, BlockEnd::Branch { .. });
+        if body.len() + (with_branch as usize) < 2 {
+            // Too short to beat per-insn dispatch; remember that.
+            self.sb.index.insert(pc, NO_BLOCK);
+            return None;
+        }
+        let id = self.sb.blocks.len() as u32;
+        self.sb.blocks.push(Block {
+            entry_va: pc,
+            world,
+            ttbr0,
+            body: body.into_boxed_slice(),
+            end,
+            max_charge,
+            succ: [None, None],
+        });
+        self.sb.index.insert(pc, id);
+        self.sb.stats.built += 1;
+        Some(id)
+    }
+
+    /// The block behind an id [`FetchAccel::sb_dispatch`] returned.
+    ///
+    /// Takes `&self` so the caller can hold the block while mutating the
+    /// machine's other fields through split borrows.
+    pub(crate) fn sb_block(&self, id: u32) -> &Block {
+        &self.sb.blocks[id as usize]
+    }
+
+    /// Records how the dispatched block `id` exited after retiring
+    /// `insns` instructions. `None` (wake fallback or a mid-block
+    /// step-budget stop) breaks the chain.
+    pub(crate) fn sb_note_exit(&mut self, id: u32, exit: Option<ExitKind>, insns: u64) {
+        self.served += insns;
+        self.sb.last = exit.map(|k| (id, k));
     }
 
     /// Number of pages currently cached.

@@ -8,6 +8,7 @@
 
 use crate::alu::{alu, alu_value, eval_op2, eval_op2_value};
 use crate::cp15::FaultStatus;
+use crate::dcache::{BlockEnd, ExitKind};
 use crate::decode::decode;
 use crate::error::{MemFault, MemFaultKind};
 use crate::exn::ExceptionKind;
@@ -15,9 +16,10 @@ use crate::insn::{Cond, Insn, LsmMode, MemOffset};
 use crate::machine::{cost, Machine, ModelViolation};
 use crate::mem::AccessAttrs;
 use crate::mode::{Mode, World};
+use crate::psr::Psr;
 use crate::ptw::{self, PtwFault};
-use crate::regs::Reg;
-use crate::word::{Addr, Word};
+use crate::regs::{Reg, RegFile};
+use crate::word::{Addr, Word, WORD_BYTES};
 
 /// Why user-mode execution stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,7 +140,8 @@ impl Machine {
         // exception, and every exception path exits this loop.
         let world = self.world();
         let ttbr0 = self.cp15.mmu(world).ttbr0;
-        for _ in 0..max_steps {
+        let mut steps_left = max_steps;
+        while steps_left > 0 {
             // Pending interrupts are taken before the next instruction;
             // FIQ has priority.
             if self.cycles >= wake {
@@ -155,12 +158,106 @@ impl Machine {
                 self.first_user_insn_cycle = Some(self.cycles);
                 need_first_cycle = false;
             }
+            // Superblock fast path: a whole straight-line trace retires
+            // with one validation and batched accounting. `None` (no
+            // block, wake too close, engine off) falls through to the
+            // per-instruction step.
+            if let Some(n) = self.step_superblock(world, ttbr0, wake, steps_left) {
+                steps_left -= n;
+                continue;
+            }
             match self.step(world, ttbr0) {
                 StepOutcome::Continue => {}
                 StepOutcome::Exit(reason) => return Ok(reason),
             }
+            steps_left -= 1;
         }
         Ok(ExitReason::StepLimit)
+    }
+
+    /// Dispatches and executes one superblock at the current PC, returning
+    /// the number of instructions retired (`None` falls back to per-insn
+    /// stepping). Equivalence with `steps_left` per-instruction steps:
+    ///
+    /// - **Wake**: the per-insn loop compares `cycles >= wake` before every
+    ///   instruction. The block runs only if `cycles + max_charge < wake`;
+    ///   cycles grow monotonically, so every intermediate compare would
+    ///   also have been false — hoisting the compare is exact, and any
+    ///   block that *might* straddle the deadline is stepped individually.
+    /// - **Budget**: a block needing more steps than remain executes only
+    ///   the prefix `steps_left` covers (the ending branch counts as one
+    ///   step), leaving the PC mid-trace exactly where the per-insn loop
+    ///   would exhaust its budget.
+    /// - **Accounting**: each retired instruction pays one TLB hit, one
+    ///   instruction read and `cost::INSN` — precisely the per-insn hot
+    ///   path's charges (the build-time hot-fetch validation carries the
+    ///   proof; see `FetchAccel::sb_build`) — plus `cost::MUL` per
+    ///   *executed* multiply and `cost::BRANCH_TAKEN` for a taken ending
+    ///   branch, accumulated per instruction and added in one batch.
+    fn step_superblock(
+        &mut self,
+        world: World,
+        ttbr0: Addr,
+        wake: u64,
+        steps_left: u64,
+    ) -> Option<u64> {
+        let gen_now = self.mem.code_gen();
+        let id = self.accel.sb_dispatch(self.pc, world, ttbr0, gen_now)?;
+        // Split borrows: the block stays shared-borrowed from the
+        // accelerator while the disjoint architectural fields are mutated.
+        let Machine {
+            accel,
+            regs,
+            cpsr,
+            pc,
+            mem,
+            tlb,
+            cycles,
+            ..
+        } = self;
+        let b = accel.sb_block(id);
+        if *cycles + b.max_charge >= wake {
+            accel.sb_note_exit(id, None, 0);
+            return None;
+        }
+        let n_body = b.body.len() as u64;
+        let has_branch = matches!(b.end, BlockEnd::Branch { .. });
+        let full = steps_left >= n_body + has_branch as u64;
+        let n_exec = if full { n_body } else { steps_left.min(n_body) };
+        let mut extra = 0u64;
+        for &(insn, cond) in &b.body[..n_exec as usize] {
+            if cond_holds(*cpsr, cond) {
+                extra += exec_straightline(regs, cpsr, Mode::User, insn);
+            }
+        }
+        *pc = pc.wrapping_add(n_exec as u32 * WORD_BYTES);
+        let mut retired = n_exec;
+        let mut exit = Some(ExitKind::Fall);
+        if full {
+            match b.end {
+                BlockEnd::Branch { cond, target, link } => {
+                    retired += 1;
+                    if cond_holds(*cpsr, cond) {
+                        extra += cost::BRANCH_TAKEN;
+                        if link {
+                            regs.set(Mode::User, Reg::Lr, pc.wrapping_add(WORD_BYTES));
+                        }
+                        *pc = target;
+                        exit = Some(ExitKind::Taken);
+                    } else {
+                        *pc = pc.wrapping_add(WORD_BYTES);
+                    }
+                }
+                BlockEnd::Fallthrough => {}
+            }
+        } else {
+            exit = None; // Step budget ran out mid-trace: no chain link.
+        }
+        tlb.note_hits(retired);
+        mem.note_reads(retired);
+        *cycles += retired * cost::INSN + extra;
+        accel.sb_note_exit(id, exit, retired);
+        Some(retired)
     }
 
     /// Translates the fetch of `pc`, consulting the accelerator's one-entry
@@ -200,7 +297,7 @@ impl Machine {
             self.tlb.hits += 1;
             self.charge(cost::INSN);
             self.mem.reads += 1;
-            if !self.cond_holds(cond) {
+            if !cond_holds(self.cpsr, cond) {
                 self.pc = pc.wrapping_add(4);
                 return StepOutcome::Continue;
             }
@@ -235,32 +332,11 @@ impl Machine {
                 }
             },
         };
-        if !self.cond_holds(cond) {
+        if !cond_holds(self.cpsr, cond) {
             self.pc = pc.wrapping_add(4);
             return StepOutcome::Continue;
         }
         self.execute(insn, word)
-    }
-
-    fn cond_holds(&self, cond: Cond) -> bool {
-        let p = self.cpsr;
-        match cond {
-            Cond::Eq => p.z,
-            Cond::Ne => !p.z,
-            Cond::Cs => p.c,
-            Cond::Cc => !p.c,
-            Cond::Mi => p.n,
-            Cond::Pl => !p.n,
-            Cond::Vs => p.v,
-            Cond::Vc => !p.v,
-            Cond::Hi => p.c && !p.z,
-            Cond::Ls => !p.c || p.z,
-            Cond::Ge => p.n == p.v,
-            Cond::Lt => p.n != p.v,
-            Cond::Gt => !p.z && p.n == p.v,
-            Cond::Le => p.z || p.n != p.v,
-            Cond::Al => true,
-        }
     }
 
     fn undefined(&mut self, word: Word) -> StepOutcome {
@@ -298,53 +374,17 @@ impl Machine {
     fn execute(&mut self, insn: Insn, word: Word) -> StepOutcome {
         let next = self.pc.wrapping_add(4);
         match insn {
-            Insn::Dp {
-                op, s, rd, rn, op2, ..
-            } => {
-                if !s && !op.is_compare() {
-                    // Flags-free fast path: skip the NZCV computation the
-                    // full ALU always performs. `alu_value` is proven
-                    // equivalent to `alu(..).value` by the
-                    // `dp_value_path_matches_full_alu` test.
-                    let carry = self.cpsr.c;
-                    let v = alu_value(
-                        op,
-                        self.reg(rn),
-                        eval_op2_value(op2, |r| self.reg(r)),
-                        carry,
-                    );
-                    self.set_reg(rd, v);
-                } else {
-                    let carry = self.cpsr.c;
-                    let sh = eval_op2(op2, carry, |r| self.reg(r));
-                    let res = alu(op, self.reg(rn), sh, self.cpsr);
-                    if let Some(v) = res.value {
-                        self.set_reg(rd, v);
-                    }
-                    self.cpsr.n = res.n;
-                    self.cpsr.z = res.z;
-                    self.cpsr.c = res.c;
-                    self.cpsr.v = res.v;
-                }
-                self.pc = next;
-            }
-            Insn::Mul { s, rd, rm, rs, .. } => {
-                self.charge(cost::MUL);
-                let v = self.reg(rm).wrapping_mul(self.reg(rs));
-                self.set_reg(rd, v);
-                if s {
-                    self.cpsr.n = v & 0x8000_0000 != 0;
-                    self.cpsr.z = v == 0;
-                }
-                self.pc = next;
-            }
-            Insn::Movw { rd, imm16, .. } => {
-                self.set_reg(rd, imm16 as u32);
-                self.pc = next;
-            }
-            Insn::Movt { rd, imm16, .. } => {
-                let lo = self.reg(rd) & 0xffff;
-                self.set_reg(rd, ((imm16 as u32) << 16) | lo);
+            // Straight-line instructions share their semantics with the
+            // superblock runner through one helper, so the two execution
+            // paths cannot drift.
+            Insn::Dp { .. }
+            | Insn::Mul { .. }
+            | Insn::Movw { .. }
+            | Insn::Movt { .. }
+            | Insn::Mrs { .. } => {
+                let mode = self.cpsr.mode;
+                let extra = exec_straightline(&mut self.regs, &mut self.cpsr, mode, insn);
+                self.charge(extra);
                 self.pc = next;
             }
             Insn::Ldr {
@@ -471,10 +511,6 @@ impl Machine {
                 self.take_exception(ExceptionKind::Svc, next);
                 return StepOutcome::Exit(ExitReason::Svc { imm24 });
             }
-            Insn::Mrs { rd, .. } => {
-                self.set_reg(rd, self.cpsr.encode());
-                self.pc = next;
-            }
             // Privileged instructions from user mode are undefined; so is
             // anything outside the modelled subset.
             Insn::Smc { .. } | Insn::Mcr { .. } | Insn::Mrc { .. } => {
@@ -510,6 +546,98 @@ impl Machine {
 enum StepOutcome {
     Continue,
     Exit(ExitReason),
+}
+
+/// Whether condition `cond` passes under the flags in `p` (ARM ARM A8.3).
+#[inline]
+fn cond_holds(p: Psr, cond: Cond) -> bool {
+    match cond {
+        Cond::Eq => p.z,
+        Cond::Ne => !p.z,
+        Cond::Cs => p.c,
+        Cond::Cc => !p.c,
+        Cond::Mi => p.n,
+        Cond::Pl => !p.n,
+        Cond::Vs => p.v,
+        Cond::Vc => !p.v,
+        Cond::Hi => p.c && !p.z,
+        Cond::Ls => !p.c || p.z,
+        Cond::Ge => p.n == p.v,
+        Cond::Lt => p.n != p.v,
+        Cond::Gt => !p.z && p.n == p.v,
+        Cond::Le => p.z || p.n != p.v,
+        Cond::Al => true,
+    }
+}
+
+/// Executes one block-safe straight-line instruction (data-processing,
+/// multiply, `MOVW`/`MOVT`, `MRS`) against the register file and PSR, and
+/// returns the cycles it charges beyond the base `cost::INSN`.
+///
+/// Operates on split-borrowed fields rather than `&mut Machine` so the
+/// superblock runner can call it while the dispatched block is still
+/// borrowed from the accelerator; `Machine::execute` routes the same
+/// instructions through here, keeping the two paths semantically
+/// identical by construction. The instructions handled here can neither
+/// fault nor write the PC (PC-destination encodings decode to
+/// [`Insn::Unknown`]), which is exactly what makes them block-safe.
+#[inline]
+fn exec_straightline(regs: &mut RegFile, cpsr: &mut Psr, mode: Mode, insn: Insn) -> u64 {
+    match insn {
+        Insn::Dp {
+            op, s, rd, rn, op2, ..
+        } => {
+            if !s && !op.is_compare() {
+                // Flags-free fast path: skip the NZCV computation the
+                // full ALU always performs. `alu_value` is proven
+                // equivalent to `alu(..).value` by the
+                // `dp_value_path_matches_full_alu` test.
+                let carry = cpsr.c;
+                let v = alu_value(
+                    op,
+                    regs.get(mode, rn),
+                    eval_op2_value(op2, |r| regs.get(mode, r)),
+                    carry,
+                );
+                regs.set(mode, rd, v);
+            } else {
+                let carry = cpsr.c;
+                let sh = eval_op2(op2, carry, |r| regs.get(mode, r));
+                let res = alu(op, regs.get(mode, rn), sh, *cpsr);
+                if let Some(v) = res.value {
+                    regs.set(mode, rd, v);
+                }
+                cpsr.n = res.n;
+                cpsr.z = res.z;
+                cpsr.c = res.c;
+                cpsr.v = res.v;
+            }
+            0
+        }
+        Insn::Mul { s, rd, rm, rs, .. } => {
+            let v = regs.get(mode, rm).wrapping_mul(regs.get(mode, rs));
+            regs.set(mode, rd, v);
+            if s {
+                cpsr.n = v & 0x8000_0000 != 0;
+                cpsr.z = v == 0;
+            }
+            cost::MUL
+        }
+        Insn::Movw { rd, imm16, .. } => {
+            regs.set(mode, rd, imm16 as u32);
+            0
+        }
+        Insn::Movt { rd, imm16, .. } => {
+            let lo = regs.get(mode, rd) & 0xffff;
+            regs.set(mode, rd, ((imm16 as u32) << 16) | lo);
+            0
+        }
+        Insn::Mrs { rd, .. } => {
+            regs.set(mode, rd, cpsr.encode());
+            0
+        }
+        _ => unreachable!("not a straight-line instruction: {insn:?}"),
+    }
 }
 
 #[cfg(test)]
@@ -952,6 +1080,224 @@ mod tests {
         assert!(matches!(e_on, ExitReason::DataAbort(_)), "{e_on:?}");
         assert_eq!(e_on, e_off);
         assert!(m_on == m_off, "architectural state diverged");
+    }
+
+    /// Runs `code` under the three stepping configurations — superblocks,
+    /// accelerator-only, baseline — with `setup` applied to each fresh
+    /// machine, asserting all three exits and final architectural states
+    /// are bit-for-bit identical. Returns the superblock machine.
+    fn three_way(
+        code: &[Word],
+        perms: PagePerms,
+        steps: u64,
+        setup: impl Fn(&mut Machine),
+    ) -> (Machine, ExitReason) {
+        let run = |accel: bool, superblocks: bool| {
+            let mut m = guest_machine_with_perms(code, perms);
+            m.set_fetch_accel(accel);
+            m.set_superblocks(superblocks);
+            setup(&mut m);
+            let exit = m.run_user(steps).unwrap();
+            (m, exit)
+        };
+        let (m_sb, e_sb) = run(true, true);
+        let (m_on, e_on) = run(true, false);
+        let (m_off, e_off) = run(false, false);
+        assert_eq!(e_sb, e_on, "superblock exit diverged from accel-only");
+        assert_eq!(e_on, e_off, "accel-only exit diverged from baseline");
+        assert_eq!(m_sb.cycles, m_off.cycles, "superblock cycles diverged");
+        assert_eq!(m_sb.tlb.hits, m_off.tlb.hits);
+        assert_eq!(m_sb.mem.reads, m_off.mem.reads);
+        assert!(m_sb == m_off, "superblock architectural state diverged");
+        assert!(m_on == m_off, "accel-only architectural state diverged");
+        (m_sb, e_sb)
+    }
+
+    /// A store that overwrites an instruction belonging to the executing
+    /// loop's superblock: the generation bump must kill the block before
+    /// its next dispatch, so the rewritten instruction (not the cached
+    /// trace) executes — identically to per-instruction stepping.
+    #[test]
+    fn superblock_self_modifying_store_into_own_block() {
+        use crate::encode::encode;
+        // Loop body: three ALU instructions (a superblock) whose middle
+        // one is rewritten by the store on the first iteration, then the
+        // store + backward branch. The block spans the slot being
+        // overwritten while the loop (hence the block) is live.
+        let patch = encode(Insn::Dp {
+            cond: Cond::Al,
+            op: crate::insn::DpOp::Add,
+            s: false,
+            rd: Reg::R(2),
+            rn: Reg::R(2),
+            op2: crate::insn::Op2::imm(5),
+        });
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x8000); // Code page VA.
+        a.mov_imm32(Reg::R(0), patch);
+        a.mov_imm(Reg::R(6), 3); // Loop counter.
+        let top = a.label();
+        a.add_imm(Reg::R(3), Reg::R(3), 1);
+        let slot = a.len() as u16; // Word index of the next instruction.
+        a.add_imm(Reg::R(2), Reg::R(2), 1); // Overwritten to `add r2, #5`.
+        a.add_imm(Reg::R(4), Reg::R(4), 1);
+        a.str_imm(Reg::R(0), Reg::R(1), slot * 4);
+        a.subs_imm(Reg::R(6), Reg::R(6), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let (m, exit) = three_way(&a.words(), PagePerms::RWX, 1_000, |_| {});
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+        // Iteration 1 runs the original `add r2, #1`; iterations 2 and 3
+        // run the patched `add r2, #5`.
+        assert_eq!(m.regs.get(Mode::User, Reg::R(2)), 1 + 5 + 5);
+        assert!(
+            m.superblock_stats().invalidations > 0,
+            "the store must have invalidated the block cache"
+        );
+    }
+
+    /// An interrupt deadline landing mid-block must fire at the exact
+    /// same cycle as per-instruction stepping: the wake-hoisting guard
+    /// falls back to per-insn stepping for any block that could straddle
+    /// the deadline. Swept across every deadline in the block's range.
+    #[test]
+    fn superblock_interrupt_deadline_mid_block_is_exact() {
+        let mut a = Assembler::new(0x8000);
+        for _ in 0..16 {
+            a.add_imm(Reg::R(0), Reg::R(0), 1);
+        }
+        a.svc(0);
+        let code = a.words();
+        for deadline in 1..=20u64 {
+            let (m, exit) = three_way(&code, PagePerms::RX, 1_000, |m| {
+                m.irq_at = Some(m.cycles + deadline);
+            });
+            assert!(
+                matches!(exit, ExitReason::Irq | ExitReason::Svc { .. }),
+                "deadline {deadline}: unexpected exit {exit:?}"
+            );
+            if exit == ExitReason::Irq {
+                assert_eq!(m.cpsr.mode, Mode::Irq, "deadline {deadline}");
+            }
+        }
+    }
+
+    /// A straight-line run filling the code page to its very last word:
+    /// the trace must end precisely at the page boundary, and the fetch
+    /// of the next page (mapped non-executable) must abort identically to
+    /// per-instruction stepping.
+    #[test]
+    fn superblock_ends_exactly_at_page_boundary() {
+        let mut a = Assembler::new(0x8000);
+        for _ in 0..1024 {
+            a.add_imm(Reg::R(0), Reg::R(0), 1); // Fills the whole page.
+        }
+        let (m, exit) = three_way(&a.words(), PagePerms::RX, 10_000, |_| {});
+        // The data page at 0x9000 is RW (not executable): walking off the
+        // code page's end prefetch-aborts there.
+        assert_eq!(exit, ExitReason::PrefetchAbort(0x9000));
+        assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 1024);
+        assert!(m.superblock_stats().built > 0, "no block was formed");
+    }
+
+    /// Flag-setting instructions mid-block followed by conditional
+    /// execution: the per-instruction condition evaluation inside the
+    /// block must observe flags written earlier in the same block.
+    #[test]
+    fn superblock_flags_set_mid_block_steer_conditionals() {
+        for r0 in [0u32, 5, 9] {
+            let mut a = Assembler::new(0x8000);
+            // All data-processing: one block containing compare + both
+            // conditional arms, twice over.
+            a.cmp_imm(Reg::R(0), 5);
+            a.emit(Insn::Dp {
+                cond: Cond::Eq,
+                op: crate::insn::DpOp::Add,
+                s: false,
+                rd: Reg::R(1),
+                rn: Reg::R(1),
+                op2: crate::insn::Op2::imm(10),
+            });
+            a.emit(Insn::Dp {
+                cond: Cond::Ne,
+                op: crate::insn::DpOp::Add,
+                s: false,
+                rd: Reg::R(2),
+                rn: Reg::R(2),
+                op2: crate::insn::Op2::imm(20),
+            });
+            a.subs_imm(Reg::R(3), Reg::R(0), 9); // Rewrites the flags...
+            a.emit(Insn::Dp {
+                cond: Cond::Eq, // ...observed by this conditional.
+                op: crate::insn::DpOp::Add,
+                s: false,
+                rd: Reg::R(4),
+                rn: Reg::R(4),
+                op2: crate::insn::Op2::imm(1),
+            });
+            a.svc(0);
+            let (m, exit) = three_way(&a.words(), PagePerms::RX, 1_000, |m| {
+                m.regs.set(Mode::User, Reg::R(0), r0);
+            });
+            assert_eq!(exit, ExitReason::Svc { imm24: 0 }, "r0={r0}");
+            assert_eq!(
+                m.regs.get(Mode::User, Reg::R(1)),
+                if r0 == 5 { 10 } else { 0 }
+            );
+            assert_eq!(
+                m.regs.get(Mode::User, Reg::R(2)),
+                if r0 == 5 { 0 } else { 20 }
+            );
+            assert_eq!(m.regs.get(Mode::User, Reg::R(4)), (r0 == 9) as u32);
+        }
+    }
+
+    /// Steady-state loops dispatch through the chain link: the taken
+    /// back-branch records its successor, so iterations after the first
+    /// few skip the hash probe entirely.
+    #[test]
+    fn superblock_chaining_engages_on_loops() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 0);
+        a.mov_imm32(Reg::R(1), 200);
+        let top = a.label();
+        a.add_imm(Reg::R(0), Reg::R(0), 1);
+        a.eor_reg(Reg::R(2), Reg::R(2), Reg::R(0));
+        a.subs_imm(Reg::R(1), Reg::R(1), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let (m, exit) = three_way(&a.words(), PagePerms::RX, 10_000, |_| {});
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+        let s = m.superblock_stats();
+        assert!(s.built >= 1, "no block built");
+        assert!(s.hits > 100, "loop iterations not served from the cache");
+        assert!(
+            s.chained > 100,
+            "steady-state dispatches must follow the chain link (chained={})",
+            s.chained
+        );
+    }
+
+    /// A step budget expiring mid-block stops at exactly the same
+    /// instruction as per-instruction stepping, for every possible budget.
+    #[test]
+    fn superblock_partial_budget_stops_mid_trace() {
+        let mut a = Assembler::new(0x8000);
+        for _ in 0..10 {
+            a.add_imm(Reg::R(0), Reg::R(0), 1);
+        }
+        let top = a.label();
+        a.b_to(Cond::Al, top);
+        let code = a.words();
+        for budget in 1..=14u64 {
+            let (m, exit) = three_way(&code, PagePerms::RX, budget, |_| {});
+            assert_eq!(exit, ExitReason::StepLimit, "budget {budget}");
+            assert_eq!(
+                m.regs.get(Mode::User, Reg::R(0)),
+                budget.min(10) as u32,
+                "budget {budget} retired the wrong number of instructions"
+            );
+        }
     }
 
     /// The accelerator is cycle-model-neutral on the plain hot path too:

@@ -61,7 +61,7 @@ pub mod tlb;
 pub mod word;
 
 pub use asm::Assembler;
-pub use dcache::FetchAccel;
+pub use dcache::{FetchAccel, SbStats};
 pub use error::{MemFault, MemFaultKind};
 pub use exec::ExitReason;
 pub use exn::ExceptionKind;

@@ -4,7 +4,7 @@
 //! everything visible about a machine (e.g. registers and memory)" (§5.1).
 
 use crate::cp15::Cp15;
-use crate::dcache::FetchAccel;
+use crate::dcache::{FetchAccel, SbStats};
 use crate::exn::ExceptionKind;
 use crate::mem::{AccessAttrs, PhysMem};
 use crate::mode::{Mode, World};
@@ -142,6 +142,22 @@ impl Machine {
     fn invalidate_fetch_accel(&mut self) {
         self.accel.invalidate();
         self.mem.clear_code_watch();
+    }
+
+    /// Enables or disables the superblock engine layered on the fetch
+    /// accelerator (see the *Superblocks* section of [`crate::dcache`]).
+    /// Either toggle drops all cached blocks; simulated behaviour is
+    /// bit-for-bit identical on or off — only host speed changes. Off
+    /// with the accelerator on isolates the PR-1 layers, which is how the
+    /// benchmarks attribute speedups.
+    pub fn set_superblocks(&mut self, on: bool) {
+        self.accel.set_superblocks(on);
+    }
+
+    /// Host-side superblock-engine statistics (blocks built, dispatch
+    /// hits, chained dispatches, whole-cache invalidations).
+    pub fn superblock_stats(&self) -> SbStats {
+        self.accel.sb_stats()
     }
 
     /// The current TrustZone world: monitor mode is always secure;

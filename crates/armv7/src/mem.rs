@@ -179,6 +179,15 @@ impl PhysMem {
         Ok(())
     }
 
+    /// Records `n` word reads in one batch — the superblock runner's
+    /// accounting for the instruction fetches its trace replays, each of
+    /// which the uncached path would have performed as a counted
+    /// [`PhysMem::read`].
+    #[inline]
+    pub(crate) fn note_reads(&mut self, n: u64) {
+        self.reads += n;
+    }
+
     /// Registers the page at `page` (a page base) for write monitoring on
     /// behalf of the fetch accelerator: any subsequent write into it bumps
     /// [`PhysMem::code_gen`].

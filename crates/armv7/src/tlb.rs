@@ -71,6 +71,16 @@ impl Tlb {
         hit
     }
 
+    /// Records `n` cache hits in one batch — the superblock runner's
+    /// accounting for the instruction fetches its trace replays, each of
+    /// which provably still hits (entries leave the TLB only on a full
+    /// flush, and a flush drops every superblock). Equivalent to `n`
+    /// successful [`Tlb::lookup`] calls.
+    #[inline]
+    pub fn note_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
     /// Records a page-table walk (a TLB miss). Counted at the walk site —
     /// not in [`Tlb::insert`] — so that *faulting* walks, which charge
     /// `cost::TLB_WALK` but never produce a translation to insert, are
@@ -159,6 +169,22 @@ mod tests {
         tlb.note_walk();
         assert_eq!(tlb.misses, 1);
         assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn note_hits_matches_repeated_lookups() {
+        // Batched superblock accounting must be indistinguishable from the
+        // per-instruction path issuing the same number of lookups.
+        let mut batched = Tlb::new();
+        let mut stepped = Tlb::new();
+        batched.insert(0x1000, t(0x2000));
+        stepped.insert(0x1000, t(0x2000));
+        batched.note_hits(5);
+        for _ in 0..5 {
+            stepped.lookup(0x1000).unwrap();
+        }
+        assert_eq!(batched.hits, stepped.hits);
+        assert_eq!(batched.misses, stepped.misses);
     }
 
     #[test]

@@ -286,20 +286,23 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Cycle-model preservation, adversarially: for *arbitrary* code
-    /// (including garbage that faults, branches wild, or self-traps),
-    /// running with the fetch accelerator on and off yields bit-identical
-    /// machines — registers, memory contents, access counters, TLB
-    /// hit/miss/flush statistics, the cycle counter — and identical exits.
+    /// Cycle-model preservation, adversarially and three ways: for
+    /// *arbitrary* code (including garbage that faults, branches wild, or
+    /// self-traps), the superblock engine, the accelerator-only
+    /// configuration, and plain per-instruction stepping all yield
+    /// bit-identical machines — registers, memory contents, access
+    /// counters, TLB hit/miss/flush statistics, the cycle counter — and
+    /// identical exits.
     #[test]
     fn prop_fetch_accel_is_architecturally_invisible(
         code in proptest::collection::vec(any::<u32>(), 1..64),
         init in proptest::array::uniform8(any::<u32>()),
         irq_after in 0u64..500,
     ) {
-        let run = |accel: bool| {
+        let run = |accel: bool, superblocks: bool| {
             let mut m = machine_with(&code);
             m.set_fetch_accel(accel);
+            m.set_superblocks(superblocks);
             for (i, v) in init.iter().enumerate() {
                 m.regs.set(Mode::User, Reg::R(i as u8), *v);
             }
@@ -309,21 +312,28 @@ proptest! {
             let exit = m.run_user(2_000).unwrap();
             (m, exit)
         };
-        let (on, exit_on) = run(true);
-        let (off, exit_off) = run(false);
+        let (sb, exit_sb) = run(true, true);
+        let (on, exit_on) = run(true, false);
+        let (off, exit_off) = run(false, false);
+        prop_assert_eq!(exit_sb, exit_on);
         prop_assert_eq!(exit_on, exit_off);
+        prop_assert_eq!(sb.cycles, off.cycles, "superblock cycle model diverged");
         prop_assert_eq!(on.cycles, off.cycles, "cycle model diverged");
+        prop_assert_eq!(sb.tlb.hits, off.tlb.hits, "superblock TLB hit accounting diverged");
         prop_assert_eq!(on.tlb.hits, off.tlb.hits, "TLB hit accounting diverged");
         prop_assert_eq!(on.tlb.misses, off.tlb.misses, "TLB miss accounting diverged");
         prop_assert_eq!(on.tlb.flushes, off.tlb.flushes);
+        prop_assert_eq!(sb.mem.reads, off.mem.reads, "superblock read counter diverged");
         prop_assert_eq!(on.mem.reads, off.mem.reads, "read counter diverged");
         prop_assert_eq!(on.mem.writes, off.mem.writes, "write counter diverged");
+        prop_assert!(sb == off, "superblock architectural state diverged");
         prop_assert!(on == off, "architectural state diverged");
     }
 
-    /// Same invisibility property on a structured compute kernel with
-    /// loops, memory traffic, and interrupt preemption/resume — the case
-    /// where the accelerator's caches are actually hot.
+    /// Same three-way invisibility property on a structured compute
+    /// kernel with loops, memory traffic, and interrupt preemption/resume
+    /// — the case where the accelerator's caches (and the superblock
+    /// cache) are actually hot.
     #[test]
     fn prop_fetch_accel_invisible_under_preemption(
         seed_vals in proptest::array::uniform4(any::<u32>()),
@@ -344,9 +354,12 @@ proptest! {
         a.svc(0);
         let code = a.words();
 
-        let run = |accel: bool| -> Result<Machine, proptest::test_runner::TestCaseError> {
+        let run = |accel: bool,
+                   superblocks: bool|
+         -> Result<Machine, proptest::test_runner::TestCaseError> {
             let mut m = machine_with(&code);
             m.set_fetch_accel(accel);
+            m.set_superblocks(superblocks);
             for (i, v) in seed_vals.iter().enumerate() {
                 m.regs.set(Mode::User, Reg::R(i as u8), *v);
             }
@@ -363,12 +376,21 @@ proptest! {
             }
             Ok(m)
         };
-        let on = run(true)?;
-        let off = run(false)?;
+        let sb = run(true, true)?;
+        let on = run(true, false)?;
+        let off = run(false, false)?;
         prop_assert!(on.accel.served() > 100, "accelerator never engaged");
+        prop_assert!(
+            sb.superblock_stats().hits > 0,
+            "superblock engine never engaged"
+        );
+        prop_assert_eq!(on.superblock_stats().hits, 0, "engine ran while disabled");
+        prop_assert_eq!(sb.cycles, off.cycles);
         prop_assert_eq!(on.cycles, off.cycles);
+        prop_assert_eq!(sb.tlb.hits, off.tlb.hits);
         prop_assert_eq!(on.tlb.hits, off.tlb.hits);
         prop_assert_eq!(on.tlb.misses, off.tlb.misses);
+        prop_assert!(sb == off, "superblock architectural state diverged");
         prop_assert!(on == off, "architectural state diverged");
     }
 }

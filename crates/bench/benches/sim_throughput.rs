@@ -1,10 +1,13 @@
-//! Host wall-time throughput of the simulator hot path, fetch accelerator
-//! on vs off (see `komodo_armv7::dcache` and `komodo_bench::throughput`).
+//! Host wall-time throughput of the simulator hot path across the three
+//! stepping configurations — superblocks, fetch accelerator only, baseline
+//! (see `komodo_armv7::dcache` and `komodo_bench::throughput`).
 //!
 //! Run with `cargo bench -p komodo-bench --bench sim_throughput`; set
 //! `KOMODO_BENCH_QUICK=1` for the CI smoke configuration. Besides the
 //! per-workload timings, a summary table of host instructions/second and
-//! the accelerated-over-baseline speedup is printed at the end.
+//! the speedups over baseline and over the accelerator-only configuration
+//! is printed at the end; the summary pass asserts all three final
+//! machines are architecturally identical.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use komodo_bench::throughput::{guest, measure_all, workloads};
@@ -17,12 +20,16 @@ fn sim_throughput(c: &mut Criterion) {
     let steps: u64 = if quick() { 5_000 } else { 50_000 };
     let mut g = c.benchmark_group("sim_throughput");
     for (name, code) in workloads() {
-        for accel in [true, false] {
-            let label = if accel { "accel" } else { "base" };
+        for (label, accel, superblocks) in [
+            ("superblock", true, true),
+            ("accel", true, false),
+            ("base", false, false),
+        ] {
             g.bench_with_input(BenchmarkId::new(name, label), &code, |b, code| {
                 b.iter(|| {
                     let mut m = guest(code);
                     m.set_fetch_accel(accel);
+                    m.set_superblocks(superblocks);
                     m.run_user(steps).unwrap()
                 })
             });
@@ -32,18 +39,27 @@ fn sim_throughput(c: &mut Criterion) {
 
     println!();
     println!(
-        "{:<16} {:>14} {:>14} {:>9}",
-        "workload", "accel insn/s", "base insn/s", "speedup"
+        "{:<16} {:>14} {:>14} {:>14} {:>8} {:>9}",
+        "workload", "sb insn/s", "accel insn/s", "base insn/s", "sb/base", "sb/accel"
     );
-    for t in measure_all(steps) {
+    let results = measure_all(steps);
+    for t in &results {
         println!(
-            "{:<16} {:>14.0} {:>14.0} {:>8.2}x",
+            "{:<16} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>8.2}x",
             t.name,
+            t.sb_ips,
             t.accel_ips,
             t.base_ips,
-            t.speedup()
+            t.sb_speedup(),
+            t.sb_over_accel()
         );
     }
+    // measure_all asserted superblock == accel == baseline final machines
+    // for every workload; this line lets CI verify the check actually ran.
+    println!(
+        "machine-equality check: {} workloads x 3 configurations verified identical",
+        results.len()
+    );
 }
 
 criterion_group!(benches, sim_throughput);

@@ -120,8 +120,9 @@ fn main() {
     println!();
 
     // (c) Simulator host throughput, tracked across the repo's evolution.
-    // The fetch accelerator is bit-for-bit neutral on the simulated cycle
-    // model (measure() asserts final-state equality), so only host
+    // Both the fetch accelerator and the superblock engine are bit-for-bit
+    // neutral on the simulated cycle model (measure() asserts final-state
+    // equality across all three configurations), so only host
     // instructions/second move here.
     let steps: u64 = if std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1") {
         5_000
@@ -130,19 +131,28 @@ fn main() {
     };
     println!("Simulator host throughput ({steps} simulated instructions/workload):");
     println!(
-        "  {:<16} {:>14} {:>14} {:>9}",
-        "workload", "accel insn/s", "base insn/s", "speedup"
+        "  {:<16} {:>14} {:>14} {:>14} {:>8} {:>9}",
+        "workload", "sb insn/s", "accel insn/s", "base insn/s", "sb/base", "sb/accel"
     );
     let results = throughput::measure_all(steps);
     for t in &results {
         println!(
-            "  {:<16} {:>14.0} {:>14.0} {:>8.2}x",
+            "  {:<16} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>8.2}x",
             t.name,
+            t.sb_ips,
             t.accel_ips,
             t.base_ips,
-            t.speedup()
+            t.sb_speedup(),
+            t.sb_over_accel()
+        );
+        println!(
+            "  {:<16} blocks: {} built, {} hits ({} chained), {} invalidations",
+            "", t.blocks.built, t.blocks.hits, t.blocks.chained, t.blocks.invalidations
         );
     }
+    println!();
+    println!("EXPERIMENTS.md table (paste into \"Simulator throughput\"):");
+    print!("{}", throughput::to_markdown(&results));
     let json_path = root.join("BENCH_sim_throughput.json");
     match std::fs::write(&json_path, throughput::to_json(&results)) {
         Ok(()) => println!("  wrote {}", json_path.display()),

@@ -1,20 +1,26 @@
 //! Host-side simulator throughput: how many *simulated* instructions the
-//! machine model retires per *host* second, with and without the fetch
-//! accelerator (`komodo_armv7::dcache`).
+//! machine model retires per *host* second, across the three stepping
+//! configurations (`komodo_armv7::dcache`):
+//!
+//! - **superblocks** — predecoded basic-block traces with batched
+//!   accounting and block chaining, on top of the fetch accelerator;
+//! - **accel** — the per-instruction fetch accelerator only;
+//! - **base** — uncached per-instruction decode.
 //!
 //! This measures wall-clock speed of the simulator itself, not simulated
-//! cycles — the accelerator is bit-for-bit neutral on the cycle model, so
-//! the only observable difference is here. Each measurement runs the same
-//! workload twice (accelerator on, then off) from identical initial
-//! machines and asserts the final architectural states are equal, making
-//! every benchmark run double as a preservation check.
+//! cycles — both accelerators are bit-for-bit neutral on the cycle model,
+//! so the only observable difference is here. Each measurement runs the
+//! same workload in all three configurations from identical initial
+//! machines and asserts the final architectural states (registers, flags,
+//! cycle counter, TLB and memory statistics) are equal, making every
+//! benchmark run double as a preservation check.
 
 use komodo_armv7::mem::AccessAttrs;
 use komodo_armv7::mode::World;
 use komodo_armv7::psr::Psr;
 use komodo_armv7::ptw::{l1_coarse_desc, l2_page_desc, PagePerms};
 use komodo_armv7::regs::Reg;
-use komodo_armv7::{Assembler, Cond, ExitReason, Machine, Word};
+use komodo_armv7::{Assembler, Cond, ExitReason, Machine, SbStats, Word};
 use std::time::Instant;
 
 const CODE_VA: u32 = 0x8000;
@@ -53,7 +59,8 @@ pub fn guest(code: &[Word]) -> Machine {
 }
 
 /// Straight-line workload: a near-page-full run of data-processing
-/// instructions, looped — long sequential fetch runs on one code page.
+/// instructions, looped — long sequential fetch runs on one code page,
+/// forming one near-page-sized superblock.
 pub fn straight_line() -> Vec<Word> {
     let mut a = Assembler::new(CODE_VA);
     let top = a.label();
@@ -65,7 +72,8 @@ pub fn straight_line() -> Vec<Word> {
 }
 
 /// Tight-loop workload: a four-instruction hot loop — the last-page and
-/// last-translation caches hit on every iteration.
+/// last-translation caches hit on every iteration, and the superblock
+/// engine dispatches through its taken-branch chain link.
 pub fn tight_loop() -> Vec<Word> {
     let mut a = Assembler::new(CODE_VA);
     a.mov_imm(Reg::R(0), 0);
@@ -77,7 +85,8 @@ pub fn tight_loop() -> Vec<Word> {
 }
 
 /// Memory-mixing workload: loads and stores interleaved with ALU work,
-/// exercising the data-side TLB path alongside accelerated fetches.
+/// exercising the data-side TLB path alongside accelerated fetches. The
+/// loads/stores end every trace early, so superblocks help least here.
 pub fn memory_loop() -> Vec<Word> {
     let mut a = Assembler::new(CODE_VA);
     a.mov_imm32(Reg::R(8), DATA_VA);
@@ -100,29 +109,44 @@ pub fn workloads() -> Vec<(&'static str, Vec<Word>)> {
     ]
 }
 
-/// One workload's measurement.
+/// One workload's measurement across the three configurations.
 #[derive(Clone, Debug)]
 pub struct Throughput {
     /// Workload name.
     pub name: &'static str,
     /// Simulated instructions retired per run.
     pub insns: u64,
-    /// Host instructions/second with the fetch accelerator.
+    /// Host instructions/second with superblocks + fetch accelerator.
+    pub sb_ips: f64,
+    /// Host instructions/second with the fetch accelerator only.
     pub accel_ips: f64,
-    /// Host instructions/second without it.
+    /// Host instructions/second with neither.
     pub base_ips: f64,
+    /// Superblock cache statistics from the superblock run.
+    pub blocks: SbStats,
 }
 
 impl Throughput {
-    /// Accelerated over baseline host throughput.
+    /// Accelerator-only over baseline host throughput (the PR 1 quantity).
     pub fn speedup(&self) -> f64 {
         self.accel_ips / self.base_ips
     }
+
+    /// Superblocks over baseline host throughput.
+    pub fn sb_speedup(&self) -> f64 {
+        self.sb_ips / self.base_ips
+    }
+
+    /// Superblocks over accelerator-only host throughput.
+    pub fn sb_over_accel(&self) -> f64 {
+        self.sb_ips / self.accel_ips
+    }
 }
 
-fn timed_run(code: &[Word], steps: u64, accel: bool) -> (f64, Machine) {
+fn timed_run(code: &[Word], steps: u64, accel: bool, superblocks: bool) -> (f64, Machine) {
     let mut m = guest(code);
     m.set_fetch_accel(accel);
+    m.set_superblocks(superblocks);
     let t0 = Instant::now();
     let exit = m.run_user(steps).expect("workload violated model contract");
     let dt = t0.elapsed().as_secs_f64();
@@ -130,33 +154,48 @@ fn timed_run(code: &[Word], steps: u64, accel: bool) -> (f64, Machine) {
     (dt, m)
 }
 
-/// Best-of-N timing with the two configurations interleaved: each rep
-/// times an accelerated run immediately followed by a baseline run, so
-/// host-side noise (frequency scaling, scheduling, cache warmup) hits
-/// both sides alike; the fastest rep per side is kept. Every repeat
+/// Best-of-N timing with the three configurations interleaved: each rep
+/// times a superblock run, then an accelerator-only run, then a baseline
+/// run, so host-side noise (frequency scaling, scheduling, cache warmup)
+/// hits all sides alike; the fastest rep per side is kept. Every repeat
 /// produces the same final machine — the simulator is deterministic — so
 /// any of them serves for the preservation check.
-fn best_of(reps: u32, code: &[Word], steps: u64) -> ((f64, Machine), (f64, Machine)) {
-    let mut best_on = timed_run(code, steps, true);
-    let mut best_off = timed_run(code, steps, false);
+#[allow(clippy::type_complexity)]
+fn best_of(
+    reps: u32,
+    code: &[Word],
+    steps: u64,
+) -> ((f64, Machine), (f64, Machine), (f64, Machine)) {
+    let mut best_sb = timed_run(code, steps, true, true);
+    let mut best_on = timed_run(code, steps, true, false);
+    let mut best_off = timed_run(code, steps, false, false);
     for _ in 1..reps {
-        let on = timed_run(code, steps, true);
+        let sb = timed_run(code, steps, true, true);
+        if sb.0 < best_sb.0 {
+            best_sb = sb;
+        }
+        let on = timed_run(code, steps, true, false);
         if on.0 < best_on.0 {
             best_on = on;
         }
-        let off = timed_run(code, steps, false);
+        let off = timed_run(code, steps, false, false);
         if off.0 < best_off.0 {
             best_off = off;
         }
     }
-    (best_on, best_off)
+    (best_sb, best_on, best_off)
 }
 
-/// Measures one workload for `steps` simulated instructions, accelerator
-/// on and off, asserting the two final machines are architecturally
-/// identical (the preservation guarantee).
+/// Measures one workload for `steps` simulated instructions in all three
+/// configurations, asserting the three final machines are architecturally
+/// identical (the preservation guarantee: same registers, flags, cycle
+/// counter, TLB statistics and memory access counters).
 pub fn measure(name: &'static str, code: &[Word], steps: u64) -> Throughput {
-    let ((dt_on, m_on), (dt_off, m_off)) = best_of(5, code, steps);
+    let ((dt_sb, m_sb), (dt_on, m_on), (dt_off, m_off)) = best_of(5, code, steps);
+    assert!(
+        m_sb == m_off,
+        "{name}: superblock engine changed architectural state"
+    );
     assert!(
         m_on == m_off,
         "{name}: accelerator changed architectural state"
@@ -164,8 +203,10 @@ pub fn measure(name: &'static str, code: &[Word], steps: u64) -> Throughput {
     Throughput {
         name,
         insns: steps,
+        sb_ips: steps as f64 / dt_sb.max(1e-9),
         accel_ips: steps as f64 / dt_on.max(1e-9),
         base_ips: steps as f64 / dt_off.max(1e-9),
+        blocks: m_sb.superblock_stats(),
     }
 }
 
@@ -186,17 +227,51 @@ pub fn to_json(results: &[Throughput]) -> String {
     s.push_str("  \"workloads\": [\n");
     for (i, t) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"insns\": {}, \"accel_ips\": {:.0}, \
-             \"base_ips\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"insns\": {}, \"sb_ips\": {:.0}, \
+             \"accel_ips\": {:.0}, \"base_ips\": {:.0}, \
+             \"sb_speedup\": {:.2}, \"sb_over_accel\": {:.2}, \
+             \"accel_speedup\": {:.2}, \"blocks_built\": {}, \
+             \"block_hits\": {}, \"block_chained\": {}, \
+             \"block_invalidations\": {}}}{}\n",
             t.name,
             t.insns,
+            t.sb_ips,
             t.accel_ips,
             t.base_ips,
+            t.sb_speedup(),
+            t.sb_over_accel(),
             t.speedup(),
+            t.blocks.built,
+            t.blocks.hits,
+            t.blocks.chained,
+            t.blocks.invalidations,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders measurements as the EXPERIMENTS.md markdown table, so the doc
+/// and `BENCH_sim_throughput.json` are regenerated from the same run and
+/// cannot drift.
+pub fn to_markdown(results: &[Throughput]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "| workload | superblock insn/s | accel insn/s | base insn/s | sb/base | sb/accel |\n",
+    );
+    s.push_str("|---|---:|---:|---:|---:|---:|\n");
+    for t in results {
+        s.push_str(&format!(
+            "| {} | ~{}M | ~{}M | ~{}M | ~{:.1}× | ~{:.2}× |\n",
+            t.name,
+            (t.sb_ips / 1e6).round() as u64,
+            (t.accel_ips / 1e6).round() as u64,
+            (t.base_ips / 1e6).round() as u64,
+            t.sb_speedup(),
+            t.sb_over_accel(),
+        ));
+    }
     s
 }
 
@@ -209,7 +284,11 @@ mod tests {
         for (name, code) in workloads() {
             let t = measure(name, &code, 2_000);
             assert_eq!(t.insns, 2_000);
-            assert!(t.accel_ips > 0.0 && t.base_ips > 0.0);
+            assert!(t.sb_ips > 0.0 && t.accel_ips > 0.0 && t.base_ips > 0.0);
+            assert!(
+                t.blocks.built > 0 && t.blocks.hits > 0,
+                "{name}: superblock engine never engaged"
+            );
         }
     }
 
@@ -218,12 +297,24 @@ mod tests {
         let t = Throughput {
             name: "tight_loop",
             insns: 1000,
+            sb_ips: 3.0e6,
             accel_ips: 2.0e6,
             base_ips: 1.0e6,
+            blocks: SbStats {
+                built: 2,
+                hits: 40,
+                chained: 38,
+                invalidations: 0,
+            },
         };
-        let j = to_json(&[t]);
+        let j = to_json(std::slice::from_ref(&t));
         assert!(j.contains("\"sim_throughput\""));
-        assert!(j.contains("\"speedup\": 2.00"));
+        assert!(j.contains("\"sb_speedup\": 3.00"));
+        assert!(j.contains("\"sb_over_accel\": 1.50"));
+        assert!(j.contains("\"accel_speedup\": 2.00"));
+        assert!(j.contains("\"blocks_built\": 2"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let md = to_markdown(&[t]);
+        assert!(md.contains("| tight_loop | ~3M | ~2M | ~1M | ~3.0× | ~1.50× |"));
     }
 }

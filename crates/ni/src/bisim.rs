@@ -229,25 +229,27 @@ mod tests {
 
     #[test]
     fn confidentiality_holds_across_seeds() {
-        for seed in 0..6 {
+        crate::par::run_indexed(6, |i| {
+            let seed = i as u64;
             let s = scenario(seed);
             let t = twin(&s, seed ^ 0xffff);
             let actions = trace(&s, seed.wrapping_add(100), 40, true);
             confidentiality(&s, &t, &actions, seed).unwrap_or_else(|e| {
                 panic!("confidentiality violated (seed {seed}): {e}");
             });
-        }
+        });
     }
 
     #[test]
     fn integrity_frame_holds_across_seeds() {
-        for seed in 0..6 {
+        crate::par::run_indexed(6, |i| {
+            let seed = i as u64;
             let s = scenario(seed);
             let actions = trace(&s, seed.wrapping_add(200), 60, false);
             integrity_frame(&s, &actions, seed).unwrap_or_else(|e| {
                 panic!("integrity violated (seed {seed}): {e}");
             });
-        }
+        });
     }
 
     /// Negative control: a leaky victim (exit value = secret word) must

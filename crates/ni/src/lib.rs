@@ -22,6 +22,9 @@
 //! - [`concrete`]: the same game at the machine level — two booted
 //!   platforms differing only in enclave secrets, compared on everything
 //!   the OS can observe (registers, insecure RAM, results).
+//! - [`par`]: a deterministic parallel episode runner — the randomized
+//!   suites derive every episode from its index, so they fan out across
+//!   scoped threads with identical episode sets and failure reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod bisim;
 pub mod concrete;
 pub mod equiv;
 pub mod gen;
+pub mod par;
 pub mod seeded;
 
 pub use equiv::{obs_equiv_adv, obs_equiv_enc, weak_eq_page, AdvState};

@@ -1,0 +1,113 @@
+//! Deterministic parallel episode runner for the randomized suites.
+//!
+//! The refinement and noninterference suites run many independent
+//! episodes, each fully determined by its index (per-episode seeds are
+//! derived from the index, never from shared RNG state). That makes them
+//! embarrassingly parallel: this module fans the episode indices out
+//! across `std::thread::scope` workers pulling from an atomic work queue,
+//! with no dependency beyond the standard library.
+//!
+//! Failure reporting is deterministic too: every episode runs to
+//! completion regardless of other episodes' failures (panics are caught
+//! per episode), failures are collected with their indices, and the
+//! lowest-indexed failure is re-raised — so a failing run reports the
+//! same episode with the same message as the sequential loop it replaces.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Renders a caught panic payload the way `panic!` would display it.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f(0) .. f(count - 1)` across scoped worker threads.
+///
+/// Every episode executes exactly once, on some worker, with episodes
+/// handed out in index order from an atomic counter. A panicking episode
+/// does not abort the run; after all episodes finish, the panic of the
+/// *lowest-indexed* failing episode is re-raised (prefixed with the
+/// episode index and the total failure count), matching what the
+/// equivalent sequential `for` loop would have reported first.
+///
+/// `f` must derive all randomness from its index argument; shared mutable
+/// state would reintroduce scheduling-dependent results.
+pub fn run_indexed<F>(count: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if count == 0 {
+        return;
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(count);
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    failures.lock().unwrap().push((i, panic_message(p)));
+                }
+            });
+        }
+    });
+    let mut fails = failures.into_inner().unwrap();
+    if let Some((i, msg)) = {
+        fails.sort_by_key(|&(i, _)| i);
+        fails.first().cloned()
+    } {
+        panic!(
+            "episode {i} failed ({} of {count} episodes failed): {msg}",
+            fails.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        run_indexed(100, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_episodes_is_a_no_op() {
+        run_indexed(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn reports_the_lowest_failing_episode() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(50, |i| {
+                assert!(i % 7 != 0, "episode body rejected index {i}");
+            });
+        }));
+        let msg = panic_message(r.unwrap_err());
+        assert!(
+            msg.starts_with("episode 0 failed (8 of 50 episodes failed)"),
+            "wrong report: {msg}"
+        );
+        assert!(msg.contains("episode body rejected index 0"), "{msg}");
+    }
+}

@@ -91,7 +91,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
@@ -113,7 +113,7 @@ pub mod strategy {
             Map { s: self, f }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by [`prop_oneof!`](crate::prop_oneof)).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -156,7 +156,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed strategies ([`prop_oneof!`]).
+    /// Uniform choice between boxed strategies ([`prop_oneof!`](crate::prop_oneof)).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -226,7 +226,7 @@ pub mod strategy {
     tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
 }
 
-/// [`any`] and the [`Arbitrary`] trait.
+/// [`any`](arbitrary::any) and the [`Arbitrary`](arbitrary::Arbitrary) trait.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -277,7 +277,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,

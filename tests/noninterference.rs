@@ -7,34 +7,55 @@
 use komodo_ni::bisim::{confidentiality, integrity_frame};
 use komodo_ni::concrete::adversary_view;
 use komodo_ni::gen::{scenario, trace, twin};
-use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Pre-generates the exact `(seed, tseed)` episode set the sequential
+/// `proptest!` form of `name` would draw — same per-test RNG, same
+/// strategy, same order — so the parallel runner below tests the
+/// identical episodes, just across worker threads.
+fn episodes(name: &str, cases: u32) -> Vec<(u64, u64)> {
+    let mut rng = TestRng::for_test(name);
+    (0..cases)
+        .map(|_| {
+            let seed = (0u64..10_000).generate(&mut rng);
+            let tseed = (0u64..10_000).generate(&mut rng);
+            (seed, tseed)
+        })
+        .collect()
+}
 
-    /// Theorem 6.1, confidentiality: for randomized scenarios, secret
-    /// twins, and adversary traces (including runs of the victim), all
-    /// declassified outputs agree and states remain ≈adv-related.
-    #[test]
-    fn prop_confidentiality(seed in 0u64..10_000, tseed in 0u64..10_000) {
+/// Theorem 6.1, confidentiality: for randomized scenarios, secret twins,
+/// and adversary traces (including runs of the victim), all declassified
+/// outputs agree and states remain ≈adv-related. Episodes are generated
+/// sequentially and executed in parallel ([`komodo_ni::par`]).
+#[test]
+fn prop_confidentiality() {
+    let cases = episodes("prop_confidentiality", 24);
+    komodo_ni::par::run_indexed(cases.len(), |i| {
+        let (seed, tseed) = cases[i];
         let s = scenario(seed);
         let t = twin(&s, seed ^ 0xdead_beef);
         let actions = trace(&s, tseed, 30, true);
         if let Err(e) = confidentiality(&s, &t, &actions, tseed) {
-            prop_assert!(false, "confidentiality violated (seed {seed}/{tseed}): {e}");
+            panic!("confidentiality violated (seed {seed}/{tseed}): {e}");
         }
-    }
+    });
+}
 
-    /// Theorem 6.1, integrity (frame form): adversary traces that do not
-    /// run/extend/reclaim the victim leave it bit-for-bit unchanged.
-    #[test]
-    fn prop_integrity(seed in 0u64..10_000, tseed in 0u64..10_000) {
+/// Theorem 6.1, integrity (frame form): adversary traces that do not
+/// run/extend/reclaim the victim leave it bit-for-bit unchanged.
+#[test]
+fn prop_integrity() {
+    let cases = episodes("prop_integrity", 24);
+    komodo_ni::par::run_indexed(cases.len(), |i| {
+        let (seed, tseed) = cases[i];
         let s = scenario(seed);
         let actions = trace(&s, tseed, 40, false);
         if let Err(e) = integrity_frame(&s, &actions, tseed) {
-            prop_assert!(false, "integrity violated (seed {seed}/{tseed}): {e}");
+            panic!("integrity violated (seed {seed}/{tseed}): {e}");
         }
-    }
+    });
 }
 
 /// Machine-level confidentiality under an *attacking* OS: two platforms
