@@ -37,14 +37,18 @@
 //!
 //! On top of the decode cache sits a **superblock engine**: straight-line
 //! traces of predecoded `(insn, cond)` entries, formed at a hot fetch and
-//! ending at the first branch, potential exception source, PC-writing
-//! instruction, or page boundary. A trace is validated **once** at entry
-//! (`(VA page, world, TTBR0, generation, alignment)` — the same facts the
-//! per-instruction hot path re-checks every step) and then executed in a
-//! tight loop by `Machine::run_user`, with the TLB-hit / memory-read /
-//! cycle accounting batched per block so the architecturally visible
-//! counters stay bit-for-bit identical to per-instruction stepping (see
-//! `Block` for the admission rules that make this sound). Blocks chain:
+//! ending at the first branch, PC-writing instruction, unhandled
+//! exception source, or page boundary. Single-register loads and stores
+//! are **memory-inclusive**: they ride inside the trace, executed through
+//! the software data-TLB ([`crate::dtlb::DataTlb`]) hit path, with any
+//! hazard stopping the block at an exactly-retired prefix. A trace is
+//! validated **once** at entry (`(VA page, world, TTBR0, generation,
+//! alignment)` — the same facts the per-instruction hot path re-checks
+//! every step) and then executed in a tight loop by `Machine::run_user`,
+//! with the TLB-hit / memory-read / cycle accounting batched per block so
+//! the architecturally visible counters stay bit-for-bit identical to
+//! per-instruction stepping (see `Block` for the admission rules that
+//! make this sound). Blocks chain:
 //! each records the block id its fall-through and taken-branch exits last
 //! dispatched to, so steady-state loops skip even the hash probe.
 //! Invalidation rides the existing generation mechanism — a bumped
@@ -58,7 +62,6 @@ use crate::insn::{Cond, Insn};
 use crate::machine::cost;
 use crate::mem::{AccessAttrs, PhysMem};
 use crate::mode::World;
-use crate::ptw::Translation;
 use crate::word::{page_base, page_offset, word_aligned, Addr, Word, WORD_BYTES};
 
 /// One physical code page, eagerly decoded.
@@ -124,19 +127,6 @@ impl DecodeCache {
     }
 }
 
-/// The last successful data-side translation, with everything its
-/// validity depends on. Unlike the fetch entry this caches the raw
-/// [`Translation`], so the caller re-runs the permission check per access
-/// — a page readable but not writable still faults on stores exactly as
-/// the TLB path would.
-#[derive(Clone, Copy, Debug)]
-struct DataEntry {
-    va_page: Addr,
-    world: World,
-    ttbr0: Addr,
-    t: Translation,
-}
-
 /// A fused fast-path entry: the last fetch's translation *and* decoded
 /// page, validated together so the common straight-line/loop case costs a
 /// single compare chain per step. Only formed after the page's secure
@@ -183,15 +173,20 @@ pub(crate) enum ExitKind {
 /// A superblock: a predecoded straight-line trace.
 ///
 /// Admission rules (checked at build time, from the already-validated
-/// decode cache): the body holds only instructions that can neither fault
-/// nor touch the PC — data-processing, multiply, `MOVW`/`MOVT`, `MRS`
-/// (decode maps any PC-destination form to [`Insn::Unknown`], which is
-/// never admitted). Loads/stores, `LDM`/`STM`, `BX`, `SVC` and every
+/// decode cache): the body holds instructions that cannot touch the PC —
+/// data-processing, multiply, `MOVW`/`MOVT`, `MRS`, and single-register
+/// loads/stores (decode maps any PC-involving form to [`Insn::Unknown`],
+/// which is never admitted). `LDM`/`STM`, `BX`, `SVC` and every
 /// privileged/undefined instruction terminate the trace *before*
 /// themselves; a direct `B`/`BL` terminates it *inclusively* (its target
-/// is static). A block therefore runs to its end unconditionally: no body
-/// instruction can raise an exception, redirect control, or write memory
-/// (so the generation validated at entry cannot move under the block).
+/// is static). ALU-class body instructions can neither fault nor write
+/// memory; loads/stores *can*, so the runner executes them only through
+/// the data-TLB hit path and otherwise stops the block at the retired
+/// prefix, falling back to exact per-instruction stepping (see
+/// `Machine::step_superblock`). A store that bumps the code generation
+/// retires and then stops the block the same way, so the generation
+/// validated at entry never moves under instructions executed from the
+/// trace.
 #[derive(Clone, Debug)]
 pub(crate) struct Block {
     /// Entry virtual address and the context it was built under; all
@@ -232,8 +227,36 @@ pub struct SbStats {
     pub hits: u64,
     /// Dispatches resolved through a successor link, skipping the probe.
     pub chained: u64,
-    /// Whole-cache invalidations (generation bumps, flushes, toggles).
-    pub invalidations: u64,
+    /// Whole-cache invalidations caused by a code-generation bump (a store
+    /// — guest, monitor, or in-block — landed in a watched code page).
+    pub inval_code_gen: u64,
+    /// Whole-cache invalidations driven by the TLB machinery (`tlb_flush`,
+    /// `load_ttbr0`, page-table stores) or an accelerator toggle.
+    pub inval_tlb: u64,
+    /// Data-TLB lookups served (from [`crate::dtlb::DataTlb`], merged in
+    /// by [`crate::Machine::superblock_stats`]).
+    pub dtlb_hits: u64,
+    /// Data-TLB lookups that missed or refused the fast path.
+    pub dtlb_misses: u64,
+    /// Data-TLB whole-cache invalidations across all causes.
+    pub dtlb_invalidations: u64,
+}
+
+impl SbStats {
+    /// Total superblock-cache invalidations across both causes.
+    pub fn invalidations(&self) -> u64 {
+        self.inval_code_gen + self.inval_tlb
+    }
+}
+
+/// Why the superblock cache is being dropped (statistics attribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SbInvalCause {
+    /// The code generation moved: some store hit a watched code page.
+    CodeGen,
+    /// TLB/TTBR-driven (`tlb_flush`, `load_ttbr0`, page-table store) or an
+    /// accelerator toggle.
+    Tlb,
 }
 
 /// The block cache (see the module docs' *Superblocks* section).
@@ -260,7 +283,6 @@ pub struct FetchAccel {
     enabled: bool,
     dcache: DecodeCache,
     fetch_tc: Option<FetchEntry>,
-    data_tc: Option<DataEntry>,
     hot: Option<HotFetch>,
     /// Whether the superblock engine runs on top of the decode cache.
     sb_enabled: bool,
@@ -278,7 +300,6 @@ impl FetchAccel {
             enabled: true,
             dcache: DecodeCache::default(),
             fetch_tc: None,
-            data_tc: None,
             hot: None,
             sb_enabled: true,
             sb: SbCache::default(),
@@ -298,14 +319,15 @@ impl FetchAccel {
         self.enabled = on;
     }
 
-    /// Drops every cached page, the translation entries, and all
-    /// superblocks.
+    /// Drops every cached page, the translation entry, and all
+    /// superblocks (a TLB/TTBR-driven or toggle invalidation; generation
+    /// bumps are detected lazily in `FetchAccel::sb_dispatch` and
+    /// `FetchAccel::fetch`).
     pub fn invalidate(&mut self) {
         self.dcache.clear();
         self.fetch_tc = None;
-        self.data_tc = None;
         self.hot = None;
-        self.sb_invalidate();
+        self.sb_invalidate(SbInvalCause::Tlb);
     }
 
     /// Whether the superblock engine is active (requires the accelerator
@@ -320,7 +342,7 @@ impl FetchAccel {
     /// tests and benchmarks to isolate the engine's contribution.
     pub fn set_superblocks(&mut self, on: bool) {
         self.sb_enabled = on;
-        self.sb_invalidate();
+        self.sb_invalidate(SbInvalCause::Tlb);
     }
 
     /// Superblock-engine statistics.
@@ -333,10 +355,14 @@ impl FetchAccel {
         self.sb.blocks.len()
     }
 
-    /// Drops every superblock and the chain source.
-    fn sb_invalidate(&mut self) {
+    /// Drops every superblock and the chain source, attributing the drop
+    /// to `cause` (counted only when something was actually cached).
+    fn sb_invalidate(&mut self, cause: SbInvalCause) {
         if !self.sb.blocks.is_empty() || !self.sb.index.is_empty() {
-            self.sb.stats.invalidations += 1;
+            match cause {
+                SbInvalCause::CodeGen => self.sb.stats.inval_code_gen += 1,
+                SbInvalCause::Tlb => self.sb.stats.inval_tlb += 1,
+            }
         }
         self.sb.blocks.clear();
         self.sb.index.clear();
@@ -365,7 +391,7 @@ impl FetchAccel {
         if self.sb.gen != gen_now {
             // A store landed in a watched code page: every block may hold
             // stale decodes of it.
-            self.sb_invalidate();
+            self.sb_invalidate(SbInvalCause::CodeGen);
             self.sb.gen = gen_now;
         }
         let prev = self.sb.last.take();
@@ -430,6 +456,15 @@ impl FetchAccel {
                 }
                 Insn::Mul { .. } => {
                     max_charge += cost::INSN + cost::MUL;
+                    body.push((insn, cond));
+                }
+                // Single-register loads/stores are memory-inclusive: the
+                // runner executes them through the data-TLB hit path and
+                // stops the block at the retired prefix on any hazard
+                // (miss, permission refusal, alignment, access fault,
+                // watched-page store) — see `Machine::step_superblock`.
+                Insn::Ldr { .. } | Insn::Str { .. } => {
+                    max_charge += cost::INSN + cost::MEM;
                     body.push((insn, cond));
                 }
                 Insn::B { cond, offset } | Insn::Bl { cond, offset } => {
@@ -554,45 +589,6 @@ impl FetchAccel {
         } else {
             None
         }
-    }
-
-    /// Consults the one-entry data-side translation cache for `va`.
-    ///
-    /// A hit returns the cached [`Translation`]; the caller must account
-    /// the TLB hit the [`crate::tlb::Tlb::lookup`] this replaces would
-    /// have recorded, and must re-run the permission check — the entry
-    /// provably still sits in the TLB (only a flush evicts, and a flush
-    /// drops this cache), so only the map probe is skipped.
-    #[inline]
-    pub(crate) fn data_tc_lookup(
-        &self,
-        va: Addr,
-        world: World,
-        ttbr0: Addr,
-    ) -> Option<Translation> {
-        if !self.enabled {
-            return None;
-        }
-        let e = self.data_tc.as_ref()?;
-        if e.va_page == page_base(va) && e.world == world && e.ttbr0 == ttbr0 {
-            Some(e.t)
-        } else {
-            None
-        }
-    }
-
-    /// Records a translation now present in the TLB for the data side.
-    #[inline]
-    pub(crate) fn data_tc_fill(&mut self, va: Addr, world: World, ttbr0: Addr, t: Translation) {
-        if !self.enabled {
-            return;
-        }
-        self.data_tc = Some(DataEntry {
-            va_page: page_base(va),
-            world,
-            ttbr0,
-            t,
-        });
     }
 
     /// Records a successful fetch translation for `pc`.

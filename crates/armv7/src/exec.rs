@@ -71,11 +71,11 @@ impl Machine {
     ) -> Result<(Addr, AccessAttrs), MemFault> {
         let world = self.world();
         let ttbr0 = self.cp15.mmu(world).ttbr0;
-        // The accelerator's one-entry cache fronts the TLB map: a hit
+        // The software data-TLB fronts the architectural TLB map: a hit
         // accounts the TLB hit the map probe would have recorded (the
-        // entry is provably still in the TLB — see `data_tc_lookup`), and
+        // entry is provably still in the TLB — see `crate::dtlb`), and
         // the permission check below still runs per access.
-        let t = match self.accel.data_tc_lookup(va, world, ttbr0) {
+        let t = match self.dtlb.lookup_translation(va, world, ttbr0) {
             Some(t) => {
                 self.tlb.hits += 1;
                 t
@@ -102,7 +102,7 @@ impl Machine {
                         }
                     }
                 };
-                self.accel.data_tc_fill(va, world, ttbr0, t);
+                self.dtlb.fill(va, world, ttbr0, t);
                 t
             }
         };
@@ -194,6 +194,24 @@ impl Machine {
     ///   proof; see `FetchAccel::sb_build`) — plus `cost::MUL` per
     ///   *executed* multiply and `cost::BRANCH_TAKEN` for a taken ending
     ///   branch, accumulated per instruction and added in one batch.
+    /// - **Memory** (the data-side fast path): an executed load/store pays
+    ///   one *additional* TLB hit and `cost::MEM`, and performs the actual
+    ///   `PhysMem` access (which bumps the read/write counters itself) —
+    ///   bit-for-bit the per-insn `user_load`/`user_store` accounting on
+    ///   their hit path. The TLB hit is sound for the same reason the
+    ///   fetch side's is: a data-TLB entry proves TLB residency (see
+    ///   `crate::dtlb`). The access is attempted *before* anything about
+    ///   the instruction is committed (a refused or faulting `PhysMem`
+    ///   access has no side effects), so on any hazard — data-TLB miss,
+    ///   permission refusal, misalignment, partially-backed page — the
+    ///   block stops at the already-retired prefix and the per-insn path
+    ///   replays the instruction from scratch: same translation (and TLB
+    ///   hit), same `cost::MEM` charge, same fault raised at the same
+    ///   state. A store that bumps the code generation (self-modifying
+    ///   code through the data path) retires, then stops the block the
+    ///   same way so no possibly-stale trace entry after it executes.
+    ///   A block stopping before retiring anything returns `None` so the
+    ///   per-insn step guarantees progress (and refills the data-TLB).
     fn step_superblock(
         &mut self,
         world: World,
@@ -201,12 +219,13 @@ impl Machine {
         wake: u64,
         steps_left: u64,
     ) -> Option<u64> {
-        let gen_now = self.mem.code_gen();
-        let id = self.accel.sb_dispatch(self.pc, world, ttbr0, gen_now)?;
+        let gen_entry = self.mem.code_gen();
+        let id = self.accel.sb_dispatch(self.pc, world, ttbr0, gen_entry)?;
         // Split borrows: the block stays shared-borrowed from the
         // accelerator while the disjoint architectural fields are mutated.
         let Machine {
             accel,
+            dtlb,
             regs,
             cpsr,
             pc,
@@ -225,15 +244,81 @@ impl Machine {
         let full = steps_left >= n_body + has_branch as u64;
         let n_exec = if full { n_body } else { steps_left.min(n_body) };
         let mut extra = 0u64;
+        let mut data_hits = 0u64;
+        let mut n_ret = 0u64;
+        let mut stopped = false;
         for &(insn, cond) in &b.body[..n_exec as usize] {
             if cond_holds(*cpsr, cond) {
-                extra += exec_straightline(regs, cpsr, Mode::User, insn);
+                match insn {
+                    Insn::Ldr {
+                        rd, rn, off, byte, ..
+                    } => {
+                        let va = mem_ea_regs(regs, Mode::User, rn, off);
+                        let Some((pa, attrs)) = dtlb.lookup_data(va, world, ttbr0, false) else {
+                            stopped = true;
+                            break;
+                        };
+                        let r = if byte {
+                            mem.read_byte(pa, attrs).map(|v| v as Word)
+                        } else {
+                            mem.read(pa, attrs)
+                        };
+                        let Ok(v) = r else {
+                            stopped = true;
+                            break;
+                        };
+                        regs.set(Mode::User, rd, v);
+                        data_hits += 1;
+                        extra += cost::MEM;
+                    }
+                    Insn::Str {
+                        rd, rn, off, byte, ..
+                    } => {
+                        let va = mem_ea_regs(regs, Mode::User, rn, off);
+                        let Some((pa, attrs)) = dtlb.lookup_data(va, world, ttbr0, true) else {
+                            stopped = true;
+                            break;
+                        };
+                        let v = regs.get(Mode::User, rd);
+                        let r = if byte {
+                            mem.write_byte(pa, v as u8, attrs)
+                        } else {
+                            mem.write(pa, v, attrs)
+                        };
+                        if r.is_err() {
+                            stopped = true;
+                            break;
+                        }
+                        data_hits += 1;
+                        extra += cost::MEM;
+                        if mem.code_gen() != gen_entry {
+                            // The store landed in a watched code page: the
+                            // rest of this trace may be stale. Retire
+                            // through the store, then reconcile
+                            // per-instruction (the next dispatch sees the
+                            // bumped generation and rebuilds).
+                            n_ret += 1;
+                            stopped = true;
+                            break;
+                        }
+                    }
+                    _ => extra += exec_straightline(regs, cpsr, Mode::User, insn),
+                }
             }
+            n_ret += 1;
         }
-        *pc = pc.wrapping_add(n_exec as u32 * WORD_BYTES);
-        let mut retired = n_exec;
-        let mut exit = Some(ExitKind::Fall);
-        if full {
+        if n_ret == 0 {
+            // First instruction hit a data hazard: no progress was made.
+            // Fall back so the per-insn step performs the access — or
+            // raises its fault — with exact accounting.
+            accel.sb_note_exit(id, None, 0);
+            return None;
+        }
+        *pc = pc.wrapping_add(n_ret as u32 * WORD_BYTES);
+        let mut retired = n_ret;
+        let mut exit = None;
+        if !stopped && n_ret == n_body && full {
+            exit = Some(ExitKind::Fall);
             match b.end {
                 BlockEnd::Branch { cond, target, link } => {
                     retired += 1;
@@ -250,10 +335,8 @@ impl Machine {
                 }
                 BlockEnd::Fallthrough => {}
             }
-        } else {
-            exit = None; // Step budget ran out mid-trace: no chain link.
         }
-        tlb.note_hits(retired);
+        tlb.note_hits(retired + data_hits);
         mem.note_reads(retired);
         *cycles += retired * cost::INSN + extra;
         accel.sb_note_exit(id, exit, retired);
@@ -522,22 +605,31 @@ impl Machine {
     }
 
     fn mem_ea(&self, rn: Reg, off: MemOffset) -> Addr {
-        let base = self.reg(rn);
-        match off {
-            MemOffset::Imm { imm12, add } => {
-                if add {
-                    base.wrapping_add(imm12 as u32)
-                } else {
-                    base.wrapping_sub(imm12 as u32)
-                }
+        mem_ea_regs(&self.regs, self.cpsr.mode, rn, off)
+    }
+}
+
+/// Load/store effective address (offset addressing, `P=1 W=0` — the only
+/// form the decoder admits). Split-borrow form shared by `Machine::mem_ea`
+/// and the superblock runner's in-block memory path, so the two compute
+/// addresses identically by construction.
+#[inline]
+fn mem_ea_regs(regs: &RegFile, mode: Mode, rn: Reg, off: MemOffset) -> Addr {
+    let base = regs.get(mode, rn);
+    match off {
+        MemOffset::Imm { imm12, add } => {
+            if add {
+                base.wrapping_add(imm12 as u32)
+            } else {
+                base.wrapping_sub(imm12 as u32)
             }
-            MemOffset::Reg { rm, add } => {
-                let o = self.reg(rm);
-                if add {
-                    base.wrapping_add(o)
-                } else {
-                    base.wrapping_sub(o)
-                }
+        }
+        MemOffset::Reg { rm, add } => {
+            let o = regs.get(mode, rm);
+            if add {
+                base.wrapping_add(o)
+            } else {
+                base.wrapping_sub(o)
             }
         }
     }
@@ -1150,10 +1242,253 @@ mod tests {
         // Iteration 1 runs the original `add r2, #1`; iterations 2 and 3
         // run the patched `add r2, #5`.
         assert_eq!(m.regs.get(Mode::User, Reg::R(2)), 1 + 5 + 5);
+        let s = m.superblock_stats();
         assert!(
-            m.superblock_stats().invalidations > 0,
-            "the store must have invalidated the block cache"
+            s.inval_code_gen > 0,
+            "the store must have invalidated the block cache, attributed \
+             to the code-generation cause (stats: {s:?})"
         );
+    }
+
+    /// A store executed *inside* a memory-inclusive superblock that hits
+    /// the block's own code page: the runner must retire through the
+    /// store, stop the trace, and reconcile per-instruction so the
+    /// patched instruction — which sits *later in the same block* —
+    /// executes in the very same iteration, exactly as per-insn stepping
+    /// would.
+    #[test]
+    fn superblock_data_store_patches_later_insn_in_same_block() {
+        use crate::encode::encode;
+        let patch = encode(Insn::Dp {
+            cond: Cond::Al,
+            op: crate::insn::DpOp::Add,
+            s: false,
+            rd: Reg::R(2),
+            rn: Reg::R(2),
+            op2: crate::insn::Op2::imm(5),
+        });
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x8000); // Code page VA.
+        a.mov_imm32(Reg::R(0), patch);
+        a.mov_imm(Reg::R(6), 3); // Loop counter.
+        let top = a.label();
+        a.add_imm(Reg::R(3), Reg::R(3), 1);
+        // The store comes BEFORE the instruction it overwrites, and both
+        // live in the same block: iteration 1 must already execute the
+        // patched `add r2, #5`, never the stale cached `add r2, #1`.
+        let slot = (a.len() + 2) as u16;
+        a.str_imm(Reg::R(0), Reg::R(1), slot * 4);
+        a.add_imm(Reg::R(4), Reg::R(4), 1);
+        a.add_imm(Reg::R(2), Reg::R(2), 1); // Overwritten to `add r2, #5`.
+        a.subs_imm(Reg::R(6), Reg::R(6), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let (m, exit) = three_way(&a.words(), PagePerms::RWX, 1_000, |_| {});
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+        // The patch lands before any iteration reads the slot: all three
+        // iterations run `add r2, #5`.
+        assert_eq!(m.regs.get(Mode::User, Reg::R(2)), 5 + 5 + 5);
+        assert_eq!(m.regs.get(Mode::User, Reg::R(3)), 3);
+        assert_eq!(m.regs.get(Mode::User, Reg::R(4)), 3);
+    }
+
+    /// Memory-inclusive superblocks with every single-register load/store
+    /// shape the decoder admits — word/byte, immediate/register offset,
+    /// add/subtract — must match per-instruction stepping bit-for-bit,
+    /// and must actually engage the data-TLB fast path.
+    #[test]
+    fn superblock_memory_inclusive_blocks_are_exact() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(8), 0x9000);
+        a.mov_imm32(Reg::R(9), 0x9800);
+        a.mov_imm(Reg::R(7), 40); // Loop counter.
+        a.mov_imm(Reg::R(5), 8); // Register offset.
+        let top = a.label();
+        a.add_imm(Reg::R(0), Reg::R(0), 3);
+        a.str_imm(Reg::R(0), Reg::R(8), 0x20);
+        a.ldr_imm(Reg::R(1), Reg::R(8), 0x20);
+        a.str_reg(Reg::R(1), Reg::R(9), Reg::R(5));
+        a.ldr_reg(Reg::R(2), Reg::R(9), Reg::R(5));
+        a.strb_imm(Reg::R(2), Reg::R(8), 0x31);
+        a.ldrb_imm(Reg::R(3), Reg::R(8), 0x31);
+        a.add_reg(Reg::R(4), Reg::R(4), Reg::R(3));
+        a.subs_imm(Reg::R(7), Reg::R(7), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let (m, exit) = three_way(&a.words(), PagePerms::RX, 10_000, |_| {});
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+        let s = m.superblock_stats();
+        assert!(s.built >= 1, "no memory-inclusive block was formed");
+        assert!(
+            s.dtlb_hits > 100,
+            "in-block accesses must ride the data-TLB (dtlb_hits={})",
+            s.dtlb_hits
+        );
+        // 40 iterations × (3 stores + 3 loads) with a byte lane: r4
+        // accumulates the stored low byte, r3 holds the last one.
+        assert_eq!(m.regs.get(Mode::User, Reg::R(3)), (40 * 3) & 0xff);
+    }
+
+    /// An in-block load whose verdict is fine but whose *physical* access
+    /// faults (unaligned address): the block must stop at the retired
+    /// prefix and the per-insn path must raise the data abort with exact
+    /// accounting — swept across fault positions via the loop counter.
+    #[test]
+    fn superblock_unaligned_data_fault_mid_block_is_exact() {
+        for misalign in [1u32, 2, 3] {
+            let mut a = Assembler::new(0x8000);
+            a.mov_imm32(Reg::R(8), 0x9000 + misalign);
+            a.add_imm(Reg::R(0), Reg::R(0), 1);
+            a.add_imm(Reg::R(1), Reg::R(1), 2);
+            a.ldr_imm(Reg::R(2), Reg::R(8), 0); // Unaligned: data abort.
+            a.add_imm(Reg::R(3), Reg::R(3), 4); // Must never execute.
+            a.svc(0);
+            let (m, exit) = three_way(&a.words(), PagePerms::RX, 1_000, |_| {});
+            // Translation succeeds; the bus access faults, so the abort
+            // reports the *physical* address.
+            assert_eq!(
+                exit,
+                ExitReason::DataAbort(MemFault::new(
+                    0x8000_3000 + misalign,
+                    crate::error::MemFaultKind::Unaligned,
+                    false
+                )),
+                "misalign {misalign}"
+            );
+            assert_eq!(m.regs.get(Mode::User, Reg::R(0)), 1);
+            assert_eq!(m.regs.get(Mode::User, Reg::R(1)), 2);
+            assert_eq!(m.regs.get(Mode::User, Reg::R(3)), 0);
+        }
+    }
+
+    /// A store refused by permissions (read-only data page) inside what
+    /// would otherwise be a memory-inclusive block: the precomputed
+    /// write verdict forces the exact path, which raises the permission
+    /// data abort identically to baseline stepping.
+    #[test]
+    fn superblock_readonly_store_faults_exactly() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(8), 0x9000);
+        let top = a.label();
+        a.ldr_imm(Reg::R(0), Reg::R(8), 0); // Reads are fine.
+        a.add_imm(Reg::R(1), Reg::R(1), 1);
+        a.subs_imm(Reg::R(2), Reg::R(1), 3);
+        a.b_to(Cond::Ne, top);
+        a.str_imm(Reg::R(1), Reg::R(8), 0); // Write to RO page: abort.
+        a.svc(0);
+        let ro = PagePerms {
+            r: true,
+            w: false,
+            x: false,
+        };
+        let code = a.words();
+        let run = |accel: bool, superblocks: bool| {
+            let mut m = guest_machine(&code);
+            // Remap the data page read-only before anything runs.
+            m.mem
+                .write(
+                    0x8000_1000 + 0x9 * 4,
+                    l2_page_desc(0x8000_3000, ro, false),
+                    AccessAttrs::MONITOR,
+                )
+                .unwrap();
+            m.set_fetch_accel(accel);
+            m.set_superblocks(superblocks);
+            let exit = m.run_user(1_000).unwrap();
+            (m, exit)
+        };
+        let (m_sb, e_sb) = run(true, true);
+        let (m_on, e_on) = run(true, false);
+        let (m_off, e_off) = run(false, false);
+        assert_eq!(
+            e_sb,
+            ExitReason::DataAbort(MemFault::new(
+                0x9000,
+                crate::error::MemFaultKind::Permission,
+                true
+            ))
+        );
+        assert_eq!(e_sb, e_on);
+        assert_eq!(e_on, e_off);
+        assert!(m_sb == m_off, "superblock state diverged on RO fault");
+        assert!(m_on == m_off, "accel state diverged on RO fault");
+        assert_eq!(m_sb.regs.get(Mode::User, Reg::R(1)), 3);
+    }
+
+    /// Every data-TLB invalidation source — `tlb_flush`, a `TTBR0`
+    /// reload, a TrustZone world switch — must drop the cache, attribute
+    /// the drop to its cause, and leave execution bit-for-bit equal to
+    /// the baseline. Each source is swept in a loop of
+    /// memory-block-to-SVC rounds.
+    #[test]
+    fn superblock_dtlb_invalidation_sources_are_exact() {
+        use crate::dtlb::DTlbStats;
+        let mut a = Assembler::new(0x8000);
+        let top = a.label();
+        a.add_imm(Reg::R(0), Reg::R(0), 1);
+        a.str_imm(Reg::R(0), Reg::R(8), 0);
+        a.ldr_imm(Reg::R(1), Reg::R(8), 0);
+        a.add_reg(Reg::R(2), Reg::R(2), Reg::R(1));
+        a.subs_imm(Reg::R(3), Reg::R(0), 4);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let code = a.words();
+        let run = |source: u32, accel: bool, superblocks: bool| -> (Machine, DTlbStats) {
+            let mut m = guest_machine(&code);
+            m.set_fetch_accel(accel);
+            m.set_superblocks(superblocks);
+            m.regs.set(Mode::User, Reg::R(8), 0x9000);
+            for _ in 0..3 {
+                let exit = m.run_user(10_000).unwrap();
+                assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+                match source {
+                    0 => m.tlb_flush(),
+                    1 => {
+                        let ttbr0 = m.cp15.mmu_mut(World::Secure).ttbr0;
+                        m.load_ttbr0(ttbr0);
+                        m.tlb_flush(); // Architectural discipline after a TTBR write.
+                    }
+                    2 => {
+                        m.set_scr_ns(true);
+                        m.set_scr_ns(false);
+                    }
+                    _ => unreachable!(),
+                }
+                // Return to user mode and restart the loop.
+                m.exception_return().unwrap();
+                m.pc = 0x8000;
+                m.regs.set(Mode::User, Reg::R(0), 0);
+            }
+            let stats = m.dtlb_stats();
+            (m, stats)
+        };
+        for source in 0..3u32 {
+            let (m_sb, s_sb) = run(source, true, true);
+            let (m_on, _) = run(source, true, false);
+            let (m_off, s_off) = run(source, false, false);
+            assert!(
+                m_sb == m_off,
+                "source {source}: superblock state diverged across invalidation"
+            );
+            assert!(
+                m_on == m_off,
+                "source {source}: accel state diverged across invalidation"
+            );
+            // The superblock run exercised the cache and the per-cause
+            // counters; the baseline cached nothing at all.
+            match source {
+                0 => assert!(s_sb.inval_flush >= 3, "flush cause uncounted: {s_sb:?}"),
+                1 => assert!(s_sb.inval_ttbr >= 3, "ttbr cause uncounted: {s_sb:?}"),
+                2 => assert!(s_sb.inval_world >= 3, "world cause uncounted: {s_sb:?}"),
+                _ => unreachable!(),
+            }
+            assert!(s_sb.hits > 0, "source {source}: data-TLB never engaged");
+            assert_eq!(
+                (s_off.hits, s_off.misses),
+                (0, 0),
+                "baseline must not touch the data-TLB"
+            );
+        }
     }
 
     /// An interrupt deadline landing mid-block must fire at the exact

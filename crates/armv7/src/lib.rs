@@ -45,6 +45,7 @@ pub mod asm;
 pub mod cp15;
 pub mod dcache;
 pub mod decode;
+pub mod dtlb;
 pub mod encode;
 pub mod error;
 pub mod exec;
@@ -62,6 +63,7 @@ pub mod word;
 
 pub use asm::Assembler;
 pub use dcache::{FetchAccel, SbStats};
+pub use dtlb::{DTlbStats, DataTlb};
 pub use error::{MemFault, MemFaultKind};
 pub use exec::ExitReason;
 pub use exn::ExceptionKind;

@@ -5,6 +5,7 @@
 
 use crate::cp15::Cp15;
 use crate::dcache::{FetchAccel, SbStats};
+use crate::dtlb::{DTlbInval, DTlbStats, DataTlb};
 use crate::exn::ExceptionKind;
 use crate::mem::{AccessAttrs, PhysMem};
 use crate::mode::{Mode, World};
@@ -89,6 +90,12 @@ pub struct Machine {
     /// excluded from machine equality, bit-for-bit neutral on the cycle
     /// model and all simulated counters (see [`crate::dcache`]).
     pub accel: FetchAccel,
+    /// Host-side software data-TLB fronting the architectural TLB map for
+    /// user translations. **Not architectural state** — same contract as
+    /// [`Machine::accel`] (see [`crate::dtlb`]). A separate field (not
+    /// inside the accelerator) so the superblock runner can probe it
+    /// mutably while a dispatched block is still borrowed.
+    pub dtlb: DataTlb,
 }
 
 /// Architectural equality: registers, PSR, PC, CP15, memory (contents and
@@ -126,6 +133,7 @@ impl Machine {
             fiq_at: None,
             first_user_insn_cycle: None,
             accel: FetchAccel::new(),
+            dtlb: DataTlb::new(),
         }
     }
 
@@ -134,13 +142,16 @@ impl Machine {
     /// identical either way, only host speed changes.
     pub fn set_fetch_accel(&mut self, on: bool) {
         self.accel.set_enabled(on);
-        self.invalidate_fetch_accel();
+        self.dtlb.set_enabled(on);
+        self.invalidate_fetch_accel(DTlbInval::Flush);
     }
 
-    /// Drops the accelerator's cached decodes and translation entry, and
-    /// the memory-side write watch that backs them.
-    fn invalidate_fetch_accel(&mut self) {
+    /// Drops the accelerator's cached decodes and translation entry, the
+    /// data-TLB (attributing the drop to `cause`), and the memory-side
+    /// write watch that backs them.
+    fn invalidate_fetch_accel(&mut self, cause: DTlbInval) {
         self.accel.invalidate();
+        self.dtlb.invalidate(cause);
         self.mem.clear_code_watch();
     }
 
@@ -155,9 +166,32 @@ impl Machine {
     }
 
     /// Host-side superblock-engine statistics (blocks built, dispatch
-    /// hits, chained dispatches, whole-cache invalidations).
+    /// hits, chained dispatches, invalidations split by cause), with the
+    /// data-TLB's hit/miss/invalidation counters merged in.
     pub fn superblock_stats(&self) -> SbStats {
-        self.accel.sb_stats()
+        let mut s = self.accel.sb_stats();
+        let d = self.dtlb.stats();
+        s.dtlb_hits = d.hits;
+        s.dtlb_misses = d.misses;
+        s.dtlb_invalidations = d.invalidations();
+        s
+    }
+
+    /// Host-side data-TLB statistics with per-cause invalidation counts
+    /// (the aggregate view is part of [`Machine::superblock_stats`]).
+    pub fn dtlb_stats(&self) -> DTlbStats {
+        self.dtlb.stats()
+    }
+
+    /// Writes `SCR.NS`, dropping the data-TLB when the effective
+    /// TrustZone world changes. The monitor's world-switch paths (SMC
+    /// entry/exit, boot hand-off) route through here so data-TLB entries
+    /// never outlive the world they were formed in.
+    pub fn set_scr_ns(&mut self, ns: bool) {
+        if self.cp15.scr_ns != ns {
+            self.dtlb.invalidate(DTlbInval::World);
+        }
+        self.cp15.scr_ns = ns;
     }
 
     /// The current TrustZone world: monitor mode is always secure;
@@ -240,7 +274,7 @@ impl Machine {
         let world = self.world();
         self.cp15.mmu_mut(world).ttbr0 = pa;
         self.tlb.mark_inconsistent();
-        self.invalidate_fetch_accel();
+        self.invalidate_fetch_accel(DTlbInval::Ttbr);
     }
 
     /// Flushes the entire TLB (the only flush the model supports, §5.1).
@@ -249,7 +283,7 @@ impl Machine {
     pub fn tlb_flush(&mut self) {
         self.tlb.flush();
         self.charge(cost::TLB_FLUSH);
-        self.invalidate_fetch_accel();
+        self.invalidate_fetch_accel(DTlbInval::Flush);
     }
 
     /// Notes a store to page-table memory, marking the TLB inconsistent.
@@ -259,7 +293,7 @@ impl Machine {
     /// stores need no such tracking.
     pub fn note_pagetable_store(&mut self) {
         self.tlb.mark_inconsistent();
-        self.invalidate_fetch_accel();
+        self.invalidate_fetch_accel(DTlbInval::Ttbr);
     }
 
     /// Monitor-attributed physical read with cycle charging.

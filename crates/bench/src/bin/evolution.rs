@@ -146,8 +146,18 @@ fn main() {
             t.sb_over_accel()
         );
         println!(
-            "  {:<16} blocks: {} built, {} hits ({} chained), {} invalidations",
-            "", t.blocks.built, t.blocks.hits, t.blocks.chained, t.blocks.invalidations
+            "  {:<16} blocks: {} built, {} hits ({} chained), {} invalidations ({} code-gen, {} tlb)",
+            "",
+            t.blocks.built,
+            t.blocks.hits,
+            t.blocks.chained,
+            t.blocks.invalidations(),
+            t.blocks.inval_code_gen,
+            t.blocks.inval_tlb
+        );
+        println!(
+            "  {:<16} dtlb: {} hits, {} misses, {} invalidations",
+            "", t.blocks.dtlb_hits, t.blocks.dtlb_misses, t.blocks.dtlb_invalidations
         );
     }
     println!();

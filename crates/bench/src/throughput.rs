@@ -26,9 +26,10 @@ use std::time::Instant;
 const CODE_VA: u32 = 0x8000;
 const DATA_VA: u32 = 0x9000;
 
-/// A machine with one RX code page at `0x8000` and one RW data page at
-/// `0x9000`, in secure user mode — the enclave-like configuration the
-/// executor property tests use.
+/// A machine with one RX code page at `0x8000` and eight RW data pages at
+/// `0x9000..=0x10000`, in secure user mode — the enclave-like
+/// configuration the executor property tests use, widened so the
+/// strided-copy workload can walk several pages per direction.
 pub fn guest(code: &[Word]) -> Machine {
     let mut m = Machine::new();
     m.mem.add_region(0x8000_0000, 0x10_0000, true);
@@ -44,13 +45,15 @@ pub fn guest(code: &[Word]) -> Machine {
             AccessAttrs::MONITOR,
         )
         .unwrap();
-    m.mem
-        .write(
-            l2 + 9 * 4,
-            l2_page_desc(0x8000_3000, PagePerms::RW, false),
-            AccessAttrs::MONITOR,
-        )
-        .unwrap();
+    for i in 9u32..=16 {
+        m.mem
+            .write(
+                l2 + i * 4,
+                l2_page_desc(0x8000_3000 + (i - 9) * 0x1000, PagePerms::RW, false),
+                AccessAttrs::MONITOR,
+            )
+            .unwrap();
+    }
     m.mem.load_words(0x8000_2000, code).unwrap();
     m.cp15.mmu_mut(World::Secure).ttbr0 = ttbr0;
     m.cpsr = Psr::user();
@@ -84,9 +87,10 @@ pub fn tight_loop() -> Vec<Word> {
     a.words()
 }
 
-/// Memory-mixing workload: loads and stores interleaved with ALU work,
-/// exercising the data-side TLB path alongside accelerated fetches. The
-/// loads/stores end every trace early, so superblocks help least here.
+/// Memory-mixing workload: loads and stores interleaved with ALU work.
+/// Since the data-side fast path, the whole loop body forms a single
+/// memory-inclusive superblock whose accesses dispatch through the
+/// software data-TLB.
 pub fn memory_loop() -> Vec<Word> {
     let mut a = Assembler::new(CODE_VA);
     a.mov_imm32(Reg::R(8), DATA_VA);
@@ -99,6 +103,49 @@ pub fn memory_loop() -> Vec<Word> {
     a.words()
 }
 
+/// Store-heavy workload: a hot loop that is mostly stores to one data
+/// page — the worst case for any engine that ends traces at stores, and
+/// a direct measure of the store half of the data-TLB hit path.
+pub fn store_loop() -> Vec<Word> {
+    let mut a = Assembler::new(CODE_VA);
+    a.mov_imm32(Reg::R(8), DATA_VA);
+    let top = a.label();
+    a.add_imm(Reg::R(0), Reg::R(0), 1);
+    a.str_imm(Reg::R(0), Reg::R(8), 0);
+    a.str_imm(Reg::R(0), Reg::R(8), 4);
+    a.str_imm(Reg::R(0), Reg::R(8), 8);
+    a.str_imm(Reg::R(0), Reg::R(8), 12);
+    a.b_to(Cond::Al, top);
+    a.words()
+}
+
+/// Strided copy: word and byte loads/stores marching through four source
+/// and four destination pages with a `0x404` stride, restarting when the
+/// inner count runs out. Crosses page boundaries constantly, so the
+/// direct-mapped data-TLB sees conflict misses and refills, not just
+/// steady-state hits.
+pub fn strided_copy() -> Vec<Word> {
+    let mut a = Assembler::new(CODE_VA);
+    let restart = a.label();
+    a.mov_imm32(Reg::R(8), DATA_VA);
+    a.mov_imm32(Reg::R(9), DATA_VA + 0x4000);
+    a.mov_imm(Reg::R(7), 15);
+    let inner = a.label();
+    a.ldr_imm(Reg::R(0), Reg::R(8), 0);
+    a.str_imm(Reg::R(0), Reg::R(9), 0);
+    a.ldrb_imm(Reg::R(1), Reg::R(8), 5);
+    a.strb_imm(Reg::R(1), Reg::R(9), 9);
+    // Stride 0x404 is not an encodable rotated immediate: split it.
+    a.add_imm(Reg::R(8), Reg::R(8), 0x400);
+    a.add_imm(Reg::R(8), Reg::R(8), 4);
+    a.add_imm(Reg::R(9), Reg::R(9), 0x400);
+    a.add_imm(Reg::R(9), Reg::R(9), 4);
+    a.subs_imm(Reg::R(7), Reg::R(7), 1);
+    a.b_to(Cond::Ne, inner);
+    a.b_to(Cond::Al, restart);
+    a.words()
+}
+
 /// The named workloads measured by the throughput bench and the
 /// `evolution` experiment binary.
 pub fn workloads() -> Vec<(&'static str, Vec<Word>)> {
@@ -106,6 +153,8 @@ pub fn workloads() -> Vec<(&'static str, Vec<Word>)> {
         ("straight_line", straight_line()),
         ("tight_loop", tight_loop()),
         ("memory_loop", memory_loop()),
+        ("store_loop", store_loop()),
+        ("strided_copy", strided_copy()),
     ]
 }
 
@@ -232,7 +281,10 @@ pub fn to_json(results: &[Throughput]) -> String {
              \"sb_speedup\": {:.2}, \"sb_over_accel\": {:.2}, \
              \"accel_speedup\": {:.2}, \"blocks_built\": {}, \
              \"block_hits\": {}, \"block_chained\": {}, \
-             \"block_invalidations\": {}}}{}\n",
+             \"block_invalidations\": {}, \
+             \"block_inval_code_gen\": {}, \"block_inval_tlb\": {}, \
+             \"dtlb_hits\": {}, \"dtlb_misses\": {}, \
+             \"dtlb_invalidations\": {}}}{}\n",
             t.name,
             t.insns,
             t.sb_ips,
@@ -244,7 +296,12 @@ pub fn to_json(results: &[Throughput]) -> String {
             t.blocks.built,
             t.blocks.hits,
             t.blocks.chained,
-            t.blocks.invalidations,
+            t.blocks.invalidations(),
+            t.blocks.inval_code_gen,
+            t.blocks.inval_tlb,
+            t.blocks.dtlb_hits,
+            t.blocks.dtlb_misses,
+            t.blocks.dtlb_invalidations,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -289,6 +346,12 @@ mod tests {
                 t.blocks.built > 0 && t.blocks.hits > 0,
                 "{name}: superblock engine never engaged"
             );
+            if matches!(name, "memory_loop" | "store_loop" | "strided_copy") {
+                assert!(
+                    t.blocks.dtlb_hits > 0,
+                    "{name}: data-TLB fast path never engaged"
+                );
+            }
         }
     }
 
@@ -304,7 +367,11 @@ mod tests {
                 built: 2,
                 hits: 40,
                 chained: 38,
-                invalidations: 0,
+                inval_code_gen: 1,
+                inval_tlb: 2,
+                dtlb_hits: 7,
+                dtlb_misses: 3,
+                dtlb_invalidations: 2,
             },
         };
         let j = to_json(std::slice::from_ref(&t));
@@ -313,6 +380,12 @@ mod tests {
         assert!(j.contains("\"sb_over_accel\": 1.50"));
         assert!(j.contains("\"accel_speedup\": 2.00"));
         assert!(j.contains("\"blocks_built\": 2"));
+        assert!(j.contains("\"block_invalidations\": 3"));
+        assert!(j.contains("\"block_inval_code_gen\": 1"));
+        assert!(j.contains("\"block_inval_tlb\": 2"));
+        assert!(j.contains("\"dtlb_hits\": 7"));
+        assert!(j.contains("\"dtlb_misses\": 3"));
+        assert!(j.contains("\"dtlb_invalidations\": 2"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         let md = to_markdown(&[t]);
         assert!(md.contains("| tight_loop | ~3M | ~2M | ~1M | ~3.0× | ~1.50× |"));

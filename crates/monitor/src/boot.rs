@@ -30,7 +30,7 @@ pub fn boot(layout: MonitorLayout, seed: u64) -> (Machine, Monitor) {
     let monitor = Monitor::new(layout, seed);
     m.charge(BOOT_COST);
     // Leave secure world configured and switch to the normal world OS.
-    m.cp15.scr_ns = true;
+    m.set_scr_ns(true);
     m.cpsr = Psr::privileged(Mode::Supervisor);
     (m, monitor)
 }

@@ -91,7 +91,7 @@ impl Monitor {
             m.set_reg(Reg::R(1 + i as u8), *a);
         }
         m.take_exception(ExceptionKind::Smc, 0);
-        m.cp15.scr_ns = false; // Secure world while the monitor runs.
+        m.set_scr_ns(false); // Secure world while the monitor runs.
         m.charge(costs::SMC_DISPATCH + costs::SMC_SAVE_REGS);
 
         let (err, retval) = self.dispatch(m);
@@ -111,7 +111,7 @@ impl Monitor {
         for i in [2u8, 3, 4, 12] {
             m.set_reg(Reg::R(i), 0);
         }
-        m.cp15.scr_ns = true;
+        m.set_scr_ns(true);
         m.exception_return().expect("monitor mode has an SPSR");
         SmcResult { err, retval }
     }
