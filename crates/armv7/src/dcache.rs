@@ -63,6 +63,7 @@ use crate::machine::cost;
 use crate::mem::{AccessAttrs, PhysMem};
 use crate::mode::World;
 use crate::word::{page_base, page_offset, word_aligned, Addr, Word, WORD_BYTES};
+use komodo_trace::{Event, FlightRecorder, InvalCause};
 
 /// One physical code page, eagerly decoded.
 #[derive(Clone, Debug)]
@@ -355,6 +356,14 @@ impl FetchAccel {
         self.sb.blocks.len()
     }
 
+    /// Whether a superblock invalidation would be *counted* (blocks or
+    /// index entries are cached) — the condition under which the machine
+    /// records an `sb-inval` trace event, keeping events 1:1 with the
+    /// statistics.
+    pub(crate) fn sb_has_cached(&self) -> bool {
+        !self.sb.blocks.is_empty() || !self.sb.index.is_empty()
+    }
+
     /// Drops every superblock and the chain source, attributing the drop
     /// to `cause` (counted only when something was actually cached).
     fn sb_invalidate(&mut self, cause: SbInvalCause) {
@@ -384,6 +393,8 @@ impl FetchAccel {
         world: World,
         ttbr0: Addr,
         gen_now: u64,
+        trace: &mut FlightRecorder,
+        cycle: u64,
     ) -> Option<u32> {
         if !self.enabled || !self.sb_enabled {
             return None;
@@ -391,6 +402,14 @@ impl FetchAccel {
         if self.sb.gen != gen_now {
             // A store landed in a watched code page: every block may hold
             // stale decodes of it.
+            if self.sb_has_cached() {
+                trace.record(
+                    cycle,
+                    Event::SbInval {
+                        cause: InvalCause::CodeGen,
+                    },
+                );
+            }
             self.sb_invalidate(SbInvalCause::CodeGen);
             self.sb.gen = gen_now;
         }
@@ -415,10 +434,10 @@ impl FetchAccel {
                 } else {
                     // Same VA under a different context (the old block
                     // stays allocated but unreachable until invalidation).
-                    self.sb_build(pc, world, ttbr0, gen_now)?
+                    self.sb_build(pc, world, ttbr0, gen_now, trace, cycle)?
                 }
             }
-            None => self.sb_build(pc, world, ttbr0, gen_now)?,
+            None => self.sb_build(pc, world, ttbr0, gen_now, trace, cycle)?,
         };
         if let Some((pid, kind)) = prev {
             // Remember where the previous block's exit led: next time the
@@ -430,7 +449,15 @@ impl FetchAccel {
 
     /// Forms a trace starting at `pc` from the decoded page the hot-fetch
     /// entry points at (see [`Block`] for the admission rules).
-    fn sb_build(&mut self, pc: Addr, world: World, ttbr0: Addr, gen_now: u64) -> Option<u32> {
+    fn sb_build(
+        &mut self,
+        pc: Addr,
+        world: World,
+        ttbr0: Addr,
+        gen_now: u64,
+        trace: &mut FlightRecorder,
+        cycle: u64,
+    ) -> Option<u32> {
         if self.dcache.gen != gen_now || !word_aligned(pc) {
             return None; // Stale decodes; the per-insn fetch reconciles.
         }
@@ -491,6 +518,13 @@ impl FetchAccel {
             return None;
         }
         let id = self.sb.blocks.len() as u32;
+        trace.record(
+            cycle,
+            Event::SbBuild {
+                entry_va: pc,
+                len: (body.len() + with_branch as usize) as u32,
+            },
+        );
         self.sb.blocks.push(Block {
             entry_va: pc,
             world,

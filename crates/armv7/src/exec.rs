@@ -220,7 +220,10 @@ impl Machine {
         steps_left: u64,
     ) -> Option<u64> {
         let gen_entry = self.mem.code_gen();
-        let id = self.accel.sb_dispatch(self.pc, world, ttbr0, gen_entry)?;
+        let cycle_now = self.cycles;
+        let id =
+            self.accel
+                .sb_dispatch(self.pc, world, ttbr0, gen_entry, &mut self.trace, cycle_now)?;
         // Split borrows: the block stays shared-borrowed from the
         // accelerator while the disjoint architectural fields are mutated.
         let Machine {

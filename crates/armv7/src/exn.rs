@@ -44,6 +44,21 @@ impl ExceptionKind {
         }
     }
 
+    /// This exception class as a trace-event vector (the flight recorder
+    /// carries its own leaf-crate copy of the taxonomy).
+    pub fn trace_vector(self) -> komodo_trace::ExnVector {
+        use komodo_trace::ExnVector as V;
+        match self {
+            ExceptionKind::Svc => V::Svc,
+            ExceptionKind::Smc => V::Smc,
+            ExceptionKind::Irq => V::Irq,
+            ExceptionKind::Fiq => V::Fiq,
+            ExceptionKind::DataAbort => V::DataAbort,
+            ExceptionKind::PrefetchAbort => V::PrefetchAbort,
+            ExceptionKind::Undefined => V::Undefined,
+        }
+    }
+
     /// All exception kinds.
     pub const ALL: [ExceptionKind; 7] = [
         ExceptionKind::Svc,

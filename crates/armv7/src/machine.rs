@@ -13,6 +13,18 @@ use crate::psr::Psr;
 use crate::regs::{Reg, RegFile};
 use crate::tlb::Tlb;
 use crate::word::{Addr, Word};
+use komodo_trace::{Event, FlightRecorder, InvalCause, MetricsSnapshot};
+
+/// Trace attribution of a host-cache drop (the flight recorder's
+/// leaf-crate cause taxonomy mirrors [`DTlbInval`] plus the superblock
+/// engine's code-generation cause).
+fn trace_cause(cause: DTlbInval) -> InvalCause {
+    match cause {
+        DTlbInval::Flush => InvalCause::Flush,
+        DTlbInval::Ttbr => InvalCause::Ttbr,
+        DTlbInval::World => InvalCause::World,
+    }
+}
 
 /// Cycle costs of machine-level events, loosely calibrated to a Cortex-A7
 /// class in-order core (the Raspberry Pi 2 of the paper's evaluation).
@@ -96,13 +108,23 @@ pub struct Machine {
     /// inside the accelerator) so the superblock runner can probe it
     /// mutably while a dispatched block is still borrowed.
     pub dtlb: DataTlb,
+    /// Cycle-stamped flight recorder capturing boundary events (exception
+    /// entry/exit, world switches, TLB/host-cache invalidations,
+    /// superblock builds; the monitor adds SMC and enclave-lifecycle
+    /// events). **Not architectural state** — excluded from machine
+    /// equality like [`Machine::accel`] and [`Machine::dtlb`], disabled
+    /// (capacity 0) by default, and recording never charges cycles or
+    /// touches any counted state, so traced-on and traced-off runs end
+    /// bit-for-bit identical (proven by the bench differential test).
+    pub trace: FlightRecorder,
 }
 
 /// Architectural equality: registers, PSR, PC, CP15, memory (contents and
 /// access counters), TLB (entries and statistics), cycle counter and
-/// interrupt schedule. The fetch accelerator is deliberately excluded —
-/// it must never influence any of these fields, and the differential
-/// property tests rely on this equality to prove it.
+/// interrupt schedule. The fetch accelerator, data-TLB and flight
+/// recorder are deliberately excluded — they must never influence any of
+/// these fields, and the differential property tests rely on this
+/// equality to prove it.
 impl PartialEq for Machine {
     fn eq(&self, other: &Self) -> bool {
         self.regs == other.regs
@@ -134,6 +156,43 @@ impl Machine {
             first_user_insn_cycle: None,
             accel: FetchAccel::new(),
             dtlb: DataTlb::new(),
+            trace: FlightRecorder::disabled(),
+        }
+    }
+
+    /// Re-arms the flight recorder to keep the most recent `capacity`
+    /// events (0 disables recording), clearing any existing capture.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// A unified snapshot of every counter surface — architectural
+    /// (cycles, memory, TLB), host-side (superblocks, data-TLB), and the
+    /// flight recorder's own capture totals — under the single
+    /// [`MetricsSnapshot`] schema the bench JSON emitter reads through.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let sb = self.accel.sb_stats();
+        let d = self.dtlb.stats();
+        MetricsSnapshot {
+            cycles: self.cycles,
+            mem_reads: self.mem.reads,
+            mem_writes: self.mem.writes,
+            tlb_hits: self.tlb.hits,
+            tlb_misses: self.tlb.misses,
+            tlb_flushes: self.tlb.flushes,
+            sb_built: sb.built,
+            sb_hits: sb.hits,
+            sb_chained: sb.chained,
+            sb_inval_code_gen: sb.inval_code_gen,
+            sb_inval_tlb: sb.inval_tlb,
+            dtlb_hits: d.hits,
+            dtlb_misses: d.misses,
+            dtlb_inval_flush: d.inval_flush,
+            dtlb_inval_ttbr: d.inval_ttbr,
+            dtlb_inval_world: d.inval_world,
+            trace_capacity: self.trace.capacity() as u64,
+            trace_recorded: self.trace.total_recorded(),
+            trace_dropped: self.trace.dropped(),
         }
     }
 
@@ -148,8 +207,19 @@ impl Machine {
 
     /// Drops the accelerator's cached decodes and translation entry, the
     /// data-TLB (attributing the drop to `cause`), and the memory-side
-    /// write watch that backs them.
+    /// write watch that backs them. Recorded events mirror the statistics
+    /// convention: a drop is an event only when something was cached.
     fn invalidate_fetch_accel(&mut self, cause: DTlbInval) {
+        if self.trace.enabled() {
+            let tc = trace_cause(cause);
+            if self.accel.sb_has_cached() {
+                self.trace.record(self.cycles, Event::SbInval { cause: tc });
+            }
+            if self.dtlb.live_entries() > 0 {
+                self.trace
+                    .record(self.cycles, Event::DTlbInval { cause: tc });
+            }
+        }
         self.accel.invalidate();
         self.dtlb.invalidate(cause);
         self.mem.clear_code_watch();
@@ -189,7 +259,16 @@ impl Machine {
     /// never outlive the world they were formed in.
     pub fn set_scr_ns(&mut self, ns: bool) {
         if self.cp15.scr_ns != ns {
+            if self.trace.enabled() && self.dtlb.live_entries() > 0 {
+                self.trace.record(
+                    self.cycles,
+                    Event::DTlbInval {
+                        cause: InvalCause::World,
+                    },
+                );
+            }
             self.dtlb.invalidate(DTlbInval::World);
+            self.trace.record(self.cycles, Event::WorldSwitch { ns });
         }
         self.cp15.scr_ns = ns;
     }
@@ -249,6 +328,14 @@ impl Machine {
             .set_lr_banked(crate::regs::Bank::of(target), return_addr);
         self.cpsr = Psr::privileged(target);
         self.charge(cost::EXN_ENTRY);
+        self.trace.record(
+            self.cycles,
+            Event::ExnEntry {
+                vector: kind.trace_vector(),
+                from_mode: old.mode.bits() as u8,
+                to_mode: target.bits() as u8,
+            },
+        );
     }
 
     /// Exception return (`MOVS PC, LR`): restores `CPSR` from the current
@@ -265,6 +352,12 @@ impl Machine {
         self.cpsr = spsr;
         self.pc = lr;
         self.charge(cost::EXN_RETURN);
+        self.trace.record(
+            self.cycles,
+            Event::ExnExit {
+                to_mode: spsr.mode.bits() as u8,
+            },
+        );
         Ok(())
     }
 
@@ -283,6 +376,7 @@ impl Machine {
     pub fn tlb_flush(&mut self) {
         self.tlb.flush();
         self.charge(cost::TLB_FLUSH);
+        self.trace.record(self.cycles, Event::TlbFlush);
         self.invalidate_fetch_accel(DTlbInval::Flush);
     }
 
@@ -392,5 +486,69 @@ mod tests {
         let c0 = m.cycles;
         m.take_exception(ExceptionKind::Irq, 0);
         assert_eq!(m.cycles, c0 + cost::EXN_ENTRY);
+    }
+
+    #[test]
+    fn trace_disabled_by_default_and_excluded_from_equality() {
+        let mut a = Machine::new();
+        let b = Machine::new();
+        assert!(!a.trace.enabled());
+        a.set_trace_capacity(64);
+        a.take_exception(ExceptionKind::Smc, 0);
+        assert!(!a.trace.is_empty());
+        a.exception_return().unwrap();
+        // Replay the same architectural steps untraced.
+        let mut c = b.clone();
+        c.take_exception(ExceptionKind::Smc, 0);
+        c.exception_return().unwrap();
+        assert!(c.trace.is_empty());
+        assert_eq!(a, c, "tracing must not perturb architectural state");
+    }
+
+    #[test]
+    fn boundary_events_are_recorded_with_monotonic_cycles() {
+        let mut m = Machine::new();
+        m.set_trace_capacity(64);
+        m.cpsr = Psr::user();
+        m.take_exception(ExceptionKind::Svc, 0x2000);
+        m.exception_return().unwrap();
+        m.take_exception(ExceptionKind::Smc, 0x2004);
+        m.set_scr_ns(true);
+        m.tlb_flush();
+        m.set_scr_ns(false);
+        let events: Vec<_> = m.trace.iter().copied().collect();
+        // Per-machine cycle monotonicity: the stamp is the machine's own
+        // cycle counter, which only moves forward.
+        for w in events.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle, "{:?} then {:?}", w[0], w[1]);
+        }
+        let text: Vec<String> = events.iter().map(|s| s.event.to_string()).collect();
+        assert!(
+            text.iter().any(|t| t == "exn-entry svc usr->svc"),
+            "{text:?}"
+        );
+        assert!(text.iter().any(|t| t == "exn-exit ->usr"), "{text:?}");
+        assert!(
+            text.iter().any(|t| t == "exn-entry smc usr->mon"),
+            "{text:?}"
+        );
+        assert!(text.iter().any(|t| t == "world-switch ns=1"), "{text:?}");
+        assert!(text.iter().any(|t| t == "world-switch ns=0"), "{text:?}");
+        assert!(text.iter().any(|t| t == "tlb-flush"), "{text:?}");
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_counters() {
+        let mut m = Machine::new();
+        m.set_trace_capacity(8);
+        m.tlb_flush();
+        m.tlb.hits += 3;
+        let s = m.metrics_snapshot();
+        assert_eq!(s.cycles, m.cycles);
+        assert_eq!(s.tlb_flushes, 1);
+        assert_eq!(s.tlb_hits, 3);
+        assert_eq!(s.trace_capacity, 8);
+        assert_eq!(s.trace_recorded, m.trace.total_recorded());
+        assert_eq!(s.mem_reads, m.mem.reads);
     }
 }

@@ -157,6 +157,19 @@ impl PhysMem {
         Ok(r.words[((addr - r.base) / WORD_BYTES) as usize])
     }
 
+    /// Observer read: the word at `addr` if word-aligned and RAM-backed,
+    /// without bumping the access counters or enforcing bus attributes.
+    /// For host-side observers only (e.g. the flight recorder assembling
+    /// a page-DB transition event) — architectural accesses must use
+    /// [`PhysMem::read`] so the counters and TrustZone checks apply.
+    pub fn peek(&self, addr: Addr) -> Option<Word> {
+        if !word_aligned(addr) {
+            return None;
+        }
+        let r = self.region_for(addr)?;
+        Some(r.words[((addr - r.base) / WORD_BYTES) as usize])
+    }
+
     /// Writes the word at physical address `addr`.
     pub fn write(&mut self, addr: Addr, val: Word, attrs: AccessAttrs) -> Result<(), MemFault> {
         if !word_aligned(addr) {
@@ -381,6 +394,18 @@ mod tests {
         assert!(m.code_page_snapshot(0x8000_0000).unwrap().1);
         assert_eq!(m.reads, r0, "snapshots must not count as reads");
         assert!(m.code_page_snapshot(0x4000_0000).is_none());
+    }
+
+    #[test]
+    fn peek_is_counter_free_and_attribute_blind() {
+        let mut m = mem();
+        m.write(0x1004, 42, AccessAttrs::NORMAL).unwrap();
+        let (r0, w0) = (m.reads, m.writes);
+        assert_eq!(m.peek(0x1004), Some(42));
+        assert_eq!(m.peek(0x8000_0000), Some(0), "secure RAM is peekable");
+        assert_eq!(m.peek(0x1002), None, "unaligned");
+        assert_eq!(m.peek(0x4000_0000), None, "unmapped");
+        assert_eq!((m.reads, m.writes), (r0, w0), "peek must not count");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! machines are architecturally identical.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use komodo_bench::throughput::{guest, measure_all, workloads};
+use komodo_bench::throughput::{guest, measure_all, trace_overhead, workloads};
 
 fn quick() -> bool {
     std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1")
@@ -59,6 +59,30 @@ fn sim_throughput(c: &mut Criterion) {
     println!(
         "machine-equality check: {} workloads x 3 configurations verified identical",
         results.len()
+    );
+
+    // Flight-recorder overhead budget: armed tracing must stay within 2%
+    // of the disabled recorder on every workload. Recording only happens
+    // at boundary events (superblock builds, exceptions, flushes), so the
+    // hot loop's only cost is carrying the instrumentation at all. The
+    // overhead check always runs a fixed step budget — quick mode's tiny
+    // runs are too short to time a 2% difference meaningfully.
+    println!();
+    let overhead_steps: u64 = 50_000;
+    let mut worst: f64 = 0.0;
+    for (name, code) in workloads() {
+        let (off_ips, on_ips) = trace_overhead(&code, overhead_steps, 7);
+        let overhead_pct = ((off_ips / on_ips) - 1.0).max(0.0) * 100.0;
+        worst = worst.max(overhead_pct);
+        println!(
+            "trace overhead: {name} traced-off {off_ips:.0} insn/s, traced-on {on_ips:.0} insn/s \
+             ({overhead_pct:.2}% overhead)"
+        );
+    }
+    println!("trace overhead check: worst-case {worst:.2}% (budget 2.00%) across 5 workloads");
+    assert!(
+        worst <= 2.0,
+        "flight-recorder overhead {worst:.2}% exceeds the 2% budget"
     );
 }
 

@@ -82,20 +82,56 @@ fn count_dynamic_lines(path: &str) -> usize {
     total
 }
 
+/// `--trace-out <path>` / `--trace-out=<path>`: arm the flight recorder
+/// for the dynamic-memory demo and write the capture as a Chrome
+/// `trace_event` JSON document (load in `chrome://tracing` / Perfetto).
+fn trace_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return Some(args.next().expect("--trace-out requires a path").into());
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(p.into());
+        }
+    }
+    None
+}
+
 fn main() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let trace_out = trace_out_path();
     println!("§7.3: evolving the monitor — SGXv2-style dynamic memory");
     println!();
 
     // (a) The feature works end-to-end.
     let mut p = Platform::with_config(PlatformConfig::default());
+    if trace_out.is_some() {
+        p.set_trace(1 << 16);
+    }
     let e = p.load_with(&progs::dynamic_memory_user(), 1, 1).unwrap();
     let spare = e.spares[0] as u32;
     let r = p.run(&e, 0, [spare, 0, 0]);
     assert_eq!(r, EnclaveRun::Exited(0x5eed_f00d), "dynamic memory broken");
+    p.destroy(&e).unwrap();
     println!("Dynamic-memory demo: enclave mapped spare page {spare}, wrote and");
     println!("read back 0x5eedf00d through it, unmapped it, and exited. OK.");
     println!();
+    if let Some(path) = &trace_out {
+        let json = komodo_trace::chrome_trace(p.machine.trace.iter());
+        std::fs::write(path, &json)
+            .unwrap_or_else(|err| panic!("could not write {}: {err}", path.display()));
+        println!(
+            "Trace capture: {} events ({} recorded, {} dropped) written to {}",
+            p.machine.trace.len(),
+            p.machine.trace.total_recorded(),
+            p.machine.trace.dropped(),
+            path.display()
+        );
+        println!("Unified metrics snapshot for the demo machine:");
+        println!("{}", p.machine.metrics_snapshot().to_json(0));
+        println!();
+    }
 
     // (b) Feature increment accounting.
     println!("Feature increment (lines of dynamic-memory code in this repo):");
@@ -148,16 +184,19 @@ fn main() {
         println!(
             "  {:<16} blocks: {} built, {} hits ({} chained), {} invalidations ({} code-gen, {} tlb)",
             "",
-            t.blocks.built,
-            t.blocks.hits,
-            t.blocks.chained,
-            t.blocks.invalidations(),
-            t.blocks.inval_code_gen,
-            t.blocks.inval_tlb
+            t.metrics.sb_built,
+            t.metrics.sb_hits,
+            t.metrics.sb_chained,
+            t.metrics.sb_invalidations(),
+            t.metrics.sb_inval_code_gen,
+            t.metrics.sb_inval_tlb
         );
         println!(
             "  {:<16} dtlb: {} hits, {} misses, {} invalidations",
-            "", t.blocks.dtlb_hits, t.blocks.dtlb_misses, t.blocks.dtlb_invalidations
+            "",
+            t.metrics.dtlb_hits,
+            t.metrics.dtlb_misses,
+            t.metrics.dtlb_invalidations()
         );
     }
     println!();

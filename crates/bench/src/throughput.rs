@@ -20,7 +20,8 @@ use komodo_armv7::mode::World;
 use komodo_armv7::psr::Psr;
 use komodo_armv7::ptw::{l1_coarse_desc, l2_page_desc, PagePerms};
 use komodo_armv7::regs::Reg;
-use komodo_armv7::{Assembler, Cond, ExitReason, Machine, SbStats, Word};
+use komodo_armv7::{Assembler, Cond, ExitReason, Machine, Word};
+use komodo_trace::MetricsSnapshot;
 use std::time::Instant;
 
 const CODE_VA: u32 = 0x8000;
@@ -171,8 +172,10 @@ pub struct Throughput {
     pub accel_ips: f64,
     /// Host instructions/second with neither.
     pub base_ips: f64,
-    /// Superblock cache statistics from the superblock run.
-    pub blocks: SbStats,
+    /// Unified counter snapshot ([`Machine::metrics_snapshot`]) from the
+    /// superblock run: superblock, data-TLB, TLB and memory counters in
+    /// one place.
+    pub metrics: MetricsSnapshot,
 }
 
 impl Throughput {
@@ -255,8 +258,60 @@ pub fn measure(name: &'static str, code: &[Word], steps: u64) -> Throughput {
         sb_ips: steps as f64 / dt_sb.max(1e-9),
         accel_ips: steps as f64 / dt_on.max(1e-9),
         base_ips: steps as f64 / dt_off.max(1e-9),
-        blocks: m_sb.superblock_stats(),
+        metrics: m_sb.metrics_snapshot(),
     }
+}
+
+/// Runs `code` in the production configuration (superblocks + fetch
+/// accelerator) with the flight recorder armed to `trace_cap` (0 =
+/// disabled) and an IRQ scheduled early in the run. The interrupt is
+/// taken, returned from, and the workload then runs to its step budget —
+/// so the execution crosses exception entry/exit boundaries instead of
+/// staying in straight user code, and a traced run has real events to
+/// capture. Used by the trace-neutrality differential test.
+pub fn run_with_interrupt(code: &[Word], steps: u64, trace_cap: usize) -> Machine {
+    let mut m = guest(code);
+    m.set_fetch_accel(true);
+    m.set_superblocks(true);
+    m.set_trace_capacity(trace_cap);
+    m.irq_at = Some(500);
+    let exit = m.run_user(steps).expect("workload violated model contract");
+    assert_eq!(exit, ExitReason::Irq, "IRQ must preempt the workload");
+    m.irq_at = None;
+    m.exception_return().expect("IRQ mode has an SPSR");
+    let exit = m.run_user(steps).expect("workload violated model contract");
+    assert_eq!(exit, ExitReason::StepLimit, "workloads must run to budget");
+    m
+}
+
+/// Interleaved best-of-`reps` host throughput of one workload in the
+/// production configuration with the flight recorder disabled vs armed,
+/// returned as `(off_ips, on_ips)`. The workloads only cross recording
+/// sites at boundary events (superblock builds, exceptions, flushes), so
+/// the two should be indistinguishable — the bench smoke asserts they
+/// stay within the instrumentation overhead budget.
+pub fn trace_overhead(code: &[Word], steps: u64, reps: u32) -> (f64, f64) {
+    let timed = |trace_cap: usize| -> f64 {
+        let mut m = guest(code);
+        m.set_fetch_accel(true);
+        m.set_superblocks(true);
+        m.set_trace_capacity(trace_cap);
+        let t0 = Instant::now();
+        let exit = m.run_user(steps).expect("workload violated model contract");
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(exit, ExitReason::StepLimit, "workloads must run to budget");
+        dt
+    };
+    let mut best_off = timed(0);
+    let mut best_on = timed(4096);
+    for _ in 1..reps {
+        best_off = best_off.min(timed(0));
+        best_on = best_on.min(timed(4096));
+    }
+    (
+        steps as f64 / best_off.max(1e-9),
+        steps as f64 / best_on.max(1e-9),
+    )
 }
 
 /// Measures every workload in [`workloads`].
@@ -284,7 +339,8 @@ pub fn to_json(results: &[Throughput]) -> String {
              \"block_invalidations\": {}, \
              \"block_inval_code_gen\": {}, \"block_inval_tlb\": {}, \
              \"dtlb_hits\": {}, \"dtlb_misses\": {}, \
-             \"dtlb_invalidations\": {}}}{}\n",
+             \"dtlb_invalidations\": {}, \
+             \"tlb_hits\": {}, \"tlb_misses\": {}}}{}\n",
             t.name,
             t.insns,
             t.sb_ips,
@@ -293,15 +349,17 @@ pub fn to_json(results: &[Throughput]) -> String {
             t.sb_speedup(),
             t.sb_over_accel(),
             t.speedup(),
-            t.blocks.built,
-            t.blocks.hits,
-            t.blocks.chained,
-            t.blocks.invalidations(),
-            t.blocks.inval_code_gen,
-            t.blocks.inval_tlb,
-            t.blocks.dtlb_hits,
-            t.blocks.dtlb_misses,
-            t.blocks.dtlb_invalidations,
+            t.metrics.sb_built,
+            t.metrics.sb_hits,
+            t.metrics.sb_chained,
+            t.metrics.sb_invalidations(),
+            t.metrics.sb_inval_code_gen,
+            t.metrics.sb_inval_tlb,
+            t.metrics.dtlb_hits,
+            t.metrics.dtlb_misses,
+            t.metrics.dtlb_invalidations(),
+            t.metrics.tlb_hits,
+            t.metrics.tlb_misses,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -343,15 +401,58 @@ mod tests {
             assert_eq!(t.insns, 2_000);
             assert!(t.sb_ips > 0.0 && t.accel_ips > 0.0 && t.base_ips > 0.0);
             assert!(
-                t.blocks.built > 0 && t.blocks.hits > 0,
+                t.metrics.sb_built > 0 && t.metrics.sb_hits > 0,
                 "{name}: superblock engine never engaged"
             );
             if matches!(name, "memory_loop" | "store_loop" | "strided_copy") {
                 assert!(
-                    t.blocks.dtlb_hits > 0,
+                    t.metrics.dtlb_hits > 0,
                     "{name}: data-TLB fast path never engaged"
                 );
             }
+            // The measured (superblock) machine never had its recorder
+            // armed; the snapshot must say so.
+            assert_eq!(t.metrics.trace_capacity, 0);
+            assert_eq!(t.metrics.trace_recorded, 0);
+        }
+    }
+
+    #[test]
+    fn tracing_is_architecturally_invisible_on_all_workloads() {
+        for (name, code) in workloads() {
+            let m_off = run_with_interrupt(&code, 2_000, 0);
+            let m_on = run_with_interrupt(&code, 2_000, 1024);
+            // Bit-for-bit: registers, flags, PC, cycle counter, TLB and
+            // memory access counters (Machine equality covers them all).
+            assert!(
+                m_on == m_off,
+                "{name}: tracing perturbed architectural state"
+            );
+            assert_eq!(m_off.trace.total_recorded(), 0);
+            assert!(
+                m_on.trace.total_recorded() > 0,
+                "{name}: traced run captured nothing"
+            );
+            // The run crossed an exception boundary; both edges must be in
+            // the capture, and stamps must be monotone.
+            let evs: Vec<String> = m_on.trace.iter().map(|s| s.event.to_string()).collect();
+            assert!(
+                evs.iter().any(|e| e.starts_with("exn-entry irq")),
+                "{name}: {evs:?}"
+            );
+            assert!(
+                evs.iter().any(|e| e.starts_with("exn-exit")),
+                "{name}: {evs:?}"
+            );
+            assert!(
+                evs.iter().any(|e| e.starts_with("sb-build")),
+                "{name}: {evs:?}"
+            );
+            let cycles: Vec<u64> = m_on.trace.iter().map(|s| s.cycle).collect();
+            assert!(
+                cycles.windows(2).all(|w| w[0] <= w[1]),
+                "{name}: stamps not monotone: {cycles:?}"
+            );
         }
     }
 
@@ -363,15 +464,18 @@ mod tests {
             sb_ips: 3.0e6,
             accel_ips: 2.0e6,
             base_ips: 1.0e6,
-            blocks: SbStats {
-                built: 2,
-                hits: 40,
-                chained: 38,
-                inval_code_gen: 1,
-                inval_tlb: 2,
+            metrics: MetricsSnapshot {
+                sb_built: 2,
+                sb_hits: 40,
+                sb_chained: 38,
+                sb_inval_code_gen: 1,
+                sb_inval_tlb: 2,
                 dtlb_hits: 7,
                 dtlb_misses: 3,
-                dtlb_invalidations: 2,
+                dtlb_inval_flush: 2,
+                tlb_hits: 900,
+                tlb_misses: 11,
+                ..Default::default()
             },
         };
         let j = to_json(std::slice::from_ref(&t));
@@ -386,6 +490,8 @@ mod tests {
         assert!(j.contains("\"dtlb_hits\": 7"));
         assert!(j.contains("\"dtlb_misses\": 3"));
         assert!(j.contains("\"dtlb_invalidations\": 2"));
+        assert!(j.contains("\"tlb_hits\": 900"));
+        assert!(j.contains("\"tlb_misses\": 11"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         let md = to_markdown(&[t]);
         assert!(md.contains("| tight_loop | ~3M | ~2M | ~1M | ~3.0× | ~1.50× |"));

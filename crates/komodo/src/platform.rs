@@ -101,20 +101,48 @@ impl Platform {
         b.build(&mut self.machine, &mut self.monitor, &mut self.os)
     }
 
+    /// Arms the machine's flight recorder to keep the most recent
+    /// `capacity` events (0 disables). When armed, a monitor fault (panic)
+    /// inside [`Platform::run`] / [`Platform::enter`] / [`Platform::resume`]
+    /// prints the recorder tail before propagating.
+    pub fn set_trace(&mut self, capacity: usize) {
+        self.machine.set_trace_capacity(capacity);
+    }
+
+    /// Runs `f`; if it panics (a monitor fault — the executable analogue
+    /// of a failed verification condition), dumps the flight recorder's
+    /// last events to stderr before resuming the unwind, so the failure
+    /// report carries the boundary events that led up to it.
+    fn with_flight_dump<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        if !self.machine.trace.enabled() {
+            return f(self);
+        }
+        let sealed = std::panic::AssertUnwindSafe(|| f(self));
+        match std::panic::catch_unwind(sealed) {
+            Ok(v) => v,
+            Err(payload) => {
+                eprintln!("monitor fault; {}", self.machine.trace.dump_tail(32));
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+
     /// Enters enclave thread `idx`, resuming across interrupts until exit
     /// or fault.
     pub fn run(&mut self, enclave: &Enclave, idx: usize, args: [u32; 3]) -> EnclaveRun {
-        enclave.run_to_completion(&mut self.machine, &mut self.monitor, &self.os, idx, args)
+        self.with_flight_dump(|p| {
+            enclave.run_to_completion(&mut p.machine, &mut p.monitor, &p.os, idx, args)
+        })
     }
 
     /// Enters without auto-resume (a single burst).
     pub fn enter(&mut self, enclave: &Enclave, idx: usize, args: [u32; 3]) -> EnclaveRun {
-        enclave.enter(&mut self.machine, &mut self.monitor, &self.os, idx, args)
+        self.with_flight_dump(|p| enclave.enter(&mut p.machine, &mut p.monitor, &p.os, idx, args))
     }
 
     /// Resumes an interrupted thread (a single burst).
     pub fn resume(&mut self, enclave: &Enclave, idx: usize) -> EnclaveRun {
-        enclave.resume(&mut self.machine, &mut self.monitor, &self.os, idx)
+        self.with_flight_dump(|p| enclave.resume(&mut p.machine, &mut p.monitor, &p.os, idx))
     }
 
     /// Tears the enclave down, returning its pages.
@@ -202,6 +230,56 @@ mod tests {
         assert_eq!(p.run(&b, 0, [0, 222, 0]), EnclaveRun::Exited(0));
         assert_eq!(p.run(&a, 0, [1, 0, 0]), EnclaveRun::Exited(111));
         assert_eq!(p.run(&b, 0, [1, 0, 0]), EnclaveRun::Exited(222));
+    }
+
+    #[test]
+    fn armed_trace_captures_smc_and_lifecycle_events() {
+        let mut p = Platform::new();
+        p.set_trace(4096);
+        let e = p.load(&progs::adder()).unwrap();
+        assert_eq!(p.run(&e, 0, [40, 2, 0]), EnclaveRun::Exited(42));
+        p.destroy(&e).unwrap();
+        let text: Vec<String> = p
+            .machine
+            .trace
+            .iter()
+            .map(|s| s.event.to_string())
+            .collect();
+        assert!(text.iter().any(|t| t.starts_with("smc-entry")), "{text:?}");
+        assert!(text.iter().any(|t| t.starts_with("smc-exit")), "{text:?}");
+        assert!(
+            text.iter().any(|t| t.starts_with("enclave-init")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter().any(|t| t.starts_with("enclave-enter")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter().any(|t| t.starts_with("enclave-exit")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter().any(|t| t.starts_with("enclave-destroy")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter().any(|t| t.starts_with("pgdb")),
+            "page-DB transitions should be captured: {text:?}"
+        );
+    }
+
+    #[test]
+    fn flight_dump_hook_propagates_results_and_panics() {
+        let mut p = Platform::new();
+        p.set_trace(64);
+        assert_eq!(p.with_flight_dump(|pp| pp.machine.cycles), p.machine.cycles);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.with_flight_dump(|_| -> u32 { panic!("synthetic monitor fault") })
+        }));
+        assert!(r.is_err(), "panic must propagate after the dump");
+        // The platform is still usable after the unwind.
+        assert!(p.machine.trace.enabled());
     }
 
     #[test]

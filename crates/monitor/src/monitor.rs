@@ -18,6 +18,7 @@ use komodo_crypto::sha256::{Sha256, BLOCK_WORDS, H0};
 use komodo_crypto::{Digest, HashDrbg};
 use komodo_spec::measure::MeasureOp;
 use komodo_spec::{KomErr, Mapping, SecureParams, SmcCall, SvcCall};
+use komodo_trace::Event;
 
 use crate::costs;
 use crate::layout::MonitorLayout;
@@ -93,6 +94,7 @@ impl Monitor {
         m.take_exception(ExceptionKind::Smc, 0);
         m.set_scr_ns(false); // Secure world while the monitor runs.
         m.charge(costs::SMC_DISPATCH + costs::SMC_SAVE_REGS);
+        m.trace.record(m.cycles, Event::SmcEntry { call });
 
         let (err, retval) = self.dispatch(m);
 
@@ -111,6 +113,14 @@ impl Monitor {
         for i in [2u8, 3, 4, 12] {
             m.set_reg(Reg::R(i), 0);
         }
+        m.trace.record(
+            m.cycles,
+            Event::SmcExit {
+                call,
+                err: err.code(),
+                retval,
+            },
+        );
         m.set_scr_ns(true);
         m.exception_return().expect("monitor mode has an SPSR");
         SmcResult { err, retval }
@@ -276,6 +286,8 @@ impl Monitor {
         }
         pgdb::set_meta(m, &l, asp as usize, ptype::ADDRSPACE, 0).expect("meta");
         pgdb::set_meta(m, &l, l1pt as usize, ptype::L1PT, asp).expect("meta");
+        m.trace
+            .record(m.cycles, Event::EnclaveInit { addrspace: asp });
         KomErr::Ok
     }
 
@@ -519,6 +531,7 @@ impl Monitor {
                     return KomErr::PagesRemain;
                 }
                 pgdb::set_meta(m, &self.layout, pg as usize, ptype::FREE, 0).expect("meta");
+                m.trace.record(m.cycles, Event::EnclaveDestroy { page: pg });
                 KomErr::Ok
             }
             ptype::SPARE => {
@@ -566,6 +579,7 @@ impl Monitor {
         let entry = pgdb::read_word(m, &self.layout, th as usize, th_off::ENTRY).expect("pool");
         let mut regs = [0u32; 15];
         regs[..3].copy_from_slice(&args);
+        m.trace.record(m.cycles, Event::EnclaveEnter { thread: th });
         self.run_enclave(m, th, asp, regs, entry, Psr::user())
     }
 
@@ -592,6 +606,8 @@ impl Monitor {
         psr.z = flags & (1 << 30) != 0;
         psr.c = flags & (1 << 29) != 0;
         psr.v = flags & (1 << 28) != 0;
+        m.trace
+            .record(m.cycles, Event::EnclaveResume { thread: th });
         self.run_enclave(m, th, asp, regs, pc, psr)
     }
 
@@ -679,6 +695,13 @@ impl Monitor {
         if self.conservative_save {
             m.charge(costs::BANKED_SAVE_RESTORE);
         }
+        m.trace.record(
+            m.cycles,
+            Event::EnclaveExit {
+                thread: th,
+                err: result.0.code(),
+            },
+        );
         result
     }
 

@@ -88,6 +88,12 @@ pub fn meta(m: &mut Machine, l: &MonitorLayout, pg: usize) -> Result<(u32, u32),
 }
 
 /// Writes a page's `(type, owner)` metadata.
+///
+/// When the flight recorder is armed, a change of page *type* is recorded
+/// as a `PageDbTransition` event. The old type is read through the
+/// counter-free [`komodo_armv7::mem::PhysMem::peek`] — never through a
+/// counted read — so tracing stays bit-for-bit invisible to machine
+/// equality (which includes the memory access counters).
 pub fn set_meta(
     m: &mut Machine,
     l: &MonitorLayout,
@@ -96,6 +102,19 @@ pub fn set_meta(
     owner: u32,
 ) -> Result<(), MemFault> {
     let a = l.pagedb_meta_pa(pg);
+    if m.trace.enabled() {
+        let old = m.mem.peek(a).unwrap_or(ty);
+        if old != ty {
+            m.trace.record(
+                m.cycles,
+                komodo_trace::Event::PageDbTransition {
+                    page: pg as u32,
+                    from: old as u8,
+                    to: ty as u8,
+                },
+            );
+        }
+    }
     m.mon_write(a, ty)?;
     m.mon_write(a + 4, owner)
 }
@@ -111,19 +130,27 @@ pub fn read_word(m: &mut Machine, l: &MonitorLayout, pg: usize, idx: u32) -> Res
     m.mon_read(word_pa(l, pg, idx))
 }
 
-/// Reads word `idx` of pool page `pg` *without* charging cycles — for the
-/// abstraction function and other out-of-band observers, which must not
-/// perturb the machine they inspect.
+/// Reads word `idx` of pool page `pg` *without* charging cycles or
+/// bumping the access counters — for the abstraction function and other
+/// out-of-band observers, which must not perturb the machine they
+/// inspect (the counters participate in machine equality).
 pub fn peek_word(m: &mut Machine, l: &MonitorLayout, pg: usize, idx: u32) -> Result<u32, MemFault> {
+    let a = word_pa(l, pg, idx);
     m.mem
-        .read(word_pa(l, pg, idx), komodo_armv7::mem::AccessAttrs::MONITOR)
+        .peek(a)
+        .ok_or_else(|| MemFault::new(a, komodo_armv7::error::MemFaultKind::Unmapped, false))
 }
 
-/// Reads a page's `(type, owner)` metadata without charging cycles.
+/// Reads a page's `(type, owner)` metadata without charging cycles or
+/// bumping the access counters.
 pub fn peek_meta(m: &mut Machine, l: &MonitorLayout, pg: usize) -> Result<(u32, u32), MemFault> {
     let a = l.pagedb_meta_pa(pg);
-    let attrs = komodo_armv7::mem::AccessAttrs::MONITOR;
-    Ok((m.mem.read(a, attrs)?, m.mem.read(a + 4, attrs)?))
+    let peek = |a: Addr| {
+        m.mem
+            .peek(a)
+            .ok_or_else(|| MemFault::new(a, komodo_armv7::error::MemFaultKind::Unmapped, false))
+    };
+    Ok((peek(a)?, peek(a + 4)?))
 }
 
 /// Writes word `idx` of pool page `pg`.

@@ -58,13 +58,42 @@ mod tests {
 
     /// Two platforms, same seed; the victim stores a *different* secret on
     /// each. Afterwards the adversary views must be identical.
+    ///
+    /// Both flight recorders are armed for the episode, so a failed
+    /// comparison can print where the boundary-event streams diverged
+    /// instead of only the mismatching digests. Recording is
+    /// architecturally invisible, so arming it cannot mask (or cause) an
+    /// NI violation.
     fn paired_platforms() -> (Platform, Platform) {
         let cfg = || komodo::PlatformConfig {
             insecure_size: 1 << 20,
             npages: 64,
             seed: 7,
         };
-        (Platform::with_config(cfg()), Platform::with_config(cfg()))
+        let mut p1 = Platform::with_config(cfg());
+        let mut p2 = Platform::with_config(cfg());
+        p1.set_trace(256);
+        p2.set_trace(256);
+        (p1, p2)
+    }
+
+    /// Asserts the adversary views coincide; on mismatch, panics with the
+    /// side-by-side flight-recorder tails of both machines.
+    fn assert_views_equal(p1: &mut Platform, p2: &mut Platform, what: &str) {
+        let v1 = adversary_view(&mut p1.machine, &p1.monitor.layout);
+        let v2 = adversary_view(&mut p2.machine, &p2.monitor.layout);
+        if v1 != v2 {
+            panic!(
+                "{what}\n{}",
+                crate::report::divergence_report(
+                    "secret-A",
+                    &p1.machine,
+                    "secret-B",
+                    &p2.machine,
+                    24
+                )
+            );
+        }
     }
 
     #[test]
@@ -76,9 +105,11 @@ mod tests {
         assert_eq!(p1.run(&e1, 0, [0, 0x1111_1111, 0]), EnclaveRun::Exited(0));
         assert_eq!(p2.run(&e2, 0, [0, 0x2222_2222, 0]), EnclaveRun::Exited(0));
         // Everything the OS can see must coincide...
-        let v1 = adversary_view(&mut p1.machine, &p1.monitor.layout);
-        let v2 = adversary_view(&mut p2.machine, &p2.monitor.layout);
-        assert_eq!(v1, v2, "enclave secret leaked into OS-visible state");
+        assert_views_equal(
+            &mut p1,
+            &mut p2,
+            "enclave secret leaked into OS-visible state",
+        );
         // ...including the cycle counter (no data-dependent timing in the
         // monitor paths for same-shaped calls).
         assert_eq!(p1.cycles(), p2.cycles());
@@ -105,9 +136,7 @@ mod tests {
         let e2 = p2.load(&progs::page_oracle()).unwrap();
         assert_eq!(p1.run(&e1, 0, [0, 0, 0]), EnclaveRun::Exited(0));
         assert_eq!(p2.run(&e2, 0, [1, 0, 0]), EnclaveRun::Exited(0));
-        let v1 = adversary_view(&mut p1.machine, &p1.monitor.layout);
-        let v2 = adversary_view(&mut p2.machine, &p2.monitor.layout);
-        assert_eq!(v1, v2, "secret-dependent access pattern leaked");
+        assert_views_equal(&mut p1, &mut p2, "secret-dependent access pattern leaked");
         assert_eq!(p1.cycles(), p2.cycles());
     }
 

@@ -25,6 +25,9 @@
 //! - [`par`]: a deterministic parallel episode runner — the randomized
 //!   suites derive every episode from its index, so they fan out across
 //!   scoped threads with identical episode sets and failure reports.
+//! - [`report`]: divergence reports — when a paired comparison fails,
+//!   the flight-recorder tails of both machines are printed side by
+//!   side, pinpointing the first boundary event where the runs split.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod concrete;
 pub mod equiv;
 pub mod gen;
 pub mod par;
+pub mod report;
 pub mod seeded;
 
 pub use equiv::{obs_equiv_adv, obs_equiv_enc, weak_eq_page, AdvState};

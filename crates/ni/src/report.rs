@@ -1,0 +1,134 @@
+//! Divergence reports for paired executions.
+//!
+//! When a noninterference check fails, the final-state diff (two digests
+//! that don't match) says *that* the executions diverged but not *where*.
+//! If the paired machines had their flight recorders armed, the boundary
+//! events leading up to the mismatch are still in the rings — this module
+//! formats the two tails side by side, aligning them line by line and
+//! marking the first position where the streams disagree, which is
+//! usually within a few events of the offending monitor path.
+
+use komodo_armv7::Machine;
+use komodo_trace::FlightRecorder;
+
+/// Formats the last `n` events of two recorders side by side.
+///
+/// Lines where both executions recorded the same event at the same cycle
+/// are joined with `|`; any disagreement (different event, different
+/// cycle, or one side missing) is marked with `≠`. Events are oldest →
+/// newest, so the first `≠` line is the earliest captured divergence.
+pub fn side_by_side_tails(
+    label_a: &str,
+    a: &FlightRecorder,
+    label_b: &str,
+    b: &FlightRecorder,
+    n: usize,
+) -> String {
+    use core::fmt::Write as _;
+    let ta = a.tail(n);
+    let tb = b.tail(n);
+    let la: Vec<String> = ta.iter().map(|s| s.to_string()).collect();
+    let lb: Vec<String> = tb.iter().map(|s| s.to_string()).collect();
+    let width = la
+        .iter()
+        .map(|s| s.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max(label_a.chars().count());
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {label_a:<width$}   {label_b}   (last {n} events, oldest first)"
+    );
+    let totals_a = format!("({} total, {} dropped)", a.total_recorded(), a.dropped());
+    let totals_b = format!("({} total, {} dropped)", b.total_recorded(), b.dropped());
+    let _ = writeln!(out, "  {totals_a:<width$}   {totals_b}");
+    if !a.enabled() && !b.enabled() {
+        out.push_str("  (flight recorders disabled: arm with set_trace to capture)\n");
+        return out;
+    }
+    for i in 0..la.len().max(lb.len()) {
+        let left = la.get(i).map(String::as_str).unwrap_or("(no event)");
+        let right = lb.get(i).map(String::as_str).unwrap_or("(no event)");
+        let sep = match (ta.get(i), tb.get(i)) {
+            (Some(x), Some(y)) if x == y => '|',
+            _ => '≠',
+        };
+        let _ = writeln!(out, "  {left:<width$} {sep} {right}");
+    }
+    if la.is_empty() && lb.is_empty() {
+        out.push_str("  (no events captured)\n");
+    }
+    out
+}
+
+/// Divergence report for two machines: header plus the side-by-side
+/// flight-recorder tails. This is what the machine-level NI checks print
+/// when an adversary-view comparison fails.
+pub fn divergence_report(
+    label_a: &str,
+    ma: &Machine,
+    label_b: &str,
+    mb: &Machine,
+    n: usize,
+) -> String {
+    format!(
+        "divergence between paired executions (cycles: {} vs {}):\n{}",
+        ma.cycles,
+        mb.cycles,
+        side_by_side_tails(label_a, &ma.trace, label_b, &mb.trace, n)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_trace::Event;
+
+    fn rec(events: &[(u64, u32)]) -> FlightRecorder {
+        let mut r = FlightRecorder::with_capacity(16);
+        for &(c, call) in events {
+            r.record(c, Event::SmcEntry { call });
+        }
+        r
+    }
+
+    #[test]
+    fn identical_tails_use_agreement_separator() {
+        let a = rec(&[(10, 1), (20, 2)]);
+        let b = rec(&[(10, 1), (20, 2)]);
+        let s = side_by_side_tails("a", &a, "b", &b, 8);
+        assert!(s.contains('|'), "{s}");
+        assert!(!s.contains('≠'), "{s}");
+    }
+
+    #[test]
+    fn first_divergence_is_marked() {
+        let a = rec(&[(10, 1), (20, 2), (30, 3)]);
+        let b = rec(&[(10, 1), (21, 2), (30, 3)]);
+        let s = side_by_side_tails("a", &a, "b", &b, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        // Header (2 lines), then three event lines: equal, diverged, equal.
+        assert!(lines[2].contains('|'), "{s}");
+        assert!(lines[3].contains('≠'), "{s}");
+        assert!(lines[4].contains('|'), "{s}");
+    }
+
+    #[test]
+    fn length_mismatch_pads_with_placeholder() {
+        let a = rec(&[(10, 1), (20, 2)]);
+        let b = rec(&[(10, 1)]);
+        let s = side_by_side_tails("a", &a, "b", &b, 8);
+        assert!(s.contains("(no event)"), "{s}");
+        assert!(s.contains('≠'), "{s}");
+    }
+
+    #[test]
+    fn disabled_recorders_say_so() {
+        let a = FlightRecorder::disabled();
+        let b = FlightRecorder::disabled();
+        let s = side_by_side_tails("a", &a, "b", &b, 8);
+        assert!(s.contains("disabled"), "{s}");
+    }
+}

@@ -1,0 +1,167 @@
+//! The unified metrics schema.
+//!
+//! Before this crate, the simulator's observability was three bespoke
+//! surfaces read separately: `superblock_stats` (host superblock engine),
+//! `dtlb_stats` (software data-TLB), and the raw `Tlb` / `PhysMem`
+//! counters. [`MetricsSnapshot`] is the single schema they all fold
+//! into; `Machine::metrics_snapshot` populates it and the bench JSON
+//! emitter reads through it. The JSON rendering is hand-rolled (the
+//! build is hermetic — no serde) in the same style as
+//! `BENCH_sim_throughput.json`.
+
+use core::fmt::Write as _;
+
+/// One machine's counters at a point in time, across every layer:
+/// architectural (cycles, memory, TLB), host-side accelerators
+/// (superblocks, data-TLB), and the flight recorder itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Simulated cycle counter.
+    pub cycles: u64,
+    /// Architectural physical-memory reads.
+    pub mem_reads: u64,
+    /// Architectural physical-memory writes.
+    pub mem_writes: u64,
+    /// Architectural TLB hits.
+    pub tlb_hits: u64,
+    /// Architectural TLB misses (hardware walks).
+    pub tlb_misses: u64,
+    /// Architectural TLB flushes.
+    pub tlb_flushes: u64,
+    /// Superblocks predecoded and admitted.
+    pub sb_built: u64,
+    /// Superblock dispatch hits.
+    pub sb_hits: u64,
+    /// Superblock chained dispatches (block-to-block without re-probe).
+    pub sb_chained: u64,
+    /// Superblock cache drops caused by code-generation bumps
+    /// (self-modifying or newly written code).
+    pub sb_inval_code_gen: u64,
+    /// Superblock cache drops caused by TLB-anchored invalidation.
+    pub sb_inval_tlb: u64,
+    /// Data-TLB lookups served.
+    pub dtlb_hits: u64,
+    /// Data-TLB lookups that fell back to the exact path.
+    pub dtlb_misses: u64,
+    /// Data-TLB drops caused by TLB flushes.
+    pub dtlb_inval_flush: u64,
+    /// Data-TLB drops caused by `TTBR0` loads / page-table stores.
+    pub dtlb_inval_ttbr: u64,
+    /// Data-TLB drops caused by world switches.
+    pub dtlb_inval_world: u64,
+    /// Flight-recorder capacity (0 = disabled).
+    pub trace_capacity: u64,
+    /// Events recorded over the capture's lifetime.
+    pub trace_recorded: u64,
+    /// Events lost to ring wraparound.
+    pub trace_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total superblock-cache invalidations across causes.
+    pub fn sb_invalidations(&self) -> u64 {
+        self.sb_inval_code_gen + self.sb_inval_tlb
+    }
+
+    /// Total data-TLB invalidations across causes.
+    pub fn dtlb_invalidations(&self) -> u64 {
+        self.dtlb_inval_flush + self.dtlb_inval_ttbr + self.dtlb_inval_world
+    }
+
+    /// Renders the snapshot as a JSON object, `indent` spaces deep (the
+    /// opening brace is not indented; nested lines are `indent + 2`).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent + 2);
+        let mut out = String::from("{\n");
+        let fields: [(&str, u64); 21] = [
+            ("cycles", self.cycles),
+            ("mem_reads", self.mem_reads),
+            ("mem_writes", self.mem_writes),
+            ("tlb_hits", self.tlb_hits),
+            ("tlb_misses", self.tlb_misses),
+            ("tlb_flushes", self.tlb_flushes),
+            ("sb_built", self.sb_built),
+            ("sb_hits", self.sb_hits),
+            ("sb_chained", self.sb_chained),
+            ("sb_invalidations", self.sb_invalidations()),
+            ("sb_inval_code_gen", self.sb_inval_code_gen),
+            ("sb_inval_tlb", self.sb_inval_tlb),
+            ("dtlb_hits", self.dtlb_hits),
+            ("dtlb_misses", self.dtlb_misses),
+            ("dtlb_invalidations", self.dtlb_invalidations()),
+            ("dtlb_inval_flush", self.dtlb_inval_flush),
+            ("dtlb_inval_ttbr", self.dtlb_inval_ttbr),
+            ("dtlb_inval_world", self.dtlb_inval_world),
+            ("trace_capacity", self.trace_capacity),
+            ("trace_recorded", self.trace_recorded),
+            ("trace_dropped", self.trace_dropped),
+        ];
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let comma = if i + 1 == fields.len() { "" } else { "," };
+            let _ = writeln!(out, "{pad}\"{k}\": {v}{comma}");
+        }
+        let _ = write!(out, "{}}}", " ".repeat(indent));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_per_cause_counters() {
+        let s = MetricsSnapshot {
+            sb_inval_code_gen: 2,
+            sb_inval_tlb: 3,
+            dtlb_inval_flush: 1,
+            dtlb_inval_ttbr: 4,
+            dtlb_inval_world: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.sb_invalidations(), 5);
+        assert_eq!(s.dtlb_invalidations(), 10);
+    }
+
+    #[test]
+    fn json_has_every_field_once_and_no_trailing_comma() {
+        let s = MetricsSnapshot {
+            cycles: 123,
+            tlb_hits: 7,
+            ..Default::default()
+        };
+        let j = s.to_json(0);
+        for key in [
+            "cycles",
+            "mem_reads",
+            "mem_writes",
+            "tlb_hits",
+            "tlb_misses",
+            "tlb_flushes",
+            "sb_built",
+            "sb_hits",
+            "sb_chained",
+            "sb_invalidations",
+            "sb_inval_code_gen",
+            "sb_inval_tlb",
+            "dtlb_hits",
+            "dtlb_misses",
+            "dtlb_invalidations",
+            "dtlb_inval_flush",
+            "dtlb_inval_ttbr",
+            "dtlb_inval_world",
+            "trace_capacity",
+            "trace_recorded",
+            "trace_dropped",
+        ] {
+            assert_eq!(
+                j.matches(&format!("\"{key}\":")).count(),
+                1,
+                "field {key} in {j}"
+            );
+        }
+        assert!(j.contains("\"cycles\": 123"));
+        assert!(!j.contains(",\n}"), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+    }
+}
