@@ -160,6 +160,34 @@ impl Machine {
         }
     }
 
+    /// Returns the machine to its reset state while reusing the physical
+    /// memory allocations — the machine half of the fast re-boot path
+    /// used by platform pooling.
+    ///
+    /// After `reboot`, every field that participates in machine equality
+    /// (registers, PSR, PC, CP15, memory contents and counters, TLB,
+    /// cycles, interrupt schedule) matches a fresh [`Machine::new`] whose
+    /// memory regions were rebuilt with the same `add_region` calls; the
+    /// host-side caches (fetch accelerator, data-TLB) and the flight
+    /// recorder also return to their construction defaults. Only the
+    /// region storage is reused, which is what makes re-boot cheaper than
+    /// reconstruction for large RAM banks.
+    pub fn reboot(&mut self) {
+        self.regs = RegFile::new();
+        self.cpsr = Psr::privileged(Mode::Supervisor);
+        self.pc = 0;
+        self.cp15 = Cp15::default();
+        self.mem.reset_contents();
+        self.tlb = Tlb::new();
+        self.cycles = 0;
+        self.irq_at = None;
+        self.fiq_at = None;
+        self.first_user_insn_cycle = None;
+        self.accel = FetchAccel::new();
+        self.dtlb = DataTlb::new();
+        self.trace = FlightRecorder::disabled();
+    }
+
     /// Re-arms the flight recorder to keep the most recent `capacity`
     /// events (0 disables recording), clearing any existing capture.
     pub fn set_trace_capacity(&mut self, capacity: usize) {
@@ -535,6 +563,47 @@ mod tests {
         assert!(text.iter().any(|t| t == "world-switch ns=1"), "{text:?}");
         assert!(text.iter().any(|t| t == "world-switch ns=0"), "{text:?}");
         assert!(text.iter().any(|t| t == "tlb-flush"), "{text:?}");
+    }
+
+    /// The machine must stay `Send` so a platform can migrate between
+    /// fleet worker threads: every field is owned plain data (no `Rc`,
+    /// no raw pointers, no interior mutability). This is a compile-time
+    /// assertion — it fails to build, not at runtime, if a future field
+    /// breaks the bound.
+    #[test]
+    fn machine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine>();
+        assert_send::<PhysMem>();
+    }
+
+    #[test]
+    fn reboot_matches_fresh_boot_bit_for_bit() {
+        let build = || {
+            let mut m = Machine::new();
+            m.mem.add_region(0, 0x4000, false);
+            m.mem.add_region(0x8000_0000, 0x2000, true);
+            m
+        };
+        let mut m = build();
+        // Dirty every layer: memory, registers, TLB schedule, cycles.
+        m.mem
+            .write(0x100, 0xdead_beef, AccessAttrs::NORMAL)
+            .unwrap();
+        m.mem.read(0x100, AccessAttrs::NORMAL).unwrap();
+        m.set_reg(Reg::R(3), 77);
+        m.cycles = 1234;
+        m.irq_at = Some(99);
+        m.pc = 0x8000;
+        m.set_trace_capacity(16);
+        m.reboot();
+        let fresh = build();
+        assert!(m == fresh, "reboot must reproduce the reset state");
+        assert_eq!(m.mem.peek(0x100), Some(0));
+        assert!(!m.trace.enabled(), "reboot returns the recorder to default");
+        // The rebooted machine is fully usable.
+        m.mem.write(0x200, 7, AccessAttrs::NORMAL).unwrap();
+        assert_eq!(m.mem.read(0x200, AccessAttrs::NORMAL).unwrap(), 7);
     }
 
     #[test]

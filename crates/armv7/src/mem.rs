@@ -122,6 +122,23 @@ impl PhysMem {
         });
     }
 
+    /// Zeroes every region's contents and resets the access counters and
+    /// code watch, keeping the region allocations — the memory half of the
+    /// fast re-boot path. A reset memory is indistinguishable (contents,
+    /// counters, equality) from one freshly built with the same
+    /// [`PhysMem::add_region`] calls; only the host-side allocations are
+    /// reused. The code generation stays monotone so any decode cache
+    /// still holding pre-reset contents observes a bump.
+    pub fn reset_contents(&mut self) {
+        for r in &mut self.regions {
+            r.words.fill(0);
+        }
+        self.reads = 0;
+        self.writes = 0;
+        self.code_watch.clear();
+        self.code_gen = self.code_gen.wrapping_add(1);
+    }
+
     /// Whether `addr` lies in a secure region.
     pub fn is_secure(&self, addr: Addr) -> bool {
         self.regions.iter().any(|r| r.contains(addr) && r.secure)

@@ -17,11 +17,12 @@ use komodo_guest::progs;
 use komodo_os::EnclaveRun;
 
 fn crossing_cycles(conservative: bool, flush: bool) -> u64 {
-    let mut p = Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 64,
-        seed: 3,
-    });
+    let mut p = Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(3),
+    );
     p.monitor.conservative_save = conservative;
     p.monitor.always_flush_tlb = flush;
     let e = p.load(&progs::null_enclave()).unwrap();
@@ -50,11 +51,12 @@ fn bench_ablation(c: &mut Criterion) {
             BenchmarkId::from_parameter(name),
             &(cons, flush),
             |b, &(cons, flush)| {
-                let mut p = Platform::with_config(PlatformConfig {
-                    insecure_size: 1 << 20,
-                    npages: 64,
-                    seed: 3,
-                });
+                let mut p = Platform::with_config(
+                    PlatformConfig::default()
+                        .with_insecure_size(1 << 20)
+                        .with_npages(64)
+                        .with_seed(3),
+                );
                 p.monitor.conservative_save = cons;
                 p.monitor.always_flush_tlb = flush;
                 let e = p.load(&progs::null_enclave()).unwrap();

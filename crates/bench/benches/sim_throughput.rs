@@ -10,6 +10,7 @@
 //! machines are architecturally identical.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use komodo_bench::fleet::default_sweep;
 use komodo_bench::throughput::{guest, measure_all, trace_overhead, workloads};
 
 fn quick() -> bool {
@@ -61,12 +62,47 @@ fn sim_throughput(c: &mut Criterion) {
         results.len()
     );
 
+    // Fleet shard scaling: identical 16-job workload mix at 1/2/4/8
+    // shards on the komodo-fleet scheduler. Wall aggregate is capped by
+    // the host's core count, so the scaling signal (and the CI gate) is
+    // the CPU-normalized aggregate — shards x insns per busy CPU second
+    // (see komodo_bench::fleet). default_sweep() also asserts the folded
+    // metric totals are bit-for-bit identical across shard counts.
+    println!();
+    let fleet_steps: u64 = if quick() { 100_000 } else { 400_000 };
+    let scaling = default_sweep(fleet_steps);
+    for r in &scaling.rows {
+        println!(
+            "fleet throughput: {} shards wall {:.0} insn/s, cpu {:.0} insn/s, \
+             aggregate {:.0} insn/s ({:.2}x)",
+            r.shards,
+            r.wall_ips(),
+            r.cpu_ips(),
+            r.agg_ips(),
+            scaling.agg_speedup(r.shards)
+        );
+    }
+    println!(
+        "fleet shard-scaling: 4-shard aggregate {:.2}x 1-shard (cpu-normalized), \
+         totals identical across shard counts",
+        scaling.agg_speedup(4)
+    );
+    assert!(
+        scaling.agg_speedup(4) >= 2.5,
+        "4-shard CPU-normalized aggregate must scale at least 2.5x over 1 shard \
+         (got {:.2}x)",
+        scaling.agg_speedup(4)
+    );
+
     // Flight-recorder overhead budget: armed tracing must stay within 2%
     // of the disabled recorder on every workload. Recording only happens
     // at boundary events (superblock builds, exceptions, flushes), so the
     // hot loop's only cost is carrying the instrumentation at all. The
     // overhead check always runs a fixed step budget — quick mode's tiny
-    // runs are too short to time a 2% difference meaningfully.
+    // runs are too short to time a 2% difference meaningfully. It is the
+    // most timing-noise-sensitive check here, so it runs last: a noisy
+    // host failing the budget doesn't mask the correctness and scaling
+    // checks above.
     println!();
     let overhead_steps: u64 = 50_000;
     let mut worst: f64 = 0.0;

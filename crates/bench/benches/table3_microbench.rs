@@ -12,11 +12,12 @@ use komodo_spec::SmcCall;
 use std::hint::black_box;
 
 fn platform() -> Platform {
-    Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 64,
-        seed: 3,
-    })
+    Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(3),
+    )
 }
 
 fn bench_null_smc(c: &mut Criterion) {

@@ -12,7 +12,7 @@
 //! reproduction, the analogue of the paper's effort accounting.
 
 use komodo::{Platform, PlatformConfig};
-use komodo_bench::throughput;
+use komodo_bench::{fleet, throughput};
 use komodo_guest::progs;
 use komodo_os::EnclaveRun;
 
@@ -202,8 +202,44 @@ fn main() {
     println!();
     println!("EXPERIMENTS.md table (paste into \"Simulator throughput\"):");
     print!("{}", throughput::to_markdown(&results));
+    println!();
+
+    // (d) Fleet shard scaling: the identical 16-job workload mix at
+    // 1/2/4/8 shards on the komodo-fleet scheduler. Wall aggregate is
+    // capped by the host's core count; the CPU-normalized aggregate
+    // (shards x insns / busy CPU seconds) is the core-count-independent
+    // scaling signal — see komodo_bench::fleet.
+    let fleet_steps: u64 = if std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1") {
+        100_000
+    } else {
+        400_000
+    };
+    println!("Fleet shard scaling (16 jobs x {fleet_steps} simulated instructions):");
+    println!(
+        "  {:<8} {:>14} {:>14} {:>16} {:>12}",
+        "shards", "wall insn/s", "cpu insn/s", "agg insn/s", "agg speedup"
+    );
+    let scaling = fleet::default_sweep(fleet_steps);
+    for r in &scaling.rows {
+        println!(
+            "  {:<8} {:>14.0} {:>14.0} {:>16.0} {:>11.2}x",
+            r.shards,
+            r.wall_ips(),
+            r.cpu_ips(),
+            r.agg_ips(),
+            scaling.agg_speedup(r.shards)
+        );
+    }
+    println!(
+        "fleet shard-scaling: 4-shard aggregate {:.2}x 1-shard (cpu-normalized), \
+         totals identical across shard counts",
+        scaling.agg_speedup(4)
+    );
+    println!();
+    println!("EXPERIMENTS.md table (paste into \"Fleet shard scaling\"):");
+    print!("{}", fleet::fleet_to_markdown(&scaling));
     let json_path = root.join("BENCH_sim_throughput.json");
-    match std::fs::write(&json_path, throughput::to_json(&results)) {
+    match std::fs::write(&json_path, fleet::to_json_with_fleet(&results, &scaling)) {
         Ok(()) => println!("  wrote {}", json_path.display()),
         Err(e) => println!("  (could not write {}: {e})", json_path.display()),
     }

@@ -1,0 +1,279 @@
+//! Shard-scaling throughput: the five guest workloads fanned out as
+//! jobs on the `komodo-fleet` scheduler, measured at 1/2/4/8 shards.
+//!
+//! Komodo's scale-out story is replication: platforms are independent
+//! by construction, so fleet throughput should scale with shard count.
+//! This harness runs the *identical* job set at every shard count and
+//! reports two bases:
+//!
+//! - **wall aggregate** (`insns / wall_seconds`): what you feel. On a
+//!   host with at least as many cores as shards this is the scaling
+//!   signal; on a smaller host (CI containers here run on **one** core)
+//!   it is physically capped near the 1-shard value, and reporting
+//!   anything else would be dishonest.
+//! - **CPU-normalized aggregate** (`shards × insns / busy_cpu_seconds`):
+//!   the throughput `shards` dedicated cores would sustain at the
+//!   *measured* per-busy-second efficiency. Busy time comes from the
+//!   fleet's per-thread CPU accounting (Linux `schedstat`; queue waits
+//!   don't accrue), so scheduler overhead, lock contention and recycle
+//!   costs all show up as lost efficiency. This is the basis the CI
+//!   scaling gate checks: it degrades exactly when sharding adds
+//!   overhead, and is core-count independent.
+//!
+//! Every row also folds per-job machine counters through the fleet's
+//! metrics pipeline, and the harness asserts the summed totals are
+//! bit-for-bit identical across shard counts — the determinism contract
+//! (results depend on job index, never placement) checked in the large.
+
+use komodo_armv7::ExitReason;
+use komodo_fleet::FleetConfig;
+use komodo_trace::MetricsSnapshot;
+
+use crate::throughput::{guest, workloads, Throughput};
+
+/// One shard count's measurement over the fixed job set.
+#[derive(Clone, Debug)]
+pub struct FleetThroughput {
+    /// Worker shards the fleet ran with.
+    pub shards: usize,
+    /// Total simulated instructions across all jobs.
+    pub insns: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Summed per-shard busy CPU seconds (thread CPU time where the
+    /// host exposes it, wall-around-jobs otherwise).
+    pub busy_s: f64,
+    /// Summed machine counters from every job, via the fleet fold.
+    pub total: MetricsSnapshot,
+}
+
+impl FleetThroughput {
+    /// Wall-clock aggregate instructions/second.
+    pub fn wall_ips(&self) -> f64 {
+        self.insns as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Per-busy-second efficiency: instructions per CPU-second actually
+    /// consumed.
+    pub fn cpu_ips(&self) -> f64 {
+        self.insns as f64 / self.busy_s.max(1e-9)
+    }
+
+    /// CPU-normalized aggregate: what `shards` dedicated cores would
+    /// sustain at the measured efficiency.
+    pub fn agg_ips(&self) -> f64 {
+        self.shards as f64 * self.cpu_ips()
+    }
+}
+
+/// The whole scaling sweep: one row per shard count, identical job set.
+#[derive(Clone, Debug)]
+pub struct FleetScaling {
+    /// Simulated instructions per job.
+    pub steps: u64,
+    /// Jobs per row (round-robin over the five workloads).
+    pub jobs: u64,
+    /// One measurement per requested shard count, in request order.
+    pub rows: Vec<FleetThroughput>,
+}
+
+impl FleetScaling {
+    /// The row measured at `shards`, if the sweep included it.
+    pub fn row(&self, shards: usize) -> Option<&FleetThroughput> {
+        self.rows.iter().find(|r| r.shards == shards)
+    }
+
+    /// CPU-normalized aggregate speedup of `shards` over the first
+    /// (baseline) row.
+    pub fn agg_speedup(&self, shards: usize) -> f64 {
+        let base = self.rows.first().map(|r| r.agg_ips()).unwrap_or(0.0);
+        self.row(shards).map(|r| r.agg_ips()).unwrap_or(0.0) / base.max(1e-9)
+    }
+}
+
+/// Runs the fixed job set (`jobs` jobs of `steps` instructions each,
+/// round-robin over [`workloads`]) on a fleet of `shards` workers in the
+/// production configuration (superblocks + fetch accelerator).
+pub fn measure_fleet(shards: usize, steps: u64, jobs: u64) -> FleetThroughput {
+    let wl = workloads();
+    let r = komodo_fleet::run(FleetConfig::default().with_shards(shards), |fleet| {
+        for j in 0..jobs {
+            let code = wl[(j as usize) % wl.len()].1.clone();
+            fleet.submit(move |ctx| {
+                let mut m = guest(&code);
+                m.set_fetch_accel(true);
+                m.set_superblocks(true);
+                let exit = m.run_user(steps).expect("workload violated model contract");
+                assert_eq!(exit, ExitReason::StepLimit, "workloads must run to budget");
+                ctx.absorb(&m.metrics_snapshot());
+            });
+        }
+    });
+    let busy_ns = r.busy_ns();
+    let wall_s = r.wall.as_secs_f64();
+    FleetThroughput {
+        shards,
+        insns: steps * jobs,
+        wall_s,
+        // Degraded-host fallback: if the platform exposed no thread CPU
+        // clock and the wall fallback rounded to zero, a 1-shard run's
+        // busy time is its wall time.
+        busy_s: if busy_ns == 0 {
+            wall_s
+        } else {
+            busy_ns as f64 / 1e9
+        },
+        total: r.metrics.total(),
+    }
+}
+
+/// The shard-scaling sweep: measures the identical job set at every
+/// count in `shard_counts` and asserts the folded metric totals are
+/// bit-for-bit equal across rows (the fleet determinism contract).
+pub fn fleet_throughput(steps: u64, jobs: u64, shard_counts: &[usize]) -> FleetScaling {
+    let rows: Vec<FleetThroughput> = shard_counts
+        .iter()
+        .map(|&s| measure_fleet(s, steps, jobs))
+        .collect();
+    for r in rows.iter().skip(1) {
+        assert_eq!(
+            r.total, rows[0].total,
+            "shard count changed the folded metric totals ({} vs {} shards)",
+            r.shards, rows[0].shards
+        );
+    }
+    FleetScaling { steps, jobs, rows }
+}
+
+/// The default sweep the evolution binary and the bench smoke run:
+/// 16 jobs at 1, 2, 4 and 8 shards.
+pub fn default_sweep(steps: u64) -> FleetScaling {
+    fleet_throughput(steps, 16, &[1, 2, 4, 8])
+}
+
+/// Renders the sweep as the `fleet_*` JSON fields appended to the
+/// `BENCH_sim_throughput.json` document (hand-rolled: no serde).
+pub fn fleet_json_fields(s: &FleetScaling) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("  \"fleet_jobs\": {},\n", s.jobs));
+    out.push_str(&format!("  \"fleet_steps\": {},\n", s.steps));
+    out.push_str(&format!(
+        "  \"fleet_agg_speedup_4x\": {:.2},\n",
+        s.agg_speedup(4)
+    ));
+    out.push_str("  \"fleet_scaling\": [\n");
+    for (i, r) in s.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"insns\": {}, \"wall_s\": {:.6}, \
+             \"busy_s\": {:.6}, \"wall_ips\": {:.0}, \"cpu_ips\": {:.0}, \
+             \"agg_ips\": {:.0}, \"agg_speedup\": {:.2}}}{}\n",
+            r.shards,
+            r.insns,
+            r.wall_s,
+            r.busy_s,
+            r.wall_ips(),
+            r.cpu_ips(),
+            r.agg_ips(),
+            s.agg_speedup(r.shards),
+            if i + 1 < s.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out
+}
+
+/// The full `BENCH_sim_throughput.json` document: the per-workload
+/// measurements plus the fleet scaling sweep.
+pub fn to_json_with_fleet(results: &[Throughput], scaling: &FleetScaling) -> String {
+    let base = crate::throughput::to_json(results);
+    let cut = base
+        .rfind("  ]\n}")
+        .expect("workloads array closes the throughput document");
+    let mut out = base[..cut].to_string();
+    out.push_str("  ],\n");
+    out.push_str(&fleet_json_fields(scaling));
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the sweep as the EXPERIMENTS.md shard-scaling table.
+pub fn fleet_to_markdown(s: &FleetScaling) -> String {
+    let mut out = String::new();
+    out.push_str("| shards | wall insn/s | cpu insn/s | aggregate insn/s | agg speedup |\n");
+    out.push_str("|---:|---:|---:|---:|---:|\n");
+    for r in &s.rows {
+        out.push_str(&format!(
+            "| {} | ~{}M | ~{}M | ~{}M | ~{:.2}× |\n",
+            r.shards,
+            (r.wall_ips() / 1e6).round() as u64,
+            (r.cpu_ips() / 1e6).round() as u64,
+            (r.agg_ips() / 1e6).round() as u64,
+            s.agg_speedup(r.shards),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measures_and_totals_are_shard_independent() {
+        let s = fleet_throughput(1_000, 4, &[1, 2]);
+        assert_eq!(s.rows.len(), 2);
+        for r in &s.rows {
+            assert_eq!(r.insns, 4_000);
+            assert!(r.wall_s > 0.0);
+            assert!(r.busy_s > 0.0);
+            assert!(r.total.cycles > 0, "jobs must fold machine counters");
+        }
+        // fleet_throughput asserted total equality internally; re-check
+        // the visible invariant here.
+        assert_eq!(s.rows[0].total, s.rows[1].total);
+        assert!((s.agg_speedup(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_and_markdown_carry_the_fleet_fields() {
+        let snap = MetricsSnapshot {
+            cycles: 10,
+            ..Default::default()
+        };
+        let s = FleetScaling {
+            steps: 1000,
+            jobs: 4,
+            rows: vec![
+                FleetThroughput {
+                    shards: 1,
+                    insns: 4000,
+                    wall_s: 0.004,
+                    busy_s: 0.004,
+                    total: snap,
+                },
+                FleetThroughput {
+                    shards: 4,
+                    insns: 4000,
+                    wall_s: 0.004,
+                    busy_s: 0.004,
+                    total: snap,
+                },
+            ],
+        };
+        let f = fleet_json_fields(&s);
+        assert!(f.contains("\"fleet_jobs\": 4"));
+        assert!(f.contains("\"fleet_steps\": 1000"));
+        assert!(f.contains("\"fleet_agg_speedup_4x\": 4.00"));
+        assert!(f.contains("\"fleet_scaling\": ["));
+        assert!(f.contains("\"shards\": 4"));
+        assert!(f.contains("\"agg_speedup\": 4.00"));
+        let md = fleet_to_markdown(&s);
+        assert!(md.contains("| 4 | ~1M | ~1M | ~4M | ~4.00× |"));
+        // Composed document stays balanced.
+        let t = crate::throughput::measure("tight_loop", &crate::throughput::tight_loop(), 1_000);
+        let j = to_json_with_fleet(std::slice::from_ref(&t), &s);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"workloads\": ["));
+        assert!(j.contains("\"fleet_scaling\": ["));
+    }
+}

@@ -20,11 +20,12 @@ pub struct Sample {
 }
 
 fn platform() -> Platform {
-    Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 64,
-        seed: 3,
-    })
+    Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(3),
+    )
 }
 
 /// Cycles consumed by one SMC.

@@ -27,11 +27,12 @@ fn doc_words(kb: usize) -> Vec<u32> {
 }
 
 fn platform() -> Platform {
-    Platform::with_config(PlatformConfig {
-        insecure_size: 2 << 20,
-        npages: 256,
-        seed: 11,
-    })
+    Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(2 << 20)
+            .with_npages(256)
+            .with_seed(11),
+    )
 }
 
 /// Runs the enclave notary once over a `kb`-kilobyte document, returning

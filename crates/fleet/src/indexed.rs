@@ -1,0 +1,95 @@
+//! Deterministic indexed episode runner, expressed on the fleet.
+//!
+//! The refinement and noninterference suites run many independent
+//! episodes, each fully determined by its index (per-episode seeds are
+//! derived from the index, never from shared RNG state). That makes
+//! them embarrassingly parallel; this runner fans the indices out as
+//! fleet jobs and reproduces the sequential loop's failure report.
+//!
+//! Failure reporting is deterministic: every episode runs to completion
+//! regardless of other episodes' failures (the fleet catches panics per
+//! job), failures are collected with their indices, and the
+//! lowest-indexed failure is re-raised — so a failing run reports the
+//! same episode with the same message as the sequential loop it
+//! replaces.
+
+use crate::sched::{run, FleetConfig};
+
+/// Runs `f(0) .. f(count - 1)` across fleet shards.
+///
+/// Every episode executes exactly once, on some shard, with episodes
+/// handed out in index order from the fleet's FIFO queue. A panicking
+/// episode does not abort the run; after all episodes finish, the panic
+/// of the *lowest-indexed* failing episode is re-raised (prefixed with
+/// the episode index and the total failure count), matching what the
+/// equivalent sequential `for` loop would have reported first.
+///
+/// `f` must derive all randomness from its index argument; shared
+/// mutable state would reintroduce scheduling-dependent results.
+pub fn run_indexed<F>(count: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if count == 0 {
+        return;
+    }
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(count);
+    let episode = &f;
+    let fleet_run = run(FleetConfig::default().with_shards(shards), |fleet| {
+        (0..count)
+            .map(|i| fleet.submit(move |_| episode(i)))
+            .collect::<Vec<_>>()
+    });
+    let failures: Vec<(usize, String)> = fleet_run
+        .value
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, h)| h.join().err().map(|p| (i, p.message)))
+        .collect();
+    if let Some((i, msg)) = failures.first() {
+        panic!(
+            "episode {i} failed ({} of {count} episodes failed): {msg}",
+            failures.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::panic_msg::panic_message;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        run_indexed(100, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_episodes_is_a_no_op() {
+        run_indexed(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn reports_the_lowest_failing_episode() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(50, |i| {
+                assert!(i % 7 != 0, "episode body rejected index {i}");
+            });
+        }));
+        let msg = panic_message(r.unwrap_err());
+        assert!(
+            msg.starts_with("episode 0 failed (8 of 50 episodes failed)"),
+            "wrong report: {msg}"
+        );
+        assert!(msg.contains("episode body rejected index 0"), "{msg}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Panic-payload rendering shared by every component that catches
+//! panics on behalf of a caller (the fleet scheduler here, the NI
+//! episode runner through it).
+
+use std::any::Any;
+
+/// Renders a caught panic payload the way `panic!` would display it.
+///
+/// `std::panic::catch_unwind` hands back an opaque `Box<dyn Any>`; in
+/// practice the payload is the `&str` or `String` the `panic!` was
+/// raised with, and anything else gets a stable placeholder so reports
+/// stay deterministic.
+pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn renders_str_string_and_other_payloads() {
+        let p = catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(p), "plain str");
+        let n = 7;
+        let p = catch_unwind(AssertUnwindSafe(|| panic!("formatted {n}"))).unwrap_err();
+        assert_eq!(panic_message(p), "formatted 7");
+        let p = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p), "non-string panic payload");
+    }
+}

@@ -1,0 +1,660 @@
+//! The sharded scheduler: worker threads with pooled platforms pulling
+//! jobs from one FIFO queue.
+//!
+//! Ownership story: each worker thread *owns* at most one [`Platform`]
+//! (lazily booted on first use, recycled between jobs), so no platform
+//! is ever shared — `Platform` only needs to be `Send`, never `Sync`.
+//! Jobs are `FnOnce` closures handed a [`ShardCtx`]; results travel back
+//! through typed [`JobHandle`]s. Per-shard counter snapshots fold into a
+//! [`FleetMetrics`] when the run finishes.
+//!
+//! Determinism contract: a job's *result* may depend only on its index
+//! and derived seed ([`PlatformConfig::derive_seed`]), never on which
+//! shard runs it — the scheduler guarantees the platform a job sees is
+//! bit-for-bit a fresh boot with the job's seed, whichever worker picks
+//! it up and whatever ran there before. Which *shard* a job lands on is
+//! scheduling noise, so the per-shard metric split varies run to run,
+//! but the summed totals are shard-count independent.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use komodo::{Platform, PlatformConfig};
+use komodo_trace::{FleetMetrics, MetricsSnapshot};
+
+use crate::busy;
+use crate::panic_msg::panic_message;
+
+/// How a worker recycles its platform between jobs that use one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recycle {
+    /// Keep the platform and fast re-boot it in place for the next job
+    /// ([`Platform::reset_with_seed`]): RAM allocations are reused, and
+    /// the reset is verified bit-for-bit equal to a fresh boot. The
+    /// default.
+    Reboot,
+    /// Drop the platform after every job and construct a fresh one for
+    /// the next: the slow path, kept as the oracle the reboot path is
+    /// checked against (both must yield identical job results).
+    Rebuild,
+}
+
+/// Fleet construction parameters.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Worker-thread (shard) count; clamped to at least 1.
+    pub shards: usize,
+    /// Base platform parameters; each job's platform is booted with the
+    /// seed [`PlatformConfig::derive_seed`]`(job_index)` derived from
+    /// this config's seed.
+    pub platform: PlatformConfig,
+    /// Platform recycling policy.
+    pub recycle: Recycle,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            platform: PlatformConfig::default(),
+            recycle: Recycle::Reboot,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Returns the config with `shards` worker threads.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns the config with the given base platform parameters.
+    pub fn with_platform(mut self, platform: PlatformConfig) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Returns the config with the given recycling policy.
+    pub fn with_recycle(mut self, recycle: Recycle) -> Self {
+        self.recycle = recycle;
+        self
+    }
+}
+
+/// A job that panicked; the payload, rendered as `panic!` would show it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The rendered panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// What a job hands back: its value, or the panic that ended it.
+pub type JobResult<T> = Result<T, JobPanic>;
+
+struct Slot<T> {
+    result: Mutex<Option<JobResult<T>>>,
+    done: Condvar,
+}
+
+/// Typed handle to one submitted job's eventual result.
+pub struct JobHandle<T> {
+    slot: Arc<Slot<T>>,
+    job: u64,
+}
+
+impl<T> JobHandle<T> {
+    /// The job's fleet-wide index (submission order, starting at 0) —
+    /// the same index its platform seed was derived from.
+    pub fn index(&self) -> u64 {
+        self.job
+    }
+
+    /// Blocks until the job finishes and returns its result. A job that
+    /// panicked yields `Err(`[`JobPanic`]`)` instead of poisoning the
+    /// fleet: every other job still runs to completion.
+    pub fn join(self) -> JobResult<T> {
+        let mut r = self.slot.result.lock().unwrap();
+        loop {
+            if let Some(v) = r.take() {
+                return v;
+            }
+            r = self.slot.done.wait(r).unwrap();
+        }
+    }
+}
+
+/// A queued task: type-erased job closure, paired with its index.
+type Task<'env> = Box<dyn FnOnce(&mut ShardCtx<'_>) + Send + 'env>;
+
+struct QueueState<'env> {
+    tasks: VecDeque<(u64, Task<'env>)>,
+    closed: bool,
+}
+
+/// FIFO work queue: jobs are handed to workers in submission order
+/// (which job lands on which *shard* is still scheduling-dependent).
+struct Queue<'env> {
+    state: Mutex<QueueState<'env>>,
+    ready: Condvar,
+}
+
+impl<'env> Queue<'env> {
+    fn new() -> Self {
+        Queue {
+            state: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: u64, task: Task<'env>) {
+        let mut s = self.state.lock().unwrap();
+        debug_assert!(!s.closed, "submit after the fleet body returned");
+        s.tasks.push_back((job, task));
+        drop(s);
+        self.ready.notify_one();
+    }
+
+    /// Pops the next task, blocking while the queue is open and empty.
+    /// After close, drains the backlog and then returns `None` — every
+    /// submitted job runs before its worker exits.
+    fn pop(&self) -> Option<(u64, Task<'env>)> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(t) = s.tasks.pop_front() {
+                return Some(t);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One worker's pooled state, threaded through every job it runs.
+struct ShardState {
+    cfg: PlatformConfig,
+    recycle: Recycle,
+    platform: Option<Platform>,
+    metrics: MetricsSnapshot,
+    jobs: u64,
+    boots: u64,
+    resets: u64,
+    busy_ns: u64,
+}
+
+/// The execution context a job receives: identity (shard, index, seed)
+/// plus access to the shard's pooled platform and metrics fold.
+pub struct ShardCtx<'a> {
+    shard: usize,
+    job: u64,
+    seed: u64,
+    used: bool,
+    state: &'a mut ShardState,
+}
+
+impl ShardCtx<'_> {
+    /// The shard (worker index) running this job. Identity only — job
+    /// results must not depend on it.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// This job's fleet-wide index (submission order).
+    pub fn job_index(&self) -> u64 {
+        self.job
+    }
+
+    /// This job's derived platform seed:
+    /// `fleet_config.platform.derive_seed(job_index)`. Depends only on
+    /// the base seed and the index, never the shard.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shard's platform, guaranteed bit-for-bit fresh for this job:
+    /// booted on first use (with this job's seed), recycled per the
+    /// fleet's [`Recycle`] policy on reuse. The first call in a job pays
+    /// the boot or reset; later calls return the same platform, carrying
+    /// whatever state the job has built on it.
+    pub fn platform(&mut self) -> &mut Platform {
+        if !self.used {
+            self.used = true;
+            match self.state.platform.as_mut() {
+                Some(p) => {
+                    p.reset_with_seed(self.seed);
+                    self.state.resets += 1;
+                }
+                None => {
+                    let cfg = self.state.cfg.clone().with_seed(self.seed);
+                    self.state.platform = Some(Platform::with_config(cfg));
+                    self.state.boots += 1;
+                }
+            }
+        }
+        self.state
+            .platform
+            .as_mut()
+            .expect("platform exists once used")
+    }
+
+    /// Folds an externally-measured counter snapshot into this shard's
+    /// metrics — for jobs that drive their own machines instead of (or
+    /// in addition to) the pooled platform. The pooled platform's own
+    /// counters are folded automatically after the job.
+    pub fn absorb(&mut self, snap: &MetricsSnapshot) {
+        self.state.metrics.absorb(snap);
+    }
+}
+
+/// Per-shard accounting for one fleet run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Jobs this shard executed.
+    pub jobs: u64,
+    /// Platforms constructed from scratch.
+    pub boots: u64,
+    /// Fast in-place re-boots of the pooled platform.
+    pub resets: u64,
+    /// Busy time in nanoseconds: thread CPU time where the host exposes
+    /// it (Linux schedstat), else wall time spent executing jobs (queue
+    /// idle excluded).
+    pub busy_ns: u64,
+}
+
+/// Everything a fleet run produces: the body's return value plus the
+/// folded metrics and per-shard accounting.
+#[derive(Debug)]
+pub struct FleetRun<R> {
+    /// What the body closure returned.
+    pub value: R,
+    /// Per-shard counter snapshots and their aggregate.
+    pub metrics: FleetMetrics,
+    /// Per-shard job/boot/busy accounting.
+    pub shards: Vec<ShardStats>,
+    /// Jobs executed across all shards.
+    pub jobs: u64,
+    /// Wall-clock duration of the whole run (spawn to last join).
+    pub wall: Duration,
+}
+
+impl<R> FleetRun<R> {
+    /// Summed busy nanoseconds across shards — the denominator for
+    /// CPU-normalized throughput.
+    pub fn busy_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.busy_ns).sum()
+    }
+}
+
+/// The submission interface the body closure drives. Submit jobs, keep
+/// the typed handles, join them (inside the body or after [`run`]
+/// returns — all handles are resolved by then either way).
+pub struct Fleet<'q, 'env> {
+    queue: &'q Queue<'env>,
+    next_job: AtomicU64,
+}
+
+impl<'env> Fleet<'_, 'env> {
+    /// Submits a job; returns the typed handle to its result.
+    ///
+    /// The closure runs exactly once on some shard, receives that
+    /// shard's [`ShardCtx`], and may return any `Send` value. Panics
+    /// inside the job are caught and surface as `Err(JobPanic)` from
+    /// [`JobHandle::join`]; other jobs are unaffected.
+    pub fn submit<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&mut ShardCtx<'_>) -> T + Send + 'env,
+    {
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let answer = Arc::clone(&slot);
+        self.queue.push(
+            job,
+            Box::new(move |ctx| {
+                let result = catch_unwind(AssertUnwindSafe(|| f(ctx))).map_err(|p| JobPanic {
+                    message: panic_message(p),
+                });
+                *answer.result.lock().unwrap() = Some(result);
+                answer.done.notify_all();
+            }),
+        );
+        JobHandle { slot, job }
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_job.load(Ordering::Relaxed)
+    }
+}
+
+fn worker(queue: &Queue<'_>, cfg: &FleetConfig, shard: usize) -> ShardState {
+    let cpu0 = busy::thread_busy_ns();
+    let mut wall_busy = Duration::ZERO;
+    let mut state = ShardState {
+        cfg: cfg.platform.clone(),
+        recycle: cfg.recycle,
+        platform: None,
+        metrics: MetricsSnapshot::default(),
+        jobs: 0,
+        boots: 0,
+        resets: 0,
+        busy_ns: 0,
+    };
+    while let Some((job, task)) = queue.pop() {
+        let t0 = Instant::now();
+        let seed = cfg.platform.derive_seed(job);
+        let mut ctx = ShardCtx {
+            shard,
+            job,
+            seed,
+            used: false,
+            state: &mut state,
+        };
+        task(&mut ctx);
+        let used = ctx.used;
+        state.jobs += 1;
+        if used {
+            // The platform was fresh at job start, so its counters are
+            // exactly this job's work: fold the full snapshot. Folding
+            // per job (not per shard at shutdown) is what makes the
+            // summed totals shard-count independent.
+            let p = state.platform.as_ref().expect("used implies present");
+            let snap = p.machine.metrics_snapshot();
+            state.metrics.absorb(&snap);
+            if state.recycle == Recycle::Rebuild {
+                state.platform = None;
+            }
+        }
+        wall_busy += t0.elapsed();
+    }
+    // Busy accounting: prefer real thread CPU time (idle condvar waits
+    // don't accrue), fall back to wall time around task execution. The
+    // kernel only folds the running slice into schedstat at scheduler
+    // events, so yield first — otherwise each worker under-reports by
+    // its tail since the last tick, inflating multi-shard efficiency.
+    std::thread::yield_now();
+    state.busy_ns = match (cpu0, busy::thread_busy_ns()) {
+        (Some(a), Some(b)) => b.saturating_sub(a),
+        _ => wall_busy.as_nanos() as u64,
+    };
+    state
+}
+
+/// Runs a fleet: spawns `cfg.shards` workers, hands the body a
+/// [`Fleet`] to submit jobs through, and after the body returns waits
+/// for every submitted job to finish before folding shard metrics and
+/// returning.
+///
+/// The body's environment may be borrowed (`'env`): jobs can capture
+/// references to caller state, like `std::thread::scope`. If the body
+/// panics, all already-submitted jobs still run, workers shut down
+/// cleanly, and the panic then resumes.
+pub fn run<'env, R>(cfg: FleetConfig, body: impl FnOnce(&Fleet<'_, 'env>) -> R) -> FleetRun<R> {
+    let shards = cfg.shards.max(1);
+    let queue = Queue::new();
+    let t0 = Instant::now();
+    let (value, states) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..shards)
+            .map(|i| {
+                let q = &queue;
+                let c = &cfg;
+                s.spawn(move || worker(q, c, i))
+            })
+            .collect();
+        let fleet = Fleet {
+            queue: &queue,
+            next_job: AtomicU64::new(0),
+        };
+        let value = catch_unwind(AssertUnwindSafe(|| body(&fleet)));
+        queue.close();
+        let states: Vec<ShardState> = handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect();
+        match value {
+            Ok(v) => (v, states),
+            Err(p) => resume_unwind(p),
+        }
+    });
+    let wall = t0.elapsed();
+    let metrics = FleetMetrics::from_shards(states.iter().map(|s| s.metrics).collect());
+    let shard_stats: Vec<ShardStats> = states
+        .iter()
+        .map(|s| ShardStats {
+            jobs: s.jobs,
+            boots: s.boots,
+            resets: s.resets,
+            busy_ns: s.busy_ns,
+        })
+        .collect();
+    let jobs = shard_stats.iter().map(|s| s.jobs).sum();
+    FleetRun {
+        value,
+        metrics,
+        shards: shard_stats,
+        jobs,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_guest::progs;
+    use komodo_os::EnclaveRun;
+
+    fn small() -> PlatformConfig {
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(32)
+    }
+
+    /// The submission surface must be shareable with worker threads.
+    #[test]
+    fn fleet_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FleetConfig>();
+        assert_send::<JobHandle<u64>>();
+        assert_send::<ShardStats>();
+    }
+
+    #[test]
+    fn typed_results_round_trip() {
+        let r = run(FleetConfig::default().with_shards(3), |fleet| {
+            let a = fleet.submit(|ctx| ctx.job_index() * 10);
+            let b = fleet.submit(|_| "text".to_string());
+            let c = fleet.submit(|ctx| (ctx.job_index(), vec![1u8, 2, 3]));
+            (a.join().unwrap(), b.join().unwrap(), c.join().unwrap())
+        });
+        assert_eq!(r.value, (0, "text".to_string(), (2, vec![1, 2, 3])));
+        assert_eq!(r.jobs, 3);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once_even_unjoined() {
+        use std::sync::atomic::AtomicU64;
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let slots = &hits;
+        let r = run(FleetConfig::default().with_shards(4), |fleet| {
+            for slot in slots.iter().take(64) {
+                // Handles dropped: the run must still execute the jobs.
+                let _ = fleet.submit(move |_| slot.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(r.jobs, 64);
+        assert_eq!(r.shards.iter().map(|s| s.jobs).sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn panics_are_captured_per_job() {
+        let r = run(FleetConfig::default().with_shards(2), |fleet| {
+            let bad = fleet.submit(|_| -> u32 { panic!("job 0 exploded") });
+            let good = fleet.submit(|_| 7u32);
+            (bad.join(), good.join())
+        });
+        let (bad, good) = r.value;
+        assert_eq!(bad.unwrap_err().message, "job 0 exploded");
+        assert_eq!(good.unwrap(), 7);
+        assert_eq!(r.jobs, 2, "a panicking job still counts as executed");
+    }
+
+    #[test]
+    fn seeds_are_index_derived() {
+        let cfg = FleetConfig::default().with_shards(2);
+        let base = cfg.platform.clone();
+        let r = run(cfg, |fleet| {
+            (0..8)
+                .map(|_| fleet.submit(|ctx| (ctx.job_index(), ctx.seed())))
+                .collect::<Vec<_>>()
+        });
+        for h in r.value {
+            let (job, seed) = h.join().unwrap();
+            assert_eq!(seed, base.derive_seed(job));
+        }
+    }
+
+    #[test]
+    fn platform_jobs_see_a_fresh_seeded_platform() {
+        let cfg = FleetConfig::default().with_shards(2).with_platform(small());
+        let r = run(cfg, |fleet| {
+            (0..6)
+                .map(|_| {
+                    fleet.submit(|ctx| {
+                        let seed = ctx.seed();
+                        let job = ctx.job_index() as u32;
+                        let p = ctx.platform();
+                        assert_eq!(p.config().seed, seed);
+                        // Fresh boot: full secure pool, boot-only cycles.
+                        assert_eq!(p.os.secure_available(), 32);
+                        let e = p.load(&progs::adder()).unwrap();
+                        let run = p.run(&e, 0, [job, 1, 0]);
+                        (run, p.cycles())
+                    })
+                })
+                .collect::<Vec<_>>()
+        });
+        for (i, h) in r.value.into_iter().enumerate() {
+            let (er, cycles) = h.join().unwrap();
+            assert_eq!(er, EnclaveRun::Exited(i as u32 + 1));
+            // Same workload on a scratch fresh platform: identical cycles.
+            let mut fresh = Platform::with_config(
+                small().with_seed(PlatformConfig::default().derive_seed(i as u64)),
+            );
+            let e = fresh.load(&progs::adder()).unwrap();
+            fresh.run(&e, 0, [i as u32, 1, 0]);
+            assert_eq!(cycles, fresh.cycles(), "job {i} diverged from fresh boot");
+        }
+    }
+
+    #[test]
+    fn reboot_recycling_boots_once_per_shard() {
+        let cfg = FleetConfig::default().with_shards(1).with_platform(small());
+        let r = run(cfg, |fleet| {
+            for _ in 0..5 {
+                fleet.submit(|ctx| {
+                    ctx.platform();
+                });
+            }
+        });
+        assert_eq!(r.shards[0].boots, 1);
+        assert_eq!(r.shards[0].resets, 4);
+    }
+
+    #[test]
+    fn rebuild_recycling_boots_every_job() {
+        let cfg = FleetConfig::default()
+            .with_shards(1)
+            .with_platform(small())
+            .with_recycle(Recycle::Rebuild);
+        let r = run(cfg, |fleet| {
+            for _ in 0..3 {
+                fleet.submit(|ctx| {
+                    ctx.platform();
+                });
+            }
+        });
+        assert_eq!(r.shards[0].boots, 3);
+        assert_eq!(r.shards[0].resets, 0);
+    }
+
+    #[test]
+    fn platforms_boot_lazily() {
+        let r = run(FleetConfig::default().with_shards(4), |fleet| {
+            for i in 0..16u64 {
+                fleet.submit(move |_| i);
+            }
+        });
+        assert_eq!(r.shards.iter().map(|s| s.boots).sum::<u64>(), 0);
+        assert_eq!(r.metrics.total(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn absorbed_metrics_fold_into_the_total() {
+        let r = run(FleetConfig::default().with_shards(3), |fleet| {
+            for i in 1..=4u64 {
+                fleet.submit(move |ctx| {
+                    ctx.absorb(&MetricsSnapshot {
+                        cycles: i,
+                        ..MetricsSnapshot::default()
+                    });
+                });
+            }
+        });
+        assert_eq!(r.metrics.total().cycles, 1 + 2 + 3 + 4);
+        assert_eq!(r.metrics.shard_count(), 3);
+    }
+
+    #[test]
+    fn body_panic_still_runs_submitted_jobs_and_propagates() {
+        use std::sync::atomic::AtomicU64;
+        let ran = AtomicU64::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run(FleetConfig::default().with_shards(2), |fleet| {
+                for _ in 0..4 {
+                    fleet.submit(|_| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("body bailed");
+            });
+        }));
+        assert_eq!(panic_message(caught.unwrap_err()), "body bailed");
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let r = run(FleetConfig::default().with_shards(0), |fleet| {
+            fleet.submit(|ctx| ctx.shard()).join().unwrap()
+        });
+        assert_eq!(r.value, 0);
+        assert_eq!(r.shards.len(), 1);
+    }
+}

@@ -2,7 +2,7 @@
 
 use komodo_armv7::Machine;
 use komodo_guest::Image;
-use komodo_monitor::{boot, Monitor, MonitorLayout};
+use komodo_monitor::{boot, reboot, Monitor, MonitorLayout};
 use komodo_os::{Enclave, EnclaveBuilder, EnclaveRun, NativeProcess, Os, Segment};
 use komodo_spec::KomErr;
 
@@ -27,6 +27,42 @@ impl Default for PlatformConfig {
     }
 }
 
+impl PlatformConfig {
+    /// Returns the config with `bytes` of insecure RAM.
+    pub fn with_insecure_size(mut self, bytes: u32) -> Self {
+        self.insecure_size = bytes;
+        self
+    }
+
+    /// Returns the config with `npages` secure pool pages.
+    pub fn with_npages(mut self, npages: usize) -> Self {
+        self.npages = npages;
+        self
+    }
+
+    /// Returns the config with the given hardware-RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Derives an independent per-stream seed from this config's base
+    /// seed — how a fleet gives every job its own deterministic platform
+    /// seed: `derive_seed(j)` depends only on `(seed, j)`, never on which
+    /// shard runs the job, so job results are shard-count independent.
+    /// The mix is splitmix64 over the golden-ratio-separated stream
+    /// index, so neighbouring streams decorrelate fully.
+    pub fn derive_seed(&self, stream: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
 /// A booted platform: simulated machine, Komodo monitor, and the
 /// normal-world OS model.
 pub struct Platform {
@@ -36,6 +72,9 @@ pub struct Platform {
     pub monitor: Monitor,
     /// The OS model (normal world).
     pub os: Os,
+    /// The parameters this platform was booted with (re-used by
+    /// [`Platform::reset`]).
+    config: PlatformConfig,
 }
 
 impl Default for Platform {
@@ -59,7 +98,36 @@ impl Platform {
             machine,
             monitor,
             os,
+            config: cfg,
         }
+    }
+
+    /// The parameters this platform was booted (or last reset) with.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Re-boots the platform in place with its current config: the fast
+    /// recycling path for platform pooling. Every architectural field
+    /// ends bit-for-bit equal to a fresh [`Platform::with_config`] with
+    /// the same parameters — memory contents, counters, cycle charge,
+    /// attestation key — but the RAM allocations are reused instead of
+    /// reallocated, which is what makes a pooled platform cheaper than
+    /// constructing one per job. Host-side caches and the flight
+    /// recorder return to their construction defaults (re-arm with
+    /// [`Platform::set_trace`] if needed).
+    pub fn reset(&mut self) {
+        self.reset_with_seed(self.config.seed);
+    }
+
+    /// [`Platform::reset`] with a new hardware-RNG seed — how a fleet
+    /// shard recycles one platform across jobs that each need their own
+    /// deterministic seed (see [`PlatformConfig::derive_seed`]).
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.config.seed = seed;
+        let layout = MonitorLayout::new(self.config.insecure_size, self.config.npages);
+        self.monitor = reboot(&mut self.machine, layout, seed);
+        self.os = Os::new(&mut self.machine, &mut self.monitor);
     }
 
     /// Converts guest segments to loader segments.
@@ -165,9 +233,20 @@ impl Platform {
         offset_words: usize,
         n: usize,
     ) -> Vec<u32> {
-        let pfn = enclave.shared_pfns[segment][offset_words / 1024];
-        self.os
-            .read_insecure(&mut self.machine, pfn, offset_words % 1024, n)
+        // Split across page boundaries, like `write_shared`.
+        let mut out = Vec::with_capacity(n);
+        let mut off = offset_words;
+        let mut rest = n;
+        while rest > 0 {
+            let page = off / 1024;
+            let within = off % 1024;
+            let take = rest.min(1024 - within);
+            let pfn = enclave.shared_pfns[segment][page];
+            out.extend(self.os.read_insecure(&mut self.machine, pfn, within, take));
+            off += take;
+            rest -= take;
+        }
+        out
     }
 
     /// Writes words into a shared page of an enclave segment.
@@ -219,6 +298,106 @@ mod tests {
         p.write_shared(&e, 1, 0, &[10, 20, 30, 40]);
         assert_eq!(p.run(&e, 0, [4, 0, 0]), EnclaveRun::Exited(100));
         assert_eq!(p.read_shared(&e, 1, 512, 4), vec![10, 20, 30, 40]);
+    }
+
+    /// A whole platform must be `Send` so the fleet scheduler can park
+    /// one per worker thread: machine, monitor and OS model are all
+    /// owned plain data (audited: no `Rc`, no raw pointers, no interior
+    /// mutability anywhere in their crates). Compile-time assertion.
+    #[test]
+    fn platform_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Platform>();
+        assert_send::<PlatformConfig>();
+    }
+
+    #[test]
+    fn config_builder_matches_struct_literal() {
+        let a = PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(99);
+        let b = PlatformConfig {
+            insecure_size: 1 << 20,
+            npages: 64,
+            seed: 99,
+        };
+        assert_eq!(a.insecure_size, b.insecure_size);
+        assert_eq!(a.npages, b.npages);
+        assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct() {
+        let cfg = PlatformConfig::default().with_seed(7);
+        assert_eq!(cfg.derive_seed(3), cfg.derive_seed(3));
+        let mut seen: Vec<u64> = (0..100).map(|i| cfg.derive_seed(i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 100, "stream seeds must not collide");
+        assert_ne!(
+            cfg.derive_seed(0),
+            PlatformConfig::default().with_seed(8).derive_seed(0),
+            "different base seeds must derive different streams"
+        );
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_boot() {
+        let cfg = PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(21);
+        let mut p = Platform::with_config(cfg.clone());
+        // Dirty the platform thoroughly: run and destroy an enclave.
+        let e = p.load(&progs::adder()).unwrap();
+        assert_eq!(p.run(&e, 0, [40, 2, 0]), EnclaveRun::Exited(42));
+        p.destroy(&e).unwrap();
+        p.reset();
+        let fresh = Platform::with_config(cfg);
+        assert!(
+            p.machine == fresh.machine,
+            "reset must equal a fresh boot bit-for-bit"
+        );
+        assert_eq!(p.os.secure_available(), fresh.os.secure_available());
+        // Same workload after reset: same result, same cycle count as on
+        // a fresh platform (the deterministic-recycling contract).
+        let run = |p: &mut Platform| {
+            let e = p.load(&progs::adder()).unwrap();
+            let r = p.run(&e, 0, [1, 2, 0]);
+            (r, p.cycles())
+        };
+        let mut fresh = fresh;
+        assert_eq!(run(&mut p), run(&mut fresh));
+    }
+
+    #[test]
+    fn reset_with_seed_changes_the_attestation_identity() {
+        let mut p = Platform::with_config(PlatformConfig::default().with_seed(1));
+        let k1 = p.monitor.attest_key().to_vec();
+        p.reset_with_seed(2);
+        assert_eq!(p.config().seed, 2);
+        assert_ne!(p.monitor.attest_key().to_vec(), k1);
+        p.reset_with_seed(1);
+        assert_eq!(p.monitor.attest_key().to_vec(), k1);
+    }
+
+    #[test]
+    fn shared_io_splits_across_page_boundaries() {
+        // Widen echo's shared segment to two pages so offsets ≥ 1024
+        // words land on the second shared PFN.
+        let mut img = progs::echo();
+        img.segments[1].words = vec![0; 2048];
+        let mut p = Platform::new();
+        let e = p.load(&img).unwrap();
+        let data: Vec<u32> = (0..8).map(|i| 0x1000 + i).collect();
+        // Words 1020..1028 straddle the first/second shared page.
+        p.write_shared(&e, 1, 1020, &data);
+        assert_eq!(p.read_shared(&e, 1, 1020, 8), data);
+        // A read fully inside the second page indexes that page, not a
+        // wrapped offset in the first (the pre-fix failure mode).
+        assert_eq!(p.read_shared(&e, 1, 1024, 4), data[4..]);
+        assert_eq!(p.read_shared(&e, 1, 1027, 1), data[7..]);
     }
 
     #[test]

@@ -35,6 +35,26 @@ pub fn boot(layout: MonitorLayout, seed: u64) -> (Machine, Monitor) {
     (m, monitor)
 }
 
+/// Re-boots an already-constructed machine in place: the fast pooling
+/// path. The machine's memory regions must have been built for `layout`
+/// (by a prior [`boot`] / [`MonitorLayout::build_memory`]); they are
+/// zeroed and reused rather than reallocated, and every architectural
+/// field ends bit-for-bit equal to a fresh [`boot`] with the same
+/// arguments — same boot-cost charge, same world switch, same
+/// seed-derived attestation key.
+pub fn reboot(m: &mut Machine, layout: MonitorLayout, seed: u64) -> Monitor {
+    debug_assert!(
+        m.mem.is_mapped(layout.monitor_base) && m.mem.is_mapped(layout.page_pa(0)),
+        "reboot requires a machine built for this layout"
+    );
+    m.reboot();
+    let monitor = Monitor::new(layout, seed);
+    m.charge(BOOT_COST);
+    m.set_scr_ns(true);
+    m.cpsr = Psr::privileged(Mode::Supervisor);
+    monitor
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +75,23 @@ mod tests {
         let (_, c) = boot(MonitorLayout::new(1 << 20, 16), 8);
         assert_eq!(a.attest_key(), b.attest_key());
         assert_ne!(a.attest_key(), c.attest_key());
+    }
+
+    #[test]
+    fn reboot_equals_fresh_boot_bit_for_bit() {
+        use komodo_armv7::mem::AccessAttrs;
+        let layout = MonitorLayout::new(1 << 20, 16);
+        let (mut m, _) = boot(layout.clone(), 3);
+        // Dirty insecure RAM, secure RAM, and the cycle counter.
+        m.mem.write(0x100, 5, AccessAttrs::NORMAL).unwrap();
+        m.mem
+            .write(layout.page_pa(2), 9, AccessAttrs::MONITOR)
+            .unwrap();
+        m.charge(1234);
+        let mon = reboot(&mut m, layout.clone(), 7);
+        let (fresh_m, fresh_mon) = boot(layout, 7);
+        assert!(m == fresh_m, "reboot must equal a fresh boot");
+        assert_eq!(mon.attest_key(), fresh_mon.attest_key());
     }
 
     #[test]

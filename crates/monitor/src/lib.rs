@@ -39,6 +39,6 @@ pub mod layout;
 pub mod monitor;
 pub mod pgdb;
 
-pub use boot::boot;
+pub use boot::{boot, reboot};
 pub use layout::MonitorLayout;
 pub use monitor::{Monitor, SmcResult};

@@ -891,3 +891,19 @@ impl Monitor {
         KomErr::Ok
     }
 }
+
+#[cfg(test)]
+mod send_tests {
+    use super::*;
+
+    /// The monitor's state is owned plain data (layout, params, derived
+    /// key material, DRBG, toggles) — it must stay `Send` so a booted
+    /// platform can migrate between fleet worker threads. Compile-time
+    /// assertion: a future `Rc`/raw-pointer field fails the build here.
+    #[test]
+    fn monitor_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Monitor>();
+        assert_send::<SmcResult>();
+    }
+}

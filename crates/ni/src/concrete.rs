@@ -65,10 +65,11 @@ mod tests {
     /// architecturally invisible, so arming it cannot mask (or cause) an
     /// NI violation.
     fn paired_platforms() -> (Platform, Platform) {
-        let cfg = || komodo::PlatformConfig {
-            insecure_size: 1 << 20,
-            npages: 64,
-            seed: 7,
+        let cfg = || {
+            komodo::PlatformConfig::default()
+                .with_insecure_size(1 << 20)
+                .with_npages(64)
+                .with_seed(7)
         };
         let mut p1 = Platform::with_config(cfg());
         let mut p2 = Platform::with_config(cfg());

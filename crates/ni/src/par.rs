@@ -3,83 +3,25 @@
 //! The refinement and noninterference suites run many independent
 //! episodes, each fully determined by its index (per-episode seeds are
 //! derived from the index, never from shared RNG state). That makes them
-//! embarrassingly parallel: this module fans the episode indices out
-//! across `std::thread::scope` workers pulling from an atomic work queue,
-//! with no dependency beyond the standard library.
+//! embarrassingly parallel. The fan-out machinery lives in the
+//! workspace's fleet scheduler ([`komodo_fleet::run_indexed`]): episodes
+//! become fleet jobs on the same sharded queue the bench harness uses,
+//! rather than a bespoke thread pool here.
 //!
-//! Failure reporting is deterministic too: every episode runs to
-//! completion regardless of other episodes' failures (panics are caught
-//! per episode), failures are collected with their indices, and the
-//! lowest-indexed failure is re-raised — so a failing run reports the
-//! same episode with the same message as the sequential loop it replaces.
+//! The behavioral contract is unchanged and re-pinned by this module's
+//! tests: every episode runs to completion regardless of other episodes'
+//! failures (panics are caught per episode), failures are collected with
+//! their indices, and the lowest-indexed failure is re-raised — so a
+//! failing run reports the same episode with the same message as the
+//! sequential loop it replaces.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Renders a caught panic payload the way `panic!` would display it.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Runs `f(0) .. f(count - 1)` across scoped worker threads.
-///
-/// Every episode executes exactly once, on some worker, with episodes
-/// handed out in index order from an atomic counter. A panicking episode
-/// does not abort the run; after all episodes finish, the panic of the
-/// *lowest-indexed* failing episode is re-raised (prefixed with the
-/// episode index and the total failure count), matching what the
-/// equivalent sequential `for` loop would have reported first.
-///
-/// `f` must derive all randomness from its index argument; shared mutable
-/// state would reintroduce scheduling-dependent results.
-pub fn run_indexed<F>(count: usize, f: F)
-where
-    F: Fn(usize) + Sync,
-{
-    if count == 0 {
-        return;
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(count);
-    let next = AtomicUsize::new(0);
-    let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i))) {
-                    failures.lock().unwrap().push((i, panic_message(p)));
-                }
-            });
-        }
-    });
-    let mut fails = failures.into_inner().unwrap();
-    if let Some((i, msg)) = {
-        fails.sort_by_key(|&(i, _)| i);
-        fails.first().cloned()
-    } {
-        panic!(
-            "episode {i} failed ({} of {count} episodes failed): {msg}",
-            fails.len()
-        );
-    }
-}
+pub use komodo_fleet::run_indexed;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use komodo_fleet::panic_message;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]

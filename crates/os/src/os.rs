@@ -231,6 +231,15 @@ mod tests {
         (m, mon, os)
     }
 
+    /// The OS model is two free lists and a bound — owned plain data. It
+    /// must stay `Send` so a booted platform can migrate between fleet
+    /// worker threads; this compile-time assertion pins that down.
+    #[test]
+    fn os_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Os>();
+    }
+
     #[test]
     fn os_learns_page_count() {
         let (_, _, os) = platform();

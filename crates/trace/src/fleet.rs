@@ -1,0 +1,191 @@
+//! Cross-machine metrics aggregation for sharded fleets.
+//!
+//! [`MetricsSnapshot`] is one machine's counters; a fleet runs many
+//! machines across worker shards and needs the fold: per-shard snapshots
+//! kept for attribution, a summed total, and the skew between the
+//! busiest and idlest shard (a load-balance diagnostic — a work queue
+//! that hands out jobs evenly should keep the ratio near 1). This
+//! module is pure data: the scheduler (`komodo-fleet`) folds into it,
+//! the bench JSON emitter reads through it.
+
+use crate::metrics::MetricsSnapshot;
+use core::fmt::Write as _;
+
+/// Min/max of one counter across a fleet's shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Skew {
+    /// Smallest per-shard value.
+    pub min: u64,
+    /// Largest per-shard value.
+    pub max: u64,
+}
+
+impl Skew {
+    /// `max / min` as a load-balance ratio; `None` when the minimum is
+    /// zero (an idle shard — infinite skew).
+    pub fn ratio(&self) -> Option<f64> {
+        (self.min != 0).then(|| self.max as f64 / self.min as f64)
+    }
+}
+
+/// Per-shard [`MetricsSnapshot`]s folded into one aggregate.
+///
+/// The shard vector is the attribution record (which shard did what);
+/// [`FleetMetrics::total`] is the sum across shards. Because every
+/// counter is a monotone per-machine tally, the total of a job set is
+/// independent of how jobs were distributed — the fleet determinism
+/// suite relies on exactly this to compare 1-shard and N-shard runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetMetrics {
+    per_shard: Vec<MetricsSnapshot>,
+}
+
+impl FleetMetrics {
+    /// An aggregate with `shards` zeroed shard slots.
+    pub fn new(shards: usize) -> FleetMetrics {
+        FleetMetrics {
+            per_shard: vec![MetricsSnapshot::default(); shards],
+        }
+    }
+
+    /// Wraps already-collected per-shard snapshots.
+    pub fn from_shards(per_shard: Vec<MetricsSnapshot>) -> FleetMetrics {
+        FleetMetrics { per_shard }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// The per-shard snapshots, indexed by shard id.
+    pub fn shards(&self) -> &[MetricsSnapshot] {
+        &self.per_shard
+    }
+
+    /// Folds `snap` into shard `shard`'s slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn fold(&mut self, shard: usize, snap: &MetricsSnapshot) {
+        self.per_shard[shard].absorb(snap);
+    }
+
+    /// The summed counters across all shards.
+    pub fn total(&self) -> MetricsSnapshot {
+        let mut t = MetricsSnapshot::default();
+        for s in &self.per_shard {
+            t.absorb(s);
+        }
+        t
+    }
+
+    /// Min/max of `key` across shards; `None` for an empty fleet.
+    pub fn skew(&self, key: impl Fn(&MetricsSnapshot) -> u64) -> Option<Skew> {
+        let mut it = self.per_shard.iter().map(key);
+        let first = it.next()?;
+        let mut s = Skew {
+            min: first,
+            max: first,
+        };
+        for v in it {
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+        }
+        Some(s)
+    }
+
+    /// Skew of simulated cycles — the default load-balance diagnostic
+    /// (cycles track how much simulated work each shard absorbed).
+    pub fn cycle_skew(&self) -> Option<Skew> {
+        self.skew(|s| s.cycles)
+    }
+
+    /// Renders the aggregate as a JSON object: the summed total, the
+    /// cycle skew, and the per-shard snapshot array. Hand-rolled like
+    /// [`MetricsSnapshot::to_json`] (the build is hermetic — no serde).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent + 2);
+        let skew = self.cycle_skew().unwrap_or_default();
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "{pad}\"shards\": {},", self.shard_count());
+        let _ = writeln!(out, "{pad}\"cycle_skew_min\": {},", skew.min);
+        let _ = writeln!(out, "{pad}\"cycle_skew_max\": {},", skew.max);
+        let _ = writeln!(out, "{pad}\"total\": {},", self.total().to_json(indent + 2));
+        let _ = writeln!(out, "{pad}\"per_shard\": [");
+        for (i, s) in self.per_shard.iter().enumerate() {
+            let comma = if i + 1 == self.per_shard.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(out, "{pad}  {}{comma}", s.to_json(indent + 4));
+        }
+        let _ = writeln!(out, "{pad}]");
+        let _ = write!(out, "{}}}", " ".repeat(indent));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(cycles: u64, tlb_hits: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cycles,
+            tlb_hits,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn total_sums_across_shards() {
+        let mut f = FleetMetrics::new(3);
+        f.fold(0, &snap(10, 1));
+        f.fold(2, &snap(30, 2));
+        f.fold(2, &snap(5, 0));
+        let t = f.total();
+        assert_eq!(t.cycles, 45);
+        assert_eq!(t.tlb_hits, 3);
+        assert_eq!(f.shards()[2].cycles, 35);
+        assert_eq!(f.shards()[1], MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn total_is_distribution_independent() {
+        // The same three job snapshots folded onto 1 shard vs 3 shards
+        // sum identically — the determinism contract.
+        let jobs = [snap(7, 2), snap(11, 4), snap(13, 8)];
+        let mut one = FleetMetrics::new(1);
+        let mut three = FleetMetrics::new(3);
+        for (i, j) in jobs.iter().enumerate() {
+            one.fold(0, j);
+            three.fold(i % 3, j);
+        }
+        assert_eq!(one.total(), three.total());
+    }
+
+    #[test]
+    fn skew_tracks_min_and_max() {
+        let f = FleetMetrics::from_shards(vec![snap(100, 0), snap(50, 0), snap(200, 0)]);
+        let s = f.cycle_skew().unwrap();
+        assert_eq!((s.min, s.max), (50, 200));
+        assert_eq!(s.ratio(), Some(4.0));
+        assert!(FleetMetrics::new(0).cycle_skew().is_none());
+        assert_eq!(Skew { min: 0, max: 9 }.ratio(), None);
+    }
+
+    #[test]
+    fn json_carries_total_skew_and_shards() {
+        let f = FleetMetrics::from_shards(vec![snap(4, 0), snap(6, 0)]);
+        let j = f.to_json(0);
+        assert!(j.contains("\"shards\": 2"));
+        assert!(j.contains("\"cycle_skew_min\": 4"));
+        assert!(j.contains("\"cycle_skew_max\": 6"));
+        assert!(j.contains("\"per_shard\": ["));
+        assert_eq!(j.matches("\"cycles\":").count(), 3, "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -23,7 +23,9 @@
 //!   `trace_event` JSON for `chrome://tracing` / Perfetto, and
 //!   [`MetricsSnapshot`] aggregates the simulator's counter surfaces
 //!   (TLB, data-TLB, superblocks, memory, trace) under one hand-rolled
-//!   JSON schema (serde-free: the build is hermetic).
+//!   JSON schema (serde-free: the build is hermetic). [`FleetMetrics`]
+//!   folds many machines' snapshots across scheduler shards: per-shard
+//!   attribution, a summed total, and min/max load skew.
 //!
 //! **Neutrality contract.** Recording must never perturb simulated
 //! state: no cycle charges, no counted memory traffic, no change to any
@@ -37,10 +39,12 @@
 
 mod chrome;
 mod event;
+mod fleet;
 mod metrics;
 mod ring;
 
 pub use chrome::chrome_trace;
 pub use event::{mode_name, page_type_name, Event, ExnVector, InvalCause, Stamped};
+pub use fleet::{FleetMetrics, Skew};
 pub use metrics::MetricsSnapshot;
 pub use ring::FlightRecorder;

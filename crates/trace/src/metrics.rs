@@ -68,6 +68,32 @@ impl MetricsSnapshot {
         self.dtlb_inval_flush + self.dtlb_inval_ttbr + self.dtlb_inval_world
     }
 
+    /// Adds every counter of `other` into `self` — the cross-machine
+    /// merge used by fleet aggregation. All fields sum, including
+    /// `trace_capacity` (for an aggregate it reads as total ring
+    /// capacity across the folded machines).
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.cycles += other.cycles;
+        self.mem_reads += other.mem_reads;
+        self.mem_writes += other.mem_writes;
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.tlb_flushes += other.tlb_flushes;
+        self.sb_built += other.sb_built;
+        self.sb_hits += other.sb_hits;
+        self.sb_chained += other.sb_chained;
+        self.sb_inval_code_gen += other.sb_inval_code_gen;
+        self.sb_inval_tlb += other.sb_inval_tlb;
+        self.dtlb_hits += other.dtlb_hits;
+        self.dtlb_misses += other.dtlb_misses;
+        self.dtlb_inval_flush += other.dtlb_inval_flush;
+        self.dtlb_inval_ttbr += other.dtlb_inval_ttbr;
+        self.dtlb_inval_world += other.dtlb_inval_world;
+        self.trace_capacity += other.trace_capacity;
+        self.trace_recorded += other.trace_recorded;
+        self.trace_dropped += other.trace_dropped;
+    }
+
     /// Renders the snapshot as a JSON object, `indent` spaces deep (the
     /// opening brace is not indented; nested lines are `indent + 2`).
     pub fn to_json(&self, indent: usize) -> String {

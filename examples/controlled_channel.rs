@@ -51,11 +51,12 @@ fn komodo_side() {
     // depending on a secret bit. Run it with secret bit 0 and secret bit
     // 1 on twin platforms; compare everything the OS can observe.
     let run = |bit: u32| {
-        let mut p = Platform::with_config(PlatformConfig {
-            insecure_size: 1 << 20,
-            npages: 64,
-            seed: 5,
-        });
+        let mut p = Platform::with_config(
+            PlatformConfig::default()
+                .with_insecure_size(1 << 20)
+                .with_npages(64)
+                .with_seed(5),
+        );
         let e = p.load(&progs::page_oracle()).unwrap();
         let r = p.run(&e, 0, [bit, 0, 0]);
         assert_eq!(r, EnclaveRun::Exited(0));

@@ -12,11 +12,12 @@ use komodo_os::EnclaveRun;
 use komodo_spec::KomErr;
 
 fn main() {
-    let mut p = Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 64,
-        seed: 1234,
-    });
+    let mut p = Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(1234),
+    );
     let victim = p.load(&progs::secret_keeper()).unwrap();
     assert_eq!(
         p.run(&victim, 0, [0, 0xcafe_f00d, 0]),

@@ -9,11 +9,12 @@ use komodo_spec::svc::attest_mac;
 use komodo_spec::KomErr;
 
 fn platform() -> Platform {
-    Platform::with_config(PlatformConfig {
-        insecure_size: 2 << 20,
-        npages: 128,
-        seed: 21,
-    })
+    Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(2 << 20)
+            .with_npages(128)
+            .with_seed(21),
+    )
 }
 
 #[test]

@@ -69,11 +69,12 @@ fn concrete_confidentiality_under_attack() {
     use komodo_os::EnclaveRun;
 
     let build = |secret: u32| {
-        let mut p = Platform::with_config(PlatformConfig {
-            insecure_size: 1 << 20,
-            npages: 64,
-            seed: 99,
-        });
+        let mut p = Platform::with_config(
+            PlatformConfig::default()
+                .with_insecure_size(1 << 20)
+                .with_npages(64)
+                .with_seed(99),
+        );
         let e = p.load(&progs::secret_keeper()).unwrap();
         assert_eq!(p.run(&e, 0, [0, secret, 0]), EnclaveRun::Exited(0));
         (p, e)
@@ -113,11 +114,12 @@ fn concrete_integrity_under_attack() {
     use komodo_os::attacks;
     use komodo_os::EnclaveRun;
 
-    let mut p = Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 64,
-        seed: 98,
-    });
+    let mut p = Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(98),
+    );
     let e = p.load(&progs::secret_keeper()).unwrap();
     assert_eq!(p.run(&e, 0, [0, 0xfeed_face, 0]), EnclaveRun::Exited(0));
 
@@ -164,11 +166,12 @@ fn declassified_exit_values_do_differ() {
     use komodo_os::EnclaveRun;
 
     let run = |secret: u32| {
-        let mut p = Platform::with_config(PlatformConfig {
-            insecure_size: 1 << 20,
-            npages: 64,
-            seed: 97,
-        });
+        let mut p = Platform::with_config(
+            PlatformConfig::default()
+                .with_insecure_size(1 << 20)
+                .with_npages(64)
+                .with_seed(97),
+        );
         let e = p.load(&progs::secret_keeper()).unwrap();
         p.run(&e, 0, [0, secret, 0]);
         // The enclave *chooses* to reveal: exit value = secret.

@@ -92,11 +92,12 @@ fn nested_exceptions_preserve_monitor_banked_state() {
     use komodo_guest::progs;
     use komodo_os::EnclaveRun;
 
-    let mut p = Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 32,
-        seed: 1,
-    });
+    let mut p = Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(32)
+            .with_seed(1),
+    );
     let e = p.load(&progs::spinner()).unwrap();
     // Force deep nesting: interrupt during enclave execution, then resume
     // repeatedly. If any handler used the wrong SPSR bank, the machine
@@ -153,11 +154,12 @@ fn dynamic_remap_never_uses_stale_translations() {
         }],
         entry: 0x8000,
     };
-    let mut p = Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 32,
-        seed: 2,
-    });
+    let mut p = Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(32)
+            .with_seed(2),
+    );
     let e = p.load_with(&img, 1, 1).unwrap();
     let spare = e.spares[0] as u32;
     assert_eq!(

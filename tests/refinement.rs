@@ -193,11 +193,12 @@ fn enter_resume_refine_spec_postconditions() {
     use komodo_os::EnclaveRun;
     use komodo_spec::PageEntry;
 
-    let mut p = Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 64,
-        seed: 5,
-    });
+    let mut p = Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(5),
+    );
     let e = p.load(&progs::spinner()).unwrap();
     let before = abstract_pagedb(&mut p.machine, &p.monitor.layout);
     let measurement_before = before.measurement_of(e.asp).unwrap().digest();
@@ -280,11 +281,12 @@ fn dynamic_svc_error_codes_refine_spec() {
         entry: 0x8000,
     };
 
-    let mut p = Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 32,
-        seed: 4,
-    });
+    let mut p = Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(32)
+            .with_seed(4),
+    );
     let e = p.load_with(&img, 1, 1).unwrap();
     let spare = e.spares[0];
     let thread = e.threads[0];

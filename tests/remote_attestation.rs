@@ -19,11 +19,12 @@ use komodo_os::EnclaveRun;
 use komodo_spec::svc::attest_mac;
 
 fn setup() -> (Platform, komodo::Enclave, u64) {
-    let mut p = Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 64,
-        seed: 0xa77e57,
-    });
+    let mut p = Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(0xa77e57),
+    );
     let img = ra_image();
     let e = p.load(&img).unwrap();
     // 1. Init: keypair generated in-enclave.

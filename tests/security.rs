@@ -12,11 +12,12 @@ use komodo_os::{EnclaveRun, Segment};
 use komodo_spec::KomErr;
 
 fn platform() -> Platform {
-    Platform::with_config(PlatformConfig {
-        insecure_size: 1 << 20,
-        npages: 64,
-        seed: 13,
-    })
+    Platform::with_config(
+        PlatformConfig::default()
+            .with_insecure_size(1 << 20)
+            .with_npages(64)
+            .with_seed(13),
+    )
 }
 
 #[test]
