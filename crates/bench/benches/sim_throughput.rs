@@ -11,6 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use komodo_bench::fleet::default_sweep;
+use komodo_bench::service::default_service_sweep;
 use komodo_bench::throughput::{guest, measure_all, trace_overhead, workloads};
 
 fn quick() -> bool {
@@ -92,6 +93,44 @@ fn sim_throughput(c: &mut Criterion) {
         "4-shard CPU-normalized aggregate must scale at least 2.5x over 1 shard \
          (got {:.2}x)",
         scaling.agg_speedup(4)
+    );
+
+    // Service node head-to-head: the same step budget arriving as typed
+    // Invoke requests through the komodo-service front end (seeded
+    // open-loop burst schedule). The gate is the 4-shard CPU-normalized
+    // aggregate ratio against the raw fleet above: the request layer —
+    // admission, per-request records, response path — must cost at most
+    // 10% (ratio >= 0.9). Latency percentiles are exact, from the
+    // per-request records.
+    println!();
+    let svc = default_service_sweep(fleet_steps);
+    for r in &svc.rows {
+        println!(
+            "service throughput: {} shards {:.0} req/s, aggregate {:.0} insn/s, \
+             {} requests completed",
+            r.shards,
+            r.req_s(),
+            r.agg_ips(),
+            r.completed
+        );
+    }
+    for r in &svc.rows {
+        println!(
+            "service latency: {} shards p50 {:.1} us, p99 {:.1} us",
+            r.shards,
+            r.p50_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3
+        );
+    }
+    let vs_fleet = svc.vs_fleet(&scaling, 4);
+    println!(
+        "service vs fleet: 4-shard cpu-normalized aggregate ratio {vs_fleet:.2} \
+         (gate: >= 0.90)"
+    );
+    assert!(
+        vs_fleet >= 0.9,
+        "service 4-shard aggregate must stay within 10% of the raw fleet \
+         (ratio {vs_fleet:.2})"
     );
 
     // Flight-recorder overhead budget: armed tracing must stay within 2%

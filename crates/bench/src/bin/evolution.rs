@@ -12,7 +12,7 @@
 //! reproduction, the analogue of the paper's effort accounting.
 
 use komodo::{Platform, PlatformConfig};
-use komodo_bench::{fleet, throughput};
+use komodo_bench::{fleet, service, throughput};
 use komodo_guest::progs;
 use komodo_os::EnclaveRun;
 
@@ -238,8 +238,41 @@ fn main() {
     println!();
     println!("EXPERIMENTS.md table (paste into \"Fleet shard scaling\"):");
     print!("{}", fleet::fleet_to_markdown(&scaling));
+    println!();
+
+    // (e) Service node: the same step budget arriving as typed Invoke
+    // requests through the komodo-service front end (seeded open-loop
+    // burst). The head-to-head number is the 4-shard CPU-normalized
+    // aggregate ratio against the raw fleet — the request layer must be
+    // bookkeeping, not a throughput tax.
+    println!("Service node (16 requests x {fleet_steps} simulated instructions):");
+    println!(
+        "  {:<8} {:>10} {:>12} {:>12} {:>16}",
+        "shards", "req/s", "p50 us", "p99 us", "agg insn/s"
+    );
+    let svc = service::default_service_sweep(fleet_steps);
+    for r in &svc.rows {
+        println!(
+            "  {:<8} {:>10.0} {:>12.1} {:>12.1} {:>16.0}",
+            r.shards,
+            r.req_s(),
+            r.p50_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+            r.agg_ips()
+        );
+    }
+    println!(
+        "service vs fleet: 4-shard cpu-normalized aggregate ratio {:.2}",
+        svc.vs_fleet(&scaling, 4)
+    );
+    println!();
+    println!("EXPERIMENTS.md table (paste into \"Service node\"):");
+    print!("{}", service::service_to_markdown(&svc));
     let json_path = root.join("BENCH_sim_throughput.json");
-    match std::fs::write(&json_path, fleet::to_json_with_fleet(&results, &scaling)) {
+    match std::fs::write(
+        &json_path,
+        service::to_json_with_fleet_and_service(&results, &scaling, &svc),
+    ) {
         Ok(()) => println!("  wrote {}", json_path.display()),
         Err(e) => println!("  (could not write {}: {e})", json_path.display()),
     }

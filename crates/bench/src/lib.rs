@@ -23,6 +23,7 @@
 pub mod fleet;
 pub mod micro;
 pub mod notary;
+pub mod service;
 pub mod throughput;
 
 /// Clock frequency of the paper's evaluation platform (Raspberry Pi 2,

@@ -15,52 +15,16 @@
 //! cycle counter, TLB and memory statistics) are equal, making every
 //! benchmark run double as a preservation check.
 
-use komodo_armv7::mem::AccessAttrs;
-use komodo_armv7::mode::World;
-use komodo_armv7::psr::Psr;
-use komodo_armv7::ptw::{l1_coarse_desc, l2_page_desc, PagePerms};
 use komodo_armv7::regs::Reg;
 use komodo_armv7::{Assembler, Cond, ExitReason, Machine, Word};
+use komodo_guest::user::{CODE_VA, DATA_VA};
 use komodo_trace::MetricsSnapshot;
 use std::time::Instant;
 
-const CODE_VA: u32 = 0x8000;
-const DATA_VA: u32 = 0x9000;
-
-/// A machine with one RX code page at `0x8000` and eight RW data pages at
-/// `0x9000..=0x10000`, in secure user mode — the enclave-like
-/// configuration the executor property tests use, widened so the
-/// strided-copy workload can walk several pages per direction.
-pub fn guest(code: &[Word]) -> Machine {
-    let mut m = Machine::new();
-    m.mem.add_region(0x8000_0000, 0x10_0000, true);
-    let ttbr0 = 0x8000_0000u32;
-    let l2 = 0x8000_1000u32;
-    m.mem
-        .write(ttbr0, l1_coarse_desc(l2), AccessAttrs::MONITOR)
-        .unwrap();
-    m.mem
-        .write(
-            l2 + 8 * 4,
-            l2_page_desc(0x8000_2000, PagePerms::RX, false),
-            AccessAttrs::MONITOR,
-        )
-        .unwrap();
-    for i in 9u32..=16 {
-        m.mem
-            .write(
-                l2 + i * 4,
-                l2_page_desc(0x8000_3000 + (i - 9) * 0x1000, PagePerms::RW, false),
-                AccessAttrs::MONITOR,
-            )
-            .unwrap();
-    }
-    m.mem.load_words(0x8000_2000, code).unwrap();
-    m.cp15.mmu_mut(World::Secure).ttbr0 = ttbr0;
-    m.cpsr = Psr::user();
-    m.pc = CODE_VA;
-    m
-}
+/// The sandbox machine the workloads run on — re-exported from
+/// `komodo_guest::user` (it moved there so the service node can drive
+/// the same workloads without depending on the bench harness).
+pub use komodo_guest::user::sandbox as guest;
 
 /// Straight-line workload: a near-page-full run of data-processing
 /// instructions, looped — long sequential fetch runs on one code page,

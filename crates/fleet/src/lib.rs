@@ -34,6 +34,6 @@ pub use busy::thread_busy_ns;
 pub use indexed::run_indexed;
 pub use panic_msg::panic_message;
 pub use sched::{
-    run, Fleet, FleetConfig, FleetRun, JobHandle, JobPanic, JobResult, Recycle, ShardCtx,
-    ShardStats,
+    run, Class, Fleet, FleetConfig, FleetRun, JobHandle, JobPanic, JobResult, Recycle, ShardCtx,
+    ShardStats, SubmitError, ABANDONED,
 };

@@ -1,5 +1,5 @@
 //! The sharded scheduler: worker threads with pooled platforms pulling
-//! jobs from one FIFO queue.
+//! jobs from one priority-classed work queue.
 //!
 //! Ownership story: each worker thread *owns* at most one [`Platform`]
 //! (lazily booted on first use, recycled between jobs), so no platform
@@ -7,6 +7,23 @@
 //! Jobs are `FnOnce` closures handed a [`ShardCtx`]; results travel back
 //! through typed [`JobHandle`]s. Per-shard counter snapshots fold into a
 //! [`FleetMetrics`] when the run finishes.
+//!
+//! Submission is classed ([`Class`]): control-plane jobs are always
+//! dispatched before interactive ones, which precede batch work. The
+//! queue may be bounded ([`FleetConfig::with_queue_capacity`]): a full
+//! queue *rejects* data-plane submissions with [`SubmitError::Full`]
+//! instead of growing without limit — the backpressure surface the
+//! service node builds on. Submitting after the fleet shut its queue is
+//! a hard [`SubmitError::Closed`] error in every build (it used to be a
+//! `debug_assert!`, which in release builds let a late job race worker
+//! exit and hang its joiner forever).
+//!
+//! Liveness contract: [`JobHandle::join`] always wakes. A job's result
+//! slot is completed by the job itself (value or caught panic), or — if
+//! the job never runs because its worker died mid-queue or the fleet
+//! tore down around it — by the completion guard that every queued task
+//! carries, which fills the slot with a [`JobPanic`] when the task is
+//! dropped unexecuted.
 //!
 //! Determinism contract: a job's *result* may depend only on its index
 //! and derived seed ([`PlatformConfig::derive_seed`]), never on which
@@ -18,8 +35,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use komodo::{Platform, PlatformConfig};
@@ -27,6 +43,23 @@ use komodo_trace::{FleetMetrics, MetricsSnapshot};
 
 use crate::busy;
 use crate::panic_msg::panic_message;
+
+/// Poison-tolerant lock: a panic on another thread while it held this
+/// mutex must not cascade into opaque `PoisonError` panics here. Every
+/// shared structure in this module keeps itself consistent across
+/// unwinds — slot results are single-assignment, queue state mutations
+/// (push/pop/close/len) complete before the guard drops — so the data
+/// under a poisoned lock is always safe to keep using; poisoning only
+/// tells us a panic happened elsewhere, and the fleet already surfaces
+/// panics through [`JobPanic`] / the worker join.
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant condvar wait; see [`lock_unpoisoned`].
+fn wait_unpoisoned<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How a worker recycles its platform between jobs that use one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +75,70 @@ pub enum Recycle {
     Rebuild,
 }
 
+/// Priority class of a submitted job. Workers always dispatch the
+/// highest class with queued work; within a class, dispatch is FIFO in
+/// submission order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Class {
+    /// Control plane: session teardown, shutdown drains — must never
+    /// starve behind data-plane work, and is exempt from the queue
+    /// bound (rejecting teardown would leak the resources it frees).
+    Control,
+    /// Latency-sensitive data plane (attestation, session operations).
+    Interactive,
+    /// Throughput data plane (bulk enclave jobs); the default class.
+    Batch,
+}
+
+impl Class {
+    /// All classes, highest priority first (the worker scan order).
+    pub const ALL: [Class; 3] = [Class::Control, Class::Interactive, Class::Batch];
+
+    /// Lane index: 0 = highest priority.
+    fn lane(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Control => "control",
+            Class::Interactive => "interactive",
+            Class::Batch => "batch",
+        }
+    }
+}
+
+/// Why a submission was refused. Rejection is synchronous and leaves no
+/// trace in the fleet: no job index is consumed, nothing runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The fleet body returned (or the service began shutdown) and the
+    /// queue no longer accepts work. A hard error in every build.
+    Closed,
+    /// The queue is at its configured capacity
+    /// ([`FleetConfig::with_queue_capacity`]); the caller must shed the
+    /// job or retry later. Control-class jobs are never rejected for
+    /// capacity.
+    Full {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Closed => write!(f, "submit on a closed fleet queue"),
+            SubmitError::Full { capacity } => {
+                write!(f, "fleet queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Fleet construction parameters.
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -53,6 +150,10 @@ pub struct FleetConfig {
     pub platform: PlatformConfig,
     /// Platform recycling policy.
     pub recycle: Recycle,
+    /// Maximum queued (submitted, not yet claimed) data-plane jobs;
+    /// `None` = unbounded. When bounded, [`Fleet::try_submit`] returns
+    /// [`SubmitError::Full`] instead of growing the backlog.
+    pub queue_capacity: Option<usize>,
 }
 
 impl Default for FleetConfig {
@@ -63,6 +164,7 @@ impl Default for FleetConfig {
                 .unwrap_or(1),
             platform: PlatformConfig::default(),
             recycle: Recycle::Reboot,
+            queue_capacity: None,
         }
     }
 }
@@ -85,6 +187,13 @@ impl FleetConfig {
         self.recycle = recycle;
         self
     }
+
+    /// Returns the config with the queue bounded to `capacity` queued
+    /// data-plane jobs (backpressure; see [`SubmitError::Full`]).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
 }
 
 /// A job that panicked; the payload, rendered as `panic!` would show it.
@@ -102,12 +211,51 @@ impl std::fmt::Display for JobPanic {
 
 impl std::error::Error for JobPanic {}
 
+/// The message a joiner sees when its job was claimed or queued but the
+/// worker (or the whole fleet) tore down before the job could run.
+pub const ABANDONED: &str = "job abandoned: worker or fleet tore down before it ran";
+
 /// What a job hands back: its value, or the panic that ended it.
 pub type JobResult<T> = Result<T, JobPanic>;
 
 struct Slot<T> {
     result: Mutex<Option<JobResult<T>>>,
     done: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn fill(&self, r: JobResult<T>) {
+        *lock_unpoisoned(&self.result) = Some(r);
+        self.done.notify_all();
+    }
+}
+
+/// Completion guard: fills the job's result slot exactly once. The task
+/// closure completes it with the job's outcome; if the task is instead
+/// *dropped* unexecuted — its worker thread died between claiming it and
+/// running it, or the fleet tore down with the job still queued — the
+/// guard's `Drop` completes the slot with a [`JobPanic`] so the joiner
+/// always wakes instead of blocking forever on a slot nobody will fill.
+struct Completion<T> {
+    slot: Arc<Slot<T>>,
+    filled: bool,
+}
+
+impl<T> Completion<T> {
+    fn complete(mut self, r: JobResult<T>) {
+        self.slot.fill(r);
+        self.filled = true;
+    }
+}
+
+impl<T> Drop for Completion<T> {
+    fn drop(&mut self) {
+        if !self.filled {
+            self.slot.fill(Err(JobPanic {
+                message: ABANDONED.to_string(),
+            }));
+        }
+    }
 }
 
 /// Typed handle to one submitted job's eventual result.
@@ -125,71 +273,119 @@ impl<T> JobHandle<T> {
 
     /// Blocks until the job finishes and returns its result. A job that
     /// panicked yields `Err(`[`JobPanic`]`)` instead of poisoning the
-    /// fleet: every other job still runs to completion.
+    /// fleet: every other job still runs to completion. A job whose
+    /// worker died before running it yields `Err` with [`ABANDONED`] —
+    /// the completion guard guarantees this join never hangs.
     pub fn join(self) -> JobResult<T> {
-        let mut r = self.slot.result.lock().unwrap();
+        let mut r = lock_unpoisoned(&self.slot.result);
         loop {
             if let Some(v) = r.take() {
                 return v;
             }
-            r = self.slot.done.wait(r).unwrap();
+            r = wait_unpoisoned(&self.slot.done, r);
         }
     }
 }
 
-/// A queued task: type-erased job closure, paired with its index.
+/// A queued task: type-erased job closure, paired with its index. The
+/// closure owns a [`Completion`]; dropping it unexecuted resolves the
+/// job as abandoned.
 type Task<'env> = Box<dyn FnOnce(&mut ShardCtx<'_>) + Send + 'env>;
 
 struct QueueState<'env> {
-    tasks: VecDeque<(u64, Task<'env>)>,
+    /// One FIFO lane per [`Class`], indexed by `Class::lane()`.
+    lanes: [VecDeque<(u64, Task<'env>)>; 3],
+    /// Jobs submitted so far (also the next job index).
+    submitted: u64,
     closed: bool,
 }
 
-/// FIFO work queue: jobs are handed to workers in submission order
-/// (which job lands on which *shard* is still scheduling-dependent).
+impl QueueState<'_> {
+    fn queued(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Priority-classed work queue: within a class, jobs are handed to
+/// workers in submission order (which job lands on which *shard* is
+/// still scheduling-dependent); across classes, higher classes always
+/// dispatch first.
 struct Queue<'env> {
     state: Mutex<QueueState<'env>>,
     ready: Condvar,
+    capacity: Option<usize>,
 }
 
 impl<'env> Queue<'env> {
-    fn new() -> Self {
+    fn new(capacity: Option<usize>) -> Self {
         Queue {
             state: Mutex::new(QueueState {
-                tasks: VecDeque::new(),
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                submitted: 0,
                 closed: false,
             }),
             ready: Condvar::new(),
+            capacity,
         }
     }
 
-    fn push(&self, job: u64, task: Task<'env>) {
-        let mut s = self.state.lock().unwrap();
-        debug_assert!(!s.closed, "submit after the fleet body returned");
-        s.tasks.push_back((job, task));
+    /// Enqueues a task, assigning and returning its job index. Refuses
+    /// with a hard error in every build when the queue is closed, and
+    /// with [`SubmitError::Full`] when a bounded queue is at capacity
+    /// (control-class jobs are exempt from the bound). A refused task is
+    /// dropped here, which is harmless: its completion guard has not
+    /// been created yet by the caller path that matters (see
+    /// [`Fleet::try_submit`] — the guard is inside the task, so dropping
+    /// it resolves the handle as abandoned, and `try_submit` never
+    /// returns the handle on error anyway).
+    fn push(&self, class: Class, task: Task<'env>) -> Result<u64, SubmitError> {
+        let mut s = lock_unpoisoned(&self.state);
+        if s.closed {
+            return Err(SubmitError::Closed);
+        }
+        if class != Class::Control {
+            if let Some(cap) = self.capacity {
+                if s.queued() >= cap {
+                    return Err(SubmitError::Full { capacity: cap });
+                }
+            }
+        }
+        let job = s.submitted;
+        s.submitted += 1;
+        s.lanes[class.lane()].push_back((job, task));
         drop(s);
         self.ready.notify_one();
+        Ok(job)
     }
 
-    /// Pops the next task, blocking while the queue is open and empty.
-    /// After close, drains the backlog and then returns `None` — every
-    /// submitted job runs before its worker exits.
+    /// Pops the next task — highest class first, FIFO within a class —
+    /// blocking while the queue is open and empty. After close, drains
+    /// the backlog and then returns `None` — every accepted job runs
+    /// before its worker exits.
     fn pop(&self) -> Option<(u64, Task<'env>)> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = lock_unpoisoned(&self.state);
         loop {
-            if let Some(t) = s.tasks.pop_front() {
+            if let Some(t) = s.lanes.iter_mut().find_map(VecDeque::pop_front) {
                 return Some(t);
             }
             if s.closed {
                 return None;
             }
-            s = self.ready.wait(s).unwrap();
+            s = wait_unpoisoned(&self.ready, s);
         }
     }
 
     fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.ready.notify_all();
+    }
+
+    fn submitted(&self) -> u64 {
+        lock_unpoisoned(&self.state).submitted
+    }
+
+    fn queued_len(&self) -> usize {
+        lock_unpoisoned(&self.state).queued()
     }
 }
 
@@ -313,43 +509,84 @@ impl<R> FleetRun<R> {
 /// returns — all handles are resolved by then either way).
 pub struct Fleet<'q, 'env> {
     queue: &'q Queue<'env>,
-    next_job: AtomicU64,
 }
 
 impl<'env> Fleet<'_, 'env> {
-    /// Submits a job; returns the typed handle to its result.
+    /// Submits a job in `class`; returns the typed handle to its result,
+    /// or the [`SubmitError`] if the queue refused it (closed, or a
+    /// bounded queue at capacity). On rejection nothing ran, no job
+    /// index was consumed, and there is no handle to leak.
     ///
     /// The closure runs exactly once on some shard, receives that
     /// shard's [`ShardCtx`], and may return any `Send` value. Panics
     /// inside the job are caught and surface as `Err(JobPanic)` from
     /// [`JobHandle::join`]; other jobs are unaffected.
+    pub fn try_submit<T, F>(&self, class: Class, f: F) -> Result<JobHandle<T>, SubmitError>
+    where
+        T: Send + 'env,
+        F: FnOnce(&mut ShardCtx<'_>) -> T + Send + 'env,
+    {
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let completion = Completion {
+            slot: Arc::clone(&slot),
+            filled: false,
+        };
+        let job = self.queue.push(
+            class,
+            Box::new(move |ctx| {
+                let result = catch_unwind(AssertUnwindSafe(|| f(ctx))).map_err(|p| JobPanic {
+                    message: panic_message(p),
+                });
+                completion.complete(result);
+            }),
+        )?;
+        Ok(JobHandle { slot, job })
+    }
+
+    /// [`Fleet::try_submit`] in `class`, panicking on rejection — for
+    /// callers that configured an unbounded queue and submit only while
+    /// the fleet body runs (both invariants hold for every in-workspace
+    /// harness; the service node uses `try_submit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in every build) if the queue is closed or full.
+    pub fn submit_class<T, F>(&self, class: Class, f: F) -> JobHandle<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&mut ShardCtx<'_>) -> T + Send + 'env,
+    {
+        self.try_submit(class, f)
+            .unwrap_or_else(|e| panic!("fleet submit failed: {e}"))
+    }
+
+    /// [`Fleet::submit_class`] in [`Class::Batch`] — the compatibility
+    /// surface predating priority classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in every build) if the queue is closed or full.
     pub fn submit<T, F>(&self, f: F) -> JobHandle<T>
     where
         T: Send + 'env,
         F: FnOnce(&mut ShardCtx<'_>) -> T + Send + 'env,
     {
-        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
-        let slot = Arc::new(Slot {
-            result: Mutex::new(None),
-            done: Condvar::new(),
-        });
-        let answer = Arc::clone(&slot);
-        self.queue.push(
-            job,
-            Box::new(move |ctx| {
-                let result = catch_unwind(AssertUnwindSafe(|| f(ctx))).map_err(|p| JobPanic {
-                    message: panic_message(p),
-                });
-                *answer.result.lock().unwrap() = Some(result);
-                answer.done.notify_all();
-            }),
-        );
-        JobHandle { slot, job }
+        self.submit_class(Class::Batch, f)
     }
 
-    /// Jobs submitted so far.
+    /// Jobs accepted so far.
     pub fn submitted(&self) -> u64 {
-        self.next_job.load(Ordering::Relaxed)
+        self.queue.submitted()
+    }
+
+    /// Jobs currently queued (accepted but not yet claimed by a
+    /// worker). A point-in-time reading — workers drain concurrently —
+    /// useful for tests and load-shedding heuristics, not invariants.
+    pub fn queued(&self) -> usize {
+        self.queue.queued_len()
     }
 }
 
@@ -399,10 +636,7 @@ fn worker(queue: &Queue<'_>, cfg: &FleetConfig, shard: usize) -> ShardState {
     // events, so yield first — otherwise each worker under-reports by
     // its tail since the last tick, inflating multi-shard efficiency.
     std::thread::yield_now();
-    state.busy_ns = match (cpu0, busy::thread_busy_ns()) {
-        (Some(a), Some(b)) => b.saturating_sub(a),
-        _ => wall_busy.as_nanos() as u64,
-    };
+    state.busy_ns = busy::resolve(cpu0, busy::thread_busy_ns(), wall_busy);
     state
 }
 
@@ -417,7 +651,7 @@ fn worker(queue: &Queue<'_>, cfg: &FleetConfig, shard: usize) -> ShardState {
 /// cleanly, and the panic then resumes.
 pub fn run<'env, R>(cfg: FleetConfig, body: impl FnOnce(&Fleet<'_, 'env>) -> R) -> FleetRun<R> {
     let shards = cfg.shards.max(1);
-    let queue = Queue::new();
+    let queue = Queue::new(cfg.queue_capacity);
     let t0 = Instant::now();
     let (value, states) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..shards)
@@ -427,10 +661,7 @@ pub fn run<'env, R>(cfg: FleetConfig, body: impl FnOnce(&Fleet<'_, 'env>) -> R) 
                 s.spawn(move || worker(q, c, i))
             })
             .collect();
-        let fleet = Fleet {
-            queue: &queue,
-            next_job: AtomicU64::new(0),
-        };
+        let fleet = Fleet { queue: &queue };
         let value = catch_unwind(AssertUnwindSafe(|| body(&fleet)));
         queue.close();
         let states: Vec<ShardState> = handles
@@ -468,11 +699,19 @@ mod tests {
     use super::*;
     use komodo_guest::progs;
     use komodo_os::EnclaveRun;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
 
     fn small() -> PlatformConfig {
         PlatformConfig::default()
             .with_insecure_size(1 << 20)
             .with_npages(32)
+    }
+
+    /// Direct handle on a queue for white-box tests: a `Fleet` whose
+    /// queue this module owns, no workers attached.
+    fn bare_fleet<'q, 'env>(queue: &'q Queue<'env>) -> Fleet<'q, 'env> {
+        Fleet { queue }
     }
 
     /// The submission surface must be shareable with worker threads.
@@ -482,6 +721,8 @@ mod tests {
         assert_send::<FleetConfig>();
         assert_send::<JobHandle<u64>>();
         assert_send::<ShardStats>();
+        assert_send::<SubmitError>();
+        assert_send::<Class>();
     }
 
     #[test]
@@ -498,7 +739,6 @@ mod tests {
 
     #[test]
     fn every_job_runs_exactly_once_even_unjoined() {
-        use std::sync::atomic::AtomicU64;
         let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
         let slots = &hits;
         let r = run(FleetConfig::default().with_shards(4), |fleet| {
@@ -523,6 +763,163 @@ mod tests {
         assert_eq!(bad.unwrap_err().message, "job 0 exploded");
         assert_eq!(good.unwrap(), 7);
         assert_eq!(r.jobs, 2, "a panicking job still counts as executed");
+    }
+
+    /// Regression (release-build hang): submitting after close used to
+    /// be guarded only by a `debug_assert!`, so a release-build submit
+    /// raced worker exit and its join could hang forever. It is now a
+    /// hard [`SubmitError::Closed`] in every build.
+    #[test]
+    fn submit_after_close_is_a_hard_error() {
+        let q: Queue<'_> = Queue::new(None);
+        let fleet = bare_fleet(&q);
+        let accepted = fleet.try_submit(Class::Batch, |_| 1u32);
+        assert!(accepted.is_ok());
+        q.close();
+        let refused = fleet.try_submit(Class::Batch, |_| 2u32);
+        assert_eq!(refused.err(), Some(SubmitError::Closed));
+        // Control class gets no exemption from close (only from the
+        // capacity bound).
+        let refused = fleet.try_submit(Class::Control, |_| 3u32);
+        assert_eq!(refused.err(), Some(SubmitError::Closed));
+        // The panicking wrapper turns the same condition into an
+        // unconditional panic, not a silent enqueue.
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            fleet.submit(|_| 4u32);
+        }));
+        assert!(
+            panic_message(panicked.unwrap_err()).contains("closed"),
+            "submit after close must fail loudly in every build"
+        );
+        // A refused submission consumed no job index.
+        assert_eq!(fleet.submitted(), 1);
+    }
+
+    /// Regression (joiner hang): a job whose worker thread dies after
+    /// claiming it but before running it used to leave its result slot
+    /// empty forever. The completion guard now resolves it as abandoned.
+    #[test]
+    fn worker_death_mid_queue_wakes_joiners() {
+        let q: Queue<'_> = Queue::new(None);
+        let fleet = bare_fleet(&q);
+        let claimed = fleet.try_submit(Class::Batch, |_| 1u32).unwrap();
+        let queued = fleet.try_submit(Class::Batch, |_| 2u32).unwrap();
+        std::thread::scope(|s| {
+            // A "worker" that claims the first task and dies without
+            // running it (panic outside any per-job catch_unwind — the
+            // task closure is dropped during the unwind).
+            let h = s.spawn(|| {
+                let _task = q.pop().expect("task queued");
+                panic!("worker killed mid-queue");
+            });
+            assert!(h.join().is_err(), "worker must have died");
+        });
+        let r = claimed.join();
+        assert_eq!(r.unwrap_err().message, ABANDONED);
+        // The still-queued task is abandoned when the queue drops.
+        drop(q);
+        assert_eq!(queued.join().unwrap_err().message, ABANDONED);
+    }
+
+    /// Regression (poison cascade): a panic while the queue mutex was
+    /// held used to turn every later `lock().unwrap()` into an opaque
+    /// `PoisonError` panic on unrelated threads. Locking is now
+    /// poison-tolerant.
+    #[test]
+    fn poisoned_locks_do_not_cascade() {
+        let q: Queue<'_> = Queue::new(None);
+        let fleet = bare_fleet(&q);
+        // Poison the queue mutex: panic while holding it.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = q.state.lock().unwrap();
+            panic!("poison the queue");
+        }));
+        assert!(q.state.is_poisoned(), "setup must have poisoned the lock");
+        // Submission and dispatch still work.
+        let h = fleet.try_submit(Class::Batch, |_| 11u32).unwrap();
+        let (job, task) = q.pop().expect("task dispatches through poison");
+        assert_eq!(job, 0);
+        let cfg = FleetConfig::default();
+        let mut state = ShardState {
+            cfg: cfg.platform.clone(),
+            recycle: cfg.recycle,
+            platform: None,
+            metrics: MetricsSnapshot::default(),
+            jobs: 0,
+            boots: 0,
+            resets: 0,
+            busy_ns: 0,
+        };
+        let mut ctx = ShardCtx {
+            shard: 0,
+            job,
+            seed: 0,
+            used: false,
+            state: &mut state,
+        };
+        task(&mut ctx);
+        assert_eq!(h.join().unwrap(), 11);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let cfg = FleetConfig::default().with_shards(1).with_queue_capacity(2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let r = run(cfg, |fleet| {
+            // Occupy the only worker so later submissions stay queued.
+            let blocker = fleet.submit(move |_| {
+                started_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+            });
+            started_rx.recv().unwrap();
+            // Two queued jobs fill the bound…
+            let a = fleet.try_submit(Class::Batch, |_| 1u32).unwrap();
+            let b = fleet.try_submit(Class::Interactive, |_| 2u32).unwrap();
+            // …the third data-plane job is rejected with the bound…
+            let rejected = fleet.try_submit(Class::Batch, |_| 3u32);
+            assert_eq!(rejected.err(), Some(SubmitError::Full { capacity: 2 }));
+            // …but control-plane work is exempt from the bound.
+            let ctrl = fleet.try_submit(Class::Control, |_| 4u32).unwrap();
+            gate_tx.send(()).unwrap();
+            blocker.join().unwrap();
+            (a.join().unwrap(), b.join().unwrap(), ctrl.join().unwrap())
+        });
+        assert_eq!(r.value, (1, 2, 4));
+        // blocker + a + b + ctrl ran; the rejected job never did.
+        assert_eq!(r.jobs, 4);
+    }
+
+    #[test]
+    fn classes_dispatch_in_priority_order() {
+        let cfg = FleetConfig::default().with_shards(1);
+        let order = Mutex::new(Vec::new());
+        let log = &order;
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        run(cfg, |fleet| {
+            let blocker = fleet.submit(move |_| {
+                started_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+            });
+            started_rx.recv().unwrap();
+            // Queued while the worker is busy: submission order is
+            // batch, batch, interactive, control — dispatch order must
+            // be control, interactive, batch, batch.
+            for (class, tag) in [
+                (Class::Batch, "b1"),
+                (Class::Batch, "b2"),
+                (Class::Interactive, "i"),
+                (Class::Control, "c"),
+            ] {
+                fleet.submit_class(class, move |_| {
+                    lock_unpoisoned(log).push(tag);
+                });
+            }
+            gate_tx.send(()).unwrap();
+            blocker.join().unwrap();
+        });
+        assert_eq!(*lock_unpoisoned(&order), vec!["c", "i", "b1", "b2"]);
     }
 
     #[test]
@@ -633,7 +1030,6 @@ mod tests {
 
     #[test]
     fn body_panic_still_runs_submitted_jobs_and_propagates() {
-        use std::sync::atomic::AtomicU64;
         let ran = AtomicU64::new(0);
         let caught = catch_unwind(AssertUnwindSafe(|| {
             run(FleetConfig::default().with_shards(2), |fleet| {

@@ -28,6 +28,7 @@ pub mod progs;
 pub mod ra;
 pub mod sha;
 pub mod svc;
+pub mod user;
 
 /// A guest program segment (loader-neutral).
 #[derive(Clone, Debug)]

@@ -1,0 +1,80 @@
+//! Bare user-mode sandbox machines (no OS, no monitor).
+//!
+//! The throughput bench and the service node's bulk-invoke path both
+//! run raw code images on a minimal secure-user machine: one RX code
+//! page, a run of RW data pages, page tables pre-built by hand. This is
+//! the enclave-*like* memory shape without the enclave lifecycle — no
+//! SMC traffic, no page-DB — which makes it the cleanest carrier for
+//! simulator-throughput measurements. It lived in `komodo-bench`
+//! originally; it sits here so non-bench crates can drive the same
+//! workloads without depending on the bench harness.
+
+use komodo_armv7::mem::AccessAttrs;
+use komodo_armv7::mode::World;
+use komodo_armv7::psr::Psr;
+use komodo_armv7::ptw::{l1_coarse_desc, l2_page_desc, PagePerms};
+use komodo_armv7::{Machine, Word};
+
+/// Virtual address of the sandbox's single RX code page.
+pub const CODE_VA: u32 = 0x8000;
+
+/// Virtual base of the sandbox's eight RW data pages.
+pub const DATA_VA: u32 = 0x9000;
+
+/// A machine with one RX code page at [`CODE_VA`] and eight RW data
+/// pages at `0x9000..=0x10000`, in secure user mode — the enclave-like
+/// configuration the executor property tests use, widened so strided
+/// workloads can walk several pages per direction.
+pub fn sandbox(code: &[Word]) -> Machine {
+    let mut m = Machine::new();
+    m.mem.add_region(0x8000_0000, 0x10_0000, true);
+    let ttbr0 = 0x8000_0000u32;
+    let l2 = 0x8000_1000u32;
+    m.mem
+        .write(ttbr0, l1_coarse_desc(l2), AccessAttrs::MONITOR)
+        .unwrap();
+    m.mem
+        .write(
+            l2 + 8 * 4,
+            l2_page_desc(0x8000_2000, PagePerms::RX, false),
+            AccessAttrs::MONITOR,
+        )
+        .unwrap();
+    for i in 9u32..=16 {
+        m.mem
+            .write(
+                l2 + i * 4,
+                l2_page_desc(0x8000_3000 + (i - 9) * 0x1000, PagePerms::RW, false),
+                AccessAttrs::MONITOR,
+            )
+            .unwrap();
+    }
+    m.mem.load_words(0x8000_2000, code).unwrap();
+    m.cp15.mmu_mut(World::Secure).ttbr0 = ttbr0;
+    m.cpsr = Psr::user();
+    m.pc = CODE_VA;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_armv7::mode::Mode;
+    use komodo_armv7::regs::Reg;
+    use komodo_armv7::{Assembler, ExitReason};
+
+    #[test]
+    fn sandbox_runs_code_and_touches_data() {
+        let mut a = Assembler::new(CODE_VA);
+        a.mov_imm(Reg::R(0), 41);
+        a.add_imm(Reg::R(0), Reg::R(0), 1);
+        a.mov_imm32(Reg::R(8), DATA_VA);
+        a.str_imm(Reg::R(0), Reg::R(8), 0);
+        a.ldr_imm(Reg::R(1), Reg::R(8), 0);
+        a.svc(0);
+        let mut m = sandbox(&a.words());
+        let r = m.run_user(100).expect("sandbox must be well-formed");
+        assert_eq!(r, ExitReason::Svc { imm24: 0 });
+        assert_eq!(m.regs.get(Mode::Supervisor, Reg::R(1)), 42);
+    }
+}

@@ -1,0 +1,625 @@
+//! The service node: a scoped run wrapping the fleet scheduler behind
+//! the request API.
+//!
+//! [`Service::run`] spawns a fleet, hands the body a [`ServiceHandle`]
+//! to submit [`Request`]s through, and when the body returns lets every
+//! accepted request drain before folding metrics and returning. The
+//! node adds three things over the raw fleet:
+//!
+//! - **Typed requests with priority classes**: each request kind maps
+//!   to a fleet [`Class`] lane ([`Request::class`]) and a handler that
+//!   runs it on the dispatching shard.
+//! - **Backpressure and shutdown semantics**: a bounded queue rejects
+//!   data-plane requests with [`Reject::QueueFull`] at the door;
+//!   [`ServiceHandle::shutdown`] stops admission
+//!   ([`Reject::ShuttingDown`]) and makes already-queued data-plane
+//!   requests resolve to [`ServiceError::Shutdown`] at dispatch instead
+//!   of running — in-flight requests always complete or fail typed,
+//!   never hang (the fleet's completion guard backs the last-resort
+//!   case).
+//! - **Per-request accounting**: every accepted request produces a
+//!   [`RequestRecord`] with wall-clock queue/service latency and the
+//!   simulated-machine counters it accrued. The counters a request
+//!   records are exactly what its job folds into the fleet metrics, so
+//!   the record stream sums to the fleet total — tested as the service
+//!   conservation law. When tracing is armed, request dispatch and
+//!   completion are also stamped into the machine's flight recorder as
+//!   cycle-stamped [`Event::ReqDispatch`]/[`Event::ReqComplete`] spans.
+//!
+//! Sessions are the one stateful surface: each open session owns a
+//! dedicated [`Platform`] running the secret-keeper enclave, kept in a
+//! table shared across shards (session operations serialize on the
+//! table; the data plane does not touch it).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use komodo::{Enclave, Platform, PlatformConfig};
+use komodo_armv7::{ExitReason, Word};
+use komodo_fleet::{Class, Fleet, FleetConfig, JobHandle, ShardCtx, ShardStats, SubmitError};
+use komodo_guest::notary::notary_image;
+use komodo_guest::{progs, user};
+use komodo_os::EnclaveRun;
+use komodo_trace::{Event, FleetMetrics, MetricsSnapshot};
+
+use crate::latency::RequestRecord;
+use crate::report::ServiceReport;
+use crate::request::{Reject, Request, Response, ServiceError};
+
+/// Poison-tolerant lock, same invariant as the fleet scheduler's: all
+/// state under these mutexes (record vector, session table) is mutated
+/// to completion before the guard drops, so it stays consistent across
+/// another thread's unwind.
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Service construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker shards of the underlying fleet (clamped to at least 1).
+    pub shards: usize,
+    /// Base platform parameters for pooled shard platforms and session
+    /// platforms alike. The default is sized for the notary (2 MiB
+    /// insecure memory, 256 secure pages).
+    pub platform: PlatformConfig,
+    /// Bound on queued data-plane requests; `None` = unbounded. When
+    /// bounded, [`ServiceHandle::submit`] returns [`Reject::QueueFull`]
+    /// instead of growing the backlog (control-plane teardown is
+    /// exempt).
+    pub queue_capacity: Option<usize>,
+    /// Flight-recorder capacity armed on each machine a request touches
+    /// (0 disables). When armed, request dispatch/completion are
+    /// stamped into the recorder as cycle-stamped span events.
+    pub trace_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            platform: PlatformConfig::default()
+                .with_insecure_size(2 << 20)
+                .with_npages(256),
+            queue_capacity: None,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Returns the config with `shards` fleet workers.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns the config with the given base platform parameters.
+    pub fn with_platform(mut self, platform: PlatformConfig) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Returns the config with the request queue bounded to `capacity`.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Returns the config with per-machine flight recorders armed at
+    /// `capacity` events.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+/// One open session: a dedicated platform running the secret-keeper
+/// enclave, plus the last counter snapshot (so each operation absorbs
+/// only its own delta into the fleet metrics).
+struct Session {
+    platform: Platform,
+    enclave: Enclave,
+    last: MetricsSnapshot,
+}
+
+/// State shared between the handle and every request job.
+struct Shared {
+    platform_cfg: PlatformConfig,
+    shutdown: AtomicBool,
+    records: Mutex<Vec<RequestRecord>>,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_session: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+}
+
+/// Typed handle to one accepted request's eventual outcome.
+pub struct Ticket {
+    handle: JobHandle<Result<Response, ServiceError>>,
+}
+
+impl Ticket {
+    /// The request's id (its fleet job index).
+    pub fn id(&self) -> u64 {
+        self.handle.index()
+    }
+
+    /// Blocks until the request resolves. Never hangs: the fleet's
+    /// completion guard resolves even abandoned jobs, surfacing here as
+    /// [`ServiceError::Panic`].
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        match self.handle.join() {
+            Ok(r) => r,
+            Err(p) => Err(ServiceError::Panic(p.message)),
+        }
+    }
+}
+
+/// The submission interface the body closure drives.
+pub struct ServiceHandle<'a, 'env> {
+    fleet: &'a Fleet<'a, 'env>,
+    shared: &'env Shared,
+    trace_capacity: usize,
+}
+
+impl ServiceHandle<'_, '_> {
+    /// Submits a request; returns its [`Ticket`], or the [`Reject`] if
+    /// the node refused it at the door (queue full, or shutting down).
+    /// A rejected request never entered the queue and produces no
+    /// record.
+    pub fn submit(&self, req: Request) -> Result<Ticket, Reject> {
+        let class = req.class();
+        if class != Class::Control && self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Reject::ShuttingDown);
+        }
+        let kind = req.kind_code();
+        let shared = self.shared;
+        let trace_capacity = self.trace_capacity;
+        let enqueued = Instant::now();
+        let submitted = self.fleet.try_submit(class, move |ctx| {
+            let dispatched = Instant::now();
+            // Shutdown may have raced admission: a data-plane request
+            // already queued when the flag flipped resolves typed
+            // instead of running (control-plane teardown still runs —
+            // it frees resources).
+            let (result, sim) = if class != Class::Control && shared.shutdown.load(Ordering::SeqCst)
+            {
+                (Err(ServiceError::Shutdown), MetricsSnapshot::default())
+            } else {
+                handle_request(req, ctx, shared, trace_capacity)
+            };
+            lock_unpoisoned(&shared.records).push(RequestRecord {
+                req: ctx.job_index(),
+                kind,
+                class,
+                ok: result.is_ok(),
+                queued_ns: dispatched.duration_since(enqueued).as_nanos() as u64,
+                service_ns: dispatched.elapsed().as_nanos() as u64,
+                sim,
+            });
+            result
+        });
+        match submitted {
+            Ok(handle) => Ok(Ticket { handle }),
+            Err(SubmitError::Full { capacity }) => {
+                self.shared.rejected_full.fetch_add(1, Ordering::Relaxed);
+                Err(Reject::QueueFull { capacity })
+            }
+            Err(SubmitError::Closed) => {
+                self.shared
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(Reject::ShuttingDown)
+            }
+        }
+    }
+
+    /// Begins shutdown: new data-plane submissions are rejected with
+    /// [`Reject::ShuttingDown`], and queued data-plane requests resolve
+    /// to [`ServiceError::Shutdown`] at dispatch instead of running.
+    /// Control-plane teardown still runs. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently queued (accepted, not yet dispatched). A
+    /// point-in-time reading for tests and load-shedding heuristics.
+    pub fn pending(&self) -> usize {
+        self.fleet.queued()
+    }
+
+    /// Requests accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.fleet.submitted()
+    }
+}
+
+/// Everything a service run produces.
+#[derive(Debug)]
+pub struct ServiceRun<R> {
+    /// What the body closure returned.
+    pub value: R,
+    /// One record per accepted request, in completion order.
+    pub records: Vec<RequestRecord>,
+    /// Folded per-shard machine counters (the fleet metrics surface).
+    pub metrics: FleetMetrics,
+    /// Per-shard job/boot/busy accounting.
+    pub shards: Vec<ShardStats>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Requests refused at the door because the bounded queue was full.
+    pub rejected_full: u64,
+    /// Requests refused at the door during shutdown.
+    pub rejected_shutdown: u64,
+}
+
+impl<R> ServiceRun<R> {
+    /// Summed busy nanoseconds across shards.
+    pub fn busy_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.busy_ns).sum()
+    }
+
+    /// Builds the aggregate report (latency percentiles, histogram,
+    /// folded counters) from this run.
+    pub fn report(&self) -> ServiceReport {
+        ServiceReport::from_parts(
+            &self.records,
+            self.metrics.total(),
+            self.rejected_full,
+            self.rejected_shutdown,
+        )
+    }
+}
+
+/// The service node entry point; see the module docs.
+pub struct Service;
+
+impl Service {
+    /// Runs a service node: spawns the fleet, hands the body a
+    /// [`ServiceHandle`], and after the body returns drains every
+    /// accepted request (graceful end — queued work completes) before
+    /// tearing down leftover sessions and returning the accounting.
+    pub fn run<R>(
+        cfg: ServiceConfig,
+        body: impl FnOnce(&ServiceHandle<'_, '_>) -> R,
+    ) -> ServiceRun<R> {
+        let shared = Shared {
+            platform_cfg: cfg.platform.clone(),
+            shutdown: AtomicBool::new(false),
+            records: Mutex::new(Vec::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            rejected_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+        };
+        let trace_capacity = cfg.trace_capacity;
+        let fleet_cfg = {
+            let mut f = FleetConfig::default()
+                .with_shards(cfg.shards)
+                .with_platform(cfg.platform);
+            f.queue_capacity = cfg.queue_capacity;
+            f
+        };
+        let run = komodo_fleet::run(fleet_cfg, |fleet| {
+            let handle = ServiceHandle {
+                fleet,
+                shared: &shared,
+                trace_capacity,
+            };
+            body(&handle)
+        });
+        // Sessions left open by the client are torn down with the node
+        // (their platforms are owned here; dropping them frees
+        // everything — enclave destruction inside a machine about to be
+        // dropped would cost cycles attributed to no request).
+        lock_unpoisoned(&shared.sessions).clear();
+        ServiceRun {
+            value: run.value,
+            records: shared
+                .records
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner),
+            metrics: run.metrics,
+            shards: run.shards,
+            wall: run.wall,
+            rejected_full: shared.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: shared.rejected_shutdown.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Dispatches one request to its handler. Returns the outcome plus the
+/// simulated-machine counters the request accrued — exactly what the
+/// job folds into the fleet metrics (the conservation law the tests
+/// check).
+fn handle_request(
+    req: Request,
+    ctx: &mut ShardCtx<'_>,
+    shared: &Shared,
+    trace_capacity: usize,
+) -> (Result<Response, ServiceError>, MetricsSnapshot) {
+    let req_id = ctx.job_index() as u32;
+    let kind = req.kind_code();
+    match req {
+        Request::Attest { report } => pooled(ctx, trace_capacity, req_id, kind, |p| {
+            run_notary(p, 1, &pad_report(&report))
+                .map(|(counter, mac)| Response::Quote { counter, mac })
+        }),
+        Request::Notarize { doc_kb } => {
+            let seed = ctx.seed();
+            pooled(ctx, trace_capacity, req_id, kind, |p| {
+                let kb = doc_kb.max(1);
+                let doc: Vec<u32> = (0..kb * 256)
+                    .map(|i| (splitmix64(seed.wrapping_add(i as u64)) >> 32) as u32)
+                    .collect();
+                let doc_pages = (kb * 1024).div_ceil(4096);
+                run_notary(p, doc_pages, &doc)
+                    .map(|(counter, mac)| Response::Notarized { counter, mac })
+            })
+        }
+        Request::Invoke { code, steps } => invoke(ctx, trace_capacity, req_id, kind, &code, steps),
+        Request::SessionOpen => session_open(ctx, shared, trace_capacity, req_id, kind),
+        Request::SessionPut { session, value } => {
+            session_op(shared, session, req_id, kind, ctx, [0, value, 0], |exit| {
+                (exit == 0)
+                    .then_some(Response::SessionStored)
+                    .ok_or_else(|| ServiceError::Enclave(format!("put exited {exit}")))
+            })
+        }
+        Request::SessionGet { session } => {
+            session_op(shared, session, req_id, kind, ctx, [1, 0, 0], |value| {
+                Ok(Response::SessionValue { value })
+            })
+        }
+        Request::SessionClose { session } => session_close(shared, session, req_id, kind, ctx),
+    }
+}
+
+/// Runs `f` on the shard's pooled platform with request-span trace
+/// events around it, returning the platform's full counter snapshot
+/// (the platform was fresh at job start, so the snapshot is exactly
+/// this request's work — matching what the scheduler folds).
+fn pooled(
+    ctx: &mut ShardCtx<'_>,
+    trace_capacity: usize,
+    req: u32,
+    kind: u8,
+    f: impl FnOnce(&mut Platform) -> Result<Response, ServiceError>,
+) -> (Result<Response, ServiceError>, MetricsSnapshot) {
+    let p = ctx.platform();
+    if trace_capacity > 0 {
+        p.set_trace(trace_capacity);
+    }
+    let c = p.cycles();
+    p.machine.trace.record(c, Event::ReqDispatch { req, kind });
+    let res = f(p);
+    let c = p.cycles();
+    p.machine.trace.record(
+        c,
+        Event::ReqComplete {
+            req,
+            ok: res.is_ok(),
+        },
+    );
+    let sim = p.machine.metrics_snapshot();
+    (res, sim)
+}
+
+/// Zero-pads an 8-word report to one SHA block (16 words).
+fn pad_report(report: &[u32; 8]) -> Vec<u32> {
+    let mut doc = report.to_vec();
+    doc.resize(16, 0);
+    doc
+}
+
+/// Loads the notary over `doc` and runs one signing pass, returning
+/// (counter, MAC).
+fn run_notary(
+    p: &mut Platform,
+    doc_pages: usize,
+    doc: &[u32],
+) -> Result<(u32, [u32; 8]), ServiceError> {
+    let img = notary_image(doc_pages);
+    let e = p
+        .load(&img)
+        .map_err(|k| ServiceError::Enclave(format!("notary load: {k:?}")))?;
+    // Document segment is index 3, output segment index 4 (see
+    // `notary_image`).
+    p.write_shared(&e, 3, 0, doc);
+    let nblocks = (doc.len() / 16) as u32;
+    match p.run(&e, 0, [nblocks, 0, 0]) {
+        EnclaveRun::Exited(counter) => {
+            let mac_words = p.read_shared(&e, 4, 0, 8);
+            let mut mac = [0u32; 8];
+            mac.copy_from_slice(&mac_words);
+            Ok((counter, mac))
+        }
+        r => Err(ServiceError::Enclave(format!("notary did not exit: {r:?}"))),
+    }
+}
+
+/// Bulk invoke on a bare sandbox machine (same shape as the fleet
+/// bench's jobs); the machine's counters are absorbed into the shard
+/// fold and returned as the request's snapshot.
+fn invoke(
+    ctx: &mut ShardCtx<'_>,
+    trace_capacity: usize,
+    req: u32,
+    kind: u8,
+    code: &[Word],
+    steps: u64,
+) -> (Result<Response, ServiceError>, MetricsSnapshot) {
+    let mut m = user::sandbox(code);
+    m.set_fetch_accel(true);
+    m.set_superblocks(true);
+    if trace_capacity > 0 {
+        m.set_trace_capacity(trace_capacity);
+    }
+    m.trace.record(m.cycles, Event::ReqDispatch { req, kind });
+    let exit = m.run_user(steps);
+    let ok = matches!(exit, Ok(ExitReason::StepLimit));
+    m.trace.record(m.cycles, Event::ReqComplete { req, ok });
+    let sim = m.metrics_snapshot();
+    ctx.absorb(&sim);
+    let res = if ok {
+        Ok(Response::Invoked { steps })
+    } else {
+        Err(ServiceError::Enclave(format!(
+            "invoke did not run to budget: {exit:?}"
+        )))
+    };
+    (res, sim)
+}
+
+fn session_open(
+    ctx: &mut ShardCtx<'_>,
+    shared: &Shared,
+    trace_capacity: usize,
+    req: u32,
+    kind: u8,
+) -> (Result<Response, ServiceError>, MetricsSnapshot) {
+    let cfg = shared.platform_cfg.clone().with_seed(ctx.seed());
+    let mut platform = Platform::with_config(cfg);
+    if trace_capacity > 0 {
+        platform.set_trace(trace_capacity);
+    }
+    let c = platform.cycles();
+    platform
+        .machine
+        .trace
+        .record(c, Event::ReqDispatch { req, kind });
+    let loaded = platform.load(&progs::secret_keeper());
+    let c = platform.cycles();
+    platform.machine.trace.record(
+        c,
+        Event::ReqComplete {
+            req,
+            ok: loaded.is_ok(),
+        },
+    );
+    // Boot and load cycles are attributed to the open request.
+    let sim = platform.machine.metrics_snapshot();
+    ctx.absorb(&sim);
+    match loaded {
+        Ok(enclave) => {
+            let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            lock_unpoisoned(&shared.sessions).insert(
+                id,
+                Session {
+                    platform,
+                    enclave,
+                    last: sim,
+                },
+            );
+            (Ok(Response::SessionOpened { session: id }), sim)
+        }
+        Err(k) => (
+            Err(ServiceError::Enclave(format!("session load: {k:?}"))),
+            sim,
+        ),
+    }
+}
+
+/// Runs one enclave entry on an open session, absorbing only the delta
+/// since the session's last snapshot (the session machine is long-lived
+/// — its lifetime counters span many requests). Session operations
+/// serialize on the table lock; the data plane never takes it.
+fn session_op(
+    shared: &Shared,
+    session: u64,
+    req: u32,
+    kind: u8,
+    ctx: &mut ShardCtx<'_>,
+    args: [u32; 3],
+    map: impl FnOnce(u32) -> Result<Response, ServiceError>,
+) -> (Result<Response, ServiceError>, MetricsSnapshot) {
+    let mut sessions = lock_unpoisoned(&shared.sessions);
+    let Some(s) = sessions.get_mut(&session) else {
+        return (
+            Err(ServiceError::NoSuchSession(session)),
+            MetricsSnapshot::default(),
+        );
+    };
+    let c = s.platform.cycles();
+    s.platform
+        .machine
+        .trace
+        .record(c, Event::ReqDispatch { req, kind });
+    let run = s.platform.run(&s.enclave, 0, args);
+    let res = match run {
+        EnclaveRun::Exited(v) => map(v),
+        r => Err(ServiceError::Enclave(format!("session run: {r:?}"))),
+    };
+    let c = s.platform.cycles();
+    s.platform.machine.trace.record(
+        c,
+        Event::ReqComplete {
+            req,
+            ok: res.is_ok(),
+        },
+    );
+    let snap = s.platform.machine.metrics_snapshot();
+    let delta = snap.delta_since(&s.last);
+    s.last = snap;
+    ctx.absorb(&delta);
+    (res, delta)
+}
+
+fn session_close(
+    shared: &Shared,
+    session: u64,
+    req: u32,
+    kind: u8,
+    ctx: &mut ShardCtx<'_>,
+) -> (Result<Response, ServiceError>, MetricsSnapshot) {
+    let Some(mut s) = lock_unpoisoned(&shared.sessions).remove(&session) else {
+        return (
+            Err(ServiceError::NoSuchSession(session)),
+            MetricsSnapshot::default(),
+        );
+    };
+    let c = s.platform.cycles();
+    s.platform
+        .machine
+        .trace
+        .record(c, Event::ReqDispatch { req, kind });
+    let destroyed = s.platform.destroy(&s.enclave);
+    let c = s.platform.cycles();
+    s.platform.machine.trace.record(
+        c,
+        Event::ReqComplete {
+            req,
+            ok: destroyed.is_ok(),
+        },
+    );
+    let snap = s.platform.machine.metrics_snapshot();
+    let delta = snap.delta_since(&s.last);
+    ctx.absorb(&delta);
+    let res = match destroyed {
+        Ok(()) => Ok(Response::SessionClosed),
+        Err(k) => Err(ServiceError::Enclave(format!("session destroy: {k:?}"))),
+    };
+    (res, delta)
+}
+
+/// The same splitmix64 the platform seed derivation uses, for
+/// deterministic document contents.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

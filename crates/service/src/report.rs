@@ -1,0 +1,178 @@
+//! The aggregated metrics surface: fleet counters plus request
+//! latency, rendered into the same hand-rolled JSON family as
+//! [`MetricsSnapshot::to_json`].
+
+use core::fmt::Write as _;
+use komodo_trace::MetricsSnapshot;
+
+use crate::latency::{percentile_ns, Histogram, RequestRecord};
+
+/// One service run's aggregate: request counts and outcome split,
+/// rejection counters, exact latency percentiles, the log2 histogram,
+/// and the folded machine counters.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Accepted requests (each has a record).
+    pub requests: u64,
+    /// Requests that produced a [`crate::Response`].
+    pub ok: u64,
+    /// Requests that resolved to a typed error.
+    pub errors: u64,
+    /// Door rejections: bounded queue full.
+    pub rejected_full: u64,
+    /// Door rejections: shutting down.
+    pub rejected_shutdown: u64,
+    /// Median end-to-end latency (nanoseconds).
+    pub p50_ns: u64,
+    /// 99th-percentile end-to-end latency (nanoseconds).
+    pub p99_ns: u64,
+    /// Worst observed end-to-end latency (nanoseconds).
+    pub max_ns: u64,
+    /// Mean end-to-end latency (nanoseconds).
+    pub mean_ns: u64,
+    /// Log2-bucketed latency histogram.
+    pub hist: Histogram,
+    /// Folded machine counters across every request.
+    pub total: MetricsSnapshot,
+}
+
+impl ServiceReport {
+    /// Builds the report from the record stream and run counters.
+    pub fn from_parts(
+        records: &[RequestRecord],
+        total: MetricsSnapshot,
+        rejected_full: u64,
+        rejected_shutdown: u64,
+    ) -> ServiceReport {
+        let ok = records.iter().filter(|r| r.ok).count() as u64;
+        let sum_ns: u64 = records.iter().map(RequestRecord::total_ns).sum();
+        ServiceReport {
+            requests: records.len() as u64,
+            ok,
+            errors: records.len() as u64 - ok,
+            rejected_full,
+            rejected_shutdown,
+            p50_ns: percentile_ns(records, 50.0),
+            p99_ns: percentile_ns(records, 99.0),
+            max_ns: records
+                .iter()
+                .map(RequestRecord::total_ns)
+                .max()
+                .unwrap_or(0),
+            mean_ns: sum_ns / (records.len() as u64).max(1),
+            hist: Histogram::from_records(records),
+            total,
+        }
+    }
+
+    /// Renders the report as a JSON object in the workspace's
+    /// hand-rolled style (`indent` spaces deep, like
+    /// [`MetricsSnapshot::to_json`]).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent + 2);
+        let mut out = String::from("{\n");
+        let fields: [(&str, u64); 9] = [
+            ("requests", self.requests),
+            ("ok", self.ok),
+            ("errors", self.errors),
+            ("rejected_full", self.rejected_full),
+            ("rejected_shutdown", self.rejected_shutdown),
+            ("p50_ns", self.p50_ns),
+            ("p99_ns", self.p99_ns),
+            ("mean_ns", self.mean_ns),
+            ("max_ns", self.max_ns),
+        ];
+        for (k, v) in fields {
+            let _ = writeln!(out, "{pad}\"{k}\": {v},");
+        }
+        let _ = writeln!(
+            out,
+            "{pad}\"latency_hist_log2_ns\": {},",
+            self.hist.to_json()
+        );
+        let _ = writeln!(out, "{pad}\"total\": {}", self.total.to_json(indent + 2));
+        let _ = write!(out, "{}}}", " ".repeat(indent));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use komodo_fleet::Class;
+
+    fn rec(ok: bool, total_ns: u64, cycles: u64) -> RequestRecord {
+        RequestRecord {
+            req: 0,
+            kind: 0,
+            class: Class::Batch,
+            ok,
+            queued_ns: 0,
+            service_ns: total_ns,
+            sim: MetricsSnapshot {
+                cycles,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn report_aggregates_outcomes_and_latency() {
+        let records = [rec(true, 1000, 5), rec(true, 3000, 7), rec(false, 2000, 0)];
+        let mut total = MetricsSnapshot::default();
+        for r in &records {
+            total.absorb(&r.sim);
+        }
+        let rep = ServiceReport::from_parts(&records, total, 2, 1);
+        assert_eq!(rep.requests, 3);
+        assert_eq!(rep.ok, 2);
+        assert_eq!(rep.errors, 1);
+        assert_eq!(rep.rejected_full, 2);
+        assert_eq!(rep.rejected_shutdown, 1);
+        assert_eq!(rep.p50_ns, 2000);
+        assert_eq!(rep.p99_ns, 3000);
+        assert_eq!(rep.max_ns, 3000);
+        assert_eq!(rep.mean_ns, 2000);
+        assert_eq!(rep.hist.count(), 3);
+        assert_eq!(rep.total.cycles, 12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let rep = ServiceReport::from_parts(&[], MetricsSnapshot::default(), 0, 0);
+        assert_eq!(rep.requests, 0);
+        assert_eq!(rep.p50_ns, 0);
+        assert_eq!(rep.mean_ns, 0);
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_the_fields() {
+        let rep = ServiceReport::from_parts(
+            &[rec(true, 1 << 20, 9)],
+            MetricsSnapshot {
+                cycles: 9,
+                ..Default::default()
+            },
+            0,
+            0,
+        );
+        let j = rep.to_json(0);
+        for key in [
+            "requests",
+            "ok",
+            "errors",
+            "rejected_full",
+            "rejected_shutdown",
+            "p50_ns",
+            "p99_ns",
+            "mean_ns",
+            "max_ns",
+            "latency_hist_log2_ns",
+            "total",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"cycles\": 9"));
+    }
+}

@@ -91,6 +91,17 @@ fn render(e: &Event) -> (char, String) {
             'i',
             format!(r#""name":"sb-inval","args":{{"cause":"{}"}}"#, cause.name()),
         ),
+        Event::ReqDispatch { req, kind } => (
+            'B',
+            format!(r#""name":"request","args":{{"req":{req},"kind":{kind}}}"#),
+        ),
+        Event::ReqComplete { req, ok } => (
+            'E',
+            format!(
+                r#""name":"request","args":{{"req":{req},"ok":{}}}"#,
+                ok as u32
+            ),
+        ),
     }
 }
 
@@ -233,12 +244,14 @@ mod tests {
             Event::SbInval {
                 cause: crate::event::InvalCause::CodeGen,
             },
+            Event::ReqDispatch { req: 42, kind: 2 },
+            Event::ReqComplete { req: 42, ok: true },
         ];
         for (i, e) in all.into_iter().enumerate() {
             r.record(i as u64, e);
         }
         let j = chrome_trace(r.iter());
         assert_structurally_sound(&j);
-        assert_eq!(j.matches("\"ph\"").count(), 15, "{j}");
+        assert_eq!(j.matches("\"ph\"").count(), 17, "{j}");
     }
 }

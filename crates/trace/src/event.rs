@@ -190,6 +190,21 @@ pub enum Event {
         /// Attribution.
         cause: InvalCause,
     },
+    /// A service-node request left the queue and began executing on a
+    /// shard (the enqueue→dispatch edge of its latency span).
+    ReqDispatch {
+        /// Service-assigned request id.
+        req: u32,
+        /// Request-kind code (the service crate's `Request::kind_code`).
+        kind: u8,
+    },
+    /// A service-node request finished (the dispatch→complete edge).
+    ReqComplete {
+        /// Service-assigned request id.
+        req: u32,
+        /// Whether the request succeeded.
+        ok: bool,
+    },
 }
 
 impl Event {
@@ -211,6 +226,8 @@ impl Event {
             Event::DTlbInval { .. } => "dtlb-inval",
             Event::SbBuild { .. } => "sb-build",
             Event::SbInval { .. } => "sb-inval",
+            Event::ReqDispatch { .. } => "request",
+            Event::ReqComplete { .. } => "request",
         }
     }
 }
@@ -256,6 +273,12 @@ impl core::fmt::Display for Event {
                 write!(f, "sb-build va={entry_va:#010x} len={len}")
             }
             Event::SbInval { cause } => write!(f, "sb-inval cause={}", cause.name()),
+            Event::ReqDispatch { req, kind } => {
+                write!(f, "req-dispatch req={req} kind={kind}")
+            }
+            Event::ReqComplete { req, ok } => {
+                write!(f, "req-complete req={req} ok={}", ok as u32)
+            }
         }
     }
 }

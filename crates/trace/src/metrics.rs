@@ -94,6 +94,43 @@ impl MetricsSnapshot {
         self.trace_dropped += other.trace_dropped;
     }
 
+    /// Field-wise difference `self - earlier` (saturating at zero): the
+    /// counters accrued *between* two snapshots of the same machine.
+    /// The service node uses this to attribute a long-lived session
+    /// machine's work to the individual requests that drove it.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            mem_reads: self.mem_reads.saturating_sub(earlier.mem_reads),
+            mem_writes: self.mem_writes.saturating_sub(earlier.mem_writes),
+            tlb_hits: self.tlb_hits.saturating_sub(earlier.tlb_hits),
+            tlb_misses: self.tlb_misses.saturating_sub(earlier.tlb_misses),
+            tlb_flushes: self.tlb_flushes.saturating_sub(earlier.tlb_flushes),
+            sb_built: self.sb_built.saturating_sub(earlier.sb_built),
+            sb_hits: self.sb_hits.saturating_sub(earlier.sb_hits),
+            sb_chained: self.sb_chained.saturating_sub(earlier.sb_chained),
+            sb_inval_code_gen: self
+                .sb_inval_code_gen
+                .saturating_sub(earlier.sb_inval_code_gen),
+            sb_inval_tlb: self.sb_inval_tlb.saturating_sub(earlier.sb_inval_tlb),
+            dtlb_hits: self.dtlb_hits.saturating_sub(earlier.dtlb_hits),
+            dtlb_misses: self.dtlb_misses.saturating_sub(earlier.dtlb_misses),
+            dtlb_inval_flush: self
+                .dtlb_inval_flush
+                .saturating_sub(earlier.dtlb_inval_flush),
+            dtlb_inval_ttbr: self.dtlb_inval_ttbr.saturating_sub(earlier.dtlb_inval_ttbr),
+            dtlb_inval_world: self
+                .dtlb_inval_world
+                .saturating_sub(earlier.dtlb_inval_world),
+            // Capacity is a configuration, not an accrual: a fixed-size
+            // ring would otherwise always delta to zero, hiding whether
+            // tracing was on during the window.
+            trace_capacity: self.trace_capacity,
+            trace_recorded: self.trace_recorded.saturating_sub(earlier.trace_recorded),
+            trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
+        }
+    }
+
     /// Renders the snapshot as a JSON object, `indent` spaces deep (the
     /// opening brace is not indented; nested lines are `indent + 2`).
     pub fn to_json(&self, indent: usize) -> String {
@@ -147,6 +184,38 @@ mod tests {
         };
         assert_eq!(s.sb_invalidations(), 5);
         assert_eq!(s.dtlb_invalidations(), 10);
+    }
+
+    #[test]
+    fn delta_since_inverts_absorb() {
+        let base = MetricsSnapshot {
+            cycles: 100,
+            mem_reads: 10,
+            tlb_hits: 5,
+            trace_capacity: 256,
+            trace_recorded: 40,
+            ..Default::default()
+        };
+        let step = MetricsSnapshot {
+            cycles: 23,
+            mem_reads: 4,
+            dtlb_hits: 9,
+            trace_capacity: 256,
+            trace_recorded: 6,
+            ..Default::default()
+        };
+        let mut later = base;
+        later.absorb(&step);
+        later.trace_capacity = 256; // capacity is config, not an accrual
+        let d = later.delta_since(&base);
+        assert_eq!(d.cycles, 23);
+        assert_eq!(d.mem_reads, 4);
+        assert_eq!(d.dtlb_hits, 9);
+        assert_eq!(d.trace_recorded, 6);
+        assert_eq!(d.trace_capacity, 256, "capacity carries, not deltas");
+        // Saturates rather than wrapping if counters ever regress.
+        let d = base.delta_since(&later);
+        assert_eq!(d.cycles, 0);
     }
 
     #[test]
