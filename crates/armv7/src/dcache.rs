@@ -62,6 +62,7 @@ use crate::insn::{Cond, Insn};
 use crate::machine::cost;
 use crate::mem::{AccessAttrs, PhysMem};
 use crate::mode::World;
+use crate::uop::UopTrace;
 use crate::word::{page_base, page_offset, word_aligned, Addr, Word, WORD_BYTES};
 use komodo_trace::{Event, FlightRecorder, InvalCause};
 
@@ -209,13 +210,26 @@ pub(crate) struct Block {
     /// corresponding exit last dispatched to. Purely a probe shortcut —
     /// the successor is re-validated like any dispatch, so a stale link
     /// costs a hash probe, never correctness.
-    succ: [Option<u32>; 2],
+    pub(crate) succ: [Option<u32>; 2],
+    /// Dispatch hits since the block was built; crossing the promotion
+    /// threshold triggers one-time micro-op specialisation.
+    pub(crate) hot: u64,
+    /// The specialised micro-op trace, once promoted. Dies with the
+    /// block on every invalidation, so it needs no re-validation beyond
+    /// the block's own.
+    pub(crate) uop: Option<Box<UopTrace>>,
 }
 
 /// Index sentinel: "no worthwhile block starts at this address" (the entry
 /// instruction already terminates the trace) — cached so hopeless PCs are
 /// rejected with one probe instead of a rebuild attempt per dispatch.
 const NO_BLOCK: u32 = u32::MAX;
+
+/// Default dispatch-hit count at which a superblock is promoted to a
+/// specialised micro-op trace. High enough that cold traces never pay
+/// the one-time specialisation cost, low enough that a loop of any
+/// interesting trip count runs specialised almost immediately.
+const DEFAULT_UOP_THRESHOLD: u64 = 16;
 
 /// Superblock-engine statistics, surfaced through
 /// [`crate::Machine::superblock_stats`]. Host-side only — never part of
@@ -241,6 +255,14 @@ pub struct SbStats {
     pub dtlb_misses: u64,
     /// Data-TLB whole-cache invalidations across all causes.
     pub dtlb_invalidations: u64,
+    /// Hot superblocks promoted to specialised micro-op traces.
+    pub uop_promoted: u64,
+    /// Dispatches executed through a specialised micro-op trace (counted
+    /// when at least one instruction retired from it).
+    pub uop_hits: u64,
+    /// Whole-cache invalidations that dropped at least one specialised
+    /// trace (micro-op traces die with their superblocks).
+    pub uop_invalidations: u64,
 }
 
 impl SbStats {
@@ -287,6 +309,10 @@ pub struct FetchAccel {
     hot: Option<HotFetch>,
     /// Whether the superblock engine runs on top of the decode cache.
     sb_enabled: bool,
+    /// Whether hot superblocks are promoted to micro-op traces.
+    uop_enabled: bool,
+    /// Dispatch hits before a superblock is specialised.
+    uop_threshold: u64,
     sb: SbCache,
     /// Host-side statistics: fetches served from the decode cache.
     served: u64,
@@ -303,6 +329,8 @@ impl FetchAccel {
             fetch_tc: None,
             hot: None,
             sb_enabled: true,
+            uop_enabled: true,
+            uop_threshold: DEFAULT_UOP_THRESHOLD,
             sb: SbCache::default(),
             served: 0,
             fills: 0,
@@ -346,6 +374,28 @@ impl FetchAccel {
         self.sb_invalidate(SbInvalCause::Tlb);
     }
 
+    /// Whether the micro-op specialisation tier is active (requires the
+    /// superblock engine, and therefore the accelerator, to be enabled).
+    pub fn uops_enabled(&self) -> bool {
+        self.superblocks_enabled() && self.uop_enabled
+    }
+
+    /// Turns the micro-op tier on or off, dropping all blocks either way
+    /// (their specialised traces die with them). Off leaves the
+    /// superblock engine itself running — used by the differential tests
+    /// and benchmarks to isolate the tier's contribution.
+    pub fn set_uops(&mut self, on: bool) {
+        self.uop_enabled = on;
+        self.sb_invalidate(SbInvalCause::Tlb);
+    }
+
+    /// Sets the promotion threshold: dispatch hits a superblock must
+    /// accumulate before it is specialised (clamped to at least 1; the
+    /// differential tests lower it to force promotion quickly).
+    pub fn set_uop_threshold(&mut self, hits: u64) {
+        self.uop_threshold = hits.max(1);
+    }
+
     /// Superblock-engine statistics.
     pub fn sb_stats(&self) -> SbStats {
         self.sb.stats
@@ -364,9 +414,20 @@ impl FetchAccel {
         !self.sb.blocks.is_empty() || !self.sb.index.is_empty()
     }
 
+    /// Whether any cached superblock carries a specialised micro-op
+    /// trace — the condition under which an invalidation is counted (and
+    /// trace-evented) as a uop invalidation, keeping events 1:1 with the
+    /// statistics.
+    pub(crate) fn sb_has_uops(&self) -> bool {
+        self.sb.blocks.iter().any(|b| b.uop.is_some())
+    }
+
     /// Drops every superblock and the chain source, attributing the drop
     /// to `cause` (counted only when something was actually cached).
     fn sb_invalidate(&mut self, cause: SbInvalCause) {
+        if self.sb_has_uops() {
+            self.sb.stats.uop_invalidations += 1;
+        }
         if !self.sb.blocks.is_empty() || !self.sb.index.is_empty() {
             match cause {
                 SbInvalCause::CodeGen => self.sb.stats.inval_code_gen += 1,
@@ -376,6 +437,44 @@ impl FetchAccel {
         self.sb.blocks.clear();
         self.sb.index.clear();
         self.sb.last = None;
+    }
+
+    /// Counts one dispatch hit against block `id` and specialises it
+    /// into a micro-op trace once it crosses the promotion threshold.
+    /// Called from the two cache-hit paths in [`FetchAccel::sb_dispatch`]
+    /// — builds don't count, so a trace invalidated every dispatch never
+    /// pays the specialisation cost.
+    fn sb_promote_if_hot(&mut self, id: u32, trace: &mut FlightRecorder, cycle: u64) {
+        if !self.uop_enabled {
+            return;
+        }
+        let b = &mut self.sb.blocks[id as usize];
+        if b.uop.is_some() {
+            return;
+        }
+        b.hot += 1;
+        if b.hot < self.uop_threshold {
+            return;
+        }
+        let t = crate::uop::specialise(b);
+        trace.record(
+            cycle,
+            Event::UopPromote {
+                entry_va: b.entry_va,
+                len: t.body.len() as u32,
+            },
+        );
+        b.uop = Some(Box::new(t));
+        self.sb.stats.uop_promoted += 1;
+    }
+
+    /// Counts trace executions through the specialised micro-op tier.
+    /// One dispatch can carry several: a self-looping trace chains
+    /// iterations without returning to the dispatcher, and each chained
+    /// pass counts as a hit (the per-dispatch equivalent would have
+    /// re-dispatched once per iteration).
+    pub(crate) fn sb_note_uop_hits(&mut self, n: u64) {
+        self.sb.stats.uop_hits += n;
     }
 
     /// Looks up (or builds) the superblock entered at `pc` under
@@ -410,6 +509,14 @@ impl FetchAccel {
                     },
                 );
             }
+            if self.sb_has_uops() {
+                trace.record(
+                    cycle,
+                    Event::UopInval {
+                        cause: InvalCause::CodeGen,
+                    },
+                );
+            }
             self.sb_invalidate(SbInvalCause::CodeGen);
             self.sb.gen = gen_now;
         }
@@ -420,6 +527,7 @@ impl FetchAccel {
                 if b.entry_va == pc && b.world == world && b.ttbr0 == ttbr0 {
                     self.sb.stats.hits += 1;
                     self.sb.stats.chained += 1;
+                    self.sb_promote_if_hot(id, trace, cycle);
                     return Some(id);
                 }
             }
@@ -430,6 +538,7 @@ impl FetchAccel {
                 let b = &self.sb.blocks[id as usize];
                 if b.world == world && b.ttbr0 == ttbr0 {
                     self.sb.stats.hits += 1;
+                    self.sb_promote_if_hot(id, trace, cycle);
                     id
                 } else {
                     // Same VA under a different context (the old block
@@ -533,6 +642,8 @@ impl FetchAccel {
             end,
             max_charge,
             succ: [None, None],
+            hot: 0,
+            uop: None,
         });
         self.sb.index.insert(pc, id);
         self.sb.stats.built += 1;

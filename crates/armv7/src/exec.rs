@@ -6,20 +6,22 @@
 //! fault-status registers and switch the machine into the appropriate
 //! banked mode before returning an [`ExitReason`] to the privileged caller.
 
-use crate::alu::{alu, alu_value, eval_op2, eval_op2_value};
+use crate::alu::{alu, alu_value, eval_op2, eval_op2_value, shift_value};
 use crate::cp15::FaultStatus;
 use crate::dcache::{BlockEnd, ExitKind};
 use crate::decode::decode;
+use crate::dtlb::DataTlb;
 use crate::error::{MemFault, MemFaultKind};
 use crate::exn::ExceptionKind;
 use crate::insn::{Cond, Insn, LsmMode, MemOffset};
 use crate::machine::{cost, Machine, ModelViolation};
-use crate::mem::AccessAttrs;
+use crate::mem::{AccessAttrs, PhysMem};
 use crate::mode::{Mode, World};
 use crate::psr::Psr;
 use crate::ptw::{self, PtwFault};
 use crate::regs::{Reg, RegFile};
-use crate::word::{Addr, Word, WORD_BYTES};
+use crate::uop::{MemOff, Site, Src, Uop, UopEnd, UopTrace};
+use crate::word::{page_base, page_offset, Addr, Word, WORD_BYTES};
 
 /// Why user-mode execution stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -245,6 +247,44 @@ impl Machine {
         let n_body = b.body.len() as u64;
         let has_branch = matches!(b.end, BlockEnd::Branch { .. });
         let full = steps_left >= n_body + has_branch as u64;
+        // Specialised micro-op tier: once the block is promoted, the
+        // whole-trace case runs its specialised form instead of the
+        // generic body loop below. Only the whole-trace case — a partial
+        // step budget needs the prefix semantics of the generic loop,
+        // and `full` is computed from the *block's* body (fusion moves
+        // an instruction into the uop exit without changing how many
+        // steps the trace consumes). Hazard behaviour is identical: the
+        // runner stops at the exactly-retired prefix, and a first-op
+        // hazard returns `None` so the per-insn step makes progress.
+        if full {
+            if let Some(u) = &b.uop {
+                let (retired, data_hits, extra, iters, exit) = run_uop_trace(
+                    u,
+                    gen_entry,
+                    b.entry_va,
+                    b.max_charge,
+                    wake - *cycles,
+                    steps_left,
+                    world,
+                    ttbr0,
+                    regs,
+                    cpsr,
+                    pc,
+                    mem,
+                    dtlb,
+                );
+                if retired == 0 {
+                    accel.sb_note_exit(id, None, 0);
+                    return None;
+                }
+                tlb.note_hits(retired + data_hits);
+                mem.note_reads(retired);
+                *cycles += retired * cost::INSN + extra;
+                accel.sb_note_uop_hits(iters);
+                accel.sb_note_exit(id, exit, retired);
+                return Some(retired);
+            }
+        }
         let n_exec = if full { n_body } else { steps_left.min(n_body) };
         let mut extra = 0u64;
         let mut data_hits = 0u64;
@@ -735,6 +775,328 @@ fn exec_straightline(regs: &mut RegFile, cpsr: &mut Psr, mode: Mode, insn: Insn)
     }
 }
 
+/// Effective address of a micro-op memory access over the flat register
+/// copy (immediate offsets were pre-negated at specialisation time, so
+/// one wrapping add covers both signs — equivalent to `mem_ea_regs`).
+#[inline]
+fn uop_ea(r: &[Word; 15], base: u8, off: MemOff) -> Addr {
+    let b = r[base as usize];
+    match off {
+        MemOff::Const(k) => b.wrapping_add(k),
+        MemOff::Reg(rm) => b.wrapping_add(r[rm as usize]),
+        MemOff::RegNeg(rm) => b.wrapping_sub(r[rm as usize]),
+    }
+}
+
+/// The per-site inlined data-TLB probe: one compare against the site's
+/// cached VA page, refilled from the real data-TLB on mismatch. A site
+/// hit replays exactly what `DataTlb::lookup_data` would return — the
+/// entry was formed from a lookup under the same `(world, TTBR0)` the
+/// trace is keyed by, the architectural TLB never re-maps a VA without
+/// an event that kills every block (and with it every site), and the
+/// verdict for this site's access kind was checked at fill time — so
+/// accounting one TLB hit per access stays exact.
+#[inline]
+fn site_lookup(
+    t: &UopTrace,
+    site: u16,
+    va: Addr,
+    world: World,
+    ttbr0: Addr,
+    dtlb: &mut DataTlb,
+    write: bool,
+) -> Option<(Addr, AccessAttrs)> {
+    let cell = &t.sites[site as usize];
+    if let Some(s) = cell.get() {
+        if s.va_page == page_base(va) {
+            return Some((s.pa_page | page_offset(va), s.attrs));
+        }
+    }
+    let (pa, attrs) = dtlb.lookup_data(va, world, ttbr0, write)?;
+    cell.set(Some(Site {
+        va_page: page_base(va),
+        pa_page: page_base(pa),
+        attrs,
+    }));
+    Some((pa, attrs))
+}
+
+/// Executes a specialised micro-op trace over a flat copy of the
+/// user-visible registers and a local PSR, committing the exactly
+/// retired prefix. Returns `(retired, data_hits, extra_cycles, iters,
+/// exit)` for the caller to batch-account precisely like the superblock
+/// body loop; `retired == 0` means a first-op hazard left the machine
+/// untouched (the caller falls back to per-instruction stepping).
+///
+/// **Self-loop chaining.** When the trace's exit branch is taken back to
+/// its own entry (`target == entry_va`), the runner re-enters the body
+/// in place — no commit, no re-dispatch, no regfile round-trip — as long
+/// as the caller's two dispatch guards still hold for a whole further
+/// pass: the remaining step budget covers one more full iteration
+/// (`iter_steps`, counted on the *block's* instructions, exactly what
+/// the dispatcher's `full` check requires), and the accumulated cycle
+/// charge plus a worst-case pass still ends before the wake deadline
+/// (`cost + max_charge < cycle_budget`, the wake-hoisting guard with the
+/// dispatch-time cycle count folded into `cycle_budget`). Stopping short
+/// on either guard just bounces back to the dispatcher, which re-checks
+/// the same conditions — so chaining is invisible to the cycle model.
+///
+/// Mid-trace stops happen only at memory micro-ops (hazard) or right
+/// after a code-generation bump — points where the specialiser's flag
+/// liveness forced every earlier flag write to materialise — so the
+/// committed PSR at any stop is bit-for-bit the per-instruction one.
+#[allow(clippy::too_many_arguments)]
+fn run_uop_trace(
+    t: &UopTrace,
+    gen_entry: u64,
+    entry_va: Addr,
+    max_charge: u64,
+    cycle_budget: u64,
+    steps_left: u64,
+    world: World,
+    ttbr0: Addr,
+    regs: &mut RegFile,
+    cpsr: &mut Psr,
+    pc: &mut Addr,
+    mem: &mut PhysMem,
+    dtlb: &mut DataTlb,
+) -> (u64, u64, u64, u64, Option<ExitKind>) {
+    // Architectural steps one full pass consumes: one per body micro-op
+    // plus the exit's share (a fused exit retires the folded ALU and the
+    // branch). This always equals the block's `n_body + has_branch`, so
+    // the chaining budget check below is the dispatcher's `full` check.
+    let iter_steps = t.body.len() as u64
+        + match t.end {
+            UopEnd::Fall => 0,
+            UopEnd::Branch { .. } => 1,
+            UopEnd::FusedBranch { .. } => 2,
+        };
+    let self_loop = match t.end {
+        UopEnd::Fall => false,
+        UopEnd::Branch { target, link, .. } | UopEnd::FusedBranch { target, link, .. } => {
+            !link && target == entry_va
+        }
+    };
+    let mut r = regs.user_visible();
+    let mut psr = *cpsr;
+    let mut total = 0u64;
+    let mut data_hits = 0u64;
+    let mut extra = 0u64;
+    let mut iters = 0u64;
+    let mut pc_cur = *pc;
+    let final_exit = 'chain: loop {
+        iters += 1;
+        let mut n_ret = 0u64;
+        let mut stopped = false;
+        for e in t.body.iter() {
+            if e.cond != Cond::Al && !cond_holds(psr, e.cond) {
+                n_ret += 1;
+                continue;
+            }
+            match e.op {
+                Uop::AddImm { rd, rn, imm } => r[rd as usize] = r[rn as usize].wrapping_add(imm),
+                Uop::SubImm { rd, rn, imm } => r[rd as usize] = r[rn as usize].wrapping_sub(imm),
+                Uop::AddReg { rd, rn, rm } => {
+                    r[rd as usize] = r[rn as usize].wrapping_add(r[rm as usize]);
+                }
+                Uop::EorReg { rd, rn, rm } => r[rd as usize] = r[rn as usize] ^ r[rm as usize],
+                Uop::MovConst { rd, imm } => r[rd as usize] = imm,
+                Uop::InsTop { rd, hi } => r[rd as usize] = (r[rd as usize] & 0xffff) | hi,
+                Uop::Alu { op, rd, rn, src } => {
+                    let v2 = match src {
+                        Src::Imm(v) => v,
+                        Src::Reg(rm) => r[rm as usize],
+                        // The shifted value never depends on the carry-in
+                        // (same `false` as `eval_op2_value`).
+                        Src::Shifted { rm, shift, amount } => {
+                            shift_value(r[rm as usize], shift, amount, false).value
+                        }
+                    };
+                    r[rd as usize] = alu_value(op, r[rn as usize], v2, psr.c);
+                }
+                Uop::AluFlags {
+                    op,
+                    wb,
+                    rd,
+                    rn,
+                    op2,
+                } => {
+                    let sh = eval_op2(op2, psr.c, |reg| r[reg.index() as usize]);
+                    let res = alu(op, r[rn as usize], sh, psr);
+                    if wb {
+                        if let Some(v) = res.value {
+                            r[rd as usize] = v;
+                        }
+                    }
+                    psr.n = res.n;
+                    psr.z = res.z;
+                    psr.c = res.c;
+                    psr.v = res.v;
+                }
+                Uop::MulVal { rd, rm, rs } => {
+                    r[rd as usize] = r[rm as usize].wrapping_mul(r[rs as usize]);
+                    extra += cost::MUL;
+                }
+                Uop::MulFlags { rd, rm, rs } => {
+                    let v = r[rm as usize].wrapping_mul(r[rs as usize]);
+                    r[rd as usize] = v;
+                    psr.n = v & 0x8000_0000 != 0;
+                    psr.z = v == 0;
+                    extra += cost::MUL;
+                }
+                Uop::ReadCpsr { rd } => r[rd as usize] = psr.encode(),
+                Uop::Nop => {}
+                Uop::Load {
+                    rd,
+                    base,
+                    off,
+                    byte,
+                    site,
+                } => {
+                    let va = uop_ea(&r, base, off);
+                    let Some((pa, attrs)) = site_lookup(t, site, va, world, ttbr0, dtlb, false)
+                    else {
+                        stopped = true;
+                        break;
+                    };
+                    let res = if byte {
+                        mem.read_byte(pa, attrs).map(|v| v as Word)
+                    } else {
+                        mem.read(pa, attrs)
+                    };
+                    let Ok(v) = res else {
+                        stopped = true;
+                        break;
+                    };
+                    r[rd as usize] = v;
+                    data_hits += 1;
+                    extra += cost::MEM;
+                }
+                Uop::Store {
+                    rd,
+                    base,
+                    off,
+                    byte,
+                    site,
+                } => {
+                    let va = uop_ea(&r, base, off);
+                    let Some((pa, attrs)) = site_lookup(t, site, va, world, ttbr0, dtlb, true)
+                    else {
+                        stopped = true;
+                        break;
+                    };
+                    let v = r[rd as usize];
+                    let res = if byte {
+                        mem.write_byte(pa, v as u8, attrs)
+                    } else {
+                        mem.write(pa, v, attrs)
+                    };
+                    if res.is_err() {
+                        stopped = true;
+                        break;
+                    }
+                    data_hits += 1;
+                    extra += cost::MEM;
+                    if mem.code_gen() != gen_entry {
+                        // Self-modifying store: retire it, then stop so no
+                        // possibly-stale micro-op after it executes.
+                        n_ret += 1;
+                        stopped = true;
+                        break;
+                    }
+                }
+            }
+            n_ret += 1;
+        }
+        if stopped {
+            if total == 0 && n_ret == 0 {
+                // First micro-op hit a hazard: the locals were never
+                // written, so there is nothing to commit and the caller
+                // falls back. (A first-op hazard on a *chained* pass
+                // commits the completed iterations below instead.)
+                return (0, 0, 0, 0, None);
+            }
+            total += n_ret;
+            pc_cur = pc_cur.wrapping_add(n_ret as u32 * WORD_BYTES);
+            break 'chain None;
+        }
+        let mut pc_new = pc_cur.wrapping_add(n_ret as u32 * WORD_BYTES);
+        total += n_ret;
+        let mut exit = ExitKind::Fall;
+        match t.end {
+            UopEnd::Fall => {}
+            UopEnd::Branch { cond, target, link } => {
+                total += 1;
+                if cond_holds(psr, cond) {
+                    extra += cost::BRANCH_TAKEN;
+                    if link {
+                        r[14] = pc_new.wrapping_add(WORD_BYTES);
+                    }
+                    pc_new = target;
+                    exit = ExitKind::Taken;
+                } else {
+                    pc_new = pc_new.wrapping_add(WORD_BYTES);
+                }
+            }
+            UopEnd::FusedBranch {
+                op,
+                wb,
+                rd,
+                rn,
+                op2,
+                cond,
+                target,
+                link,
+            } => {
+                // The folded flag-setting ALU retires first (it was the
+                // block's last body instruction, always unconditional) ...
+                let sh = eval_op2(op2, psr.c, |reg| r[reg.index() as usize]);
+                let res = alu(op, r[rn as usize], sh, psr);
+                if wb {
+                    if let Some(v) = res.value {
+                        r[rd as usize] = v;
+                    }
+                }
+                psr.n = res.n;
+                psr.z = res.z;
+                psr.c = res.c;
+                psr.v = res.v;
+                total += 1;
+                pc_new = pc_new.wrapping_add(WORD_BYTES);
+                // ... then the branch decides on the freshly computed
+                // flags without a second dispatch.
+                total += 1;
+                if cond_holds(psr, cond) {
+                    extra += cost::BRANCH_TAKEN;
+                    if link {
+                        r[14] = pc_new.wrapping_add(WORD_BYTES);
+                    }
+                    pc_new = target;
+                    exit = ExitKind::Taken;
+                } else {
+                    pc_new = pc_new.wrapping_add(WORD_BYTES);
+                }
+            }
+        }
+        pc_cur = pc_new;
+        // Chain straight back into the body when the taken exit re-enters
+        // this trace and both dispatch guards still hold for a whole
+        // further pass; otherwise commit and return to the dispatcher.
+        if self_loop
+            && exit == ExitKind::Taken
+            && steps_left - total >= iter_steps
+            && total * cost::INSN + extra + max_charge < cycle_budget
+        {
+            continue 'chain;
+        }
+        break 'chain Some(exit);
+    };
+    regs.set_user_visible(&r);
+    *cpsr = psr;
+    *pc = pc_cur;
+    (total, data_hits, extra, iters, final_exit)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1177,35 +1539,68 @@ mod tests {
         assert!(m_on == m_off, "architectural state diverged");
     }
 
-    /// Runs `code` under the three stepping configurations — superblocks,
+    /// Runs `code` under the four stepping configurations — micro-op
+    /// traces (promotion forced with a threshold of 2), superblocks,
     /// accelerator-only, baseline — with `setup` applied to each fresh
-    /// machine, asserting all three exits and final architectural states
-    /// are bit-for-bit identical. Returns the superblock machine.
-    fn three_way(
+    /// machine, asserting all four exits, final architectural states,
+    /// and architectural metric projections are bit-for-bit identical.
+    /// Returns the superblock-configuration machine (its host-side
+    /// superblock statistics are what the edge regressions assert on).
+    fn four_way(
         code: &[Word],
         perms: PagePerms,
         steps: u64,
         setup: impl Fn(&mut Machine),
     ) -> (Machine, ExitReason) {
-        let run = |accel: bool, superblocks: bool| {
+        let (m_uop, m_sb, e_sb) = four_way_machines(code, perms, steps, setup);
+        drop(m_uop);
+        (m_sb, e_sb)
+    }
+
+    /// [`four_way`], additionally returning the micro-op-configuration
+    /// machine so callers can assert its promotion/hit statistics.
+    fn four_way_machines(
+        code: &[Word],
+        perms: PagePerms,
+        steps: u64,
+        setup: impl Fn(&mut Machine),
+    ) -> (Machine, Machine, ExitReason) {
+        let run = |accel: bool, superblocks: bool, uops: bool| {
             let mut m = guest_machine_with_perms(code, perms);
             m.set_fetch_accel(accel);
             m.set_superblocks(superblocks);
+            m.set_uop_traces(uops);
+            if uops {
+                // Force promotion almost immediately so even short tests
+                // spend most iterations on specialised traces.
+                m.set_uop_threshold(2);
+            }
             setup(&mut m);
             let exit = m.run_user(steps).unwrap();
             (m, exit)
         };
-        let (m_sb, e_sb) = run(true, true);
-        let (m_on, e_on) = run(true, false);
-        let (m_off, e_off) = run(false, false);
+        let (m_uop, e_uop) = run(true, true, true);
+        let (m_sb, e_sb) = run(true, true, false);
+        let (m_on, e_on) = run(true, false, false);
+        let (m_off, e_off) = run(false, false, false);
+        assert_eq!(e_uop, e_sb, "uop exit diverged from superblock");
         assert_eq!(e_sb, e_on, "superblock exit diverged from accel-only");
         assert_eq!(e_on, e_off, "accel-only exit diverged from baseline");
+        assert_eq!(m_uop.cycles, m_off.cycles, "uop cycles diverged");
         assert_eq!(m_sb.cycles, m_off.cycles, "superblock cycles diverged");
+        assert_eq!(m_uop.tlb.hits, m_off.tlb.hits);
         assert_eq!(m_sb.tlb.hits, m_off.tlb.hits);
+        assert_eq!(m_uop.mem.reads, m_off.mem.reads);
         assert_eq!(m_sb.mem.reads, m_off.mem.reads);
+        assert_eq!(
+            m_uop.metrics_snapshot().architectural(),
+            m_off.metrics_snapshot().architectural(),
+            "uop architectural metrics diverged from baseline"
+        );
+        assert!(m_uop == m_off, "uop architectural state diverged");
         assert!(m_sb == m_off, "superblock architectural state diverged");
         assert!(m_on == m_off, "accel-only architectural state diverged");
-        (m_sb, e_sb)
+        (m_uop, m_sb, e_sb)
     }
 
     /// A store that overwrites an instruction belonging to the executing
@@ -1240,7 +1635,7 @@ mod tests {
         a.subs_imm(Reg::R(6), Reg::R(6), 1);
         a.b_to(Cond::Ne, top);
         a.svc(0);
-        let (m, exit) = three_way(&a.words(), PagePerms::RWX, 1_000, |_| {});
+        let (m, exit) = four_way(&a.words(), PagePerms::RWX, 1_000, |_| {});
         assert_eq!(exit, ExitReason::Svc { imm24: 0 });
         // Iteration 1 runs the original `add r2, #1`; iterations 2 and 3
         // run the patched `add r2, #5`.
@@ -1286,7 +1681,7 @@ mod tests {
         a.subs_imm(Reg::R(6), Reg::R(6), 1);
         a.b_to(Cond::Ne, top);
         a.svc(0);
-        let (m, exit) = three_way(&a.words(), PagePerms::RWX, 1_000, |_| {});
+        let (m, exit) = four_way(&a.words(), PagePerms::RWX, 1_000, |_| {});
         assert_eq!(exit, ExitReason::Svc { imm24: 0 });
         // The patch lands before any iteration reads the slot: all three
         // iterations run `add r2, #5`.
@@ -1318,7 +1713,7 @@ mod tests {
         a.subs_imm(Reg::R(7), Reg::R(7), 1);
         a.b_to(Cond::Ne, top);
         a.svc(0);
-        let (m, exit) = three_way(&a.words(), PagePerms::RX, 10_000, |_| {});
+        let (m, exit) = four_way(&a.words(), PagePerms::RX, 10_000, |_| {});
         assert_eq!(exit, ExitReason::Svc { imm24: 0 });
         let s = m.superblock_stats();
         assert!(s.built >= 1, "no memory-inclusive block was formed");
@@ -1346,7 +1741,7 @@ mod tests {
             a.ldr_imm(Reg::R(2), Reg::R(8), 0); // Unaligned: data abort.
             a.add_imm(Reg::R(3), Reg::R(3), 4); // Must never execute.
             a.svc(0);
-            let (m, exit) = three_way(&a.words(), PagePerms::RX, 1_000, |_| {});
+            let (m, exit) = four_way(&a.words(), PagePerms::RX, 1_000, |_| {});
             // Translation succeeds; the bus access faults, so the abort
             // reports the *physical* address.
             assert_eq!(
@@ -1507,7 +1902,7 @@ mod tests {
         a.svc(0);
         let code = a.words();
         for deadline in 1..=20u64 {
-            let (m, exit) = three_way(&code, PagePerms::RX, 1_000, |m| {
+            let (m, exit) = four_way(&code, PagePerms::RX, 1_000, |m| {
                 m.irq_at = Some(m.cycles + deadline);
             });
             assert!(
@@ -1530,7 +1925,7 @@ mod tests {
         for _ in 0..1024 {
             a.add_imm(Reg::R(0), Reg::R(0), 1); // Fills the whole page.
         }
-        let (m, exit) = three_way(&a.words(), PagePerms::RX, 10_000, |_| {});
+        let (m, exit) = four_way(&a.words(), PagePerms::RX, 10_000, |_| {});
         // The data page at 0x9000 is RW (not executable): walking off the
         // code page's end prefetch-aborts there.
         assert_eq!(exit, ExitReason::PrefetchAbort(0x9000));
@@ -1574,7 +1969,7 @@ mod tests {
                 op2: crate::insn::Op2::imm(1),
             });
             a.svc(0);
-            let (m, exit) = three_way(&a.words(), PagePerms::RX, 1_000, |m| {
+            let (m, exit) = four_way(&a.words(), PagePerms::RX, 1_000, |m| {
                 m.regs.set(Mode::User, Reg::R(0), r0);
             });
             assert_eq!(exit, ExitReason::Svc { imm24: 0 }, "r0={r0}");
@@ -1604,7 +1999,7 @@ mod tests {
         a.subs_imm(Reg::R(1), Reg::R(1), 1);
         a.b_to(Cond::Ne, top);
         a.svc(0);
-        let (m, exit) = three_way(&a.words(), PagePerms::RX, 10_000, |_| {});
+        let (m, exit) = four_way(&a.words(), PagePerms::RX, 10_000, |_| {});
         assert_eq!(exit, ExitReason::Svc { imm24: 0 });
         let s = m.superblock_stats();
         assert!(s.built >= 1, "no block built");
@@ -1628,7 +2023,7 @@ mod tests {
         a.b_to(Cond::Al, top);
         let code = a.words();
         for budget in 1..=14u64 {
-            let (m, exit) = three_way(&code, PagePerms::RX, budget, |_| {});
+            let (m, exit) = four_way(&code, PagePerms::RX, budget, |_| {});
             assert_eq!(exit, ExitReason::StepLimit, "budget {budget}");
             assert_eq!(
                 m.regs.get(Mode::User, Reg::R(0)),
@@ -1669,5 +2064,233 @@ mod tests {
         assert_eq!(on.mem.reads, off.mem.reads);
         assert_eq!(on.mem.writes, off.mem.writes);
         assert!(on == off, "architectural state diverged");
+    }
+
+    /// A hot mixed loop — loads, stores, a dead flag-setter, a live
+    /// compare steering a conditional, and a fused compare+branch exit —
+    /// must get promoted to a specialised trace, serve the bulk of its
+    /// iterations from it, and stay bit-for-bit exact (the four-way
+    /// helper asserts the equality half).
+    #[test]
+    fn uop_promotion_specialises_hot_loops_and_stays_exact() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(8), 0x9000);
+        a.mov_imm(Reg::R(7), 100); // Loop counter.
+        a.mov_imm(Reg::R(0), 3);
+        let top = a.label();
+        a.ldr_imm(Reg::R(1), Reg::R(8), 0);
+        a.add_reg(Reg::R(1), Reg::R(1), Reg::R(0));
+        a.str_imm(Reg::R(1), Reg::R(8), 4);
+        a.emit(Insn::Dp {
+            cond: Cond::Al,
+            op: crate::insn::DpOp::Add,
+            s: true, // Dead flags: overwritten by the cmp below.
+            rd: Reg::R(4),
+            rn: Reg::R(4),
+            op2: crate::insn::Op2::reg(Reg::R(1)),
+        });
+        a.cmp_imm(Reg::R(0), 17); // Live flags: the addeq consumes them.
+        a.emit(Insn::Dp {
+            cond: Cond::Eq,
+            op: crate::insn::DpOp::Add,
+            s: false,
+            rd: Reg::R(5),
+            rn: Reg::R(5),
+            op2: crate::insn::Op2::imm(1),
+        });
+        a.eor_reg(Reg::R(0), Reg::R(0), Reg::R(1));
+        a.subs_imm(Reg::R(7), Reg::R(7), 1); // Fused with the bne.
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let (m_uop, m_sb, exit) = four_way_machines(&a.words(), PagePerms::RX, 20_000, |_| {});
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+        let s = m_uop.superblock_stats();
+        assert!(s.uop_promoted >= 1, "hot loop never promoted: {s:?}");
+        assert!(
+            s.uop_hits > 50,
+            "most iterations must run specialised (uop_hits={})",
+            s.uop_hits
+        );
+        let s_sb = m_sb.superblock_stats();
+        assert_eq!(
+            (s_sb.uop_promoted, s_sb.uop_hits),
+            (0, 0),
+            "the uops-off configuration must never specialise"
+        );
+    }
+
+    /// Self-modifying code *inside* a specialised trace: the loop runs
+    /// hot enough to be promoted, then a conditional store patches an
+    /// instruction later in the same trace. The specialised runner must
+    /// retire through the store, stop, and let the per-insn path execute
+    /// the patched instruction in that same iteration — and the dropped
+    /// trace must be counted as a uop invalidation.
+    #[test]
+    fn uop_self_modifying_store_inside_specialised_trace() {
+        use crate::encode::encode;
+        let patch = encode(Insn::Dp {
+            cond: Cond::Al,
+            op: crate::insn::DpOp::Add,
+            s: false,
+            rd: Reg::R(2),
+            rn: Reg::R(2),
+            op2: crate::insn::Op2::imm(5),
+        });
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(1), 0x8000); // Code page VA.
+        a.mov_imm32(Reg::R(0), patch);
+        a.mov_imm(Reg::R(6), 6); // Loop counter: 6, 5, ..., 1.
+        let top = a.label();
+        a.add_imm(Reg::R(3), Reg::R(3), 1);
+        a.cmp_imm(Reg::R(6), 3);
+        // Fires only on the 4th iteration (r6 == 3) — by then the trace
+        // is promoted (threshold 2) and running specialised.
+        let slot = (a.len() + 2) as u16;
+        a.emit(Insn::Str {
+            cond: Cond::Eq,
+            rd: Reg::R(0),
+            rn: Reg::R(1),
+            off: MemOffset::Imm {
+                imm12: slot * 4,
+                add: true,
+            },
+            byte: false,
+        });
+        a.add_imm(Reg::R(4), Reg::R(4), 1);
+        a.add_imm(Reg::R(2), Reg::R(2), 1); // Overwritten to `add r2, #5`.
+        a.subs_imm(Reg::R(6), Reg::R(6), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let (m_uop, _m_sb, exit) = four_way_machines(&a.words(), PagePerms::RWX, 10_000, |_| {});
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+        // Iterations r6=6,5,4 run the original `add r2, #1`; the patch
+        // lands before the slot executes on r6=3, so that iteration and
+        // the remaining two run `add r2, #5`.
+        assert_eq!(m_uop.regs.get(Mode::User, Reg::R(2)), 3 + 5 * 3);
+        let s = m_uop.superblock_stats();
+        assert!(s.uop_promoted >= 1, "loop never promoted: {s:?}");
+        assert!(s.uop_hits >= 1, "specialised trace never ran: {s:?}");
+        assert!(
+            s.uop_invalidations >= 1,
+            "the code-gen bump must be counted as dropping a specialised \
+             trace (stats: {s:?})"
+        );
+        assert!(s.inval_code_gen >= 1, "stats: {s:?}");
+    }
+
+    /// An interrupt deadline landing mid-trace after promotion: the
+    /// wake-hoisting guard covers the specialised tier through the same
+    /// `max_charge`, so the IRQ fires at the exact per-insn cycle. Swept
+    /// across deadlines spanning cold, warming, and promoted iterations.
+    #[test]
+    fn uop_interrupt_deadline_mid_trace_is_exact() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm(Reg::R(0), 0);
+        a.mov_imm(Reg::R(1), 12); // Loop counter.
+        let top = a.label();
+        a.add_imm(Reg::R(0), Reg::R(0), 1);
+        a.eor_reg(Reg::R(2), Reg::R(2), Reg::R(0));
+        a.add_reg(Reg::R(3), Reg::R(3), Reg::R(0));
+        a.subs_imm(Reg::R(1), Reg::R(1), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let code = a.words();
+        for deadline in 1..=80u64 {
+            let (m, exit) = four_way(&code, PagePerms::RX, 10_000, |m| {
+                m.irq_at = Some(m.cycles + deadline);
+            });
+            assert!(
+                matches!(exit, ExitReason::Irq | ExitReason::Svc { .. }),
+                "deadline {deadline}: unexpected exit {exit:?}"
+            );
+            if exit == ExitReason::Irq {
+                assert_eq!(m.cpsr.mode, Mode::Irq, "deadline {deadline}");
+            }
+        }
+    }
+
+    /// TLB flush, `TTBR0` reload, and world switch each landing between
+    /// promoted runs of a memory-carrying loop: every source must drop
+    /// the specialised traces (counted), the loop must re-promote, and
+    /// the architectural state must stay bit-for-bit equal to baseline
+    /// across all rounds.
+    #[test]
+    fn uop_invalidation_sources_drop_specialised_traces_exactly() {
+        let mut a = Assembler::new(0x8000);
+        a.mov_imm32(Reg::R(8), 0x9000);
+        a.mov_imm(Reg::R(0), 30); // Loop counter.
+        let top = a.label();
+        a.ldr_imm(Reg::R(1), Reg::R(8), 0);
+        a.add_imm(Reg::R(1), Reg::R(1), 1);
+        a.str_imm(Reg::R(1), Reg::R(8), 0);
+        a.subs_imm(Reg::R(0), Reg::R(0), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let code = a.words();
+        let run = |source: u32, accel: bool, superblocks: bool, uops: bool| {
+            let mut m = guest_machine(&code);
+            m.set_fetch_accel(accel);
+            m.set_superblocks(superblocks);
+            m.set_uop_traces(uops);
+            m.set_uop_threshold(2);
+            for _ in 0..3 {
+                let exit = m.run_user(10_000).unwrap();
+                assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+                match source {
+                    0 => m.tlb_flush(),
+                    1 => {
+                        let ttbr0 = m.cp15.mmu_mut(World::Secure).ttbr0;
+                        m.load_ttbr0(ttbr0);
+                        m.tlb_flush(); // Architectural discipline after a TTBR write.
+                    }
+                    2 => {
+                        m.set_scr_ns(true);
+                        m.set_scr_ns(false);
+                    }
+                    _ => unreachable!(),
+                }
+                m.exception_return().unwrap();
+                m.pc = 0x8000;
+                m.regs.set(Mode::User, Reg::R(0), 30);
+            }
+            m
+        };
+        for source in 0..3u32 {
+            let m_uop = run(source, true, true, true);
+            let m_sb = run(source, true, true, false);
+            let m_off = run(source, false, false, false);
+            assert!(
+                m_uop == m_off,
+                "source {source}: uop state diverged across invalidation"
+            );
+            assert!(
+                m_sb == m_off,
+                "source {source}: superblock state diverged across invalidation"
+            );
+            let s = m_uop.superblock_stats();
+            assert!(
+                s.uop_hits > 10,
+                "source {source}: specialised traces barely ran ({s:?})"
+            );
+            if source == 2 {
+                // A world switch doesn't drop superblocks: every block
+                // (and its trace) is keyed by world and re-validated at
+                // dispatch, so the promoted trace soundly survives the
+                // round trip — no drop, no re-promotion.
+                assert!(
+                    s.uop_promoted >= 1,
+                    "source {source}: never promoted ({s:?})"
+                );
+            } else {
+                assert!(
+                    s.uop_promoted >= 3,
+                    "source {source}: the loop must re-promote after every drop ({s:?})"
+                );
+                assert!(
+                    s.uop_invalidations >= 3,
+                    "source {source}: dropped traces uncounted ({s:?})"
+                );
+            }
+        }
     }
 }

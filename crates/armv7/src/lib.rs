@@ -59,6 +59,7 @@ pub mod psr;
 pub mod ptw;
 pub mod regs;
 pub mod tlb;
+pub mod uop;
 pub mod word;
 
 pub use asm::Assembler;

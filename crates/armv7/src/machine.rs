@@ -218,6 +218,9 @@ impl Machine {
             dtlb_inval_flush: d.inval_flush,
             dtlb_inval_ttbr: d.inval_ttbr,
             dtlb_inval_world: d.inval_world,
+            uop_promoted: sb.uop_promoted,
+            uop_hits: sb.uop_hits,
+            uop_invalidations: sb.uop_invalidations,
             trace_capacity: self.trace.capacity() as u64,
             trace_recorded: self.trace.total_recorded(),
             trace_dropped: self.trace.dropped(),
@@ -243,6 +246,10 @@ impl Machine {
             if self.accel.sb_has_cached() {
                 self.trace.record(self.cycles, Event::SbInval { cause: tc });
             }
+            if self.accel.sb_has_uops() {
+                self.trace
+                    .record(self.cycles, Event::UopInval { cause: tc });
+            }
             if self.dtlb.live_entries() > 0 {
                 self.trace
                     .record(self.cycles, Event::DTlbInval { cause: tc });
@@ -261,6 +268,23 @@ impl Machine {
     /// benchmarks attribute speedups.
     pub fn set_superblocks(&mut self, on: bool) {
         self.accel.set_superblocks(on);
+    }
+
+    /// Enables or disables the micro-op specialisation tier layered on
+    /// the superblock engine (see the module docs of [`crate::uop`]).
+    /// Either toggle drops all cached blocks; simulated behaviour is
+    /// bit-for-bit identical on or off — only host speed changes. Off
+    /// with superblocks on isolates the superblock engine's own
+    /// contribution, which is how the benchmarks attribute speedups.
+    pub fn set_uop_traces(&mut self, on: bool) {
+        self.accel.set_uops(on);
+    }
+
+    /// Sets the dispatch-hit count at which a hot superblock is promoted
+    /// to a specialised micro-op trace (clamped to at least 1; the
+    /// differential tests lower it to force promotion quickly).
+    pub fn set_uop_threshold(&mut self, hits: u64) {
+        self.accel.set_uop_threshold(hits);
     }
 
     /// Host-side superblock-engine statistics (blocks built, dispatch

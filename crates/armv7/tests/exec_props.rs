@@ -347,23 +347,25 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Cycle-model preservation, adversarially and three ways: for
+    /// Cycle-model preservation, adversarially and four ways: for
     /// *arbitrary* code (including garbage that faults, branches wild, or
-    /// self-traps), the superblock engine, the accelerator-only
-    /// configuration, and plain per-instruction stepping all yield
-    /// bit-identical machines — registers, memory contents, access
-    /// counters, TLB hit/miss/flush statistics, the cycle counter — and
-    /// identical exits.
+    /// self-traps), the micro-op tier, the superblock engine, the
+    /// accelerator-only configuration, and plain per-instruction stepping
+    /// all yield bit-identical machines — registers, memory contents,
+    /// access counters, TLB hit/miss/flush statistics, the cycle counter —
+    /// and identical exits.
     #[test]
     fn prop_fetch_accel_is_architecturally_invisible(
         code in proptest::collection::vec(any::<u32>(), 1..64),
         init in proptest::array::uniform8(any::<u32>()),
         irq_after in 0u64..500,
     ) {
-        let run = |accel: bool, superblocks: bool| {
+        let run = |accel: bool, superblocks: bool, uops: bool| {
             let mut m = machine_with(&code);
             m.set_fetch_accel(accel);
             m.set_superblocks(superblocks);
+            m.set_uop_traces(uops);
+            m.set_uop_threshold(2);
             for (i, v) in init.iter().enumerate() {
                 m.regs.set(Mode::User, Reg::R(i as u8), *v);
             }
@@ -373,28 +375,34 @@ proptest! {
             let exit = m.run_user(2_000).unwrap();
             (m, exit)
         };
-        let (sb, exit_sb) = run(true, true);
-        let (on, exit_on) = run(true, false);
-        let (off, exit_off) = run(false, false);
+        let (uop, exit_uop) = run(true, true, true);
+        let (sb, exit_sb) = run(true, true, false);
+        let (on, exit_on) = run(true, false, false);
+        let (off, exit_off) = run(false, false, false);
+        prop_assert_eq!(exit_uop, exit_sb);
         prop_assert_eq!(exit_sb, exit_on);
         prop_assert_eq!(exit_on, exit_off);
+        prop_assert_eq!(uop.cycles, off.cycles, "uop cycle model diverged");
         prop_assert_eq!(sb.cycles, off.cycles, "superblock cycle model diverged");
         prop_assert_eq!(on.cycles, off.cycles, "cycle model diverged");
+        prop_assert_eq!(uop.tlb.hits, off.tlb.hits, "uop TLB hit accounting diverged");
         prop_assert_eq!(sb.tlb.hits, off.tlb.hits, "superblock TLB hit accounting diverged");
         prop_assert_eq!(on.tlb.hits, off.tlb.hits, "TLB hit accounting diverged");
         prop_assert_eq!(on.tlb.misses, off.tlb.misses, "TLB miss accounting diverged");
         prop_assert_eq!(on.tlb.flushes, off.tlb.flushes);
+        prop_assert_eq!(uop.mem.reads, off.mem.reads, "uop read counter diverged");
         prop_assert_eq!(sb.mem.reads, off.mem.reads, "superblock read counter diverged");
         prop_assert_eq!(on.mem.reads, off.mem.reads, "read counter diverged");
         prop_assert_eq!(on.mem.writes, off.mem.writes, "write counter diverged");
+        prop_assert!(uop == off, "uop architectural state diverged");
         prop_assert!(sb == off, "superblock architectural state diverged");
         prop_assert!(on == off, "architectural state diverged");
     }
 
-    /// Same three-way invisibility property on a structured compute
+    /// Same four-way invisibility property on a structured compute
     /// kernel with loops, memory traffic, and interrupt preemption/resume
     /// — the case where the accelerator's caches (and the superblock
-    /// cache) are actually hot.
+    /// cache, and its promoted micro-op traces) are actually hot.
     #[test]
     fn prop_fetch_accel_invisible_under_preemption(
         seed_vals in proptest::array::uniform4(any::<u32>()),
@@ -416,11 +424,14 @@ proptest! {
         let code = a.words();
 
         let run = |accel: bool,
-                   superblocks: bool|
+                   superblocks: bool,
+                   uops: bool|
          -> Result<Machine, proptest::test_runner::TestCaseError> {
             let mut m = machine_with(&code);
             m.set_fetch_accel(accel);
             m.set_superblocks(superblocks);
+            m.set_uop_traces(uops);
+            m.set_uop_threshold(2);
             for (i, v) in seed_vals.iter().enumerate() {
                 m.regs.set(Mode::User, Reg::R(i as u8), *v);
             }
@@ -437,25 +448,34 @@ proptest! {
             }
             Ok(m)
         };
-        let sb = run(true, true)?;
-        let on = run(true, false)?;
-        let off = run(false, false)?;
+        let uop = run(true, true, true)?;
+        let sb = run(true, true, false)?;
+        let on = run(true, false, false)?;
+        let off = run(false, false, false)?;
         prop_assert!(on.accel.served() > 100, "accelerator never engaged");
         prop_assert!(
             sb.superblock_stats().hits > 0,
             "superblock engine never engaged"
         );
+        prop_assert!(
+            uop.superblock_stats().uop_promoted > 0,
+            "hot loop never promoted to a micro-op trace"
+        );
+        prop_assert_eq!(sb.superblock_stats().uop_promoted, 0, "promotion ran while disabled");
         prop_assert_eq!(on.superblock_stats().hits, 0, "engine ran while disabled");
+        prop_assert_eq!(uop.cycles, off.cycles);
         prop_assert_eq!(sb.cycles, off.cycles);
         prop_assert_eq!(on.cycles, off.cycles);
+        prop_assert_eq!(uop.tlb.hits, off.tlb.hits);
         prop_assert_eq!(sb.tlb.hits, off.tlb.hits);
         prop_assert_eq!(on.tlb.hits, off.tlb.hits);
         prop_assert_eq!(on.tlb.misses, off.tlb.misses);
+        prop_assert!(uop == off, "uop architectural state diverged");
         prop_assert!(sb == off, "superblock architectural state diverged");
         prop_assert!(on == off, "architectural state diverged");
     }
 
-    /// Three-way invisibility on *memory-heavy* programs: random mixes of
+    /// Four-way invisibility on *memory-heavy* programs: random mixes of
     /// single-register loads/stores (word and byte, immediate and
     /// register offsets, both directions) and ALU work, with bases that
     /// range from well-mapped data pages to wild pointers — so in-block
@@ -475,10 +495,12 @@ proptest! {
         }
         a.svc(0);
         let code = a.words();
-        let run = |accel: bool, superblocks: bool| {
+        let run = |accel: bool, superblocks: bool, uops: bool| {
             let mut m = machine_with(&code);
             m.set_fetch_accel(accel);
             m.set_superblocks(superblocks);
+            m.set_uop_traces(uops);
+            m.set_uop_threshold(2);
             for (i, v) in init.iter().enumerate() {
                 m.regs.set(Mode::User, Reg::R(i as u8), *v);
             }
@@ -491,24 +513,31 @@ proptest! {
             let exit = m.run_user(2_000).unwrap();
             (m, exit)
         };
-        let (sb, exit_sb) = run(true, true);
-        let (on, exit_on) = run(true, false);
-        let (off, exit_off) = run(false, false);
+        let (uop, exit_uop) = run(true, true, true);
+        let (sb, exit_sb) = run(true, true, false);
+        let (on, exit_on) = run(true, false, false);
+        let (off, exit_off) = run(false, false, false);
+        prop_assert_eq!(exit_uop, exit_sb);
         prop_assert_eq!(exit_sb, exit_on);
         prop_assert_eq!(exit_on, exit_off);
+        prop_assert_eq!(uop.cycles, off.cycles, "uop cycle model diverged");
         prop_assert_eq!(sb.cycles, off.cycles, "superblock cycle model diverged");
+        prop_assert_eq!(uop.tlb.hits, off.tlb.hits, "uop TLB hit accounting diverged");
         prop_assert_eq!(sb.tlb.hits, off.tlb.hits, "TLB hit accounting diverged");
         prop_assert_eq!(sb.tlb.misses, off.tlb.misses, "TLB miss accounting diverged");
+        prop_assert_eq!(uop.mem.reads, off.mem.reads, "uop read counter diverged");
         prop_assert_eq!(sb.mem.reads, off.mem.reads, "read counter diverged");
+        prop_assert_eq!(uop.mem.writes, off.mem.writes, "uop write counter diverged");
         prop_assert_eq!(sb.mem.writes, off.mem.writes, "write counter diverged");
+        prop_assert!(uop == off, "uop architectural state diverged");
         prop_assert!(sb == off, "superblock architectural state diverged");
         prop_assert!(on == off, "architectural state diverged");
     }
 
     /// A structured memory kernel — the shape the data-side fast path is
-    /// built for — stays three-way identical under preemption/resume, and
+    /// built for — stays four-way identical under preemption/resume, and
     /// the superblock configuration demonstrably serves its loads/stores
-    /// from the data-TLB.
+    /// from the data-TLB (the uop configuration from its inlined sites).
     #[test]
     fn prop_memory_kernel_rides_the_dtlb_invisibly(
         seed_vals in proptest::array::uniform4(any::<u32>()),
@@ -529,11 +558,14 @@ proptest! {
         a.svc(0);
         let code = a.words();
         let run = |accel: bool,
-                   superblocks: bool|
+                   superblocks: bool,
+                   uops: bool|
          -> Result<Machine, proptest::test_runner::TestCaseError> {
             let mut m = machine_with(&code);
             m.set_fetch_accel(accel);
             m.set_superblocks(superblocks);
+            m.set_uop_traces(uops);
+            m.set_uop_threshold(2);
             for (i, v) in seed_vals.iter().enumerate() {
                 m.regs.set(Mode::User, Reg::R(i as u8), *v);
             }
@@ -550,19 +582,119 @@ proptest! {
             }
             Ok(m)
         };
-        let sb = run(true, true)?;
-        let on = run(true, false)?;
-        let off = run(false, false)?;
+        let uop = run(true, true, true)?;
+        let sb = run(true, true, false)?;
+        let on = run(true, false, false)?;
+        let off = run(false, false, false)?;
         prop_assert!(
             sb.superblock_stats().dtlb_hits > 0,
             "memory kernel never hit the data-TLB fast path"
         );
+        prop_assert!(
+            uop.superblock_stats().uop_hits > 0,
+            "memory kernel never ran its specialised trace"
+        );
         prop_assert_eq!(off.superblock_stats().dtlb_hits, 0, "baseline touched the data-TLB");
+        prop_assert_eq!(uop.cycles, off.cycles);
         prop_assert_eq!(sb.cycles, off.cycles);
+        prop_assert_eq!(uop.tlb.hits, off.tlb.hits);
         prop_assert_eq!(sb.tlb.hits, off.tlb.hits);
         prop_assert_eq!(sb.tlb.misses, off.tlb.misses);
+        prop_assert_eq!(uop.mem.reads, off.mem.reads);
         prop_assert_eq!(sb.mem.reads, off.mem.reads);
+        prop_assert_eq!(uop.mem.writes, off.mem.writes);
         prop_assert_eq!(sb.mem.writes, off.mem.writes);
+        prop_assert!(uop == off, "uop architectural state diverged");
+        prop_assert!(sb == off, "superblock architectural state diverged");
+        prop_assert!(on == off, "architectural state diverged");
+    }
+
+    /// Satellite property for the micro-op tier: random promotion traffic
+    /// interleaved with random invalidation causes. Each round runs the
+    /// hot kernel (promoting traces once hot), then applies one randomly
+    /// chosen invalidation source — nothing, a TLB flush, a TTBR0 reload,
+    /// a world round-trip, or a store into the code page — and the final
+    /// machines stay four-way bit-identical throughout.
+    #[test]
+    fn prop_random_promotions_survive_random_invalidations(
+        seed_vals in proptest::array::uniform4(any::<u32>()),
+        causes in proptest::collection::vec(0u8..5, 1..8),
+    ) {
+        let mut a = Assembler::new(CODE_VA);
+        a.mov_imm32(Reg::R(8), DATA_VA);
+        a.mov_imm(Reg::R(7), 12);
+        let top = a.label();
+        a.ldr_imm(Reg::R(2), Reg::R(8), 0);
+        a.add_reg(Reg::R(0), Reg::R(0), Reg::R(2));
+        a.str_imm(Reg::R(0), Reg::R(8), 4);
+        a.eor_ror(Reg::R(1), Reg::R(1), Reg::R(0), 5);
+        a.subs_imm(Reg::R(7), Reg::R(7), 1);
+        a.b_to(Cond::Ne, top);
+        a.svc(0);
+        let code = a.words();
+        // A harmless word patched into the code page by cause 4: the same
+        // instruction that is already at offset 4 (add r0, r0, r2), so the
+        // program's behaviour is unchanged but the write lands in the code
+        // page and bumps the code generation.
+        let patch_word = code[3];
+        let run = |accel: bool,
+                   superblocks: bool,
+                   uops: bool|
+         -> Result<Machine, proptest::test_runner::TestCaseError> {
+            let mut m = machine_with(&code);
+            m.set_fetch_accel(accel);
+            m.set_superblocks(superblocks);
+            m.set_uop_traces(uops);
+            m.set_uop_threshold(2);
+            for (i, v) in seed_vals.iter().enumerate() {
+                m.regs.set(Mode::User, Reg::R(i as u8), *v);
+            }
+            for &cause in &causes {
+                m.pc = CODE_VA;
+                m.cpsr = Psr::user();
+                let exit = m.run_user(100_000).unwrap();
+                prop_assert_eq!(exit, ExitReason::Svc { imm24: 0 });
+                match cause {
+                    0 => {}
+                    1 => m.tlb_flush(),
+                    2 => {
+                        // A TTBR0 reload leaves the TLB inconsistent until
+                        // flushed (the paper's discipline), so pair them.
+                        let ttbr0 = m.cp15.mmu(World::Secure).ttbr0;
+                        m.load_ttbr0(ttbr0);
+                        m.tlb_flush();
+                    }
+                    3 => {
+                        m.set_scr_ns(true);
+                        m.set_scr_ns(false);
+                    }
+                    4 => {
+                        // Host-side store into the (watched) code page: the
+                        // write-watch generation bump must drop decodes,
+                        // blocks and promoted traces alike.
+                        m.mem
+                            .write(0x8000_2000 + 3 * 4, patch_word, AccessAttrs::MONITOR)
+                            .unwrap();
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Ok(m)
+        };
+        let uop = run(true, true, true)?;
+        let sb = run(true, true, false)?;
+        let on = run(true, false, false)?;
+        let off = run(false, false, false)?;
+        prop_assert!(
+            uop.superblock_stats().uop_promoted > 0,
+            "hot kernel never promoted"
+        );
+        prop_assert_eq!(uop.cycles, off.cycles, "uop cycle model diverged");
+        prop_assert_eq!(sb.cycles, off.cycles, "superblock cycle model diverged");
+        prop_assert_eq!(uop.tlb.hits, off.tlb.hits, "uop TLB accounting diverged");
+        prop_assert_eq!(uop.mem.reads, off.mem.reads, "uop read counter diverged");
+        prop_assert_eq!(uop.mem.writes, off.mem.writes, "uop write counter diverged");
+        prop_assert!(uop == off, "uop architectural state diverged");
         prop_assert!(sb == off, "superblock architectural state diverged");
         prop_assert!(on == off, "architectural state diverged");
     }

@@ -156,10 +156,10 @@ fn main() {
     println!();
 
     // (c) Simulator host throughput, tracked across the repo's evolution.
-    // Both the fetch accelerator and the superblock engine are bit-for-bit
-    // neutral on the simulated cycle model (measure() asserts final-state
-    // equality across all three configurations), so only host
-    // instructions/second move here.
+    // The fetch accelerator, the superblock engine and the micro-op
+    // specialisation tier are all bit-for-bit neutral on the simulated
+    // cycle model (measure() asserts final-state equality across all four
+    // configurations), so only host instructions/second move here.
     let steps: u64 = if std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1") {
         5_000
     } else {
@@ -167,17 +167,26 @@ fn main() {
     };
     println!("Simulator host throughput ({steps} simulated instructions/workload):");
     println!(
-        "  {:<16} {:>14} {:>14} {:>14} {:>8} {:>9}",
-        "workload", "sb insn/s", "accel insn/s", "base insn/s", "sb/base", "sb/accel"
+        "  {:<16} {:>14} {:>14} {:>14} {:>14} {:>8} {:>8} {:>9}",
+        "workload",
+        "uop insn/s",
+        "sb insn/s",
+        "accel insn/s",
+        "base insn/s",
+        "uop/sb",
+        "sb/base",
+        "sb/accel"
     );
     let results = throughput::measure_all(steps);
     for t in &results {
         println!(
-            "  {:<16} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>8.2}x",
+            "  {:<16} {:>14.0} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>7.2}x {:>8.2}x",
             t.name,
+            t.uop_ips,
             t.sb_ips,
             t.accel_ips,
             t.base_ips,
+            t.uop_over_sb(),
             t.sb_speedup(),
             t.sb_over_accel()
         );
@@ -190,6 +199,10 @@ fn main() {
             t.metrics.sb_invalidations(),
             t.metrics.sb_inval_code_gen,
             t.metrics.sb_inval_tlb
+        );
+        println!(
+            "  {:<16} uop: {} promoted, {} trace hits, {} invalidations",
+            "", t.metrics.uop_promoted, t.metrics.uop_hits, t.metrics.uop_invalidations
         );
         println!(
             "  {:<16} dtlb: {} hits, {} misses, {} invalidations",

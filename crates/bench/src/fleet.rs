@@ -93,7 +93,9 @@ impl FleetScaling {
 
 /// Runs the fixed job set (`jobs` jobs of `steps` instructions each,
 /// round-robin over [`workloads`]) on a fleet of `shards` workers in the
-/// production configuration (superblocks + fetch accelerator).
+/// production configuration (micro-op traces + superblocks + fetch
+/// accelerator — the same engines the service node runs, so the
+/// service-vs-fleet ratio isolates the request layer).
 pub fn measure_fleet(shards: usize, steps: u64, jobs: u64) -> FleetThroughput {
     let wl = workloads();
     let r = komodo_fleet::run(FleetConfig::default().with_shards(shards), |fleet| {
@@ -103,6 +105,7 @@ pub fn measure_fleet(shards: usize, steps: u64, jobs: u64) -> FleetThroughput {
                 let mut m = guest(&code);
                 m.set_fetch_accel(true);
                 m.set_superblocks(true);
+                m.set_uop_traces(true);
                 let exit = m.run_user(steps).expect("workload violated model contract");
                 assert_eq!(exit, ExitReason::StepLimit, "workloads must run to budget");
                 ctx.absorb(&m.metrics_snapshot());

@@ -28,8 +28,9 @@
 //!
 //! Sessions are the one stateful surface: each open session owns a
 //! dedicated [`Platform`] running the secret-keeper enclave, kept in a
-//! table shared across shards (session operations serialize on the
-//! table; the data plane does not touch it).
+//! striped table shared across shards — stripe `id % 8` owns session
+//! `id`, so operations on different sessions only serialize when they
+//! collide on a stripe (the data plane never touches the table).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -127,12 +128,62 @@ struct Session {
     last: MetricsSnapshot,
 }
 
+/// Lock stripes in the session table. Eight matches the default bench
+/// shard counts; contention only returns when more than eight shards
+/// operate on stripe-colliding session ids simultaneously.
+const SESSION_STRIPES: u64 = 8;
+
+/// The session table, striped so session operations on different
+/// sessions do not serialize on a single table lock: stripe `id % 8`
+/// owns session `id`, and an operation locks only its own stripe for
+/// its full duration (lookup through enclave run through snapshot
+/// delta, preserving the per-session serialization the conservation
+/// law depends on).
+struct SessionTable {
+    stripes: Vec<Mutex<HashMap<u64, Session>>>,
+}
+
+impl SessionTable {
+    fn new() -> Self {
+        SessionTable {
+            stripes: (0..SESSION_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, id: u64) -> &Mutex<HashMap<u64, Session>> {
+        &self.stripes[(id % SESSION_STRIPES) as usize]
+    }
+
+    fn insert(&self, id: u64, s: Session) {
+        lock_unpoisoned(self.stripe(id)).insert(id, s);
+    }
+
+    fn remove(&self, id: u64) -> Option<Session> {
+        lock_unpoisoned(self.stripe(id)).remove(&id)
+    }
+
+    /// Runs `f` over session `id` (or `None` if unknown) with its
+    /// stripe held.
+    fn with<R>(&self, id: u64, f: impl FnOnce(Option<&mut Session>) -> R) -> R {
+        let mut g = lock_unpoisoned(self.stripe(id));
+        f(g.get_mut(&id))
+    }
+
+    fn clear(&self) {
+        for s in &self.stripes {
+            lock_unpoisoned(s).clear();
+        }
+    }
+}
+
 /// State shared between the handle and every request job.
 struct Shared {
     platform_cfg: PlatformConfig,
     shutdown: AtomicBool,
     records: Mutex<Vec<RequestRecord>>,
-    sessions: Mutex<HashMap<u64, Session>>,
+    sessions: SessionTable,
     next_session: AtomicU64,
     rejected_full: AtomicU64,
     rejected_shutdown: AtomicU64,
@@ -300,7 +351,7 @@ impl Service {
             platform_cfg: cfg.platform.clone(),
             shutdown: AtomicBool::new(false),
             records: Mutex::new(Vec::new()),
-            sessions: Mutex::new(HashMap::new()),
+            sessions: SessionTable::new(),
             next_session: AtomicU64::new(1),
             rejected_full: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
@@ -325,7 +376,7 @@ impl Service {
         // (their platforms are owned here; dropping them frees
         // everything — enclave destruction inside a machine about to be
         // dropped would cost cycles attributed to no request).
-        lock_unpoisoned(&shared.sessions).clear();
+        shared.sessions.clear();
         ServiceRun {
             value: run.value,
             records: shared
@@ -465,6 +516,7 @@ fn invoke(
     let mut m = user::sandbox(code);
     m.set_fetch_accel(true);
     m.set_superblocks(true);
+    m.set_uop_traces(true);
     if trace_capacity > 0 {
         m.set_trace_capacity(trace_capacity);
     }
@@ -516,7 +568,7 @@ fn session_open(
     match loaded {
         Ok(enclave) => {
             let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
-            lock_unpoisoned(&shared.sessions).insert(
+            shared.sessions.insert(
                 id,
                 Session {
                     platform,
@@ -535,8 +587,9 @@ fn session_open(
 
 /// Runs one enclave entry on an open session, absorbing only the delta
 /// since the session's last snapshot (the session machine is long-lived
-/// — its lifetime counters span many requests). Session operations
-/// serialize on the table lock; the data plane never takes it.
+/// — its lifetime counters span many requests). Operations on the same
+/// session serialize on its stripe lock; operations on sessions in
+/// other stripes — and the data plane — run concurrently.
 fn session_op(
     shared: &Shared,
     session: u64,
@@ -546,34 +599,36 @@ fn session_op(
     args: [u32; 3],
     map: impl FnOnce(u32) -> Result<Response, ServiceError>,
 ) -> (Result<Response, ServiceError>, MetricsSnapshot) {
-    let mut sessions = lock_unpoisoned(&shared.sessions);
-    let Some(s) = sessions.get_mut(&session) else {
-        return (
-            Err(ServiceError::NoSuchSession(session)),
-            MetricsSnapshot::default(),
+    let (res, delta) = shared.sessions.with(session, |s| {
+        let Some(s) = s else {
+            return (
+                Err(ServiceError::NoSuchSession(session)),
+                MetricsSnapshot::default(),
+            );
+        };
+        let c = s.platform.cycles();
+        s.platform
+            .machine
+            .trace
+            .record(c, Event::ReqDispatch { req, kind });
+        let run = s.platform.run(&s.enclave, 0, args);
+        let res = match run {
+            EnclaveRun::Exited(v) => map(v),
+            r => Err(ServiceError::Enclave(format!("session run: {r:?}"))),
+        };
+        let c = s.platform.cycles();
+        s.platform.machine.trace.record(
+            c,
+            Event::ReqComplete {
+                req,
+                ok: res.is_ok(),
+            },
         );
-    };
-    let c = s.platform.cycles();
-    s.platform
-        .machine
-        .trace
-        .record(c, Event::ReqDispatch { req, kind });
-    let run = s.platform.run(&s.enclave, 0, args);
-    let res = match run {
-        EnclaveRun::Exited(v) => map(v),
-        r => Err(ServiceError::Enclave(format!("session run: {r:?}"))),
-    };
-    let c = s.platform.cycles();
-    s.platform.machine.trace.record(
-        c,
-        Event::ReqComplete {
-            req,
-            ok: res.is_ok(),
-        },
-    );
-    let snap = s.platform.machine.metrics_snapshot();
-    let delta = snap.delta_since(&s.last);
-    s.last = snap;
+        let snap = s.platform.machine.metrics_snapshot();
+        let delta = snap.delta_since(&s.last);
+        s.last = snap;
+        (res, delta)
+    });
     ctx.absorb(&delta);
     (res, delta)
 }
@@ -585,7 +640,7 @@ fn session_close(
     kind: u8,
     ctx: &mut ShardCtx<'_>,
 ) -> (Result<Response, ServiceError>, MetricsSnapshot) {
-    let Some(mut s) = lock_unpoisoned(&shared.sessions).remove(&session) else {
+    let Some(mut s) = shared.sessions.remove(session) else {
         return (
             Err(ServiceError::NoSuchSession(session)),
             MetricsSnapshot::default(),
@@ -622,4 +677,44 @@ fn splitmix64(x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ids congruent mod 8 share a stripe; all others must be lockable
+    /// while a stripe is held — the property that lets session
+    /// operations on different sessions proceed concurrently.
+    #[test]
+    fn session_stripes_lock_independently() {
+        let t = SessionTable::new();
+        let held = t.stripe(3).try_lock().expect("stripe starts free");
+        assert!(
+            t.stripe(3 + SESSION_STRIPES).try_lock().is_err(),
+            "ids congruent mod {SESSION_STRIPES} must share a stripe"
+        );
+        for id in 0..SESSION_STRIPES {
+            if id % SESSION_STRIPES == 3 {
+                continue;
+            }
+            assert!(
+                t.stripe(id).try_lock().is_ok(),
+                "stripe of id {id} must be independent of the held stripe"
+            );
+        }
+        drop(held);
+        assert!(t.stripe(3).try_lock().is_ok(), "drop releases the stripe");
+    }
+
+    /// `with` on an unknown id sees `None`; `clear` empties every
+    /// stripe without deadlocking on any of them.
+    #[test]
+    fn session_table_lookup_and_clear() {
+        let t = SessionTable::new();
+        assert!(t.with(17, |s| s.is_none()));
+        assert!(t.remove(17).is_none());
+        t.clear();
+        assert!(t.with(17, |s| s.is_none()));
+    }
 }

@@ -91,6 +91,17 @@ fn render(e: &Event) -> (char, String) {
             'i',
             format!(r#""name":"sb-inval","args":{{"cause":"{}"}}"#, cause.name()),
         ),
+        Event::UopPromote { entry_va, len } => (
+            'i',
+            format!(r#""name":"uop-promote","args":{{"entry_va":{entry_va},"len":{len}}}"#),
+        ),
+        Event::UopInval { cause } => (
+            'i',
+            format!(
+                r#""name":"uop-inval","args":{{"cause":"{}"}}"#,
+                cause.name()
+            ),
+        ),
         Event::ReqDispatch { req, kind } => (
             'B',
             format!(r#""name":"request","args":{{"req":{req},"kind":{kind}}}"#),
@@ -244,6 +255,13 @@ mod tests {
             Event::SbInval {
                 cause: crate::event::InvalCause::CodeGen,
             },
+            Event::UopPromote {
+                entry_va: 0x8000,
+                len: 9,
+            },
+            Event::UopInval {
+                cause: crate::event::InvalCause::Ttbr,
+            },
             Event::ReqDispatch { req: 42, kind: 2 },
             Event::ReqComplete { req: 42, ok: true },
         ];
@@ -252,6 +270,6 @@ mod tests {
         }
         let j = chrome_trace(r.iter());
         assert_structurally_sound(&j);
-        assert_eq!(j.matches("\"ph\"").count(), 17, "{j}");
+        assert_eq!(j.matches("\"ph\"").count(), 19, "{j}");
     }
 }

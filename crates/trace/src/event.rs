@@ -190,6 +190,19 @@ pub enum Event {
         /// Attribution.
         cause: InvalCause,
     },
+    /// A hot superblock was promoted to a specialised micro-op trace.
+    UopPromote {
+        /// Virtual address of the promoted block's entry point.
+        entry_va: u32,
+        /// Micro-ops in the specialised body (fused exits excluded).
+        len: u32,
+    },
+    /// Specialised micro-op traces were dropped (they die with the
+    /// superblock cache; the cause is the superblock cache's).
+    UopInval {
+        /// Attribution.
+        cause: InvalCause,
+    },
     /// A service-node request left the queue and began executing on a
     /// shard (the enqueue→dispatch edge of its latency span).
     ReqDispatch {
@@ -226,6 +239,8 @@ impl Event {
             Event::DTlbInval { .. } => "dtlb-inval",
             Event::SbBuild { .. } => "sb-build",
             Event::SbInval { .. } => "sb-inval",
+            Event::UopPromote { .. } => "uop-promote",
+            Event::UopInval { .. } => "uop-inval",
             Event::ReqDispatch { .. } => "request",
             Event::ReqComplete { .. } => "request",
         }
@@ -273,6 +288,10 @@ impl core::fmt::Display for Event {
                 write!(f, "sb-build va={entry_va:#010x} len={len}")
             }
             Event::SbInval { cause } => write!(f, "sb-inval cause={}", cause.name()),
+            Event::UopPromote { entry_va, len } => {
+                write!(f, "uop-promote va={entry_va:#010x} len={len}")
+            }
+            Event::UopInval { cause } => write!(f, "uop-inval cause={}", cause.name()),
             Event::ReqDispatch { req, kind } => {
                 write!(f, "req-dispatch req={req} kind={kind}")
             }

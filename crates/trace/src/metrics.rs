@@ -49,6 +49,13 @@ pub struct MetricsSnapshot {
     pub dtlb_inval_ttbr: u64,
     /// Data-TLB drops caused by world switches.
     pub dtlb_inval_world: u64,
+    /// Hot superblocks promoted to specialised micro-op traces.
+    pub uop_promoted: u64,
+    /// Dispatches executed through a specialised micro-op trace.
+    pub uop_hits: u64,
+    /// Superblock-cache drops that destroyed at least one specialised
+    /// micro-op trace (traces die with the block cache).
+    pub uop_invalidations: u64,
     /// Flight-recorder capacity (0 = disabled).
     pub trace_capacity: u64,
     /// Events recorded over the capture's lifetime.
@@ -66,6 +73,24 @@ impl MetricsSnapshot {
     /// Total data-TLB invalidations across causes.
     pub fn dtlb_invalidations(&self) -> u64 {
         self.dtlb_inval_flush + self.dtlb_inval_ttbr + self.dtlb_inval_world
+    }
+
+    /// The architectural projection: only the counters the cycle model
+    /// defines (cycles, memory accesses, TLB activity), with every
+    /// host-side accelerator and recorder counter zeroed. Runs of the
+    /// same guest under different host stepping configurations must
+    /// agree on this projection bit-for-bit — the 4-way differential
+    /// harness compares snapshots through it.
+    pub fn architectural(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cycles: self.cycles,
+            mem_reads: self.mem_reads,
+            mem_writes: self.mem_writes,
+            tlb_hits: self.tlb_hits,
+            tlb_misses: self.tlb_misses,
+            tlb_flushes: self.tlb_flushes,
+            ..Default::default()
+        }
     }
 
     /// Adds every counter of `other` into `self` — the cross-machine
@@ -89,6 +114,9 @@ impl MetricsSnapshot {
         self.dtlb_inval_flush += other.dtlb_inval_flush;
         self.dtlb_inval_ttbr += other.dtlb_inval_ttbr;
         self.dtlb_inval_world += other.dtlb_inval_world;
+        self.uop_promoted += other.uop_promoted;
+        self.uop_hits += other.uop_hits;
+        self.uop_invalidations += other.uop_invalidations;
         self.trace_capacity += other.trace_capacity;
         self.trace_recorded += other.trace_recorded;
         self.trace_dropped += other.trace_dropped;
@@ -122,6 +150,11 @@ impl MetricsSnapshot {
             dtlb_inval_world: self
                 .dtlb_inval_world
                 .saturating_sub(earlier.dtlb_inval_world),
+            uop_promoted: self.uop_promoted.saturating_sub(earlier.uop_promoted),
+            uop_hits: self.uop_hits.saturating_sub(earlier.uop_hits),
+            uop_invalidations: self
+                .uop_invalidations
+                .saturating_sub(earlier.uop_invalidations),
             // Capacity is a configuration, not an accrual: a fixed-size
             // ring would otherwise always delta to zero, hiding whether
             // tracing was on during the window.
@@ -136,7 +169,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self, indent: usize) -> String {
         let pad = " ".repeat(indent + 2);
         let mut out = String::from("{\n");
-        let fields: [(&str, u64); 21] = [
+        let fields: [(&str, u64); 24] = [
             ("cycles", self.cycles),
             ("mem_reads", self.mem_reads),
             ("mem_writes", self.mem_writes),
@@ -155,6 +188,9 @@ impl MetricsSnapshot {
             ("dtlb_inval_flush", self.dtlb_inval_flush),
             ("dtlb_inval_ttbr", self.dtlb_inval_ttbr),
             ("dtlb_inval_world", self.dtlb_inval_world),
+            ("uop_promoted", self.uop_promoted),
+            ("uop_hits", self.uop_hits),
+            ("uop_invalidations", self.uop_invalidations),
             ("trace_capacity", self.trace_capacity),
             ("trace_recorded", self.trace_recorded),
             ("trace_dropped", self.trace_dropped),
@@ -245,6 +281,9 @@ mod tests {
             "dtlb_inval_flush",
             "dtlb_inval_ttbr",
             "dtlb_inval_world",
+            "uop_promoted",
+            "uop_hits",
+            "uop_invalidations",
             "trace_capacity",
             "trace_recorded",
             "trace_dropped",
