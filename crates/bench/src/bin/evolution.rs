@@ -12,7 +12,7 @@
 //! reproduction, the analogue of the paper's effort accounting.
 
 use komodo::{Platform, PlatformConfig};
-use komodo_bench::{fleet, service, throughput};
+use komodo_bench::{fleet, ingest, service, throughput};
 use komodo_guest::progs;
 use komodo_os::EnclaveRun;
 
@@ -281,10 +281,34 @@ fn main() {
     println!();
     println!("EXPERIMENTS.md table (paste into \"Service node\"):");
     print!("{}", service::service_to_markdown(&svc));
+    println!();
+
+    // (f) Ingestion head-to-head: per-request submission vs batched
+    // parallel submission into the sharded queue, gated at 2x
+    // submission throughput (see komodo_bench::ingest).
+    let ingest_requests: u64 = if std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1") {
+        20_000
+    } else {
+        50_000
+    };
+    let cmp = ingest::ingest_4x_paired(ingest_requests, 4, 1024, 2);
+    println!(
+        "Ingestion ({} attestation quotes, 4 shards): single-submit {:.0} req/s, \
+         batched {:.0} req/s ({:.2}x), {} own / {} stolen",
+        cmp.batched.requests,
+        cmp.single.submit_rps(),
+        cmp.batched.submit_rps(),
+        cmp.batch_over_single(),
+        cmp.batched.steal_own,
+        cmp.batched.steal_stolen
+    );
+    println!();
+    println!("EXPERIMENTS.md table (paste into \"Parallel ingestion\"):");
+    print!("{}", ingest::ingest_to_markdown(&cmp));
     let json_path = root.join("BENCH_sim_throughput.json");
     match std::fs::write(
         &json_path,
-        service::to_json_with_fleet_and_service(&results, &scaling, &svc),
+        ingest::to_json_full(&results, &scaling, &svc, &cmp),
     ) {
         Ok(()) => println!("  wrote {}", json_path.display()),
         Err(e) => println!("  (could not write {}: {e})", json_path.display()),

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod fleet;
+pub mod ingest;
 pub mod micro;
 pub mod notary;
 pub mod service;

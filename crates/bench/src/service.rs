@@ -134,7 +134,8 @@ pub fn invoke_mix(steps: u64) -> Mix {
 /// a service node and reports throughput plus exact latency
 /// percentiles from the request records.
 pub fn measure_service(shards: usize, steps: u64, requests: u64) -> ServiceThroughput {
-    let arrivals = schedule(SERVICE_SEED, requests as usize, 0, &invoke_mix(steps));
+    let arrivals = schedule(SERVICE_SEED, requests as usize, 0, &invoke_mix(steps))
+        .expect("invoke mix is never empty");
     assert_eq!(arrivals.len() as u64, requests);
     let run = Service::run(ServiceConfig::default().with_shards(shards), |h| {
         drive(h, &arrivals, false)
@@ -356,7 +357,7 @@ mod tests {
     fn invoke_mix_covers_every_workload() {
         let mix = invoke_mix(100);
         // 5 workloads, equal weight: a long schedule draws each kind.
-        let arrivals = schedule(1, 200, 0, &mix);
+        let arrivals = schedule(1, 200, 0, &mix).unwrap();
         assert_eq!(arrivals.len(), 200);
         assert!(arrivals
             .iter()

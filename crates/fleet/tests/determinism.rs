@@ -5,7 +5,7 @@
 //! scratch — including when a job panics mid-run.
 
 use komodo::PlatformConfig;
-use komodo_fleet::{run, FleetConfig, JobResult, Recycle, ShardCtx};
+use komodo_fleet::{run, Class, FleetConfig, JobResult, Recycle, ShardCtx};
 use komodo_guest::progs;
 use komodo_os::EnclaveRun;
 use komodo_trace::MetricsSnapshot;
@@ -51,6 +51,56 @@ fn sweep(shards: usize, recycle: Recycle) -> (Vec<JobResult<JobOut>>, MetricsSna
     (results, fleet_run.metrics.total())
 }
 
+/// Like [`sweep`], but submits every job in one `submit_batch` call and
+/// also reports the per-run steal accounting.
+fn batch_sweep(
+    shards: usize,
+    recycle: Recycle,
+) -> (Vec<JobResult<JobOut>>, MetricsSnapshot, u64, u64, u64) {
+    let cfg = FleetConfig::default()
+        .with_shards(shards)
+        .with_platform(
+            PlatformConfig::default()
+                .with_insecure_size(1 << 20)
+                .with_npages(32),
+        )
+        .with_recycle(recycle);
+    let fleet_run = run(cfg, |fleet| {
+        type Job = fn(&mut ShardCtx<'_>) -> JobOut;
+        let jobs: Vec<(Class, Job)> = (0..JOBS)
+            .map(|_| (Class::Batch, episode as Job))
+            .collect();
+        fleet
+            .submit_batch(jobs)
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                // Batch indices are contiguous and item-ordered at any
+                // shard count — the request→seed mapping is pinned.
+                assert_eq!(h.index(), i as u64);
+                h.join()
+            })
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(fleet_run.jobs, JOBS);
+    // Steal accounting conserves the dispatch count per shard and in
+    // aggregate: every executed job was either an own-lane claim or a
+    // steal, never both, never neither.
+    for s in &fleet_run.shards {
+        assert_eq!(s.jobs, s.own + s.stolen, "per-shard steal conservation");
+    }
+    let own = fleet_run.own_jobs();
+    let stolen = fleet_run.stolen_jobs();
+    assert_eq!(own + stolen, JOBS);
+    (
+        fleet_run.value,
+        fleet_run.metrics.total(),
+        own,
+        stolen,
+        fleet_run.jobs,
+    )
+}
+
 #[test]
 fn shard_count_and_recycling_do_not_change_results() {
     let (r1, m1) = sweep(1, Recycle::Reboot);
@@ -91,4 +141,35 @@ fn shard_count_and_recycling_do_not_change_results() {
         JOBS as usize - 1,
         "every job must get a distinct seed-derived identity"
     );
+}
+
+/// Steal-path determinism: one `submit_batch` call at 1 shard vs 4
+/// shards (both recycling policies) yields bit-for-bit identical
+/// per-job results and identical summed `FleetMetrics`, no matter
+/// which shard each job landed on or was stolen by — and the batch
+/// path matches the per-job submit path exactly.
+#[test]
+fn batched_submission_survives_stealing_bit_for_bit() {
+    let (r1, m1, own1, stolen1, j1) = batch_sweep(1, Recycle::Reboot);
+    let (r4, m4, _, _, j4) = batch_sweep(4, Recycle::Reboot);
+    let (rb1, mb1, _, _, _) = batch_sweep(1, Recycle::Rebuild);
+    let (rb4, mb4, _, _, _) = batch_sweep(4, Recycle::Rebuild);
+    assert_eq!(j1, JOBS);
+    assert_eq!(j4, JOBS);
+
+    // A single shard has no siblings: every dispatch is an own claim.
+    assert_eq!(stolen1, 0);
+    assert_eq!(own1, JOBS);
+
+    assert_eq!(r1, r4, "shard count changed batched job results");
+    assert_eq!(m1, m4, "shard count changed batched summed metrics");
+    assert_eq!(rb1, rb4, "shard count changed rebuild batch results");
+    assert_eq!(mb1, mb4, "shard count changed rebuild batch metrics");
+    assert_eq!(r1, rb1, "recycling policy changed batched results");
+    assert_eq!(m1, mb1, "recycling policy changed batched metrics");
+
+    // The batch submit path is result-identical to per-job submission.
+    let (rs, ms) = sweep(1, Recycle::Reboot);
+    assert_eq!(r1, rs, "batch vs single submission changed results");
+    assert_eq!(m1, ms, "batch vs single submission changed metrics");
 }

@@ -39,7 +39,10 @@ pub mod report;
 pub mod request;
 
 pub use latency::{percentile_ns, Histogram, RequestRecord};
-pub use loadgen::{drive, schedule, Arrival, DriveOutcome, Mix};
+pub use loadgen::{
+    drive, drive_indexed, schedule, schedule_indexed, Arrival, ArrivalIdx, DriveOutcome,
+    DriveReport, Mix, MixError,
+};
 pub use node::{Service, ServiceConfig, ServiceHandle, ServiceRun, Ticket};
 pub use report::ServiceReport;
 pub use request::{Reject, Request, Response, ServiceError};

@@ -9,16 +9,31 @@
 //! cannot. Determinism: the same seed, count, mean gap and mix always
 //! produce the identical schedule — request kinds, payloads and
 //! offsets — so backpressure experiments are replayable.
+//!
+//! Two schedule representations exist. [`schedule`] materializes a
+//! cloned [`Request`] per arrival — convenient for small runs.
+//! [`schedule_indexed`] streams: each arrival is a prototype *index*
+//! into the mix plus an offset (12 bytes), so million-arrival schedules
+//! cost megabytes, not payload copies; the request is instantiated (an
+//! `Arc`-cheap clone of the prototype) only at submit time. Both draw
+//! from the identical random stream, so they describe the same load.
+//!
+//! [`drive`] is the single-threaded per-request driver. For parallel
+//! ingestion, [`drive_indexed`] splits the schedule into deterministic
+//! contiguous partitions owned by K submitter threads, each batching
+//! admission through [`ServiceHandle::submit_batch`].
 
-use crate::node::ServiceHandle;
+use crate::node::{ServiceHandle, Ticket};
 use crate::request::{Reject, Request};
 use std::time::{Duration, Instant};
 
 /// A weighted request mix. Weights are relative integers; a request's
-/// probability is `weight / total_weight`.
+/// probability is `weight / total_weight`. The total is maintained at
+/// construction ([`Mix::with`]), not recomputed per draw.
 #[derive(Clone, Debug, Default)]
 pub struct Mix {
     entries: Vec<(u32, Request)>,
+    total: u64,
 }
 
 impl Mix {
@@ -30,20 +45,35 @@ impl Mix {
     /// Adds `prototype` with relative `weight` (0 is allowed and never
     /// picked). Returns the mix for chaining.
     pub fn with(mut self, weight: u32, prototype: Request) -> Mix {
+        self.total += weight as u64;
         self.entries.push((weight, prototype));
         self
     }
 
-    /// Picks an entry by a uniform draw in `[0, total_weight)`.
-    fn pick(&self, draw: u64) -> Option<&Request> {
-        let total: u64 = self.entries.iter().map(|(w, _)| *w as u64).sum();
-        if total == 0 {
+    /// Summed weight across entries; 0 means the mix can never pick.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// The prototype at `idx` — the target of [`ArrivalIdx::proto`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range (an `ArrivalIdx` driven against
+    /// a mix it was not scheduled from).
+    pub fn proto(&self, idx: usize) -> &Request {
+        &self.entries[idx].1
+    }
+
+    /// Picks an entry index by a uniform draw in `[0, total_weight)`.
+    fn pick_index(&self, draw: u64) -> Option<usize> {
+        if self.total == 0 {
             return None;
         }
-        let mut point = draw % total;
-        for (w, r) in &self.entries {
+        let mut point = draw % self.total;
+        for (i, (w, _)) in self.entries.iter().enumerate() {
             if point < *w as u64 {
-                return Some(r);
+                return Some(i);
             }
             point -= *w as u64;
         }
@@ -51,7 +81,28 @@ impl Mix {
     }
 }
 
-/// One scheduled arrival.
+/// Why a schedule could not be built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MixError {
+    /// The mix has no entries, or every entry has weight zero — no
+    /// request can ever be picked. (This used to silently truncate the
+    /// schedule to zero arrivals.)
+    ZeroTotalWeight,
+}
+
+impl std::fmt::Display for MixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixError::ZeroTotalWeight => {
+                write!(f, "request mix has zero total weight; nothing to schedule")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MixError {}
+
+/// One scheduled arrival, request materialized.
 #[derive(Clone, Debug)]
 pub struct Arrival {
     /// Offset from schedule start, in nanoseconds.
@@ -60,10 +111,30 @@ pub struct Arrival {
     pub request: Request,
 }
 
-/// Builds the deterministic arrival schedule: `n` requests drawn from
-/// `mix`, with exponential inter-arrival gaps of mean `mean_gap_ns`
-/// (0 = a single burst at t=0, the maximum-pressure profile).
-pub fn schedule(seed: u64, n: usize, mean_gap_ns: u64, mix: &Mix) -> Vec<Arrival> {
+/// One scheduled arrival in streaming form: the prototype index into
+/// the mix it was scheduled from, instead of a materialized request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrivalIdx {
+    /// Offset from schedule start, in nanoseconds.
+    pub at_ns: u64,
+    /// Index of the request prototype in the scheduling [`Mix`].
+    pub proto: u32,
+}
+
+/// Builds the deterministic streaming arrival schedule: `n` prototype
+/// indices drawn from `mix`, with exponential inter-arrival gaps of
+/// mean `mean_gap_ns` (0 = a single burst at t=0, the maximum-pressure
+/// profile). An unpickable mix is a typed error, not a truncated
+/// schedule.
+pub fn schedule_indexed(
+    seed: u64,
+    n: usize,
+    mean_gap_ns: u64,
+    mix: &Mix,
+) -> Result<Vec<ArrivalIdx>, MixError> {
+    if mix.total_weight() == 0 {
+        return Err(MixError::ZeroTotalWeight);
+    }
     let mut out = Vec::with_capacity(n);
     let mut state = seed;
     let mut at_ns = 0u64;
@@ -71,24 +142,40 @@ pub fn schedule(seed: u64, n: usize, mean_gap_ns: u64, mix: &Mix) -> Vec<Arrival
         state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let kind_draw = mix64(state);
         let gap_draw = mix64(state ^ 0xdead_beef_cafe_f00d);
-        let Some(request) = mix.pick(kind_draw) else {
-            break;
-        };
+        let proto = mix
+            .pick_index(kind_draw)
+            .expect("nonzero total weight always picks") as u32;
         if mean_gap_ns > 0 {
             // Exponential gap via inverse transform on a uniform draw
             // in (0, 1]; the +1 keeps ln's argument away from zero.
             let u = ((gap_draw >> 11) + 1) as f64 / (1u64 << 53) as f64;
             at_ns += (-u.ln() * mean_gap_ns as f64) as u64;
         }
-        out.push(Arrival {
-            at_ns,
-            request: request.clone(),
-        });
+        out.push(ArrivalIdx { at_ns, proto });
     }
-    out
+    Ok(out)
 }
 
-/// What driving a schedule produced.
+/// [`schedule_indexed`] with each arrival's request materialized — the
+/// identical random stream, so the two forms describe the same load.
+pub fn schedule(
+    seed: u64,
+    n: usize,
+    mean_gap_ns: u64,
+    mix: &Mix,
+) -> Result<Vec<Arrival>, MixError> {
+    Ok(schedule_indexed(seed, n, mean_gap_ns, mix)?
+        .into_iter()
+        .map(|a| Arrival {
+            at_ns: a.at_ns,
+            request: mix.proto(a.proto as usize).clone(),
+        })
+        .collect())
+}
+
+/// What driving a schedule produced. Pure outcome counts — two drives
+/// of the same accepted/resolved load compare equal regardless of
+/// timing (except `behind_schedule`, which is 0 for unpaced drives).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DriveOutcome {
     /// Requests that resolved to a [`Response`](crate::Response).
@@ -98,6 +185,33 @@ pub struct DriveOutcome {
     pub errors: u64,
     /// Requests rejected at the door (queue full or shutting down).
     pub rejected: u64,
+    /// Paced arrivals submitted *after* their scheduled offset — the
+    /// driver could not keep up with the schedule. Distinguishes
+    /// submit-side lag from queue rejection in overload experiments;
+    /// always 0 when pacing is off (a burst has no schedule to lag).
+    pub behind_schedule: u64,
+}
+
+impl DriveOutcome {
+    /// Merges another outcome into this one (per-submitter partials).
+    fn merge(&mut self, o: DriveOutcome) {
+        self.ok += o.ok;
+        self.errors += o.errors;
+        self.rejected += o.rejected;
+        self.behind_schedule += o.behind_schedule;
+    }
+}
+
+/// What a parallel drive produced: the summed outcome plus how long
+/// the submit phase took (start of the drive to the last submitter
+/// finishing admission — joining completions is excluded). The
+/// submit-path throughput is `scheduled / submit_wall`.
+#[derive(Clone, Copy, Debug)]
+pub struct DriveReport {
+    /// Summed outcome across all submitter threads.
+    pub outcome: DriveOutcome,
+    /// Wall-clock duration of the submit phase.
+    pub submit_wall: Duration,
 }
 
 /// Submits every arrival open-loop (pacing by `at_ns` when `pace`,
@@ -114,6 +228,8 @@ pub fn drive(handle: &ServiceHandle<'_, '_>, arrivals: &[Arrival], pace: bool) -
             let now = t0.elapsed();
             if at > now {
                 std::thread::sleep(at - now);
+            } else if now > at {
+                outcome.behind_schedule += 1;
             }
         }
         match handle.submit(a.request.clone()) {
@@ -128,6 +244,112 @@ pub fn drive(handle: &ServiceHandle<'_, '_>, arrivals: &[Arrival], pace: bool) -
         }
     }
     outcome
+}
+
+/// Submits queued-up requests as one batch, folding rejections into the
+/// outcome and keeping the accepted tickets.
+fn flush(
+    handle: &ServiceHandle<'_, '_>,
+    buf: &mut Vec<Request>,
+    outcome: &mut DriveOutcome,
+    tickets: &mut Vec<Ticket>,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    for r in handle.submit_batch(std::mem::take(buf)) {
+        match r {
+            Ok(t) => tickets.push(t),
+            Err(Reject::QueueFull { .. }) | Err(Reject::ShuttingDown) => outcome.rejected += 1,
+        }
+    }
+}
+
+/// The parallel streaming driver: `submitters` threads own
+/// deterministic contiguous partitions of the arrival schedule, each
+/// instantiating requests from `mix` at submit time and admitting them
+/// in batches of up to `batch` through [`ServiceHandle::submit_batch`]
+/// (`batch <= 1` falls back to per-request [`ServiceHandle::submit`] —
+/// the single-submit baseline). Each thread joins its own accepted
+/// tickets; outcomes are summed.
+///
+/// Pacing follows each arrival's offset as in [`drive`]; a thread
+/// flushes its pending batch before sleeping, so admission is never
+/// delayed past the next arrival's deadline by batching. The partition
+/// of arrivals to threads depends only on the schedule length and
+/// `submitters`, never on timing — replays are identical.
+pub fn drive_indexed(
+    handle: &ServiceHandle<'_, '_>,
+    mix: &Mix,
+    arrivals: &[ArrivalIdx],
+    pace: bool,
+    submitters: usize,
+    batch: usize,
+) -> DriveReport {
+    let mut report = DriveReport {
+        outcome: DriveOutcome::default(),
+        submit_wall: Duration::ZERO,
+    };
+    if arrivals.is_empty() {
+        return report;
+    }
+    let submitters = submitters.max(1);
+    let chunk = arrivals.len().div_ceil(submitters);
+    let t0 = Instant::now();
+    let parts = std::thread::scope(|s| {
+        let threads: Vec<_> = arrivals
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    let mut outcome = DriveOutcome::default();
+                    let mut tickets = Vec::with_capacity(part.len());
+                    let mut buf = Vec::with_capacity(batch.max(1));
+                    for a in part {
+                        if pace {
+                            let at = Duration::from_nanos(a.at_ns);
+                            let now = t0.elapsed();
+                            if at > now {
+                                flush(handle, &mut buf, &mut outcome, &mut tickets);
+                                std::thread::sleep(at - now);
+                            } else if now > at {
+                                outcome.behind_schedule += 1;
+                            }
+                        }
+                        let req = mix.proto(a.proto as usize).clone();
+                        if batch <= 1 {
+                            match handle.submit(req) {
+                                Ok(t) => tickets.push(t),
+                                Err(_) => outcome.rejected += 1,
+                            }
+                        } else {
+                            buf.push(req);
+                            if buf.len() >= batch {
+                                flush(handle, &mut buf, &mut outcome, &mut tickets);
+                            }
+                        }
+                    }
+                    flush(handle, &mut buf, &mut outcome, &mut tickets);
+                    let submitted_at = t0.elapsed();
+                    for t in tickets {
+                        match t.wait() {
+                            Ok(_) => outcome.ok += 1,
+                            Err(_) => outcome.errors += 1,
+                        }
+                    }
+                    (outcome, submitted_at)
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (outcome, submitted_at) in parts {
+        report.outcome.merge(outcome);
+        report.submit_wall = report.submit_wall.max(submitted_at);
+    }
+    report
 }
 
 fn mix64(x: u64) -> u64 {
@@ -149,8 +371,8 @@ mod tests {
 
     #[test]
     fn schedules_are_deterministic_in_the_seed() {
-        let a = schedule(42, 32, 1000, &mix());
-        let b = schedule(42, 32, 1000, &mix());
+        let a = schedule(42, 32, 1000, &mix()).unwrap();
+        let b = schedule(42, 32, 1000, &mix()).unwrap();
         assert_eq!(a.len(), 32);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.at_ns, y.at_ns);
@@ -158,7 +380,7 @@ mod tests {
         }
         // A different seed reshuffles (with overwhelming probability
         // over 32 draws).
-        let c = schedule(43, 32, 1000, &mix());
+        let c = schedule(43, 32, 1000, &mix()).unwrap();
         assert!(
             a.iter()
                 .zip(&c)
@@ -169,9 +391,9 @@ mod tests {
 
     #[test]
     fn burst_schedule_lands_at_zero_and_offsets_are_monotone() {
-        let burst = schedule(7, 8, 0, &mix());
+        let burst = schedule(7, 8, 0, &mix()).unwrap();
         assert!(burst.iter().all(|a| a.at_ns == 0));
-        let paced = schedule(7, 8, 10_000, &mix());
+        let paced = schedule(7, 8, 10_000, &mix()).unwrap();
         for w in paced.windows(2) {
             assert!(w[0].at_ns <= w[1].at_ns);
         }
@@ -180,7 +402,7 @@ mod tests {
 
     #[test]
     fn mix_weights_bias_the_draw() {
-        let s = schedule(1, 400, 0, &mix());
+        let s = schedule(1, 400, 0, &mix()).unwrap();
         let attests = s
             .iter()
             .filter(|a| matches!(a.request, Request::Attest { .. }))
@@ -189,8 +411,45 @@ mod tests {
         assert!((200..=390).contains(&attests), "attests = {attests}");
     }
 
+    /// The total weight is maintained incrementally by `with`, matching
+    /// what a per-draw sum would compute.
     #[test]
-    fn empty_mix_schedules_nothing() {
-        assert!(schedule(1, 8, 0, &Mix::new()).is_empty());
+    fn total_weight_is_precomputed_at_construction() {
+        let m = mix()
+            .with(0, Request::SessionOpen)
+            .with(5, Request::SessionOpen);
+        assert_eq!(m.total_weight(), 3 + 1 + 5);
+        let summed: u64 = m.entries.iter().map(|(w, _)| *w as u64).sum();
+        assert_eq!(m.total_weight(), summed);
+    }
+
+    /// Regression: an unpickable mix used to silently `break`, yielding
+    /// a zero-arrival schedule with no signal. It is now a typed error.
+    #[test]
+    fn unpickable_mix_is_a_typed_error() {
+        assert_eq!(
+            schedule(1, 8, 0, &Mix::new()).unwrap_err(),
+            MixError::ZeroTotalWeight
+        );
+        let zero_weight = Mix::new().with(0, Request::SessionOpen);
+        assert_eq!(
+            schedule_indexed(1, 8, 0, &zero_weight).unwrap_err(),
+            MixError::ZeroTotalWeight
+        );
+    }
+
+    /// The streaming schedule draws the identical stream as the
+    /// materialized one: same offsets, same request kinds, arrival by
+    /// arrival.
+    #[test]
+    fn indexed_schedule_matches_materialized_schedule() {
+        let m = mix();
+        let full = schedule(0xabcd, 64, 500, &m).unwrap();
+        let streamed = schedule_indexed(0xabcd, 64, 500, &m).unwrap();
+        assert_eq!(full.len(), streamed.len());
+        for (x, y) in full.iter().zip(&streamed) {
+            assert_eq!(x.at_ns, y.at_ns);
+            assert_eq!(x.request.kind_code(), m.proto(y.proto as usize).kind_code());
+        }
     }
 }

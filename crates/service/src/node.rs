@@ -182,7 +182,11 @@ impl SessionTable {
 struct Shared {
     platform_cfg: PlatformConfig,
     shutdown: AtomicBool,
-    records: Mutex<Vec<RequestRecord>>,
+    /// Per-shard latency-record buffers, indexed by the dispatching
+    /// shard: a completing request appends only to its own shard's
+    /// buffer, so record-keeping never serializes shards on one global
+    /// mutex. Flushed and concatenated when the run drains.
+    records: Vec<Mutex<Vec<RequestRecord>>>,
     sessions: SessionTable,
     next_session: AtomicU64,
     rejected_full: AtomicU64,
@@ -218,7 +222,61 @@ pub struct ServiceHandle<'a, 'env> {
     trace_capacity: usize,
 }
 
+/// Builds the fleet job for one admitted request: dispatch-time
+/// shutdown re-check, handler dispatch, and the latency record appended
+/// to the dispatching shard's buffer. `enqueued` is when the request
+/// entered the queue — for batches, one timestamp is shared by the
+/// whole batch (the submit pass is one queue entry).
+fn request_job<'env>(
+    shared: &'env Shared,
+    trace_capacity: usize,
+    req: Request,
+    class: Class,
+    kind: u8,
+    enqueued: Instant,
+) -> impl FnOnce(&mut ShardCtx<'_>) -> Result<Response, ServiceError> + Send + 'env {
+    move |ctx| {
+        let dispatched = Instant::now();
+        // Shutdown may have raced admission: a data-plane request
+        // already queued when the flag flipped resolves typed
+        // instead of running (control-plane teardown still runs —
+        // it frees resources).
+        let (result, sim) = if class != Class::Control && shared.shutdown.load(Ordering::SeqCst) {
+            (Err(ServiceError::Shutdown), MetricsSnapshot::default())
+        } else {
+            handle_request(req, ctx, shared, trace_capacity)
+        };
+        lock_unpoisoned(&shared.records[ctx.shard()]).push(RequestRecord {
+            req: ctx.job_index(),
+            kind,
+            class,
+            ok: result.is_ok(),
+            queued_ns: dispatched.duration_since(enqueued).as_nanos() as u64,
+            service_ns: dispatched.elapsed().as_nanos() as u64,
+            sim,
+        });
+        result
+    }
+}
+
 impl ServiceHandle<'_, '_> {
+    /// Maps a fleet-level refusal to the service's typed rejection,
+    /// bumping the matching door counter.
+    fn count_reject(&self, e: SubmitError) -> Reject {
+        match e {
+            SubmitError::Full { capacity } => {
+                self.shared.rejected_full.fetch_add(1, Ordering::Relaxed);
+                Reject::QueueFull { capacity }
+            }
+            SubmitError::Closed => {
+                self.shared
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                Reject::ShuttingDown
+            }
+        }
+    }
+
     /// Submits a request; returns its [`Ticket`], or the [`Reject`] if
     /// the node refused it at the door (queue full, or shutting down).
     /// A rejected request never entered the queue and produces no
@@ -232,45 +290,64 @@ impl ServiceHandle<'_, '_> {
             return Err(Reject::ShuttingDown);
         }
         let kind = req.kind_code();
-        let shared = self.shared;
-        let trace_capacity = self.trace_capacity;
-        let enqueued = Instant::now();
-        let submitted = self.fleet.try_submit(class, move |ctx| {
-            let dispatched = Instant::now();
-            // Shutdown may have raced admission: a data-plane request
-            // already queued when the flag flipped resolves typed
-            // instead of running (control-plane teardown still runs —
-            // it frees resources).
-            let (result, sim) = if class != Class::Control && shared.shutdown.load(Ordering::SeqCst)
-            {
-                (Err(ServiceError::Shutdown), MetricsSnapshot::default())
-            } else {
-                handle_request(req, ctx, shared, trace_capacity)
-            };
-            lock_unpoisoned(&shared.records).push(RequestRecord {
-                req: ctx.job_index(),
-                kind,
-                class,
-                ok: result.is_ok(),
-                queued_ns: dispatched.duration_since(enqueued).as_nanos() as u64,
-                service_ns: dispatched.elapsed().as_nanos() as u64,
-                sim,
-            });
-            result
-        });
-        match submitted {
+        let job = request_job(
+            self.shared,
+            self.trace_capacity,
+            req,
+            class,
+            kind,
+            Instant::now(),
+        );
+        match self.fleet.try_submit(class, job) {
             Ok(handle) => Ok(Ticket { handle }),
-            Err(SubmitError::Full { capacity }) => {
-                self.shared.rejected_full.fetch_add(1, Ordering::Relaxed);
-                Err(Reject::QueueFull { capacity })
-            }
-            Err(SubmitError::Closed) => {
+            Err(e) => Err(self.count_reject(e)),
+        }
+    }
+
+    /// Submits a batch of requests in one queue pass, amortizing the
+    /// per-request submit costs (shutdown check, enqueue timestamp,
+    /// result-slot allocation, shard-lock traversal, worker wake) over
+    /// the whole batch. Admission control still applies *per request*:
+    /// each item independently resolves to a [`Ticket`] or a
+    /// [`Reject`], in item order — on a bounded queue the earliest
+    /// data-plane items take the remaining capacity and the rest are
+    /// rejected [`Reject::QueueFull`]; control-plane items are exempt.
+    ///
+    /// Accepted requests get contiguous, item-ordered ids regardless of
+    /// shard count, so a batched load's request→seed mapping is
+    /// shard-count independent (the determinism contract).
+    pub fn submit_batch(&self, reqs: Vec<Request>) -> Vec<Result<Ticket, Reject>> {
+        let shutting_down = self.shared.shutdown.load(Ordering::SeqCst);
+        let enqueued = Instant::now();
+        let mut out: Vec<Option<Result<Ticket, Reject>>> = Vec::with_capacity(reqs.len());
+        let mut jobs = Vec::with_capacity(reqs.len());
+        let mut slots = Vec::with_capacity(reqs.len());
+        for (at, req) in reqs.into_iter().enumerate() {
+            let class = req.class();
+            if class != Class::Control && shutting_down {
                 self.shared
                     .rejected_shutdown
                     .fetch_add(1, Ordering::Relaxed);
-                Err(Reject::ShuttingDown)
+                out.push(Some(Err(Reject::ShuttingDown)));
+                continue;
             }
+            let kind = req.kind_code();
+            jobs.push((
+                class,
+                request_job(self.shared, self.trace_capacity, req, class, kind, enqueued),
+            ));
+            slots.push(at);
+            out.push(None);
         }
+        for (slot, r) in slots.into_iter().zip(self.fleet.try_submit_batch(jobs)) {
+            out[slot] = Some(match r {
+                Ok(handle) => Ok(Ticket { handle }),
+                Err(e) => Err(self.count_reject(e)),
+            });
+        }
+        out.into_iter()
+            .map(|o| o.expect("every batch slot resolves"))
+            .collect()
     }
 
     /// Begins shutdown: new data-plane submissions are rejected with
@@ -303,7 +380,10 @@ impl ServiceHandle<'_, '_> {
 pub struct ServiceRun<R> {
     /// What the body closure returned.
     pub value: R,
-    /// One record per accepted request, in completion order.
+    /// One record per accepted request: each shard's buffer in its own
+    /// completion order, concatenated by shard index at drain. Every
+    /// aggregate over the records (sums, percentiles, the conservation
+    /// law) is order-independent.
     pub records: Vec<RequestRecord>,
     /// Folded per-shard machine counters (the fleet metrics surface).
     pub metrics: FleetMetrics,
@@ -347,10 +427,11 @@ impl Service {
         cfg: ServiceConfig,
         body: impl FnOnce(&ServiceHandle<'_, '_>) -> R,
     ) -> ServiceRun<R> {
+        let shards = cfg.shards.max(1);
         let shared = Shared {
             platform_cfg: cfg.platform.clone(),
             shutdown: AtomicBool::new(false),
-            records: Mutex::new(Vec::new()),
+            records: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             sessions: SessionTable::new(),
             next_session: AtomicU64::new(1),
             rejected_full: AtomicU64::new(0),
@@ -381,8 +462,9 @@ impl Service {
             value: run.value,
             records: shared
                 .records
-                .into_inner()
-                .unwrap_or_else(PoisonError::into_inner),
+                .into_iter()
+                .flat_map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+                .collect(),
             metrics: run.metrics,
             shards: run.shards,
             wall: run.wall,

@@ -4,7 +4,8 @@
 
 use komodo::PlatformConfig;
 use komodo_service::{
-    drive, schedule, Mix, Reject, Request, Response, Service, ServiceConfig, ServiceError, Ticket,
+    drive, drive_indexed, schedule, schedule_indexed, ArrivalIdx, Mix, Reject, Request, Response,
+    Service, ServiceConfig, ServiceError, Ticket,
 };
 use std::sync::Arc;
 
@@ -346,7 +347,7 @@ fn seeded_load_is_replayable() {
     let mix = Mix::new()
         .with(2, Request::Attest { report: [3; 8] })
         .with(1, Request::Notarize { doc_kb: 1 });
-    let arrivals = schedule(0xfeed, 10, 0, &mix);
+    let arrivals = schedule(0xfeed, 10, 0, &mix).unwrap();
     let run =
         |arrivals: &[komodo_service::Arrival]| Service::run(cfg(2), |h| drive(h, arrivals, false));
     let a = run(&arrivals);
@@ -379,4 +380,161 @@ fn traced_requests_record_spans() {
     let total = r.metrics.total();
     assert_eq!(total.trace_capacity, 512);
     assert!(total.trace_recorded >= 2, "dispatch + complete at minimum");
+}
+
+/// Tentpole: vectored submission. A batch admitted through
+/// `submit_batch` behaves exactly like per-request submission — same
+/// responses, same records, same conservation law — and the
+/// request→seed mapping is shard-count independent (1 shard vs 4,
+/// driven through the streaming schedule with one submitter so the
+/// index assignment is deterministic).
+#[test]
+fn batched_submission_is_shard_count_invariant() {
+    let mix = Mix::new()
+        .with(2, Request::Attest { report: [3; 8] })
+        .with(1, Request::Notarize { doc_kb: 1 });
+    let arrivals = schedule_indexed(0x5eed, 24, 0, &mix).unwrap();
+    let sweep = |shards: usize| {
+        let r = Service::run(cfg(shards), |h| {
+            drive_indexed(h, &mix, &arrivals, false, 1, 8).outcome
+        });
+        // Per-request records, keyed by deterministic request id.
+        let mut recs: Vec<_> = r
+            .records
+            .iter()
+            .map(|rec| (rec.req, rec.kind, rec.class, rec.ok, rec.sim))
+            .collect();
+        recs.sort_by_key(|t| t.0);
+        let mut summed = komodo_trace::MetricsSnapshot::default();
+        for rec in &r.records {
+            summed.absorb(&rec.sim);
+        }
+        assert_eq!(
+            summed,
+            r.metrics.total(),
+            "conservation law under batched ingest at {shards} shards"
+        );
+        (r.value, recs)
+    };
+    let (o1, r1) = sweep(1);
+    let (o4, r4) = sweep(4);
+    assert_eq!(o1.ok, 24);
+    assert_eq!(o1, o4, "outcome split changed with shard count");
+    assert_eq!(r1, r4, "per-request records changed with shard count");
+}
+
+/// Batched admission on a bounded queue mirrors per-request admission:
+/// the earliest data-plane items take the remaining capacity, the
+/// overflow is rejected item by item, and control-plane items pass.
+#[test]
+fn batched_backpressure_rejects_the_overflow_itemwise() {
+    let code = loop_code();
+    let r = Service::run(cfg(1).with_queue_capacity(2), |h| {
+        let blocker = h
+            .submit(Request::Invoke {
+                code: Arc::clone(&code),
+                steps: 3_000_000,
+            })
+            .unwrap();
+        while h.pending() > 0 {
+            std::thread::yield_now();
+        }
+        let results = h.submit_batch(vec![
+            Request::Attest { report: [1; 8] },
+            Request::Attest { report: [2; 8] },
+            Request::Notarize { doc_kb: 1 },
+            Request::Notarize { doc_kb: 1 },
+            Request::SessionClose { session: 42 },
+        ]);
+        let verdicts: Vec<_> = results
+            .iter()
+            .map(|r| r.as_ref().map(|_| ()).map_err(|e| *e))
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                Ok(()),
+                Ok(()),
+                Err(Reject::QueueFull { capacity: 2 }),
+                Err(Reject::QueueFull { capacity: 2 }),
+                Ok(()),
+            ],
+            "earliest data-plane items fill the bound; control is exempt"
+        );
+        for t in results.into_iter().flatten() {
+            let _ = t.wait();
+        }
+        blocker.wait().unwrap();
+    });
+    assert_eq!(r.rejected_full, 2);
+    // blocker + 2 attests + control close leave records.
+    assert_eq!(r.records.len(), 4, "rejected batch items leave no record");
+}
+
+/// Satellite: the paced driver counts arrivals it could not submit on
+/// time. A schedule whose offsets are already in the past when the
+/// driver reaches them must surface as `behind_schedule`, not vanish.
+#[test]
+fn paced_driver_counts_behind_schedule() {
+    let mix = Mix::new().with(1, Request::Attest { report: [8; 8] });
+    // Offsets 1ns apart: by the time the driver submits the first
+    // request, the rest of the schedule is already overdue.
+    let mut arrivals = schedule(0x1ab, 6, 0, &mix).unwrap();
+    for (i, a) in arrivals.iter_mut().enumerate() {
+        a.at_ns = 1 + i as u64;
+    }
+    let paced = Service::run(cfg(1), |h| drive(h, &arrivals, true));
+    assert_eq!(paced.value.ok, 6);
+    assert!(
+        paced.value.behind_schedule >= 5,
+        "overdue arrivals must be counted, got {}",
+        paced.value.behind_schedule
+    );
+    // An unpaced burst has no schedule to lag behind.
+    let burst = Service::run(cfg(1), |h| drive(h, &arrivals, false));
+    assert_eq!(burst.value.behind_schedule, 0);
+    // The parallel driver counts lag the same way.
+    let streamed: Vec<ArrivalIdx> = arrivals
+        .iter()
+        .map(|a| ArrivalIdx {
+            at_ns: a.at_ns,
+            proto: 0,
+        })
+        .collect();
+    let report = Service::run(cfg(1), |h| drive_indexed(h, &mix, &streamed, true, 1, 4));
+    assert!(report.value.outcome.behind_schedule >= 5);
+}
+
+/// Parallel batched ingestion conserves everything: K submitter
+/// threads driving partitions through `submit_batch` resolve every
+/// scheduled arrival (ok + errors + rejected = scheduled), and the
+/// per-shard record buffers still sum bit-for-bit to the folded fleet
+/// metrics.
+#[test]
+fn parallel_batched_ingest_conserves_records_and_metrics() {
+    let mix = Mix::new()
+        .with(3, Request::Attest { report: [4; 8] })
+        .with(1, Request::Notarize { doc_kb: 1 });
+    let n = 64usize;
+    let arrivals = schedule_indexed(0xcafe, n, 0, &mix).unwrap();
+    let r = Service::run(cfg(4), |h| {
+        drive_indexed(h, &mix, &arrivals, false, 4, 8).outcome
+    });
+    let o = r.value;
+    assert_eq!(
+        o.ok + o.errors + o.rejected,
+        n as u64,
+        "every scheduled arrival must resolve exactly once"
+    );
+    assert_eq!(o.rejected, 0, "unbounded queue rejects nothing");
+    assert_eq!(r.records.len(), n);
+    let mut summed = komodo_trace::MetricsSnapshot::default();
+    for rec in &r.records {
+        summed.absorb(&rec.sim);
+    }
+    assert_eq!(
+        summed,
+        r.metrics.total(),
+        "per-shard record buffers must sum to the fleet totals"
+    );
 }

@@ -6,7 +6,10 @@
 //! cargo run --release --example service_node
 //! ```
 
-use komodo_service::{drive, schedule, Mix, Reject, Request, Response, Service, ServiceConfig};
+use komodo_service::{
+    drive, drive_indexed, schedule, schedule_indexed, Mix, Reject, Request, Response, Service,
+    ServiceConfig,
+};
 
 fn main() {
     // A 4-shard node with a small bounded queue so backpressure is
@@ -65,14 +68,24 @@ fn main() {
         let mix = Mix::new()
             .with(3, Request::Notarize { doc_kb: 2 })
             .with(1, Request::Attest { report: [7; 8] });
-        let arrivals = schedule(0xBEEF, 48, 0, &mix);
+        let arrivals = schedule(0xBEEF, 48, 0, &mix).expect("mix has weight");
         let outcome = drive(node, &arrivals, false);
         println!(
             "open-loop burst: {} ok, {} errors, {} shed by backpressure",
             outcome.ok, outcome.errors, outcome.rejected
         );
 
-        // 4. Graceful shutdown: new work is refused, typed.
+        // 4. Parallel batched ingestion: the streaming schedule holds
+        //    prototype indices (no payload copies), and two submitter
+        //    threads admit their partitions in batches of 16.
+        let streamed = schedule_indexed(0xBEEF, 96, 0, &mix).expect("mix has weight");
+        let report = drive_indexed(node, &mix, &streamed, false, 2, 16);
+        println!(
+            "batched parallel burst: {} ok, {} errors, {} shed, submit phase {:?}",
+            report.outcome.ok, report.outcome.errors, report.outcome.rejected, report.submit_wall
+        );
+
+        // 5. Graceful shutdown: new work is refused, typed.
         node.shutdown();
         match node.submit(Request::Notarize { doc_kb: 1 }) {
             Err(Reject::ShuttingDown) => println!("post-shutdown submit refused, typed"),
