@@ -354,6 +354,30 @@ impl Machine {
         self.cycles += n;
     }
 
+    /// Arms an IRQ `delta` cycles from now (the injection seam chaos
+    /// schedules use: deadlines relative to the current cycle are
+    /// reproducible across runs, absolute ones are not). Returns the
+    /// absolute deadline armed.
+    pub fn schedule_irq_in(&mut self, delta: u64) -> u64 {
+        let at = self.cycles.saturating_add(delta);
+        self.irq_at = Some(at);
+        at
+    }
+
+    /// Arms an FIQ `delta` cycles from now; see
+    /// [`Machine::schedule_irq_in`]. Returns the absolute deadline armed.
+    pub fn schedule_fiq_in(&mut self, delta: u64) -> u64 {
+        let at = self.cycles.saturating_add(delta);
+        self.fiq_at = Some(at);
+        at
+    }
+
+    /// Disarms any scheduled IRQ/FIQ.
+    pub fn clear_pending_interrupts(&mut self) {
+        self.irq_at = None;
+        self.fiq_at = None;
+    }
+
     /// Whether an IRQ is pending at the current cycle.
     #[inline]
     pub fn irq_pending(&self) -> bool {

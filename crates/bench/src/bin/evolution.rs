@@ -12,7 +12,7 @@
 //! reproduction, the analogue of the paper's effort accounting.
 
 use komodo::{Platform, PlatformConfig};
-use komodo_bench::{fleet, ingest, service, throughput};
+use komodo_bench::{chaos, fleet, ingest, service, throughput};
 use komodo_guest::progs;
 use komodo_os::EnclaveRun;
 
@@ -305,10 +305,46 @@ fn main() {
     println!();
     println!("EXPERIMENTS.md table (paste into \"Parallel ingestion\"):");
     print!("{}", ingest::ingest_to_markdown(&cmp));
+    println!();
+
+    // (g) Chaos campaign: seeded fault-injection cases against the NI
+    // and refinement oracles, fanned across 4 fleet shards. Verdicts
+    // are bit-for-bit reproducible from the master seed (the digest is
+    // shard-count-invariant — the chaos smoke gates on it); the
+    // evolution run gates on every case passing.
+    let chaos_cases: u64 = if std::env::var("KOMODO_BENCH_QUICK").is_ok_and(|v| v == "1") {
+        250
+    } else {
+        2_000
+    };
+    let campaign = chaos::default_campaign(chaos_cases, 4);
+    println!(
+        "Chaos campaign ({} cases, master seed {:#x}, 4 shards):",
+        campaign.cases,
+        chaos::CHAOS_SEED
+    );
+    println!(
+        "  {} passed / {} cases, {} faults over {} slots, {:.0} cases/s",
+        campaign.passed,
+        campaign.cases,
+        campaign.injected.iter().sum::<u64>(),
+        campaign.slots,
+        campaign.cases_per_sec()
+    );
+    println!("  fault mix: {}", campaign.fault_mix_line());
+    println!("  verdict digest: {}", campaign.verdict_digest);
+    assert!(
+        campaign.all_green(),
+        "chaos campaign found oracle violations: {:?}",
+        campaign.failures
+    );
+    println!();
+    println!("EXPERIMENTS.md table (paste into \"Chaos campaign\"):");
+    print!("{}", chaos::chaos_to_markdown(&campaign));
     let json_path = root.join("BENCH_sim_throughput.json");
     match std::fs::write(
         &json_path,
-        ingest::to_json_full(&results, &scaling, &svc, &cmp),
+        chaos::to_json_with_chaos(&results, &scaling, &svc, &cmp, &campaign),
     ) {
         Ok(()) => println!("  wrote {}", json_path.display()),
         Err(e) => println!("  (could not write {}: {e})", json_path.display()),

@@ -1,0 +1,258 @@
+//! Campaign runner: thousands of seeded cases fanned across the fleet.
+//!
+//! A campaign is a master seed plus a case count. Case `j` runs with
+//! seed `derive_seed(j)` — the same per-job derivation the fleet gives
+//! every job — so its verdict depends only on `(master seed, j)`: never
+//! on the shard that ran it, the shard count, or the recycling policy.
+//! The campaign folds every verdict into a SHA-256 digest in submission
+//! order; two runs of the same campaign at different shard counts must
+//! produce bit-for-bit identical digests, which the chaos CI smoke
+//! checks on every push.
+
+use std::time::Duration;
+
+use komodo_crypto::Sha256;
+use komodo_fleet::{self as fleet, FleetConfig, Recycle};
+
+use crate::driver::{run_case, CaseReport, ChaosConfig, Verdict};
+use crate::schedule::Fault;
+
+/// A campaign: how many cases, how wide, and what chaos config.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Master seed; every case seed derives from it.
+    pub master_seed: u64,
+    /// Number of cases.
+    pub cases: u64,
+    /// Fleet shard count.
+    pub shards: usize,
+    /// Platform recycling policy between cases.
+    pub recycle: Recycle,
+    /// Case-execution config (platform shape, planted bugs, tracing).
+    pub chaos: ChaosConfig,
+    /// Keep at most this many failing case reports in full (all
+    /// failures are still counted and folded into the digest).
+    pub max_failures_kept: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            master_seed: 0xc4a0_5000,
+            cases: 1000,
+            shards: 4,
+            recycle: Recycle::Reboot,
+            chaos: ChaosConfig::default(),
+            max_failures_kept: 8,
+        }
+    }
+}
+
+/// The campaign's outcome.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Cases run.
+    pub cases: u64,
+    /// Cases whose verdict was [`Verdict::Pass`].
+    pub passed: u64,
+    /// The first few failing case reports, in case order.
+    pub failures: Vec<CaseReport>,
+    /// Total injected faults by kind code.
+    pub injected: [u64; Fault::KINDS],
+    /// Total backbone slots executed (one enclave burst each, twice —
+    /// once per pass).
+    pub slots: u64,
+    /// SHA-256 over every case verdict in submission order, hex. Equal
+    /// digests ⇒ bit-for-bit identical campaign outcomes.
+    pub verdict_digest: String,
+    /// Wall-clock time (excluded from the digest).
+    pub wall: Duration,
+    /// Shard count the campaign ran at.
+    pub shards: usize,
+}
+
+impl CampaignReport {
+    /// Whether every case passed.
+    pub fn all_green(&self) -> bool {
+        self.passed == self.cases
+    }
+
+    /// Campaign throughput, wall-clock cases per second.
+    pub fn cases_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.cases as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line fault-mix summary (`irq=123 fiq=98 ...`).
+    pub fn fault_mix_line(&self) -> String {
+        let mut out = String::new();
+        for (i, n) in self.injected.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}={}", Fault::kind_name(i as u8), n));
+        }
+        out
+    }
+}
+
+/// Runs the campaign, fanning cases across `cfg.shards` fleet shards.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let fleet_cfg = FleetConfig::default()
+        .with_shards(cfg.shards)
+        .with_platform(cfg.chaos.platform.clone().with_seed(cfg.master_seed))
+        .with_recycle(cfg.recycle);
+
+    let chaos = cfg.chaos.clone();
+    let cases = cfg.cases;
+    let run = fleet::run(fleet_cfg, move |f| {
+        let handles: Vec<_> = (0..cases)
+            .map(|_| {
+                let chaos = chaos.clone();
+                f.submit(move |ctx| {
+                    // The fleet's per-job seed: depends only on the
+                    // master seed and the job index.
+                    let seed = ctx.seed();
+                    let index = ctx.job_index();
+                    let mut report = run_case(ctx.platform(), &chaos, seed);
+                    report.index = index;
+                    report
+                })
+            })
+            .collect();
+        // Join in submission order: the fold below is then
+        // shard-count-independent.
+        handles
+            .into_iter()
+            .map(|h| h.join())
+            .collect::<Vec<Result<CaseReport, fleet::JobPanic>>>()
+    });
+
+    let mut digest = Sha256::new();
+    let mut passed = 0u64;
+    let mut injected = [0u64; Fault::KINDS];
+    let mut slots = 0u64;
+    let mut failures = Vec::new();
+    for (i, res) in run.value.into_iter().enumerate() {
+        let report = match res {
+            Ok(r) => r,
+            Err(p) => CaseReport {
+                index: i as u64,
+                seed: 0,
+                tier: crate::schedule::Tier::Baseline,
+                slots: 0,
+                injected: [0; Fault::KINDS],
+                cycles: 0,
+                verdict: Verdict::MonitorFault { message: p.message },
+            },
+        };
+        fold_case(&mut digest, &report);
+        for (k, n) in report.injected.iter().enumerate() {
+            injected[k] += u64::from(*n);
+        }
+        slots += u64::from(report.slots);
+        if report.verdict.is_failure() {
+            if failures.len() < cfg.max_failures_kept {
+                failures.push(report);
+            }
+        } else {
+            passed += 1;
+        }
+    }
+
+    CampaignReport {
+        cases: cfg.cases,
+        passed,
+        failures,
+        injected,
+        slots,
+        verdict_digest: hex(&digest.finish().to_bytes()),
+        wall: run.wall,
+        shards: cfg.shards,
+    }
+}
+
+/// Folds one case's outcome into the campaign digest. Only
+/// deterministic, shard-independent fields participate: index, seed,
+/// verdict code (plus the NI slot or invariant count), cycles, and the
+/// fault mix. Wall-clock and report text stay out.
+fn fold_case(h: &mut Sha256, r: &CaseReport) {
+    h.update(&r.index.to_be_bytes());
+    h.update(&r.seed.to_be_bytes());
+    h.update(&r.verdict.code().to_be_bytes());
+    let extra: u32 = match &r.verdict {
+        Verdict::Ni { slot, .. } => *slot,
+        Verdict::Invariant { violations } => violations.len() as u32,
+        _ => 0,
+    };
+    h.update(&extra.to_be_bytes());
+    h.update(&r.cycles.to_be_bytes());
+    h.update(&r.slots.to_be_bytes());
+    for n in &r.injected {
+        h.update(&n.to_be_bytes());
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(cases: u64, shards: usize) -> CampaignConfig {
+        CampaignConfig {
+            master_seed: 0x7e57,
+            cases,
+            shards,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_green() {
+        let r = run_campaign(&small(40, 2));
+        assert!(r.all_green(), "failures: {:?}", r.failures);
+        assert_eq!(r.cases, 40);
+        assert!(r.injected.iter().sum::<u64>() > 0, "no faults injected");
+    }
+
+    #[test]
+    fn verdict_digest_is_shard_count_invariant() {
+        let r1 = run_campaign(&small(60, 1));
+        let r4 = run_campaign(&small(60, 4));
+        assert_eq!(r1.verdict_digest, r4.verdict_digest);
+        assert_eq!(r1.passed, r4.passed);
+        assert_eq!(r1.injected, r4.injected);
+    }
+
+    #[test]
+    fn verdict_digest_is_recycle_invariant() {
+        let mut reboot = small(40, 2);
+        reboot.recycle = Recycle::Reboot;
+        let mut rebuild = small(40, 2);
+        rebuild.recycle = Recycle::Rebuild;
+        assert_eq!(
+            run_campaign(&reboot).verdict_digest,
+            run_campaign(&rebuild).verdict_digest
+        );
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let a = run_campaign(&small(20, 2));
+        let mut cfg = small(20, 2);
+        cfg.master_seed ^= 1;
+        let b = run_campaign(&cfg);
+        assert_ne!(a.verdict_digest, b.verdict_digest);
+    }
+}

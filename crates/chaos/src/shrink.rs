@@ -1,0 +1,163 @@
+//! Delta-debugging schedule shrinker.
+//!
+//! When a case fails, its fault schedule is usually mostly noise: of the
+//! half-dozen injected faults, one or two actually trigger the bug. The
+//! shrinker runs Zeller's `ddmin` over the fault list — the backbone
+//! (slots, targets, tier, seed) is held fixed, so every reduction
+//! attempt is a legal case, and the result is the minimal sub-schedule
+//! that still fails. Probe runs execute with tracing off so reduction
+//! attempts don't spam flight dumps; the minimal case is then re-run
+//! once with tracing on to produce the final report.
+
+use komodo::Platform;
+
+use crate::driver::{run_case_spec, run_case_spec_quiet, CaseReport, ChaosConfig};
+use crate::schedule::{CaseSpec, Fault};
+
+/// Outcome of shrinking one failing case.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimal failing case (same backbone, reduced schedule).
+    pub minimal: CaseSpec,
+    /// The minimal case's report (re-run with tracing, so NI verdicts
+    /// carry the side-by-side flight-recorder tails).
+    pub report: CaseReport,
+    /// How many probe runs the reduction took.
+    pub probes: u32,
+}
+
+/// Shrinks `case` (which must fail under `cfg`) to a minimal failing
+/// schedule. Returns `None` if the case does not actually fail —
+/// shrinking a passing case would "minimise" to noise.
+pub fn shrink_case(p: &mut Platform, cfg: &ChaosConfig, case: &CaseSpec) -> Option<ShrinkResult> {
+    let mut probes = 0u32;
+    let mut fails = |faults: &[(usize, Fault)], probes: &mut u32| {
+        *probes += 1;
+        let spec = case.with_faults(faults.to_vec());
+        run_case_spec_quiet(p, cfg, &spec).verdict.is_failure()
+    };
+
+    if !fails(&case.faults, &mut probes) {
+        return None;
+    }
+
+    // ddmin: try removing complement chunks at increasing granularity.
+    let mut cur = case.faults.clone();
+    let mut n = 2usize.min(cur.len().max(1));
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let candidate: Vec<(usize, Fault)> =
+                cur[..start].iter().chain(&cur[end..]).copied().collect();
+            if !candidate.is_empty() && fails(&candidate, &mut probes) {
+                cur = candidate;
+                n = 2.max(n - 1);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    // A failure with zero faults would mean the backbone alone fails —
+    // check it, since that is the most minimal schedule of all.
+    if cur.len() == 1 && fails(&[], &mut probes) {
+        cur.clear();
+    }
+
+    let minimal = case.with_faults(cur);
+    let report = run_case_spec(p, cfg, &minimal);
+    Some(ShrinkResult {
+        minimal,
+        report,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Verdict;
+    use crate::schedule::Target;
+    use komodo_monitor::PlantedBugs;
+
+    /// A case stuffed with noise faults plus one trigger must shrink to
+    /// just the trigger.
+    #[test]
+    fn shrinks_noise_to_single_trigger() {
+        let cfg = ChaosConfig {
+            planted: PlantedBugs {
+                refcount_leak_on_remove: true,
+                ..PlantedBugs::default()
+            },
+            ..ChaosConfig::default()
+        };
+        let mut p = Platform::with_config(cfg.platform.clone());
+        let mut case = CaseSpec::generate(1).with_faults(Vec::new());
+        case.targets = vec![Target::Worker; 6];
+        case.faults = vec![
+            (0, Fault::BadSmc { call: 0x4000_0001 }),
+            (1, Fault::PageChurn),
+            (2, Fault::IrqWithin { delta: 300 }),
+            (3, Fault::DestroyUnderLoad), // The trigger.
+            (4, Fault::MemPerturb { word: 9, val: 5 }),
+            (5, Fault::RegPerturb { reg: 6, val: 1 }),
+        ];
+        let r = shrink_case(&mut p, &cfg, &case).expect("case fails");
+        assert!(
+            r.minimal.faults.len() <= 2,
+            "minimal schedule has {} faults: {:?}",
+            r.minimal.faults.len(),
+            r.minimal.faults
+        );
+        assert!(r
+            .minimal
+            .faults
+            .iter()
+            .any(|(_, f)| *f == Fault::DestroyUnderLoad));
+        assert!(r.report.verdict.is_failure());
+        assert!(matches!(r.report.verdict, Verdict::Invariant { .. }));
+    }
+
+    /// Shrinking a passing case is refused.
+    #[test]
+    fn refuses_passing_case() {
+        let cfg = ChaosConfig::default();
+        let mut p = Platform::with_config(cfg.platform.clone());
+        let case = CaseSpec::generate(5);
+        assert!(shrink_case(&mut p, &cfg, &case).is_none());
+    }
+
+    /// The minimal schedule is reproducible: re-running it fails again.
+    #[test]
+    fn minimal_schedule_reproduces() {
+        let cfg = ChaosConfig {
+            planted: PlantedBugs {
+                leak_regs_on_interrupt: true,
+                ..PlantedBugs::default()
+            },
+            ..ChaosConfig::default()
+        };
+        let mut p = Platform::with_config(cfg.platform.clone());
+        let mut case = CaseSpec::generate(2).with_faults(Vec::new());
+        case.targets = vec![Target::Worker, Target::Victim, Target::Worker];
+        case.faults = vec![
+            (0, Fault::PageChurn),
+            (1, Fault::IrqWithin { delta: 700 }), // The trigger.
+            (2, Fault::BadSmc { call: 0x4000_0002 }),
+        ];
+        let r = shrink_case(&mut p, &cfg, &case).expect("case fails");
+        assert!(r.minimal.faults.len() <= 2, "{:?}", r.minimal.faults);
+        let again = run_case_spec(&mut p, &cfg, &r.minimal);
+        assert_eq!(again.verdict.code(), r.report.verdict.code());
+        assert!(again.verdict.is_failure());
+    }
+}

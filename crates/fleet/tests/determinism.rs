@@ -67,9 +67,7 @@ fn batch_sweep(
         .with_recycle(recycle);
     let fleet_run = run(cfg, |fleet| {
         type Job = fn(&mut ShardCtx<'_>) -> JobOut;
-        let jobs: Vec<(Class, Job)> = (0..JOBS)
-            .map(|_| (Class::Batch, episode as Job))
-            .collect();
+        let jobs: Vec<(Class, Job)> = (0..JOBS).map(|_| (Class::Batch, episode as Job)).collect();
         fleet
             .submit_batch(jobs)
             .into_iter()

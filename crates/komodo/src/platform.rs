@@ -53,13 +53,7 @@ impl PlatformConfig {
     /// The mix is splitmix64 over the golden-ratio-separated stream
     /// index, so neighbouring streams decorrelate fully.
     pub fn derive_seed(&self, stream: u64) -> u64 {
-        let mut z = self
-            .seed
-            .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
-            .wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        komodo_spec::seed::derive_stream(self.seed, stream)
     }
 }
 
@@ -75,6 +69,9 @@ pub struct Platform {
     /// The parameters this platform was booted with (re-used by
     /// [`Platform::reset`]).
     config: PlatformConfig,
+    /// How many flight-recorder events the monitor-fault dump prints
+    /// (see [`Platform::set_flight_dump_tail`]).
+    flight_dump_tail: usize,
 }
 
 impl Default for Platform {
@@ -99,7 +96,20 @@ impl Platform {
             monitor,
             os,
             config: cfg,
+            flight_dump_tail: Platform::DEFAULT_FLIGHT_DUMP_TAIL,
         }
+    }
+
+    /// Default number of flight-recorder events printed on a monitor
+    /// fault.
+    pub const DEFAULT_FLIGHT_DUMP_TAIL: usize = 32;
+
+    /// Sets how many flight-recorder events the monitor-fault dump
+    /// prints (default [`Platform::DEFAULT_FLIGHT_DUMP_TAIL`]). Deep
+    /// failure reports — the chaos harness's, for one — want a longer
+    /// tail than the interactive default.
+    pub fn set_flight_dump_tail(&mut self, n: usize) {
+        self.flight_dump_tail = n;
     }
 
     /// The parameters this platform was booted (or last reset) with.
@@ -189,7 +199,10 @@ impl Platform {
         match std::panic::catch_unwind(sealed) {
             Ok(v) => v,
             Err(payload) => {
-                eprintln!("monitor fault; {}", self.machine.trace.dump_tail(32));
+                eprintln!(
+                    "monitor fault; {}",
+                    self.machine.trace.dump_tail(self.flight_dump_tail)
+                );
                 std::panic::resume_unwind(payload)
             }
         }

@@ -41,4 +41,4 @@ pub mod pgdb;
 
 pub use boot::{boot, reboot};
 pub use layout::MonitorLayout;
-pub use monitor::{Monitor, SmcResult};
+pub use monitor::{Monitor, PlantedBugs, SmcResult};

@@ -33,6 +33,33 @@ pub struct SmcResult {
     pub retval: u32,
 }
 
+/// Deliberately plantable monitor bugs, all off by default.
+///
+/// These exist to validate the chaos harness's oracles: each knob
+/// suppresses one security-critical step on an error/edge path, exactly
+/// the surface Komodo's verification covers and cooperative tests miss.
+/// A chaos campaign run against a monitor with a planted bug must flag
+/// the violation and shrink the triggering schedule; see
+/// `komodo-chaos`. Production paths never set these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlantedBugs {
+    /// Skip the exit-path register scrub when an enclave burst ends
+    /// `Interrupted` — the OS then observes live enclave registers, a
+    /// direct secret leak the NI oracle must catch.
+    pub leak_regs_on_interrupt: bool,
+    /// Skip the addrspace refcount decrement when a `SPARE` page is
+    /// removed — the PageDb refcount then overcounts, a state-machine
+    /// corruption the refinement/invariant oracle must catch.
+    pub refcount_leak_on_remove: bool,
+}
+
+impl PlantedBugs {
+    /// True when any bug is planted.
+    pub fn any(&self) -> bool {
+        self.leak_regs_on_interrupt || self.refcount_leak_on_remove
+    }
+}
+
 /// The Komodo monitor state (the verified image's globals).
 #[derive(Clone, Debug)]
 pub struct Monitor {
@@ -51,6 +78,9 @@ pub struct Monitor {
     /// User-execution step budget per burst before the monitor treats the
     /// enclave as interrupted (models the OS's timer preemption).
     pub step_budget: u64,
+    /// Deliberately planted bugs for chaos-oracle validation; all off by
+    /// default.
+    pub planted: PlantedBugs,
 }
 
 impl Monitor {
@@ -68,6 +98,7 @@ impl Monitor {
             conservative_save: true,
             always_flush_tlb: true,
             step_budget: 500_000_000,
+            planted: PlantedBugs::default(),
         }
     }
 
@@ -536,7 +567,9 @@ impl Monitor {
             }
             ptype::SPARE => {
                 pgdb::set_meta(m, &self.layout, pg as usize, ptype::FREE, 0).expect("meta");
-                self.add_ref(m, owner, -1);
+                if !self.planted.refcount_leak_on_remove {
+                    self.add_ref(m, owner, -1);
+                }
                 KomErr::Ok
             }
             _ => {
@@ -691,7 +724,9 @@ impl Monitor {
             }
         };
         // Exit path: scrub the user register file before the OS can look.
-        m.regs.scrub_user_visible();
+        if !(self.planted.leak_regs_on_interrupt && result.0 == KomErr::Interrupted) {
+            m.regs.scrub_user_visible();
+        }
         if self.conservative_save {
             m.charge(costs::BANKED_SAVE_RESTORE);
         }

@@ -56,7 +56,7 @@ pub fn confidentiality(
 
     for (i, a) in actions.iter().enumerate() {
         let seed = exec_seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_mul(komodo_spec::seed::GOLDEN_GAMMA)
             .wrapping_add(i as u64);
         let (o1, o2) = match a {
             Action::ScribbleInsecure(pfn, idx, val) => {

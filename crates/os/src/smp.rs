@@ -80,7 +80,9 @@ pub fn run_smp(
     let mut results = Vec::new();
     let mut stats = SmpStats::default();
     let mut cursors = vec![0usize; cores.len()];
-    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut rng = seed
+        .wrapping_mul(komodo_spec::seed::GOLDEN_GAMMA)
+        .wrapping_add(1);
     // The cycle at which the lock becomes free again; cores arriving
     // earlier wait. Each core's local clock advances only through its own
     // calls (a simplification: cores do unrelated work between calls).

@@ -25,6 +25,7 @@
 
 use crate::node::{ServiceHandle, Ticket};
 use crate::request::{Reject, Request};
+use komodo_spec::seed::{mix64, GOLDEN_GAMMA};
 use std::time::{Duration, Instant};
 
 /// A weighted request mix. Weights are relative integers; a request's
@@ -139,7 +140,7 @@ pub fn schedule_indexed(
     let mut state = seed;
     let mut at_ns = 0u64;
     for _ in 0..n {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        state = state.wrapping_add(GOLDEN_GAMMA);
         let kind_draw = mix64(state);
         let gap_draw = mix64(state ^ 0xdead_beef_cafe_f00d);
         let proto = mix
@@ -350,13 +351,6 @@ pub fn drive_indexed(
         report.submit_wall = report.submit_wall.max(submitted_at);
     }
     report
-}
-
-fn mix64(x: u64) -> u64 {
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

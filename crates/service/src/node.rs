@@ -43,6 +43,7 @@ use komodo_fleet::{Class, Fleet, FleetConfig, JobHandle, ShardCtx, ShardStats, S
 use komodo_guest::notary::notary_image;
 use komodo_guest::{progs, user};
 use komodo_os::EnclaveRun;
+use komodo_spec::seed::splitmix64;
 use komodo_trace::{Event, FleetMetrics, MetricsSnapshot};
 
 use crate::latency::RequestRecord;
@@ -750,15 +751,6 @@ fn session_close(
         Err(k) => Err(ServiceError::Enclave(format!("session destroy: {k:?}"))),
     };
     (res, delta)
-}
-
-/// The same splitmix64 the platform seed derivation uses, for
-/// deterministic document contents.
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

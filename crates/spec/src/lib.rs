@@ -36,6 +36,7 @@ pub mod invariants;
 pub mod measure;
 pub mod pagedb;
 pub mod params;
+pub mod seed;
 pub mod smc;
 pub mod svc;
 pub mod types;

@@ -1,0 +1,120 @@
+//! Shared splitmix64 seed derivation.
+//!
+//! Every deterministic subsystem in the workspace — the fleet's per-job
+//! platform seeds, the load generator's arrival schedule, the service
+//! node's document synthesis, the chaos harness's fault schedules —
+//! derives its randomness from integer seeds with the same mix, so that
+//! results depend only on `(base seed, stream index)` and never on host
+//! state or scheduling. This module is the single home of that mix;
+//! call sites that used to carry private copies (`komodo-fleet` via
+//! `PlatformConfig::derive_seed`, `komodo-service`'s loadgen and node)
+//! all route through here.
+//!
+//! The construction is Steele–Lea–Flood splitmix64: advance a state by
+//! the golden-gamma increment, then scramble it through the
+//! variance-maximising finalizer. Neighbouring streams (`stream`,
+//! `stream + 1`) decorrelate fully because the gamma is odd and the
+//! finalizer is a bijection.
+
+/// The splitmix64 golden-gamma increment: `2^64 / φ`, forced odd.
+pub const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 finalizer: a bijective scramble of `x`. Use this for
+/// *derived* draws from an already-advanced state (e.g. a second,
+/// decorrelated draw via `mix64(state ^ SALT)`).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One splitmix64 step from `x`: advance by [`GOLDEN_GAMMA`], then mix.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    mix64(x.wrapping_add(GOLDEN_GAMMA))
+}
+
+/// Derives an independent stream seed from `(base, stream)`.
+///
+/// This is how one master seed fans out into any number of decorrelated
+/// per-job / per-case / per-request seeds: the result depends only on
+/// the two arguments, so work keyed by a stream index is reproducible
+/// at any shard count or submission order.
+#[inline]
+pub fn derive_stream(base: u64, stream: u64) -> u64 {
+    splitmix64(base.wrapping_add(stream.wrapping_mul(GOLDEN_GAMMA)))
+}
+
+/// A splitmix64 generator: the sequential form of the same mix, for
+/// call sites that want a stream of draws rather than indexed ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded at `seed`; the first draw is `splitmix64(seed)`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// A uniform draw in `0..bound` (0 when `bound` is 0), by the
+    /// high-bits multiply method — adequate for schedule generation,
+    /// where the bounds are tiny relative to 2^64.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference values for seed 1234567 (first three outputs of the
+        // canonical splitmix64), pinning the exact mix so call-site
+        // migrations cannot silently change derived seeds.
+        let mut g = SplitMix64::new(1234567);
+        let first = g.next_u64();
+        assert_eq!(first, splitmix64(1234567));
+        assert_eq!(first, 0x599e_d017_fb08_fc85);
+        // Stream draws and indexed derivation agree.
+        assert_eq!(derive_stream(1234567, 0), first);
+        let second = g.next_u64();
+        assert_eq!(derive_stream(1234567, 1), second);
+    }
+
+    #[test]
+    fn streams_are_distinct_and_deterministic() {
+        assert_eq!(derive_stream(7, 3), derive_stream(7, 3));
+        let mut seen: Vec<u64> = (0..1000).map(|i| derive_stream(7, i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 1000, "stream seeds must not collide");
+        assert_ne!(derive_stream(7, 0), derive_stream(8, 0));
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut g = SplitMix64::new(42);
+        let mut hit = [false; 8];
+        for _ in 0..256 {
+            let v = g.below(8);
+            assert!(v < 8);
+            hit[v as usize] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "8-way draw missed a bucket");
+        assert_eq!(g.below(0), 0);
+    }
+}

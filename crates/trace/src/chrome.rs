@@ -113,6 +113,10 @@ fn render(e: &Event) -> (char, String) {
                 ok as u32
             ),
         ),
+        Event::ChaosInject { kind, arg } => (
+            'i',
+            format!(r#""name":"chaos","args":{{"kind":{kind},"arg":{arg}}}"#),
+        ),
     }
 }
 

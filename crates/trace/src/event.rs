@@ -218,6 +218,15 @@ pub enum Event {
         /// Whether the request succeeded.
         ok: bool,
     },
+    /// The chaos harness injected a fault (see `komodo-chaos`); stamped
+    /// at the injection point so failure dumps show faults in-line with
+    /// the machine events they perturb.
+    ChaosInject {
+        /// Fault-kind code (the chaos crate's `Fault::kind_code`).
+        kind: u8,
+        /// Fault-specific payload (cycle deadline, page number, …).
+        arg: u32,
+    },
 }
 
 impl Event {
@@ -243,6 +252,7 @@ impl Event {
             Event::UopInval { .. } => "uop-inval",
             Event::ReqDispatch { .. } => "request",
             Event::ReqComplete { .. } => "request",
+            Event::ChaosInject { .. } => "chaos",
         }
     }
 }
@@ -297,6 +307,9 @@ impl core::fmt::Display for Event {
             }
             Event::ReqComplete { req, ok } => {
                 write!(f, "req-complete req={req} ok={}", ok as u32)
+            }
+            Event::ChaosInject { kind, arg } => {
+                write!(f, "chaos-inject kind={kind} arg={arg:#x}")
             }
         }
     }
