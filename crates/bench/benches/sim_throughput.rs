@@ -11,6 +11,7 @@
 //! machines are architecturally identical.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use komodo_bench::attested::{agg_4x_paired, attested_throughput};
 use komodo_bench::fleet::default_sweep;
 use komodo_bench::ingest::ingest_4x_paired;
 use komodo_bench::service::{default_service_sweep, vs_fleet_4x_paired};
@@ -189,6 +190,41 @@ fn sim_throughput(c: &mut Criterion) {
         batch_over_single >= 2.0,
         "batched parallel submission must sustain at least 2x the \
          single-submit request rate at 4 shards (got {batch_over_single:.2}x)"
+    );
+
+    // Attested sessions: the full remote-attestation handshake driven
+    // closed-loop at 1 and 4 shards. The sweep asserts every handshake
+    // establishes and the outcome (session-key digest included) is
+    // bit-identical at both shard counts; the gates here are 100%
+    // handshake success and a 4-shard CPU-normalized aggregate of at
+    // least 2.5x the single shard (paired re-measurement absorbs
+    // transient host contention, as for the fleet/service gates).
+    println!();
+    let attested_sessions: usize = if quick() { 200 } else { 1_000 };
+    let att = attested_throughput(attested_sessions, 1, &[1, 4]);
+    for r in &att.rows {
+        println!(
+            "attested throughput: {} shards {:.0} sessions/s, p50 {:.1} us, \
+             p99 {:.1} us, aggregate {:.0} sessions/s",
+            r.shards,
+            r.sessions_per_s(),
+            r.p50_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+            r.agg_sessions_per_s()
+        );
+    }
+    let established = att.rows[0].outcome.established;
+    println!(
+        "attested handshake success: 100% ({established} of {attested_sessions} \
+         established, outcome identical at 1 and 4 shards)"
+    );
+    assert_eq!(established, attested_sessions as u64);
+    let attested_4x = agg_4x_paired(&att, 2);
+    println!("attested shard-scaling: 4-shard aggregate {attested_4x:.2}x 1-shard (gate: >= 2.50)");
+    assert!(
+        attested_4x >= 2.5,
+        "4-shard attested aggregate must scale at least 2.5x over 1 shard \
+         (got {attested_4x:.2}x)"
     );
 
     // Flight-recorder overhead budget: armed tracing must stay within 2%

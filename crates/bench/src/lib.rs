@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attested;
 pub mod chaos;
 pub mod fleet;
 pub mod ingest;

@@ -298,6 +298,7 @@ fn run_pass_body(p: &mut Platform, spec: &CaseSpec, secret: u32) -> PassObs {
 
     for (i, target) in spec.targets.iter().enumerate() {
         let mut aux = (0u32, 0u32);
+        let mut entry_xor: Option<(u8, u32)> = None;
         if let Some((_, fault)) = spec.faults.iter().find(|(s, _)| *s == i) {
             p.machine.trace.record(
                 p.machine.cycles,
@@ -343,22 +344,33 @@ fn run_pass_body(p: &mut Platform, spec: &CaseSpec, secret: u32) -> PassObs {
                     let ok = p.machine.mem.write(pa, val, AccessAttrs::NORMAL).is_ok();
                     aux = (u32::from(ok), 0);
                 }
+                Fault::EntryPerturb { arg, val } => {
+                    // Applied at the enter below; a resumed burst has no
+                    // entry arguments to tamper with.
+                    entry_xor = Some((arg % 3, val));
+                }
             }
         }
 
+        let perturbed = |mut args: [u32; 3]| {
+            if let Some((a, v)) = entry_xor {
+                args[a as usize] ^= v;
+            }
+            args
+        };
         let run = match target {
             Target::Worker => {
                 if worker_susp {
                     p.resume(&worker, 0)
                 } else {
-                    p.enter(&worker, 0, [WORKER_ITERS, 0, 0])
+                    p.enter(&worker, 0, perturbed([WORKER_ITERS, 0, 0]))
                 }
             }
             Target::Victim => {
                 if victim_susp {
                     p.resume(&victim, 0)
                 } else {
-                    p.enter(&victim, 0, [0, secret, 0])
+                    p.enter(&victim, 0, perturbed([0, secret, 0]))
                 }
             }
         };

@@ -59,11 +59,23 @@ pub enum Fault {
         /// Value written.
         val: u32,
     },
+    /// SVC-level entry perturbation, the one fault the *enclave* sees:
+    /// XOR a value into one of the SVC-visible entry arguments (r0–r2
+    /// at enclave entry) before the burst — a malicious OS tampering
+    /// with the inputs it relays, e.g. the challenge words of a
+    /// handshake in flight. Applied identically in both NI passes (and
+    /// only to fresh entries; resumes carry no arguments).
+    EntryPerturb {
+        /// Which entry argument (reduced modulo 3).
+        arg: u8,
+        /// XOR mask applied to the argument.
+        val: u32,
+    },
 }
 
 impl Fault {
     /// Number of fault kinds.
-    pub const KINDS: usize = 8;
+    pub const KINDS: usize = 9;
 
     /// Stable kind code, `0..Self::KINDS` (the [`komodo_trace::Event::ChaosInject`]
     /// `kind` field and the campaign fault-mix index).
@@ -77,6 +89,7 @@ impl Fault {
             Fault::DestroyUnderLoad => 5,
             Fault::RegPerturb { .. } => 6,
             Fault::MemPerturb { .. } => 7,
+            Fault::EntryPerturb { .. } => 8,
         }
     }
 
@@ -91,6 +104,7 @@ impl Fault {
             5 => "destroy_under_load",
             6 => "reg_perturb",
             7 => "mem_perturb",
+            8 => "entry_perturb",
             _ => "?",
         }
     }
@@ -105,6 +119,7 @@ impl Fault {
             Fault::PageChurn | Fault::DestroyUnderLoad => 0,
             Fault::RegPerturb { reg, val } => (u32::from(reg) << 24) ^ (val & 0x00ff_ffff),
             Fault::MemPerturb { word, .. } => word,
+            Fault::EntryPerturb { arg, val } => (u32::from(arg) << 24) ^ (val & 0x00ff_ffff),
         }
     }
 }
@@ -120,6 +135,9 @@ impl core::fmt::Display for Fault {
             Fault::DestroyUnderLoad => write!(f, "destroy-under-load"),
             Fault::RegPerturb { reg, val } => write!(f, "reg-perturb r{reg}={val:#010x}"),
             Fault::MemPerturb { word, val } => write!(f, "mem-perturb word={word} val={val:#010x}"),
+            Fault::EntryPerturb { arg, val } => {
+                write!(f, "entry-perturb arg=r{arg} xor={val:#010x}")
+            }
         }
     }
 }
@@ -281,9 +299,16 @@ fn draw_fault(rng: &mut SplitMix64) -> Fault {
             reg: 5 + rng.below(7) as u8,
             val: rng.next_u64() as u32,
         },
-        _ => Fault::MemPerturb {
+        7 => Fault::MemPerturb {
             word: rng.next_u64() as u32,
             val: rng.next_u64() as u32,
+        },
+        _ => Fault::EntryPerturb {
+            arg: rng.below(3) as u8,
+            // Bounded mask: keeps perturbed loop counts finite (the
+            // worker's countdown stays in a few-thousand-iteration
+            // range) while still visibly corrupting enclave inputs.
+            val: 1 + rng.below(1023) as u32,
         },
     }
 }

@@ -1,0 +1,166 @@
+//! HKDF-style key derivation and session-tagging for attested sessions.
+//!
+//! Every construction here is a *fixed-shape* HMAC-SHA256: the key is
+//! exactly eight words (one digest) and the message exactly sixteen words
+//! (one SHA-256 block). That shape is deliberate — it is the one the
+//! remote-attestation enclave can mirror instruction-by-instruction with
+//! three compressions per hash (`komodo_guest::hmac`), so verifier and
+//! enclave derive bit-identical session keys without the guest carrying a
+//! general streaming HMAC.
+//!
+//! Derivation follows HKDF's extract-then-expand structure over the
+//! handshake transcript:
+//!
+//! ```text
+//! prk = HMAC(key = [Z_hi, Z_lo, 0…], transcript16)      // extract
+//! K   = HMAC(prk, [EXPAND_TAG, 1, 0…])                  // expand
+//! ```
+//!
+//! where `Z = B^a = V^b mod p` is the toy-group Diffie–Hellman shared
+//! secret (same modelling substitution as [`crate::schnorr`]). Confirm
+//! and application tags are further fixed-shape HMACs under `K` with
+//! distinct domain-separation tags.
+
+use crate::hmac::HmacSha256;
+use crate::Digest;
+
+/// Domain tag for the expand step ("KDF1").
+pub const EXPAND_TAG: u32 = 0x4b44_4631;
+
+/// Domain tag for the enclave's key-confirmation tag ("KCE1").
+pub const CONFIRM_ENCLAVE_TAG: u32 = 0x4b43_4531;
+
+/// Domain tag for the verifier's key-confirmation tag ("KCV1").
+pub const CONFIRM_VERIFIER_TAG: u32 = 0x4b43_5631;
+
+/// Domain tag for MAC'd application traffic ("KAP1").
+pub const APP_TAG: u32 = 0x4b41_5031;
+
+/// Domain tag heading the handshake transcript block ("KTS1").
+pub const TRANSCRIPT_TAG: u32 = 0x4b54_5331;
+
+/// Fixed-shape HMAC: eight-word key, sixteen-word (one-block) message.
+/// The exact construction the guest mirror implements with three SHA-256
+/// compressions per hash.
+pub fn hmac16(key: &[u32; 8], msg: &[u32; 16]) -> Digest {
+    let key_bytes = Digest(*key).to_bytes();
+    HmacSha256::mac_words(&key_bytes, msg)
+}
+
+/// Builds the sixteen-word handshake transcript:
+/// `[TRANSCRIPT_TAG, nonce[4], V_lo, V_hi, B_lo, B_hi, pub_lo, pub_hi, 0…]`
+/// — everything both sides saw on the wire, in wire order.
+pub fn transcript(
+    nonce: &[u32; 4],
+    verifier_share: u64,
+    enclave_share: u64,
+    public: u64,
+) -> [u32; 16] {
+    let mut t = [0u32; 16];
+    t[0] = TRANSCRIPT_TAG;
+    t[1..5].copy_from_slice(nonce);
+    t[5] = verifier_share as u32;
+    t[6] = (verifier_share >> 32) as u32;
+    t[7] = enclave_share as u32;
+    t[8] = (enclave_share >> 32) as u32;
+    t[9] = public as u32;
+    t[10] = (public >> 32) as u32;
+    t
+}
+
+/// HKDF-style extract-then-expand: the session key from the DH shared
+/// secret `z` and the handshake transcript.
+pub fn session_key(z: u64, transcript: &[u32; 16]) -> Digest {
+    let zkey = [(z >> 32) as u32, z as u32, 0, 0, 0, 0, 0, 0];
+    let prk = hmac16(&zkey, transcript);
+    let mut expand = [0u32; 16];
+    expand[0] = EXPAND_TAG;
+    expand[1] = 1;
+    hmac16(&prk.0, &expand)
+}
+
+/// Key-confirmation tag over the verifier's nonce, domain-separated by
+/// direction (`CONFIRM_ENCLAVE_TAG` / `CONFIRM_VERIFIER_TAG`).
+pub fn confirm_tag(key: &Digest, dir_tag: u32, nonce: &[u32; 4]) -> Digest {
+    let mut msg = [0u32; 16];
+    msg[0] = dir_tag;
+    msg[1..5].copy_from_slice(nonce);
+    hmac16(&key.0, &msg)
+}
+
+/// Application-traffic tag: `HMAC(K, [APP_TAG, seq, payload[8], 0…])`.
+pub fn app_tag(key: &Digest, seq: u32, payload: &[u32; 8]) -> Digest {
+    let mut msg = [0u32; 16];
+    msg[0] = APP_TAG;
+    msg[1] = seq;
+    msg[2..10].copy_from_slice(payload);
+    hmac16(&key.0, &msg)
+}
+
+/// Constant-time check of an application-traffic tag.
+pub fn verify_app_tag(key: &Digest, seq: u32, payload: &[u32; 8], tag: &Digest) -> bool {
+    app_tag(key, seq, payload).ct_eq(tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::{pow_mod, G, P};
+
+    #[test]
+    fn hmac16_matches_streaming_hmac() {
+        let key = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let msg: [u32; 16] = core::array::from_fn(|i| 0x100 + i as u32);
+        let via16 = hmac16(&key, &msg);
+        let mut h = HmacSha256::new(&Digest(key).to_bytes());
+        h.update_words(&msg);
+        assert_eq!(via16, h.finish());
+    }
+
+    #[test]
+    fn both_sides_derive_the_same_key() {
+        // a, b odd 59-bit scalars; V = g^a, B = g^b; Z agrees both ways.
+        let a = 0x0123_4567_89ab_cdefu64 | 1;
+        let b = 0x0fed_cba9_8765_4321u64 | 1;
+        let v = pow_mod(G, a, P);
+        let bb = pow_mod(G, b, P);
+        let z_v = pow_mod(bb, a, P);
+        let z_e = pow_mod(v, b, P);
+        assert_eq!(z_v, z_e);
+        let nonce = [0xaa, 0xbb, 0xcc, 0xdd];
+        let t = transcript(&nonce, v, bb, 12345);
+        assert_eq!(session_key(z_v, &t), session_key(z_e, &t));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_keys() {
+        let nonce = [1, 2, 3, 4];
+        let t1 = transcript(&nonce, 10, 20, 30);
+        let t2 = transcript(&nonce, 10, 21, 30);
+        assert_ne!(session_key(99, &t1), session_key(99, &t2));
+        assert_ne!(session_key(99, &t1), session_key(98, &t1));
+    }
+
+    #[test]
+    fn confirm_tags_are_direction_separated() {
+        let k = Digest([9; 8]);
+        let nonce = [5, 6, 7, 8];
+        let ce = confirm_tag(&k, CONFIRM_ENCLAVE_TAG, &nonce);
+        let cv = confirm_tag(&k, CONFIRM_VERIFIER_TAG, &nonce);
+        assert_ne!(ce, cv);
+        assert_eq!(ce, confirm_tag(&k, CONFIRM_ENCLAVE_TAG, &nonce));
+    }
+
+    #[test]
+    fn app_tags_bind_seq_and_payload() {
+        let k = Digest([3; 8]);
+        let payload = [10, 20, 30, 40, 50, 60, 70, 80];
+        let t = app_tag(&k, 7, &payload);
+        assert!(verify_app_tag(&k, 7, &payload, &t));
+        assert!(!verify_app_tag(&k, 8, &payload, &t));
+        let mut other = payload;
+        other[3] ^= 1;
+        assert!(!verify_app_tag(&k, 7, &other, &t));
+        assert!(!verify_app_tag(&Digest([4; 8]), 7, &payload, &t));
+    }
+}

@@ -17,6 +17,10 @@
 //! - [`schnorr`]: Schnorr signatures over a small group, the signing
 //!   primitive for the remote-attestation enclave (the paper's deferred
 //!   future work, §4); see the module docs for the toy-group caveat.
+//! - [`kdf`]: fixed-shape HKDF-style session-key derivation and traffic
+//!   tags, mirrored word-for-word by the in-enclave assembly.
+//! - [`verifier`]: the relying-party end of the remote-attestation
+//!   handshake — quote checking and session-key establishment.
 //!
 //! All code here is pure computation over byte/word slices; the monitor crate
 //! layers the paper's cycle-cost model on top when these routines run "on"
@@ -28,12 +32,15 @@
 pub mod ct;
 pub mod drbg;
 pub mod hmac;
+pub mod kdf;
 pub mod schnorr;
 pub mod sha256;
+pub mod verifier;
 
 pub use drbg::HashDrbg;
 pub use hmac::HmacSha256;
 pub use sha256::Sha256;
+pub use verifier::{device_attest_key, Quote, Verifier, VerifierSession, VerifyError};
 
 /// Number of bytes in a SHA-256 digest.
 pub const DIGEST_BYTES: usize = 32;

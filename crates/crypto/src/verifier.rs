@@ -1,0 +1,411 @@
+//! The remote-attestation *verifier*: the relying party that challenges
+//! an enclave, checks its quote against the platform's attestation key,
+//! and derives the shared session key.
+//!
+//! The Komodo paper implements local attestation as a monitor primitive
+//! and defers remote attestation to a trusted quoting enclave (§4). The
+//! quoting enclave lives in `komodo_guest::ra`; this module is the other
+//! end of the wire. A handshake is:
+//!
+//! 1. Verifier sends a fresh nonce and its DH share `V = g^a`.
+//! 2. Enclave replies with a *quote*: its Schnorr public key `y`, the
+//!    monitor's local-attestation MAC binding `y` to the enclave
+//!    measurement, its DH share `B = g^b`, a Schnorr signature over the
+//!    report `[nonce, V, B]`, and a key-confirmation tag under the
+//!    derived session key.
+//! 3. The verifier checks the binding MAC (so `y` really belongs to code
+//!    with the expected measurement on this platform), checks the
+//!    signature (so the holder of `y`'s secret saw *this* nonce and
+//!    *these* shares — no replay), computes `Z = B^a`, derives the same
+//!    session key, and checks the confirmation tag.
+//!
+//! Every check failure is a typed [`VerifyError`]; the session key is
+//! only released on a fully-green quote.
+
+use crate::drbg::HashDrbg;
+use crate::hmac::HmacSha256;
+use crate::kdf;
+use crate::schnorr::{self, mask59, pow_mod, Signature, G, P, Q};
+use crate::Digest;
+
+/// The attestation key a platform booted with hardware-RNG seed `seed`
+/// derives — `HashDrbg(seed).derive_key("komodo-attest")`, exactly the
+/// monitor's boot-time derivation. This is the simulation's stand-in for
+/// the manufacturer's device-certificate chain: a verifier that knows
+/// which device (seed) it is talking to can compute that device's
+/// attestation key without any platform access. Pinned against the real
+/// monitor by the service integration tests.
+pub fn device_attest_key(seed: u64) -> [u8; 32] {
+    HashDrbg::from_u64(seed)
+        .derive_key(b"komodo-attest")
+        .to_bytes()
+}
+
+/// Why a quote was rejected. Ordered by the check sequence: the first
+/// failing check wins, so a forged binding reports `BadBinding` even if
+/// the signature is also garbage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A DH share or public key is outside the order-`q` subgroup.
+    BadShare,
+    /// The monitor's local-attestation MAC over (measurement, public
+    /// key) does not verify — the key is not bound to the expected
+    /// enclave code on this platform.
+    BadBinding,
+    /// The Schnorr signature over (nonce, shares) does not verify —
+    /// stale or forged quote.
+    BadSignature,
+    /// The key-confirmation tag does not match the derived session key.
+    BadConfirm,
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::BadShare => write!(f, "DH share outside the group"),
+            VerifyError::BadBinding => write!(f, "attestation binding MAC mismatch"),
+            VerifyError::BadSignature => write!(f, "quote signature invalid"),
+            VerifyError::BadConfirm => write!(f, "key-confirmation tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Everything the enclave sends back in step 2 of the handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quote {
+    /// The enclave's long-term Schnorr public key `y = g^x`.
+    pub public: u64,
+    /// Monitor local-attestation MAC binding `y` to the measurement.
+    pub binding_mac: Digest,
+    /// The enclave's DH share `B = g^b`.
+    pub enclave_share: u64,
+    /// Schnorr signature over the report `[nonce, V, B]`.
+    pub sig: Signature,
+    /// Key-confirmation tag `HMAC(K, [CONFIRM_ENCLAVE_TAG, nonce, 0…])`.
+    pub confirm: Digest,
+}
+
+/// Per-handshake verifier state: the challenge nonce and the ephemeral
+/// DH secret/share. Randomness is injected by the caller (two words per
+/// scalar, masked exactly as the guest masks `GetRandom` output) so the
+/// crate stays deterministic and dependency-free.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifierSession {
+    /// The challenge nonce sent to the enclave.
+    pub nonce: [u32; 4],
+    /// The verifier's DH share `V = g^a` sent to the enclave.
+    pub share: u64,
+    secret: u64,
+}
+
+impl VerifierSession {
+    /// Builds a session from caller-supplied randomness: a four-word
+    /// nonce and two words for the ephemeral DH secret.
+    pub fn new(nonce: [u32; 4], rand_hi: u32, rand_lo: u32) -> VerifierSession {
+        let secret = mask59(rand_hi, rand_lo);
+        VerifierSession {
+            nonce,
+            share: pow_mod(G, secret, P),
+            secret,
+        }
+    }
+
+    /// The eight-word report the enclave's quote signature must cover:
+    /// `[nonce[4], V_lo, V_hi, B_lo, B_hi]`.
+    pub fn report(&self, enclave_share: u64) -> [u32; 8] {
+        [
+            self.nonce[0],
+            self.nonce[1],
+            self.nonce[2],
+            self.nonce[3],
+            self.share as u32,
+            (self.share >> 32) as u32,
+            enclave_share as u32,
+            (enclave_share >> 32) as u32,
+        ]
+    }
+}
+
+/// An established session from the verifier's side: the derived key and
+/// the confirmation tag to send back to the enclave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Established {
+    /// The shared session key `K`.
+    pub key: Digest,
+    /// The verifier-direction confirmation tag `C_v` to send back.
+    pub confirm: Digest,
+}
+
+/// The monitor's local-attestation MAC, recomputed verifier-side:
+/// `HMAC(attest_key, measurement[8] ‖ user_data[8])`. Mirrors
+/// `komodo_spec::svc::attest_mac` (the spec crate sits *above* this one,
+/// so the shared shape is pinned by a cross-check test there, not by a
+/// call).
+pub fn attest_binding(attest_key: &[u8], measurement: &Digest, user_data: &[u32; 8]) -> Digest {
+    let mut words = [0u32; 16];
+    words[..8].copy_from_slice(&measurement.0);
+    words[8..].copy_from_slice(user_data);
+    HmacSha256::mac_words(attest_key, &words)
+}
+
+/// True iff `x` is a nonzero element of the order-`q` subgroup of
+/// `Z_p*` — the membership check applied to every share and public key
+/// before it is used as a DH/signature input.
+pub fn in_group(x: u64) -> bool {
+    x != 0 && x != 1 && x < P && pow_mod(x, Q, P) == 1
+}
+
+/// The relying party: knows the platform's attestation key and the
+/// expected enclave measurement out of band.
+#[derive(Clone, Debug)]
+pub struct Verifier {
+    attest_key: Vec<u8>,
+    measurement: Digest,
+}
+
+impl Verifier {
+    /// Builds a verifier trusting `attest_key` and expecting enclaves
+    /// measuring to `measurement`.
+    pub fn new(attest_key: &[u8], measurement: Digest) -> Verifier {
+        Verifier {
+            attest_key: attest_key.to_vec(),
+            measurement,
+        }
+    }
+
+    /// The expected enclave measurement.
+    pub fn measurement(&self) -> &Digest {
+        &self.measurement
+    }
+
+    /// Checks a quote end-to-end and, on success, derives the session
+    /// key and the verifier-direction confirmation tag.
+    pub fn check_quote(
+        &self,
+        session: &VerifierSession,
+        quote: &Quote,
+    ) -> Result<Established, VerifyError> {
+        if !in_group(quote.public) || !in_group(quote.enclave_share) {
+            return Err(VerifyError::BadShare);
+        }
+        // 1. The monitor bound this public key to the expected code.
+        let bound = [
+            quote.public as u32,
+            (quote.public >> 32) as u32,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+        ];
+        let expect = attest_binding(&self.attest_key, &self.measurement, &bound);
+        if !expect.ct_eq(&quote.binding_mac) {
+            return Err(VerifyError::BadBinding);
+        }
+        // 2. The key holder signed *this* challenge and *these* shares.
+        let report = session.report(quote.enclave_share);
+        if !schnorr::verify(quote.public, &report, &quote.sig) {
+            return Err(VerifyError::BadSignature);
+        }
+        // 3. Derive the session key and check the enclave's confirm tag.
+        let z = pow_mod(quote.enclave_share, session.secret, P);
+        let t = kdf::transcript(
+            &session.nonce,
+            session.share,
+            quote.enclave_share,
+            quote.public,
+        );
+        let key = kdf::session_key(z, &t);
+        let expect_confirm = kdf::confirm_tag(&key, kdf::CONFIRM_ENCLAVE_TAG, &session.nonce);
+        if !expect_confirm.ct_eq(&quote.confirm) {
+            return Err(VerifyError::BadConfirm);
+        }
+        Ok(Established {
+            key,
+            confirm: kdf::confirm_tag(&key, kdf::CONFIRM_VERIFIER_TAG, &session.nonce),
+        })
+    }
+}
+
+/// The enclave side of the handshake, host-computed — the reference the
+/// in-enclave assembly is cross-checked against, and the oracle the
+/// chaos campaign compares tampered quotes to.
+// The parameter list mirrors the enclave's register-word interface one
+// for one; bundling them would only obscure the correspondence.
+#[allow(clippy::too_many_arguments)]
+pub fn enclave_quote(
+    keypair: &schnorr::KeyPair,
+    binding_mac: Digest,
+    nonce: &[u32; 4],
+    verifier_share: u64,
+    dh_hi: u32,
+    dh_lo: u32,
+    sig_hi: u32,
+    sig_lo: u32,
+) -> (Quote, Digest) {
+    let b = mask59(dh_hi, dh_lo);
+    let enclave_share = pow_mod(G, b, P);
+    let report = [
+        nonce[0],
+        nonce[1],
+        nonce[2],
+        nonce[3],
+        verifier_share as u32,
+        (verifier_share >> 32) as u32,
+        enclave_share as u32,
+        (enclave_share >> 32) as u32,
+    ];
+    let sig = schnorr::sign(keypair, &report, sig_hi, sig_lo);
+    let z = pow_mod(verifier_share, b, P);
+    let t = kdf::transcript(nonce, verifier_share, enclave_share, keypair.public);
+    let key = kdf::session_key(z, &t);
+    let confirm = kdf::confirm_tag(&key, kdf::CONFIRM_ENCLAVE_TAG, nonce);
+    (
+        Quote {
+            public: keypair.public,
+            binding_mac,
+            enclave_share,
+            sig,
+            confirm,
+        },
+        key,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8] = b"attestation-key-for-tests-32byte";
+    const NONCE: [u32; 4] = [0x11, 0x22, 0x33, 0x44];
+
+    fn fixture() -> (Verifier, VerifierSession, schnorr::KeyPair, Quote, Digest) {
+        let measurement = Digest([0xabad_cafe; 8]);
+        let verifier = Verifier::new(KEY, measurement);
+        let session = VerifierSession::new(NONCE, 0x1357, 0x2468);
+        let keypair = schnorr::KeyPair::from_random_words(0xaaaa, 0xbbbb);
+        let bound = [
+            keypair.public as u32,
+            (keypair.public >> 32) as u32,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+        ];
+        let binding = attest_binding(KEY, &measurement, &bound);
+        let (quote, ekey) = enclave_quote(
+            &keypair,
+            binding,
+            &NONCE,
+            session.share,
+            0xc0de,
+            0xf00d,
+            0x5e5e,
+            0x7a7a,
+        );
+        (verifier, session, keypair, quote, ekey)
+    }
+
+    #[test]
+    fn good_quote_accepted_and_keys_agree() {
+        let (verifier, session, _, quote, enclave_key) = fixture();
+        let est = verifier
+            .check_quote(&session, &quote)
+            .expect("quote must verify");
+        assert_eq!(est.key, enclave_key);
+        // The verifier's confirm tag is what the enclave would expect.
+        assert_eq!(
+            est.confirm,
+            kdf::confirm_tag(&enclave_key, kdf::CONFIRM_VERIFIER_TAG, &NONCE)
+        );
+    }
+
+    #[test]
+    fn forged_binding_rejected() {
+        let (verifier, session, _, mut quote, _) = fixture();
+        quote.binding_mac.0[0] ^= 1;
+        assert_eq!(
+            verifier.check_quote(&session, &quote),
+            Err(VerifyError::BadBinding)
+        );
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let (_, session, _, quote, _) = fixture();
+        let other = Verifier::new(KEY, Digest([0x5555_5555; 8]));
+        assert_eq!(
+            other.check_quote(&session, &quote),
+            Err(VerifyError::BadBinding)
+        );
+    }
+
+    #[test]
+    fn replayed_quote_rejected_by_fresh_nonce() {
+        let (verifier, _, _, quote, _) = fixture();
+        // A new handshake draws a new nonce/share; the old quote's
+        // signature no longer covers them.
+        let fresh = VerifierSession::new([9, 9, 9, 9], 0x1357, 0x2468);
+        assert_eq!(
+            verifier.check_quote(&fresh, &quote),
+            Err(VerifyError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (verifier, session, _, mut quote, _) = fixture();
+        quote.sig.s ^= 1;
+        assert_eq!(
+            verifier.check_quote(&session, &quote),
+            Err(VerifyError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn bad_share_rejected() {
+        let (verifier, session, _, mut quote, _) = fixture();
+        quote.enclave_share = 0;
+        assert_eq!(
+            verifier.check_quote(&session, &quote),
+            Err(VerifyError::BadShare)
+        );
+        quote.enclave_share = P;
+        assert_eq!(
+            verifier.check_quote(&session, &quote),
+            Err(VerifyError::BadShare)
+        );
+        // A generator of the full group (not the q-subgroup) is rejected
+        // even though it is < P: small-subgroup defence.
+        quote.enclave_share = P - 1; // order 2
+        assert_eq!(
+            verifier.check_quote(&session, &quote),
+            Err(VerifyError::BadShare)
+        );
+    }
+
+    #[test]
+    fn tampered_confirm_rejected() {
+        let (verifier, session, _, mut quote, _) = fixture();
+        quote.confirm.0[7] ^= 1;
+        assert_eq!(
+            verifier.check_quote(&session, &quote),
+            Err(VerifyError::BadConfirm)
+        );
+    }
+
+    #[test]
+    fn in_group_basics() {
+        assert!(in_group(G));
+        assert!(in_group(pow_mod(G, 12345, P)));
+        assert!(!in_group(0));
+        assert!(!in_group(1));
+        assert!(!in_group(P));
+        assert!(!in_group(P - 1));
+    }
+}

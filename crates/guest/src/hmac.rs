@@ -1,0 +1,288 @@
+//! Fixed-shape HMAC-SHA256 in guest (simulated ARM) code — the enclave
+//! mirror of [`komodo_crypto::kdf::hmac16`].
+//!
+//! The attested-session key schedule only ever MACs one exact shape:
+//! an eight-word (one-digest) key over a sixteen-word (one-block)
+//! message. That fixes the whole HMAC to five SHA-256 compressions with
+//! *constant* padding, so the guest needs no streaming state machine:
+//!
+//! - inner: `compress(key ⊕ ipad)`, `compress(msg)`, then the padding
+//!   block for a 128-byte message (`finish` with block count 2);
+//! - outer: `compress(key ⊕ opad)`, then one hand-built block
+//!   `[inner_digest, 0x80000000, 0…, len = 768 bits]`.
+//!
+//! The dedupe contract with the host implementation is pinned by the
+//! cross-check tests below: the routine must match
+//! `komodo_crypto::kdf::hmac16` bit-for-bit on the machine model, the
+//! same way [`crate::sha`] is pinned against the host SHA-256.
+//!
+//! Calling convention (clobbers `R0`–`R12`, needs stack):
+//!
+//! - `R0` = 64-word SHA schedule scratch (also reused for the opad
+//!   block, like `finish` does),
+//! - `R1` = 16-word writable workspace block,
+//! - `R2` = 8-word hash-state buffer,
+//! - `R3` = key pointer (8 words),
+//! - `R4` = message pointer (16 words, read-only, may alias nothing),
+//! - `R5` = output pointer (8 words).
+
+use komodo_armv7::asm::Label;
+use komodo_armv7::insn::Cond;
+use komodo_armv7::regs::Reg;
+use komodo_armv7::Assembler;
+
+use crate::sha::ShaRoutines;
+
+const R0: Reg = Reg::R(0);
+const R1: Reg = Reg::R(1);
+const R2: Reg = Reg::R(2);
+const R3: Reg = Reg::R(3);
+const R4: Reg = Reg::R(4);
+const R5: Reg = Reg::R(5);
+
+/// Emits the fixed-shape HMAC routine at the assembler's current
+/// position, calling into previously-emitted SHA-256 routines.
+pub fn emit_hmac16(a: &mut Assembler, sha: &ShaRoutines) -> Label {
+    let entry = a.here();
+    // Frame: +0 scratch, +4 block, +8 state, +12 key, +16 msg, +20 out,
+    // +24 lr. Every SHA call clobbers R0–R12, so args live here.
+    a.push(&[R0, R1, R2, R3, R4, R5, Reg::Lr]);
+
+    // ---- inner hash: SHA(key ⊕ ipad ‖ msg) -------------------------
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.bl_to(Cond::Al, sha.init);
+    // block = key ⊕ ipad (key is 32 bytes; the rest of the 64-byte
+    // block is bare ipad).
+    a.ldr_imm(R1, Reg::Sp, 4);
+    a.ldr_imm(R3, Reg::Sp, 12);
+    a.mov_imm32(R4, 0x3636_3636);
+    for i in 0..8u16 {
+        a.ldr_imm(R5, R3, i * 4);
+        a.eor_reg(R5, R5, R4);
+        a.str_imm(R5, R1, i * 4);
+    }
+    for i in 8..16u16 {
+        a.str_imm(R4, R1, i * 4);
+    }
+    a.ldr_imm(R0, Reg::Sp, 0);
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.bl_to(Cond::Al, sha.compress);
+    // The message is already one whole block: compress it in place.
+    a.ldr_imm(R0, Reg::Sp, 0);
+    a.ldr_imm(R1, Reg::Sp, 16);
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.bl_to(Cond::Al, sha.compress);
+    // Padding for the 2-block (128-byte) inner message.
+    a.ldr_imm(R0, Reg::Sp, 0);
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.mov_imm(R3, 2);
+    a.bl_to(Cond::Al, sha.finish);
+
+    // ---- outer hash: SHA(key ⊕ opad ‖ inner_digest) ----------------
+    // block = [inner_digest, 0x80000000, 0…, len = (64+32)*8 bits].
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.ldr_imm(R1, Reg::Sp, 4);
+    for i in 0..8u16 {
+        a.ldr_imm(R3, R2, i * 4);
+        a.str_imm(R3, R1, i * 4);
+    }
+    a.mov_imm(R3, 0x8000_0000);
+    a.str_imm(R3, R1, 8 * 4);
+    a.mov_imm(R3, 0);
+    for i in 9..15u16 {
+        a.str_imm(R3, R1, i * 4);
+    }
+    a.mov_imm(R3, 768);
+    a.str_imm(R3, R1, 15 * 4);
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.bl_to(Cond::Al, sha.init);
+    // key ⊕ opad built in the scratch buffer and compressed aliased,
+    // exactly like finish's padding block.
+    a.ldr_imm(R0, Reg::Sp, 0);
+    a.ldr_imm(R3, Reg::Sp, 12);
+    a.mov_imm32(R4, 0x5c5c_5c5c);
+    for i in 0..8u16 {
+        a.ldr_imm(R5, R3, i * 4);
+        a.eor_reg(R5, R5, R4);
+        a.str_imm(R5, R0, i * 4);
+    }
+    for i in 8..16u16 {
+        a.str_imm(R4, R0, i * 4);
+    }
+    a.mov_reg(R1, R0);
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.bl_to(Cond::Al, sha.compress);
+    a.ldr_imm(R0, Reg::Sp, 0);
+    a.ldr_imm(R1, Reg::Sp, 4);
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.bl_to(Cond::Al, sha.compress);
+
+    // state → out.
+    a.ldr_imm(R2, Reg::Sp, 8);
+    a.ldr_imm(R5, Reg::Sp, 20);
+    for i in 0..8u16 {
+        a.ldr_imm(R3, R2, i * 4);
+        a.str_imm(R3, R5, i * 4);
+    }
+    a.add_imm(Reg::Sp, Reg::Sp, 24);
+    a.pop(&[Reg::Lr]);
+    a.bx(Reg::Lr);
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha::{emit_sha256, k_table_words};
+    use komodo_armv7::mem::AccessAttrs;
+    use komodo_armv7::mode::World;
+    use komodo_armv7::psr::Psr;
+    use komodo_armv7::ptw::{l1_coarse_desc, l2_page_desc, PagePerms};
+    use komodo_armv7::{ExitReason, Machine};
+    use komodo_crypto::kdf;
+
+    const CODE_VA: u32 = 0x8000;
+    const K_VA: u32 = 0x1_0000;
+    const RAM_VA: u32 = 0x1_1000;
+    const RAM_PA: u32 = 0x8000_9000;
+
+    // In-RAM layout for the test driver (byte offsets from RAM_VA).
+    const SCRATCH: u32 = 0;
+    const STATE: u32 = 0x100;
+    const BLOCK: u32 = 0x140;
+    const KEY: u32 = 0x180;
+    const MSG: u32 = 0x1c0;
+    const OUT: u32 = 0x200;
+
+    /// Same bare-machine setup as the `crate::sha` cross-check tests.
+    fn machine_with(code: &[u32]) -> Machine {
+        let mut m = Machine::new();
+        m.mem.add_region(0x8000_0000, 0x40_0000, true);
+        let ttbr0 = 0x8000_0000u32;
+        let l2 = 0x8000_1000u32;
+        for k in 0..4 {
+            m.mem
+                .write(
+                    ttbr0 + k * 4,
+                    l1_coarse_desc(l2 + k * 0x400),
+                    AccessAttrs::MONITOR,
+                )
+                .unwrap();
+        }
+        let map = |va: u32, pa: u32, perms: PagePerms, m: &mut Machine| {
+            let slot = (va >> 12) & 0x3ff;
+            m.mem
+                .write(
+                    l2 + slot * 4,
+                    l2_page_desc(pa, perms, false),
+                    AccessAttrs::MONITOR,
+                )
+                .unwrap();
+        };
+        for i in 0..code.len().div_ceil(1024).max(1) as u32 {
+            map(
+                CODE_VA + i * 0x1000,
+                0x8000_2000 + i * 0x1000,
+                PagePerms::RX,
+                &mut m,
+            );
+        }
+        map(K_VA, 0x8000_8000, PagePerms::R, &mut m);
+        for i in 0..4u32 {
+            map(
+                RAM_VA + i * 0x1000,
+                RAM_PA + i * 0x1000,
+                PagePerms::RW,
+                &mut m,
+            );
+        }
+        m.mem.load_words(0x8000_2000, code).unwrap();
+        m.mem.load_words(0x8000_8000, &k_table_words()).unwrap();
+        m.cp15.mmu_mut(World::Secure).ttbr0 = ttbr0;
+        m.cp15.scr_ns = false;
+        m.cpsr = Psr::user();
+        m.pc = CODE_VA;
+        m
+    }
+
+    /// Runs the guest HMAC over `(key, msg)` and returns the tag words.
+    fn guest_hmac16(key: &[u32; 8], msg: &[u32; 16]) -> [u32; 8] {
+        let mut a = Assembler::new(CODE_VA);
+        let over = a.b_fixup(Cond::Al);
+        let sha = emit_sha256(&mut a, K_VA);
+        let hmac = emit_hmac16(&mut a, &sha);
+        let main = a.here();
+        a.fix_branch(over, main);
+        a.mov_imm32(Reg::Sp, RAM_VA + 0x1000);
+        a.mov_imm32(R0, RAM_VA + SCRATCH);
+        a.mov_imm32(R1, RAM_VA + BLOCK);
+        a.mov_imm32(R2, RAM_VA + STATE);
+        a.mov_imm32(R3, RAM_VA + KEY);
+        a.mov_imm32(R4, RAM_VA + MSG);
+        a.mov_imm32(R5, RAM_VA + OUT);
+        a.bl_to(Cond::Al, hmac);
+        a.svc(0);
+
+        let mut m = machine_with(&a.words());
+        m.pc = main.addr();
+        m.mem.load_words(RAM_PA + KEY, key).unwrap();
+        m.mem.load_words(RAM_PA + MSG, msg).unwrap();
+        let exit = m.run_user(50_000_000).unwrap();
+        assert_eq!(exit, ExitReason::Svc { imm24: 0 }, "guest crashed");
+        let mut out = [0u32; 8];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = m
+                .mem
+                .read(RAM_PA + OUT + (i as u32) * 4, AccessAttrs::MONITOR)
+                .unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn guest_hmac16_matches_host() {
+        let key: [u32; 8] = core::array::from_fn(|i| 0x1111_1111u32.wrapping_mul(i as u32 + 1));
+        let msg: [u32; 16] = core::array::from_fn(|i| (i as u32).wrapping_mul(0x9e37_79b9));
+        assert_eq!(guest_hmac16(&key, &msg), kdf::hmac16(&key, &msg).0);
+    }
+
+    #[test]
+    fn guest_hmac16_matches_host_degenerate_inputs() {
+        assert_eq!(
+            guest_hmac16(&[0; 8], &[0; 16]),
+            kdf::hmac16(&[0; 8], &[0; 16]).0
+        );
+        assert_eq!(
+            guest_hmac16(&[u32::MAX; 8], &[u32::MAX; 16]),
+            kdf::hmac16(&[u32::MAX; 8], &[u32::MAX; 16]).0
+        );
+    }
+
+    #[test]
+    fn guest_hmac16_distinguishes_keys_and_messages() {
+        let key = [7u32; 8];
+        let msg = [9u32; 16];
+        let base = guest_hmac16(&key, &msg);
+        let mut k2 = key;
+        k2[0] ^= 1;
+        let mut m2 = msg;
+        m2[15] ^= 1;
+        assert_ne!(guest_hmac16(&k2, &msg), base);
+        assert_ne!(guest_hmac16(&key, &m2), base);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+        #[test]
+        fn prop_guest_hmac16_matches_host(
+            key in proptest::array::uniform8(proptest::prelude::any::<u32>()),
+            lo in proptest::array::uniform8(proptest::prelude::any::<u32>()),
+            hi in proptest::array::uniform8(proptest::prelude::any::<u32>()),
+        ) {
+            let mut msg = [0u32; 16];
+            msg[..8].copy_from_slice(&lo);
+            msg[8..].copy_from_slice(&hi);
+            proptest::prop_assert_eq!(guest_hmac16(&key, &msg), kdf::hmac16(&key, &msg).0);
+        }
+    }
+}

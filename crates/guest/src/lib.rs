@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hmac;
 pub mod math64;
 pub mod notary;
 pub mod progs;

@@ -15,10 +15,17 @@
 //! - [`request`]: the request/response vocabulary and its mapping onto
 //!   fleet priority classes (teardown = control, attestation/session =
 //!   interactive, bulk = batch).
+//! - [`protocol`]: the typed multi-step protocol layer — session state
+//!   machines ([`protocol::Protocol`]) over dedicated enclave
+//!   platforms, including the remote-attestation handshake
+//!   ([`protocol::Attested`]) and the original key-value sessions
+//!   ([`protocol::SecretKeeper`]), with typed
+//!   [`ProtocolError`](protocol::ProtocolError)s for misuse.
 //! - [`node`]: the node itself — admission (backpressure via the
 //!   fleet's bounded queue, typed [`Reject`]s at the door), shutdown
 //!   semantics (queued work resolves typed, never hangs), session
-//!   table, per-request handlers.
+//!   table carrying each session's protocol state, per-request
+//!   handlers.
 //! - [`latency`]: per-request records (queue wait, service time,
 //!   simulated counters) and exact percentiles; the records sum to the
 //!   fleet's folded metrics (the conservation law).
@@ -35,14 +42,17 @@
 pub mod latency;
 pub mod loadgen;
 pub mod node;
+pub mod protocol;
 pub mod report;
 pub mod request;
 
 pub use latency::{percentile_ns, Histogram, RequestRecord};
 pub use loadgen::{
-    drive, drive_indexed, schedule, schedule_indexed, Arrival, ArrivalIdx, DriveOutcome,
-    DriveReport, Mix, MixError,
+    attested_mix, drive, drive_attested, drive_indexed, schedule, schedule_indexed, Arrival,
+    ArrivalIdx, AttestedClient, AttestedOutcome, AttestedReport, DriveOutcome, DriveReport, Mix,
+    MixError,
 };
 pub use node::{Service, ServiceConfig, ServiceHandle, ServiceRun, Ticket};
+pub use protocol::{Protocol, ProtocolError, QuoteWords};
 pub use report::ServiceReport;
 pub use request::{Reject, Request, Response, ServiceError};

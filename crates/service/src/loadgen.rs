@@ -24,8 +24,10 @@
 //! admission through [`ServiceHandle::submit_batch`].
 
 use crate::node::{ServiceHandle, Ticket};
-use crate::request::{Reject, Request};
-use komodo_spec::seed::{mix64, GOLDEN_GAMMA};
+use crate::request::{Reject, Request, Response};
+use komodo_crypto::schnorr::Signature;
+use komodo_crypto::{device_attest_key, kdf, Digest, Quote, Verifier, VerifierSession};
+use komodo_spec::seed::{derive_stream, mix64, SplitMix64, GOLDEN_GAMMA};
 use std::time::{Duration, Instant};
 
 /// A weighted request mix. Weights are relative integers; a request's
@@ -351,6 +353,269 @@ pub fn drive_indexed(
         report.submit_wall = report.submit_wall.max(submitted_at);
     }
     report
+}
+
+/// The verifier side of the attested-session drive: what the client
+/// knows out of band about the service it challenges.
+#[derive(Clone, Copy, Debug)]
+pub struct AttestedClient {
+    /// The service's base platform seed. Session platforms derive their
+    /// hardware-RNG seed (and with it their attestation key) from
+    /// `(this, begin-request id)`; the client computes each device's
+    /// attestation key with [`device_attest_key`] — the simulation's
+    /// stand-in for the manufacturer's device-certificate chain.
+    pub platform_seed: u64,
+    /// The expected RA-enclave measurement.
+    pub measurement: Digest,
+}
+
+impl AttestedClient {
+    /// Builds the client for a service whose base platform seed is
+    /// `platform_seed`, expecting the stock RA enclave image.
+    pub fn new(platform_seed: u64) -> AttestedClient {
+        AttestedClient {
+            platform_seed,
+            measurement: komodo::measure_image(&komodo_guest::ra::ra_image(), 1),
+        }
+    }
+}
+
+/// What an attested drive produced. Everything here is
+/// timing-independent: two drives of the same load at any shard count
+/// compare equal — including `key_digest`, which folds every
+/// established session key, so equality is a witness that both runs
+/// derived identical keys session by session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttestedOutcome {
+    /// Handshakes attempted.
+    pub sessions: u64,
+    /// Handshakes that completed both directions (quote verified,
+    /// confirmation accepted by the enclave).
+    pub established: u64,
+    /// Application messages whose traffic tag verified under the
+    /// client-side key.
+    pub messages: u64,
+    /// Requests rejected at the door in any phase.
+    pub rejected: u64,
+    /// Verification or service failures in any phase (quote rejected,
+    /// confirmation refused, tag mismatch, typed errors).
+    pub failed: u64,
+    /// Order-independent fold of (position, session key) over every
+    /// established session.
+    pub key_digest: u64,
+}
+
+/// An attested drive's outcome plus its latency surface.
+#[derive(Clone, Debug)]
+pub struct AttestedReport {
+    /// The timing-independent outcome.
+    pub outcome: AttestedOutcome,
+    /// Per-established-session handshake latency: begin-batch submit to
+    /// confirmation resolution, in wall nanoseconds.
+    pub handshake_ns: Vec<u64>,
+    /// Wall-clock duration of the whole drive.
+    pub wall: Duration,
+}
+
+/// Derives the deterministic eight-word payload for message `round` of
+/// the session at `pos`.
+fn attested_payload(seed: u64, pos: usize, round: usize) -> [u32; 8] {
+    let mut rng = SplitMix64::new(derive_stream(
+        seed ^ 0x5e55_10b5_ea7e_d001,
+        ((pos as u64) << 24) | round as u64,
+    ));
+    std::array::from_fn(|_| rng.next_u64() as u32)
+}
+
+/// Drives `sessions` full remote-attestation handshakes closed-loop in
+/// deterministic phases — begin (one batch, so request ids are
+/// contiguous and the session→seed mapping shard-count-invariant),
+/// verify every quote client-side, confirm (one batch), then `messages`
+/// rounds of MAC'd application traffic (one batch per round, every tag
+/// verified under the client's independently-derived key), then close.
+///
+/// Client randomness (nonces, DH secrets, payloads) derives from
+/// `seed` per session position, so the same `(seed, sessions,
+/// messages)` drive against the same service config reproduces the
+/// identical handshakes — the [`AttestedOutcome`] compares equal across
+/// shard counts.
+pub fn drive_attested(
+    handle: &ServiceHandle<'_, '_>,
+    client: &AttestedClient,
+    seed: u64,
+    sessions: usize,
+    messages: usize,
+) -> AttestedReport {
+    let t0 = Instant::now();
+    let mut outcome = AttestedOutcome {
+        sessions: sessions as u64,
+        ..AttestedOutcome::default()
+    };
+
+    // Phase 1: challenge every session in one batch.
+    let mut verifier_sessions = Vec::with_capacity(sessions);
+    let mut begins = Vec::with_capacity(sessions);
+    for pos in 0..sessions {
+        let mut rng = SplitMix64::new(derive_stream(seed, pos as u64));
+        let nonce = std::array::from_fn(|_| rng.next_u64() as u32);
+        let (hi, lo) = (rng.next_u64() as u32, rng.next_u64() as u32);
+        let vs = VerifierSession::new(nonce, hi, lo);
+        begins.push(Request::HandshakeBegin {
+            nonce,
+            verifier_share: vs.share,
+        });
+        verifier_sessions.push(vs);
+    }
+    let mut quote_tickets = Vec::with_capacity(sessions);
+    for (pos, r) in handle.submit_batch(begins).into_iter().enumerate() {
+        match r {
+            Ok(t) => quote_tickets.push((pos, t)),
+            Err(_) => outcome.rejected += 1,
+        }
+    }
+
+    // Phase 2: check every quote against the device's attestation key
+    // and the expected measurement; derive the client-side session key.
+    let mut awaiting = Vec::with_capacity(quote_tickets.len());
+    for (pos, t) in quote_tickets {
+        let begin_req = t.id();
+        match t.wait() {
+            Ok(Response::HandshakeQuote { session, quote }) => {
+                let q = Quote {
+                    public: quote.public,
+                    binding_mac: Digest(quote.binding_mac),
+                    enclave_share: quote.enclave_share,
+                    sig: Signature {
+                        r: quote.sig_r,
+                        s: quote.sig_s,
+                    },
+                    confirm: Digest(quote.confirm),
+                };
+                let device = device_attest_key(derive_stream(client.platform_seed, begin_req));
+                let verifier = Verifier::new(&device, client.measurement);
+                match verifier.check_quote(&verifier_sessions[pos], &q) {
+                    Ok(est) => awaiting.push((pos, session, est)),
+                    Err(_) => outcome.failed += 1,
+                }
+            }
+            Ok(_) | Err(_) => outcome.failed += 1,
+        }
+    }
+
+    // Phase 3: return the confirmation tags in one batch; only
+    // enclave-accepted tags establish sessions.
+    let confirms: Vec<Request> = awaiting
+        .iter()
+        .map(|(_, session, est)| Request::HandshakeConfirm {
+            session: *session,
+            tag: est.confirm.0,
+        })
+        .collect();
+    let mut established = Vec::with_capacity(awaiting.len());
+    let mut handshake_ns = Vec::with_capacity(awaiting.len());
+    for ((pos, session, est), r) in awaiting.into_iter().zip(handle.submit_batch(confirms)) {
+        let t = match r {
+            Ok(t) => t,
+            Err(_) => {
+                outcome.rejected += 1;
+                continue;
+            }
+        };
+        match t.wait() {
+            Ok(Response::SessionEstablished) => {
+                handshake_ns.push(t0.elapsed().as_nanos() as u64);
+                outcome.established += 1;
+                let mut h = pos as u64 + 1;
+                for w in est.key.0 {
+                    h = mix64(h ^ w as u64);
+                }
+                outcome.key_digest = outcome.key_digest.wrapping_add(h);
+                established.push((pos, session, est));
+            }
+            _ => outcome.failed += 1,
+        }
+    }
+
+    // Phase 4: MAC'd application traffic, one batch per round; every
+    // tag is checked under the client's independently-derived key.
+    for round in 0..messages {
+        let sends: Vec<Request> = established
+            .iter()
+            .map(|(pos, session, _)| Request::AttestedSend {
+                session: *session,
+                payload: attested_payload(seed, *pos, round),
+            })
+            .collect();
+        for ((pos, _, est), r) in established.iter().zip(handle.submit_batch(sends)) {
+            let verified = match r {
+                Ok(t) => match t.wait() {
+                    Ok(Response::AttestedTag { seq, tag }) => kdf::verify_app_tag(
+                        &est.key,
+                        seq,
+                        &attested_payload(seed, *pos, round),
+                        &Digest(tag),
+                    ),
+                    _ => false,
+                },
+                Err(_) => {
+                    outcome.rejected += 1;
+                    continue;
+                }
+            };
+            if verified {
+                outcome.messages += 1;
+            } else {
+                outcome.failed += 1;
+            }
+        }
+    }
+
+    // Phase 5: tear every established session down.
+    let closes: Vec<Request> = established
+        .iter()
+        .map(|(_, session, _)| Request::SessionClose { session: *session })
+        .collect();
+    for r in handle.submit_batch(closes) {
+        match r {
+            Ok(t) => {
+                if t.wait().is_err() {
+                    outcome.failed += 1;
+                }
+            }
+            Err(_) => outcome.rejected += 1,
+        }
+    }
+
+    AttestedReport {
+        outcome,
+        handshake_ns,
+        wall: t0.elapsed(),
+    }
+}
+
+/// A mix of `variants` distinct [`Request::HandshakeBegin`] prototypes
+/// drawn from `seed` — attested-session load for the open-loop
+/// drivers. Each prototype carries its own nonce and a well-formed
+/// verifier DH share, so every scheduled arrival opens a genuine
+/// pending handshake (resolved with a quote; torn down by TTL expiry
+/// or node teardown if never confirmed). Compose it with
+/// [`Request::Invoke`]/[`Request::Attest`] prototypes via [`Mix::with`]
+/// to put handshake pressure inside a bulk workload.
+pub fn attested_mix(seed: u64, variants: usize) -> Mix {
+    let mut mix = Mix::new();
+    for v in 0..variants {
+        let mut rng = SplitMix64::new(derive_stream(seed ^ 0xa77e_57ed_0a11_0b5e, v as u64));
+        let nonce = std::array::from_fn(|_| rng.next_u64() as u32);
+        let vs = VerifierSession::new(nonce, rng.next_u64() as u32, rng.next_u64() as u32);
+        mix = mix.with(
+            1,
+            Request::HandshakeBegin {
+                nonce,
+                verifier_share: vs.share,
+            },
+        );
+    }
+    mix
 }
 
 #[cfg(test)]

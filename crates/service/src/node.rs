@@ -41,12 +41,16 @@ use komodo::{Enclave, Platform, PlatformConfig};
 use komodo_armv7::{ExitReason, Word};
 use komodo_fleet::{Class, Fleet, FleetConfig, JobHandle, ShardCtx, ShardStats, SubmitError};
 use komodo_guest::notary::notary_image;
-use komodo_guest::{progs, user};
+use komodo_guest::user;
 use komodo_os::EnclaveRun;
 use komodo_spec::seed::splitmix64;
 use komodo_trace::{Event, FleetMetrics, MetricsSnapshot};
 
 use crate::latency::RequestRecord;
+use crate::protocol::{
+    self, Attested, AttestedStep, KvStep, ProtoStep, Protocol, SecretKeeper, SessionState, StepCtx,
+    Verdict,
+};
 use crate::report::ServiceReport;
 use crate::request::{Reject, Request, Response, ServiceError};
 
@@ -76,6 +80,14 @@ pub struct ServiceConfig {
     /// (0 disables). When armed, request dispatch/completion are
     /// stamped into the recorder as cycle-stamped span events.
     pub trace_capacity: usize,
+    /// How long an attested session may wait for its confirmation tag,
+    /// measured in request ids (the node's deterministic clock): a
+    /// `HandshakeConfirm` arriving more than this many requests after
+    /// its `HandshakeBegin` is rejected
+    /// [`ProtocolError::Expired`](crate::protocol::ProtocolError) and
+    /// the session torn down. The default is generous (a million ids);
+    /// tests shrink it to exercise the expiry path.
+    pub handshake_ttl: u64,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +101,7 @@ impl Default for ServiceConfig {
                 .with_npages(256),
             queue_capacity: None,
             trace_capacity: 0,
+            handshake_ttl: 1 << 20,
         }
     }
 }
@@ -118,14 +131,23 @@ impl ServiceConfig {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Returns the config with the handshake TTL set to `ttl` request
+    /// ids.
+    pub fn with_handshake_ttl(mut self, ttl: u64) -> Self {
+        self.handshake_ttl = ttl;
+        self
+    }
 }
 
-/// One open session: a dedicated platform running the secret-keeper
-/// enclave, plus the last counter snapshot (so each operation absorbs
-/// only its own delta into the fleet metrics).
+/// One open session: a dedicated platform running its protocol's
+/// enclave, the protocol's per-session state machine, plus the last
+/// counter snapshot (so each operation absorbs only its own delta into
+/// the fleet metrics).
 struct Session {
     platform: Platform,
     enclave: Enclave,
+    state: SessionState,
     last: MetricsSnapshot,
 }
 
@@ -167,9 +189,24 @@ impl SessionTable {
 
     /// Runs `f` over session `id` (or `None` if unknown) with its
     /// stripe held.
+    #[cfg(test)]
     fn with<R>(&self, id: u64, f: impl FnOnce(Option<&mut Session>) -> R) -> R {
         let mut g = lock_unpoisoned(self.stripe(id));
         f(g.get_mut(&id))
+    }
+
+    /// Runs one protocol step over session `id` with its stripe held;
+    /// a [`Verdict::Close`] drops the session before the stripe is
+    /// released (fail-closed teardown is atomic with the step). Returns
+    /// `None` for an unknown session.
+    fn step<R>(&self, id: u64, f: impl FnOnce(&mut Session) -> (R, Verdict)) -> Option<R> {
+        let mut g = lock_unpoisoned(self.stripe(id));
+        let s = g.get_mut(&id)?;
+        let (r, verdict) = f(s);
+        if verdict == Verdict::Close {
+            g.remove(&id);
+        }
+        Some(r)
     }
 
     fn clear(&self) {
@@ -182,6 +219,7 @@ impl SessionTable {
 /// State shared between the handle and every request job.
 struct Shared {
     platform_cfg: PlatformConfig,
+    handshake_ttl: u64,
     shutdown: AtomicBool,
     /// Per-shard latency-record buffers, indexed by the dispatching
     /// shard: a completing request appends only to its own shard's
@@ -431,6 +469,7 @@ impl Service {
         let shards = cfg.shards.max(1);
         let shared = Shared {
             platform_cfg: cfg.platform.clone(),
+            handshake_ttl: cfg.handshake_ttl,
             shutdown: AtomicBool::new(false),
             records: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             sessions: SessionTable::new(),
@@ -506,19 +545,51 @@ fn handle_request(
         }
         Request::Invoke { code, steps } => invoke(ctx, trace_capacity, req_id, kind, &code, steps),
         Request::SessionOpen => session_open(ctx, shared, trace_capacity, req_id, kind),
-        Request::SessionPut { session, value } => {
-            session_op(shared, session, req_id, kind, ctx, [0, value, 0], |exit| {
-                (exit == 0)
-                    .then_some(Response::SessionStored)
-                    .ok_or_else(|| ServiceError::Enclave(format!("put exited {exit}")))
-            })
-        }
-        Request::SessionGet { session } => {
-            session_op(shared, session, req_id, kind, ctx, [1, 0, 0], |value| {
-                Ok(Response::SessionValue { value })
-            })
-        }
+        Request::SessionPut { session, value } => session_step(
+            shared,
+            session,
+            req_id,
+            kind,
+            ctx,
+            ProtoStep::Kv(KvStep::Put { value }),
+        ),
+        Request::SessionGet { session } => session_step(
+            shared,
+            session,
+            req_id,
+            kind,
+            ctx,
+            ProtoStep::Kv(KvStep::Get),
+        ),
         Request::SessionClose { session } => session_close(shared, session, req_id, kind, ctx),
+        Request::HandshakeBegin {
+            nonce,
+            verifier_share,
+        } => handshake_begin(
+            ctx,
+            shared,
+            trace_capacity,
+            req_id,
+            kind,
+            nonce,
+            verifier_share,
+        ),
+        Request::HandshakeConfirm { session, tag } => session_step(
+            shared,
+            session,
+            req_id,
+            kind,
+            ctx,
+            ProtoStep::Attested(AttestedStep::Confirm { tag }),
+        ),
+        Request::AttestedSend { session, payload } => session_step(
+            shared,
+            session,
+            req_id,
+            kind,
+            ctx,
+            ProtoStep::Attested(AttestedStep::Send { payload }),
+        ),
     }
 }
 
@@ -626,7 +697,9 @@ fn session_open(
     req: u32,
     kind: u8,
 ) -> (Result<Response, ServiceError>, MetricsSnapshot) {
-    let cfg = shared.platform_cfg.clone().with_seed(ctx.seed());
+    let open_req = ctx.job_index();
+    let seed = protocol::session_seed(&shared.platform_cfg, open_req);
+    let cfg = shared.platform_cfg.clone().with_seed(seed);
     let mut platform = Platform::with_config(cfg);
     if trace_capacity > 0 {
         platform.set_trace(trace_capacity);
@@ -636,7 +709,7 @@ fn session_open(
         .machine
         .trace
         .record(c, Event::ReqDispatch { req, kind });
-    let loaded = platform.load(&progs::secret_keeper());
+    let loaded = platform.load(&SecretKeeper::image());
     let c = platform.cycles();
     platform.machine.trace.record(
         c,
@@ -651,11 +724,15 @@ fn session_open(
     match loaded {
         Ok(enclave) => {
             let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            // SecretKeeper's open is stateless (State = ()); the call
+            // stays so the Protocol contract is exercised uniformly.
+            SecretKeeper::open(open_req);
             shared.sessions.insert(
                 id,
                 Session {
                     platform,
                     enclave,
+                    state: SessionState::SecretKeeper(()),
                     last: sim,
                 },
             );
@@ -668,37 +745,98 @@ fn session_open(
     }
 }
 
-/// Runs one enclave entry on an open session, absorbing only the delta
-/// since the session's last snapshot (the session machine is long-lived
-/// — its lifetime counters span many requests). Operations on the same
-/// session serialize on its stripe lock; operations on sessions in
-/// other stripes — and the data plane — run concurrently.
-fn session_op(
+/// Opens an attested session: a dedicated platform (seed derived from
+/// this request's id, so batched handshakes are shard-count-invariant),
+/// the RA enclave, and the in-enclave handshake — keypair, DH, key
+/// derivation, quote. The session enters the table awaiting the
+/// verifier's confirmation; a failed handshake never enters the table
+/// at all.
+fn handshake_begin(
+    ctx: &mut ShardCtx<'_>,
+    shared: &Shared,
+    trace_capacity: usize,
+    req: u32,
+    kind: u8,
+    nonce: [u32; 4],
+    verifier_share: u64,
+) -> (Result<Response, ServiceError>, MetricsSnapshot) {
+    let open_req = ctx.job_index();
+    let seed = protocol::session_seed(&shared.platform_cfg, open_req);
+    let cfg = shared.platform_cfg.clone().with_seed(seed);
+    let mut platform = Platform::with_config(cfg);
+    if trace_capacity > 0 {
+        platform.set_trace(trace_capacity);
+    }
+    let c = platform.cycles();
+    platform
+        .machine
+        .trace
+        .record(c, Event::ReqDispatch { req, kind });
+    // The session id is allocated before the quote runs so the
+    // handshake-phase trace events carry it.
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let quoted = match platform.load(&Attested::image()) {
+        Ok(enclave) => Attested::begin(&mut platform, &enclave, id, &nonce, verifier_share)
+            .map(|q| (enclave, q)),
+        Err(k) => Err(ServiceError::Enclave(format!("ra load: {k:?}"))),
+    };
+    let c = platform.cycles();
+    platform.machine.trace.record(
+        c,
+        Event::ReqComplete {
+            req,
+            ok: quoted.is_ok(),
+        },
+    );
+    // Boot, load and handshake cycles are attributed to the begin
+    // request.
+    let sim = platform.machine.metrics_snapshot();
+    ctx.absorb(&sim);
+    match quoted {
+        Ok((enclave, quote)) => {
+            shared.sessions.insert(
+                id,
+                Session {
+                    platform,
+                    enclave,
+                    state: SessionState::Attested(Attested::open(open_req)),
+                    last: sim,
+                },
+            );
+            (Ok(Response::HandshakeQuote { session: id, quote }), sim)
+        }
+        Err(e) => (Err(e), sim),
+    }
+}
+
+/// Runs one typed protocol step on an open session, absorbing only the
+/// delta since the session's last snapshot (the session machine is
+/// long-lived — its lifetime counters span many requests). Operations
+/// on the same session serialize on its stripe lock; operations on
+/// sessions in other stripes — and the data plane — run concurrently.
+/// A terminal step ([`Verdict::Close`]) tears the session down under
+/// the same stripe hold.
+fn session_step(
     shared: &Shared,
     session: u64,
     req: u32,
     kind: u8,
     ctx: &mut ShardCtx<'_>,
-    args: [u32; 3],
-    map: impl FnOnce(u32) -> Result<Response, ServiceError>,
+    step: ProtoStep,
 ) -> (Result<Response, ServiceError>, MetricsSnapshot) {
-    let (res, delta) = shared.sessions.with(session, |s| {
-        let Some(s) = s else {
-            return (
-                Err(ServiceError::NoSuchSession(session)),
-                MetricsSnapshot::default(),
-            );
-        };
+    let step_ctx = StepCtx {
+        session,
+        now_req: ctx.job_index(),
+        handshake_ttl: shared.handshake_ttl,
+    };
+    let out = shared.sessions.step(session, |s| {
         let c = s.platform.cycles();
         s.platform
             .machine
             .trace
             .record(c, Event::ReqDispatch { req, kind });
-        let run = s.platform.run(&s.enclave, 0, args);
-        let res = match run {
-            EnclaveRun::Exited(v) => map(v),
-            r => Err(ServiceError::Enclave(format!("session run: {r:?}"))),
-        };
+        let (res, verdict) =
+            protocol::dispatch(&mut s.state, &mut s.platform, &s.enclave, step, &step_ctx);
         let c = s.platform.cycles();
         s.platform.machine.trace.record(
             c,
@@ -710,7 +848,13 @@ fn session_op(
         let snap = s.platform.machine.metrics_snapshot();
         let delta = snap.delta_since(&s.last);
         s.last = snap;
-        (res, delta)
+        ((res, delta), verdict)
+    });
+    let (res, delta) = out.unwrap_or_else(|| {
+        (
+            Err(ServiceError::NoSuchSession(session)),
+            MetricsSnapshot::default(),
+        )
     });
     ctx.absorb(&delta);
     (res, delta)

@@ -10,6 +10,8 @@ use komodo_armv7::Word;
 use komodo_fleet::Class;
 use std::sync::Arc;
 
+use crate::protocol::{ProtocolError, QuoteWords};
+
 /// One client request to the service node.
 #[derive(Clone, Debug)]
 pub enum Request {
@@ -51,10 +53,40 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
-    /// Tear a session down, destroying its enclave and platform.
+    /// Tear a session down, destroying its enclave and platform. Works
+    /// on any session protocol.
     SessionClose {
         /// Session id.
         session: u64,
+    },
+    /// Open an attested session: boot a dedicated platform, load the
+    /// remote-attestation enclave, and run the in-enclave handshake
+    /// against the verifier's challenge — keypair generation, DH, key
+    /// derivation, quote. The reply carries the full quote; the session
+    /// then waits for the verifier's confirmation tag.
+    HandshakeBegin {
+        /// The verifier's fresh challenge nonce.
+        nonce: [u32; 4],
+        /// The verifier's DH share `V = g^a`.
+        verifier_share: u64,
+    },
+    /// Deliver the verifier's key-confirmation tag to an attested
+    /// session awaiting it. An enclave-accepted tag establishes the
+    /// session; a rejected or expired one tears it down (fail closed).
+    HandshakeConfirm {
+        /// Session id from [`Response::HandshakeQuote`].
+        session: u64,
+        /// The verifier-direction confirmation tag `C_v`.
+        tag: [u32; 8],
+    },
+    /// MAC one application message under an established attested
+    /// session's key; the enclave assigns the sequence number and
+    /// returns the traffic tag.
+    AttestedSend {
+        /// Session id.
+        session: u64,
+        /// Eight-word message payload.
+        payload: [u32; 8],
     },
 }
 
@@ -69,7 +101,10 @@ impl Request {
             Request::Attest { .. }
             | Request::SessionOpen
             | Request::SessionPut { .. }
-            | Request::SessionGet { .. } => Class::Interactive,
+            | Request::SessionGet { .. }
+            | Request::HandshakeBegin { .. }
+            | Request::HandshakeConfirm { .. }
+            | Request::AttestedSend { .. } => Class::Interactive,
             Request::Notarize { .. } | Request::Invoke { .. } => Class::Batch,
         }
     }
@@ -84,6 +119,9 @@ impl Request {
             Request::SessionPut { .. } => 4,
             Request::SessionGet { .. } => 5,
             Request::SessionClose { .. } => 6,
+            Request::HandshakeBegin { .. } => 7,
+            Request::HandshakeConfirm { .. } => 8,
+            Request::AttestedSend { .. } => 9,
         }
     }
 
@@ -97,6 +135,9 @@ impl Request {
             Request::SessionPut { .. } => "session-put",
             Request::SessionGet { .. } => "session-get",
             Request::SessionClose { .. } => "session-close",
+            Request::HandshakeBegin { .. } => "handshake-begin",
+            Request::HandshakeConfirm { .. } => "handshake-confirm",
+            Request::AttestedSend { .. } => "attested-send",
         }
     }
 }
@@ -137,6 +178,25 @@ pub enum Response {
     },
     /// Session torn down.
     SessionClosed,
+    /// An attested session opened and quoted: everything the verifier
+    /// needs to check the enclave and derive the session key.
+    HandshakeQuote {
+        /// The new session's id.
+        session: u64,
+        /// The enclave's quote words (public key, binding MAC, DH
+        /// share, signature, confirmation tag).
+        quote: QuoteWords,
+    },
+    /// The enclave accepted the verifier's confirmation tag; traffic
+    /// keys are live in both directions.
+    SessionEstablished,
+    /// One application message MAC'd under the session key.
+    AttestedTag {
+        /// The sequence number the enclave bound into the tag.
+        seq: u32,
+        /// The traffic tag `HMAC(K, [APP_TAG, seq, payload])`.
+        tag: [u32; 8],
+    },
 }
 
 /// Why a request failed after being accepted into the queue.
@@ -153,6 +213,9 @@ pub enum ServiceError {
     /// The request's job panicked (a monitor fault or handler bug);
     /// carries the rendered panic message.
     Panic(String),
+    /// Protocol misuse on a stateful session: step out of order, wrong
+    /// protocol, expired handshake, or a rejected confirmation tag.
+    Protocol(ProtocolError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -162,6 +225,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NoSuchSession(id) => write!(f, "no such session: {id}"),
             ServiceError::Enclave(m) => write!(f, "enclave error: {m}"),
             ServiceError::Panic(m) => write!(f, "request panicked: {m}"),
+            ServiceError::Protocol(e) => write!(f, "protocol error: {e}"),
         }
     }
 }
@@ -213,6 +277,31 @@ mod tests {
             .class(),
             Class::Batch
         );
+        // Handshake traffic is latency-sensitive: interactive lane.
+        assert_eq!(
+            Request::HandshakeBegin {
+                nonce: [0; 4],
+                verifier_share: 2
+            }
+            .class(),
+            Class::Interactive
+        );
+        assert_eq!(
+            Request::HandshakeConfirm {
+                session: 1,
+                tag: [0; 8]
+            }
+            .class(),
+            Class::Interactive
+        );
+        assert_eq!(
+            Request::AttestedSend {
+                session: 1,
+                payload: [0; 8]
+            }
+            .class(),
+            Class::Interactive
+        );
     }
 
     #[test]
@@ -231,10 +320,29 @@ mod tests {
             },
             Request::SessionGet { session: 0 },
             Request::SessionClose { session: 0 },
+            Request::HandshakeBegin {
+                nonce: [0; 4],
+                verifier_share: 2,
+            },
+            Request::HandshakeConfirm {
+                session: 0,
+                tag: [0; 8],
+            },
+            Request::AttestedSend {
+                session: 0,
+                payload: [0; 8],
+            },
         ];
         let mut codes: Vec<u8> = reqs.iter().map(Request::kind_code).collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), reqs.len());
+    }
+
+    #[test]
+    fn protocol_errors_surface_through_service_errors() {
+        let e = ServiceError::Protocol(ProtocolError::BadConfirm);
+        assert!(e.to_string().contains("protocol error"));
+        assert_ne!(e, ServiceError::Shutdown);
     }
 }

@@ -117,6 +117,13 @@ fn render(e: &Event) -> (char, String) {
             'i',
             format!(r#""name":"chaos","args":{{"kind":{kind},"arg":{arg}}}"#),
         ),
+        Event::HsPhase { phase, session } => (
+            'i',
+            format!(
+                r#""name":"handshake","args":{{"phase":"{}","session":{session}}}"#,
+                crate::event::hs_phase_name(phase)
+            ),
+        ),
     }
 }
 
@@ -268,12 +275,17 @@ mod tests {
             },
             Event::ReqDispatch { req: 42, kind: 2 },
             Event::ReqComplete { req: 42, ok: true },
+            Event::HsPhase {
+                phase: 2,
+                session: 7,
+            },
         ];
         for (i, e) in all.into_iter().enumerate() {
             r.record(i as u64, e);
         }
         let j = chrome_trace(r.iter());
         assert_structurally_sound(&j);
-        assert_eq!(j.matches("\"ph\"").count(), 19, "{j}");
+        assert_eq!(j.matches("\"ph\"").count(), 20, "{j}");
+        assert!(j.contains(r#""phase":"establish""#), "{j}");
     }
 }

@@ -227,6 +227,30 @@ pub enum Event {
         /// Fault-specific payload (cycle deadline, page number, …).
         arg: u32,
     },
+    /// A remote-attestation handshake crossed a phase boundary on a
+    /// session platform (see [`hs_phase_name`] for the phase codes).
+    HsPhase {
+        /// Phase code: 0 begin, 1 quote, 2 establish, 3 reject.
+        phase: u8,
+        /// Service session id (truncated to 32 bits for the compact
+        /// event encoding).
+        session: u32,
+    },
+}
+
+/// Human-readable name of a handshake phase code ([`Event::HsPhase`]):
+/// `begin` (verifier nonce and share accepted), `quote` (quote and
+/// enclave share published), `establish` (verifier confirmation tag
+/// accepted — traffic keys live), `reject` (confirmation failed or the
+/// handshake expired; the session is torn down).
+pub fn hs_phase_name(code: u8) -> &'static str {
+    match code {
+        0 => "begin",
+        1 => "quote",
+        2 => "establish",
+        3 => "reject",
+        _ => "?",
+    }
 }
 
 impl Event {
@@ -253,6 +277,7 @@ impl Event {
             Event::ReqDispatch { .. } => "request",
             Event::ReqComplete { .. } => "request",
             Event::ChaosInject { .. } => "chaos",
+            Event::HsPhase { .. } => "handshake",
         }
     }
 }
@@ -311,6 +336,9 @@ impl core::fmt::Display for Event {
             Event::ChaosInject { kind, arg } => {
                 write!(f, "chaos-inject kind={kind} arg={arg:#x}")
             }
+            Event::HsPhase { phase, session } => {
+                write!(f, "hs-{} session={session}", hs_phase_name(phase))
+            }
         }
     }
 }
@@ -357,6 +385,25 @@ mod tests {
         assert_eq!(page_type_name(4), "thread");
         assert_eq!(page_type_name(6), "spare");
         assert_eq!(page_type_name(9), "?");
+    }
+
+    #[test]
+    fn handshake_phases_are_named() {
+        for (code, name) in [
+            (0u8, "begin"),
+            (1, "quote"),
+            (2, "establish"),
+            (3, "reject"),
+        ] {
+            assert_eq!(hs_phase_name(code), name);
+            let line = Event::HsPhase {
+                phase: code,
+                session: 9,
+            }
+            .to_string();
+            assert!(line.contains(name) && line.contains("session=9"), "{line}");
+        }
+        assert_eq!(hs_phase_name(7), "?");
     }
 
     #[test]
